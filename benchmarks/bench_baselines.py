@@ -1,0 +1,99 @@
+"""Experiment BL — who wins where (Section 2.4 context).
+
+Runs every applicable algorithm over representative (shape, P) points in
+each regime, printing measured critical-path words against the Theorem 3
+bound.  Expected shape:
+
+* Algorithm 1 with the optimal grid has gap ratio 1.0 everywhere;
+* the 1D schemes match it only in case 1 (and only when their split
+  dimension is the largest one);
+* the 2D algorithms (SUMMA, Cannon) are competitive on square problems
+  but pay up on skewed shapes and in the deep-P 3D regime;
+* the recursive CARMA-style algorithm tracks within a small constant in
+  all regimes but never beats the exact-constant Algorithm 1.
+"""
+
+import pytest
+
+from repro.analysis import format_table, sweep
+from repro.core import ProblemShape, classify
+
+CONFIGS = [
+    (ProblemShape(64, 16, 4), 2),     # 1D regime
+    (ProblemShape(64, 16, 4), 16),    # 2D regime
+    (ProblemShape(32, 32, 32), 16),   # 3D regime, P^(1/3) not integral
+    (ProblemShape(32, 32, 32), 64),   # deeper 3D, perfect 4x4x4 grid
+]
+
+#: Points where the continuous Section 5.2 grid is integral, so Algorithm 1
+#: attains the bound *exactly*; elsewhere the best integer grid sits within
+#: a few percent (the paper's integrality assumption).
+TIGHT = {(ProblemShape(64, 16, 4), 2), (ProblemShape(64, 16, 4), 16),
+         (ProblemShape(32, 32, 32), 64)}
+
+
+def run_all():
+    records = []
+    for shape, P in CONFIGS:
+        records.extend(sweep([shape], [P], seed=0))
+    return records
+
+
+def build_rows(records):
+    rows = []
+    for shape, P in CONFIGS:
+        subset = sorted(
+            (r for r in records if r.shape == shape and r.P == P),
+            key=lambda r: r.words,
+        )
+        for r in subset:
+            rows.append([
+                str(shape), P, str(classify(shape, P)), r.algorithm,
+                r.config, r.words, r.bound, r.gap_ratio,
+            ])
+    return rows
+
+
+def test_baseline_comparison(benchmark, show):
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for shape, P in CONFIGS:
+        subset = {r.algorithm: r for r in records if r.shape == shape and r.P == P}
+        assert "alg1" in subset
+        # Algorithm 1 attains the bound exactly where the optimal grid is
+        # integral, and stays within ~10% otherwise.
+        if (shape, P) in TIGHT:
+            assert subset["alg1"].gap_ratio == pytest.approx(1.0, abs=1e-9)
+        else:
+            assert subset["alg1"].gap_ratio < 1.15
+        # No algorithm communicates less than Algorithm 1.
+        best = min(r.words for r in subset.values())
+        assert subset["alg1"].words == pytest.approx(best)
+
+    # The square 2D algorithms lose to Alg 1 in the deep-P 3D regime.
+    deep = {r.algorithm: r for r in records
+            if r.shape == ProblemShape(32, 32, 32) and r.P == 64}
+    if "cannon" in deep:
+        assert deep["cannon"].words > deep["alg1"].words
+    if "summa" in deep:
+        assert deep["summa"].words > deep["alg1"].words
+
+    show(format_table(
+        ["shape", "P", "regime", "algorithm", "config", "words", "bound",
+         "gap ratio"],
+        build_rows(records),
+        title="Baseline comparison (sorted by words within each panel)",
+    ))
+
+
+def main() -> None:
+    print(format_table(
+        ["shape", "P", "regime", "algorithm", "config", "words", "bound",
+         "gap ratio"],
+        build_rows(run_all()),
+        title="Baseline comparison (sorted by words within each panel)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

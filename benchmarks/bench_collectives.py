@@ -1,0 +1,96 @@
+"""Ablation AB1 — collective algorithm choice (ring vs recursive doubling).
+
+The paper's cost analysis assumes bandwidth-optimal collectives; both ring
+and recursive-doubling/halving families hit the (1 - 1/p) w bandwidth
+bound, differing only in latency (p-1 vs log2 p rounds).  This harness
+measures both families on the simulated machine across group sizes and
+verifies (a) identical bandwidth, (b) the latency gap, and (c) exact
+agreement with the closed-form costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.collectives import (
+    allgather_cost,
+    allgather_schedule,
+    reduce_scatter_cost,
+    reduce_scatter_schedule,
+    run_schedule,
+)
+from repro.machine import Machine
+
+GROUP_SIZES = [2, 4, 8, 16, 32]
+CHUNK = 64
+
+
+def measure(P, kind, algorithm):
+    m = Machine(P)
+    rng = np.random.default_rng(0)
+    group = tuple(range(P))
+    if kind == "allgather":
+        chunks = {r: rng.random(CHUNK) for r in group}
+        run_schedule(m, allgather_schedule(group, chunks, algorithm=algorithm))
+    else:
+        blocks = {r: [rng.random(CHUNK) for _ in group] for r in group}
+        run_schedule(
+            m, reduce_scatter_schedule(group, blocks, machine=m, algorithm=algorithm)
+        )
+    return m.cost
+
+
+def run_matrix():
+    out = {}
+    for P in GROUP_SIZES:
+        out[("allgather", "ring", P)] = measure(P, "allgather", "ring")
+        out[("allgather", "recursive_doubling", P)] = measure(
+            P, "allgather", "recursive_doubling")
+        out[("reduce_scatter", "ring", P)] = measure(P, "reduce_scatter", "ring")
+        out[("reduce_scatter", "recursive_halving", P)] = measure(
+            P, "reduce_scatter", "recursive_halving")
+    return out
+
+
+def build_rows(results):
+    rows = []
+    for (kind, alg, P), cost in sorted(results.items()):
+        rows.append([kind, alg, P, cost.rounds, cost.words])
+    return rows
+
+
+def test_collective_ablation(benchmark, show):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    for P in GROUP_SIZES:
+        ring_ag = results[("allgather", "ring", P)]
+        rd_ag = results[("allgather", "recursive_doubling", P)]
+        # Identical bandwidth, both equal to the closed form ...
+        expected = allgather_cost(P, CHUNK * P, algorithm="ring").words
+        assert ring_ag.words == rd_ag.words == expected
+        # ... but the latency differs: p-1 vs log2 p rounds.
+        assert ring_ag.rounds == P - 1
+        assert rd_ag.rounds == int(np.log2(P))
+
+        ring_rs = results[("reduce_scatter", "ring", P)]
+        rh_rs = results[("reduce_scatter", "recursive_halving", P)]
+        expected = reduce_scatter_cost(P, CHUNK * P, algorithm="ring").words
+        assert ring_rs.words == rh_rs.words == expected
+        assert rh_rs.rounds == int(np.log2(P))
+    show(format_table(
+        ["collective", "algorithm", "p", "rounds", "critical-path words"],
+        build_rows(results),
+        title=f"Collective ablation ({CHUNK}-word chunks): same bandwidth, "
+              f"different latency",
+    ))
+
+
+def main() -> None:
+    print(format_table(
+        ["collective", "algorithm", "p", "rounds", "critical-path words"],
+        build_rows(run_matrix()),
+        title=f"Collective ablation ({CHUNK}-word chunks)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

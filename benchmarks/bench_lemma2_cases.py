@@ -1,0 +1,83 @@
+"""Experiment L2 — the Lemma 2 case diagram (Section 4.2).
+
+The paper visualizes the optimization problem's solution as a function of
+P: for P <= m/n the per-array bounds pin x1 = nk, x2 = mk/P, x3 = mn/P;
+for m/n <= P <= mn/k^2 the two small variables equalize at sqrt(mnk^2/P);
+beyond mn/k^2 all three equal (mnk/P)^(2/3).
+
+This harness sweeps P across the diagram for the Figure 2 dimensions,
+printing the three series with the case boundaries, and verifies each
+point against an independent SLSQP solve plus the KKT certificate.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    Regime,
+    boundary_processor_counts,
+    check_kkt,
+    solve_lemma2,
+    solve_numerically,
+)
+from repro.workloads import FIGURE2_SHAPE
+
+M, N, K = FIGURE2_SHAPE.sorted_dims
+SWEEP = [1, 2, 3, 4, 6, 12, 24, 36, 48, 64, 96, 200, 512, 2048]
+
+
+def build_rows():
+    rows = []
+    for P in SWEEP:
+        sol = solve_lemma2(M, N, K, P)
+        rows.append([P, str(sol.regime), *sol.x, sol.value])
+    return rows
+
+
+def verify_sweep():
+    for P in SWEEP:
+        sol = check_kkt(M, N, K, P)
+        _, numeric = solve_numerically(M, N, K, P)
+        assert numeric == pytest.approx(sol.value, rel=1e-6)
+    return len(SWEEP)
+
+
+def test_lemma2_case_diagram(benchmark, show):
+    n_checked = benchmark.pedantic(verify_sweep, rounds=1, iterations=1)
+    assert n_checked == len(SWEEP)
+
+    lo, hi = boundary_processor_counts(FIGURE2_SHAPE)
+    assert (lo, hi) == (4.0, 64.0)
+
+    rows = build_rows()
+    # Case structure along the sweep.
+    regimes = [row[1] for row in rows]
+    assert regimes[0] == "1D" and regimes[-1] == "3D" and "2D" in regimes
+    # x1 is pinned at nk throughout case 1.
+    for row in rows:
+        if row[1] == "1D":
+            assert row[2] == N * K
+        if row[1] == "3D":
+            assert row[2] == pytest.approx(row[3]) == pytest.approx(row[4])
+    show(format_table(
+        ["P", "case", "x1*", "x2*", "x3*", "D = x1+x2+x3"],
+        rows,
+        title=(f"Lemma 2 solution vs P for m={M}, n={N}, k={K} "
+               f"(boundaries m/n = {lo:g}, mn/k^2 = {hi:g})"),
+        precision=6,
+    ))
+
+
+def main() -> None:
+    lo, hi = boundary_processor_counts(FIGURE2_SHAPE)
+    print(format_table(
+        ["P", "case", "x1*", "x2*", "x3*", "D = x1+x2+x3"],
+        build_rows(),
+        title=(f"Lemma 2 solution vs P for m={M}, n={N}, k={K} "
+               f"(boundaries m/n = {lo:g}, mn/k^2 = {hi:g})"),
+        precision=6,
+    ))
+
+
+if __name__ == "__main__":
+    main()

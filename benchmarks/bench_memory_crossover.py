@@ -1,0 +1,109 @@
+"""Experiment M62 — the Section 6.2 limited-memory crossover.
+
+For a square problem and a fixed local memory M, sweeps P and reports the
+memory-independent bound (Theorem 3's D), the memory-dependent bound
+2mnk/(P sqrt(M)), and which one binds.  Verifies the paper's claims:
+
+* the switch happens exactly at P* = (8/27) mnk / M^(3/2) — equivalently
+  M* = (4/9)(mnk/P)^(2/3);
+* in cases 1 and 2 (P <= mn/k^2) the memory-independent bound binds for
+  *every* feasible M;
+* below the crossover the memory budget is also too small for Algorithm
+  1's 3D-grid temporaries (~3 (mnk/P)^(2/3) words).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    ProblemShape,
+    Regime,
+    classify,
+    compare_bounds,
+    memory_independent_always_dominates,
+    memory_threshold_3d,
+    min_memory_to_hold_problem,
+    strong_scaling_limit,
+)
+
+# A skewed shape widens the crossover window: the memory-dependent bound
+# dominates on (mn/k^2, P*] only while M < (4/9)(mnk/P)^(2/3), and the
+# problem must still fit (M >= (mn+mk+nk)/P).  With 4096x256x256 and
+# M = 1024 the window [2112, 2427] is clearly visible in the sweep.
+SHAPE = ProblemShape(4096, 256, 256)
+M = 1024.0
+SWEEP = [2048, 2176, 2304, 2423, 2432, 2560, 3072, 4096, 8192, 16384]
+
+
+def build_rows():
+    rows = []
+    for P in SWEEP:
+        if M < min_memory_to_hold_problem(SHAPE, P):
+            rows.append([P, str(classify(SHAPE, P)), None, None,
+                         "infeasible (cannot hold problem)"])
+            continue
+        cmp = compare_bounds(SHAPE, P, M)
+        rows.append([
+            P, str(cmp.regime), cmp.memory_independent, cmp.memory_dependent,
+            cmp.binding.replace("memory_", ""),
+        ])
+    return rows
+
+
+def verify():
+    p_star = strong_scaling_limit(SHAPE, M)
+    feasible = [P for P in SWEEP if M >= min_memory_to_hold_problem(SHAPE, P)]
+    comparisons = {P: compare_bounds(SHAPE, P, M) for P in feasible}
+    return p_star, comparisons
+
+
+def test_memory_crossover(benchmark, show):
+    p_star, comparisons = benchmark.pedantic(verify, rounds=1, iterations=1)
+
+    for P, cmp in comparisons.items():
+        if P <= p_star:
+            assert cmp.binding == "memory_dependent", (P, p_star)
+        else:
+            assert cmp.binding == "memory_independent", (P, p_star)
+
+    # The two threshold forms agree.
+    some_p = next(iter(comparisons))
+    assert strong_scaling_limit(SHAPE, memory_threshold_3d(SHAPE, some_p)) == (
+        pytest.approx(some_p)
+    )
+
+    # Cases 1-2 never see the memory-dependent bound dominate.
+    skew = ProblemShape(9600, 2400, 600)
+    for P in (2, 36, 64):
+        assert classify(skew, P) is not Regime.THREE_D
+        assert memory_independent_always_dominates(skew, P)
+
+    # Below the crossover, Alg 1's 3D temporaries don't fit either.
+    below = [P for P in comparisons if P <= p_star]
+    for P in below:
+        assert 3 * (SHAPE.volume / P) ** (2 / 3) > M
+
+    show(format_table(
+        ["P", "regime", "mem-independent D", "mem-dependent 2mnk/(P sqrt M)",
+         "binding"],
+        build_rows(),
+        title=(f"Section 6.2 crossover for {SHAPE}, M = {M:g} words "
+               f"(P* = {p_star:,.0f})"),
+        precision=6,
+    ))
+
+
+def main() -> None:
+    p_star = strong_scaling_limit(SHAPE, M)
+    print(format_table(
+        ["P", "regime", "mem-independent D", "mem-dependent 2mnk/(P sqrt M)",
+         "binding"],
+        build_rows(),
+        title=(f"Section 6.2 crossover for {SHAPE}, M = {M:g} words "
+               f"(P* = {p_star:,.0f})"),
+        precision=6,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Experiment T1 — regenerate Table 1.
+
+Prints the paper's Table 1 (explicit constants of the leading term of the
+memory-independent bounds, per case, for each prior work and this paper)
+and an *empirical* bottom row: the constants measured by executing
+Algorithm 1 on the simulated machine and decomposing its accessed data
+against the case formula — 1, 2, 3 exactly.
+
+Paper values: Aggarwal'90 -/-/0.63, Irony'04 -/-/0.5,
+Demmel'13 0.64/0.82/1, Theorem 3 1/2/3.
+"""
+
+import pytest
+
+from repro.analysis import format_table, measure_constant
+from repro.core import ProblemShape, Regime, TABLE1_CONSTANTS
+from repro.workloads import FIGURE2_SHAPE
+
+#: Tight, shard-even execution points for the three regimes.
+MEASURE_POINTS = {
+    Regime.ONE_D: (ProblemShape(96, 24, 6), 2),
+    Regime.TWO_D: (ProblemShape(96, 24, 6), 16),
+    Regime.THREE_D: (ProblemShape(48, 48, 48), 64),
+}
+
+
+def build_table() -> str:
+    rows = []
+    for key in ("aggarwal1990", "irony2004", "demmel2013", "thiswork"):
+        row = TABLE1_CONSTANTS[key]
+        rows.append([row.name, *row.constants])
+    measured = []
+    for regime in (Regime.ONE_D, Regime.TWO_D, Regime.THREE_D):
+        shape, P = MEASURE_POINTS[regime]
+        measured.append(measure_constant(shape, P).constant)
+    rows.append(["measured (simulated Alg. 1)", *measured])
+    return format_table(
+        ["work", "case 1: nk", "case 2: (mnk^2/P)^1/2", "case 3: (mnk/P)^2/3"],
+        rows,
+        title="Table 1 — constants of the leading term (memory-independent bounds)",
+        precision=3,
+    )
+
+
+def test_table1_reproduction(benchmark, show):
+    """Empirical constants equal the analytic 1 / 2 / 3 exactly."""
+    measured = {}
+    for regime, (shape, P) in MEASURE_POINTS.items():
+        mc = benchmark.pedantic(
+            measure_constant, args=(shape, P), rounds=1, iterations=1,
+        ) if regime is Regime.THREE_D else measure_constant(shape, P)
+        measured[regime] = mc
+    assert measured[Regime.ONE_D].constant == pytest.approx(1.0, abs=1e-9)
+    assert measured[Regime.TWO_D].constant == pytest.approx(2.0, abs=1e-9)
+    assert measured[Regime.THREE_D].constant == pytest.approx(3.0, abs=1e-9)
+    # Our constants beat every prior row wherever that row applies.
+    ours = TABLE1_CONSTANTS["thiswork"].constants
+    for key, row in TABLE1_CONSTANTS.items():
+        if key == "thiswork":
+            continue
+        for case in range(3):
+            if row.constants[case] is not None:
+                assert ours[case] > row.constants[case]
+    show(build_table())
+
+
+def main() -> None:
+    print(build_table())
+    _ = FIGURE2_SHAPE  # referenced for readers cross-checking the paper
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark module regenerates one of the paper's tables/figures,
+asserts the reproduction claims, and times its core computation with
+pytest-benchmark.  Each module is also runnable standalone
+(``python benchmarks/bench_table1.py``) to print the artifact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so ``-s`` displays the artifact."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Using the machine and collectives substrate directly.
+
+The lower-bound machinery sits on a reusable simulated distributed machine:
+this demo builds an 8-processor machine, runs the standard collectives on
+it (with real data movement), and shows the exact critical-path accounting
+against the closed-form costs — including the latency/bandwidth trade
+between ring and recursive-doubling All-Gather and the effect of running
+collectives on disjoint groups *simultaneously*.
+
+Usage::
+
+    python examples/collectives_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.collectives import allgather_cost, parallel_allgather, reduce_scatter_cost
+from repro.machine import CostModel, Machine
+
+
+def main() -> None:
+    P, w = 8, 16  # eight processors, 16-word chunks
+    rng = np.random.default_rng(0)
+
+    rows = []
+    for algorithm in ("ring", "recursive_doubling"):
+        m = Machine(P, cost_model=CostModel(alpha=10.0, beta=1.0))
+        comm = m.comm_world()
+        chunks = {r: rng.random(w) for r in range(P)}
+        comm.allgather(chunks, algorithm=algorithm)
+        formula = allgather_cost(P, w * P, algorithm=algorithm)
+        rows.append([
+            f"allgather/{algorithm}", m.cost.rounds, m.cost.words,
+            formula.rounds, formula.words, m.time,
+        ])
+
+    m = Machine(P)
+    comm = m.comm_world()
+    blocks = {r: [rng.random(4) for _ in range(P)] for r in range(P)}
+    comm.reduce_scatter(blocks)
+    formula = reduce_scatter_cost(P, 4 * P)
+    rows.append(["reduce-scatter/auto", m.cost.rounds, m.cost.words,
+                 formula.rounds, formula.words, m.time])
+
+    print(format_table(
+        ["collective", "rounds", "words", "formula rounds", "formula words", "time"],
+        rows,
+        title=f"Collectives on P={P} (alpha=10, beta=1): measured == formula",
+    ))
+
+    # Disjoint groups share rounds: 4 pair-exchanges cost ONE round.
+    m = Machine(8)
+    groups = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    chunks = {r: rng.random(w) for r in range(8)}
+    parallel_allgather(m, groups, chunks)
+    print(f"\n4 disjoint pairwise All-Gathers, merged: "
+          f"{m.cost.rounds} round, {m.cost.words:g} critical-path words "
+          f"(not 4 rounds / {4 * w} words — concurrency is accounted).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Section 6.3 in action: bounds beyond matrix multiplication.
+
+The paper's closing claim is that its proof technique — per-array access
+bounds feeding a product-constrained optimization — "can be applied to
+many other computations that have iteration spaces with uneven
+dimensions".  This script exercises the implemented generalization
+(`repro.core.extensions`) on d-dimensional one-index-omitted computations:
+
+* at d = 3 the machinery reproduces Theorem 3 exactly;
+* at d = 4 (e.g. a fused two-contraction chain) the same three-phase case
+  structure appears: skewed extents activate per-array bounds one by one
+  as P shrinks, the direct analog of the paper's 1D/2D/3D cases.
+
+Usage::
+
+    python examples/extensions_study.py
+"""
+
+from repro.analysis import format_table
+from repro.core import ProblemShape, accessed_data_bound
+from repro.core.extensions import one_omitted_lower_bound
+
+
+def main() -> None:
+    # d = 3: the generalization IS Theorem 3.
+    rows = []
+    for dims, P in [((9600, 2400, 600), 3), ((9600, 2400, 600), 36),
+                    ((9600, 2400, 600), 512)]:
+        gb = one_omitted_lower_bound(dims, P)
+        theorem3 = accessed_data_bound(ProblemShape(*dims), P)
+        rows.append(["x".join(map(str, dims)), P, gb.accessed, theorem3,
+                     len(gb.active)])
+    print(format_table(
+        ["extents", "P", "generalized D", "Theorem 3 D", "active bounds"],
+        rows,
+        title="d = 3: the generalized machinery reproduces Theorem 3",
+    ))
+
+    # d = 4: sweep P on a skewed 4D iteration space and watch the
+    # per-array bounds activate (the higher-dimensional case structure).
+    extents = (4096, 64, 64, 16)
+    rows = []
+    for P in [1, 4, 16, 64, 256, 1024, 4096, 16384]:
+        gb = one_omitted_lower_bound(extents, P)
+        rows.append([
+            P, gb.accessed, gb.communicated, len(gb.active),
+            "{" + ",".join(f"x{j}" for j in gb.active) + "}",
+        ])
+    print()
+    print(format_table(
+        ["P", "accessed D", "communicated", "#active", "active bounds"],
+        rows,
+        title=f"d = 4 one-omitted space {extents}: bounds activate as P shrinks",
+    ))
+    print("\nJust as in the paper's three cases, small P pins the small "
+          "arrays' footprints (their access bounds are active) while large "
+          "P reaches the fully balanced regime where only the generalized "
+          "Loomis-Whitney constraint binds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The sequential memory-dependent side of the story (Section 2.1 / 6.2).
+
+The parallel memory-dependent bound `2mnk/(P sqrt(M))` the paper plays
+against Theorem 3 is the sequential I/O bound divided by P.  This script
+runs three schedules on the explicit two-level memory simulator for a
+sweep of fast-memory sizes and shows the `1/sqrt(M)` law and the history
+of constants (Irony'04 0.35 -> Dongarra'08 1.84 -> Smith'19 2, tight)
+next to measured word traffic.
+
+Usage::
+
+    python examples/sequential_io_study.py
+"""
+
+from repro.algorithms import (
+    run_blocked_gemm,
+    run_naive_gemm,
+    run_optimal_gemm,
+    sequential_lower_bound,
+)
+from repro.analysis import format_table
+from repro.core import ProblemShape
+from repro.workloads import random_pair
+
+
+def main() -> None:
+    n = 192
+    shape = ProblemShape(n, n, n)
+    A, B = random_pair(shape, seed=7)
+
+    rows = []
+    for M in (600.0, 1200.0, 2400.0):
+        bound = sequential_lower_bound(shape, M)
+        naive = run_naive_gemm(A, B, M)
+        blocked = run_blocked_gemm(A, B, M)
+        optimal = run_optimal_gemm(A, B, M)
+        rows.append([
+            M, bound, optimal.total_io, blocked.total_io, naive.total_io,
+            optimal.total_io / (shape.volume / M ** 0.5),
+        ])
+    print(format_table(
+        ["M (words)", "2mnk/sqrt(M) bound", "resident-C optimal",
+         "square tiling", "naive streaming", "measured constant"],
+        rows,
+        title=f"Sequential I/O vs fast-memory size, {shape}",
+        precision=5,
+    ))
+    print("\nThe measured optimal-schedule constant sits a few tens of "
+          "percent above the tight value 2 (Smith'19 / Kwasniewski'19): the "
+          "gap is the integer C-tile side vs sqrt(M) plus the n^2 output "
+          "writes, both of which vanish as n/sqrt(M) grows.  Dividing any "
+          "row by P gives the parallel memory-dependent bound of "
+          "Section 6.2.")
+
+
+if __name__ == "__main__":
+    main()

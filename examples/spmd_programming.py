@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Writing your own algorithm SPMD-style against the simulated machine.
+
+Everything in the library can also be driven the way MPI programmers
+think: one program, executed by every rank, suspending at collectives.
+This example implements the paper's Algorithm 1 *by hand* as a rank-local
+program on a 2 x 2 x 2 grid, runs it through the SPMD facade, and checks
+it against both numpy and the library's own `run_alg1` (identical words).
+
+Usage::
+
+    python examples/spmd_programming.py
+"""
+
+import numpy as np
+
+from repro import ProblemShape, ProcessorGrid, communication_lower_bound, run_alg1
+from repro.analysis import traffic_summary
+from repro.machine import Machine
+from repro.machine.spmd import spmd_run
+
+GRID = ProcessorGrid(2, 2, 2)
+N = 16
+SHAPE = ProblemShape(N, N, N)
+
+
+def make_program(A, B):
+    half = N // 2
+
+    def program(ctx):
+        c1, c2, c3 = GRID.coord(ctx.rank)
+
+        # My blocks of A and B (the fiber I'll gather each from).
+        a_block = A[c1 * half:(c1 + 1) * half, c2 * half:(c2 + 1) * half]
+        b_block = B[c2 * half:(c2 + 1) * half, c3 * half:(c3 + 1) * half]
+
+        # Each fiber member initially owns half of the block (flat split);
+        # gather the full blocks along the p3- and p1-fibers.  The SPMD
+        # facade only exposes whole-group collectives, so we express the
+        # fiber gathers as pairwise exchanges with the fiber partner.
+        a_mine = np.array_split(a_block.reshape(-1), 2)[c3]
+        partner_a = GRID.rank((c1, c2, 1 - c3))
+        theirs = yield ctx.sendrecv(partner_a, a_mine)
+        flat = np.empty(half * half)
+        parts = [None, None]
+        parts[c3], parts[1 - c3] = a_mine, theirs
+        a_full = np.concatenate(parts).reshape(half, half)
+
+        b_mine = np.array_split(b_block.reshape(-1), 2)[c1]
+        partner_b = GRID.rank((1 - c1, c2, c3))
+        theirs = yield ctx.sendrecv(partner_b, b_mine)
+        parts = [None, None]
+        parts[c1], parts[1 - c1] = b_mine, theirs
+        b_full = np.concatenate(parts).reshape(half, half)
+
+        # Local multiply, then exchange-and-add with the p2-fiber partner
+        # (a 2-member reduce-scatter): keep my half of the C block.
+        d = (a_full @ b_full).reshape(-1)
+        keep, send = np.array_split(d, 2)[c2], np.array_split(d, 2)[1 - c2]
+        partner_c = GRID.rank((c1, 1 - c2, c3))
+        theirs = yield ctx.sendrecv(partner_c, send)
+        c_shard = keep + theirs
+        return (c1, c2, c3), c_shard
+
+    return program
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    A, B = rng.random((N, N)), rng.random((N, N))
+
+    machine = Machine(GRID.size)
+    results = spmd_run(machine, make_program(A, B))
+
+    # Reassemble C from the shards.
+    half = N // 2
+    C = np.empty((N, N))
+    for _, ((c1, c2, c3), shard) in results.items():
+        block = np.empty(half * half)
+        lo, hi = (0, shard.size) if c2 == 0 else (half * half - shard.size, half * half)
+        # Each fiber pair's two shards tile the block.
+        block[lo:hi] = shard
+        # Merge: write partial; the partner writes the other half.
+        r0, k0 = c1 * half, c3 * half
+        target = C[r0:r0 + half, k0:k0 + half].reshape(-1)
+        target[lo:hi] = shard
+        C[r0:r0 + half, k0:k0 + half] = target.reshape(half, half)
+
+    assert np.allclose(C, A @ B), "hand-written SPMD Algorithm 1 is wrong!"
+
+    reference = run_alg1(A, B, GRID)
+    bound = communication_lower_bound(SHAPE, GRID.size)
+    print(f"hand-written SPMD Alg.1 on {GRID}: "
+          f"{machine.cost.words:g} words, {machine.cost.rounds} rounds")
+    print(f"library run_alg1:                 "
+          f"{reference.cost.words:g} words, {reference.cost.rounds} rounds")
+    print(f"Theorem 3 bound:                  {bound:g} words")
+    print(f"traffic: {traffic_summary(machine)}")
+
+
+if __name__ == "__main__":
+    main()

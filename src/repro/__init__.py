@@ -1,0 +1,94 @@
+"""repro — reproduction of *Tight Memory-Independent Parallel Matrix
+Multiplication Communication Lower Bounds* (Al Daas, Ballard, Grigori,
+Kumar, Rouse; SPAA 2022).
+
+The library has four layers:
+
+* :mod:`repro.machine` — a simulated distributed-memory machine in the
+  alpha-beta-gamma model (Section 3.1), with exact critical-path cost
+  accounting;
+* :mod:`repro.collectives` — bandwidth-optimal collective algorithms
+  (ring, recursive doubling/halving, binomial trees) built from validated
+  point-to-point rounds;
+* :mod:`repro.core` — the paper's results: the Loomis-Whitney inequality,
+  the per-array access bounds, Lemma 2's optimization problem with its KKT
+  certificate, Theorem 3 / Corollary 4, the Table 1 comparison constants,
+  and the Section 6.2 limited-memory analysis;
+* :mod:`repro.algorithms` — Algorithm 1 (which attains the bound exactly)
+  plus SUMMA, Cannon, 2.5D, CARMA-style recursive and 1D baselines.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import ProblemShape, select_grid, run_alg1, memory_independent_bound
+>>> shape = ProblemShape(96, 24, 6)         # the Figure 2 problem at 1/100 scale
+>>> choice = select_grid(shape, 12)
+>>> rng = np.random.default_rng(0)
+>>> A, B = rng.random((96, 24)), rng.random((24, 6))
+>>> result = run_alg1(A, B, choice.grid)
+>>> bool(np.allclose(result.C, A @ B))
+True
+"""
+
+from .algorithms import (
+    ProcessorGrid,
+    alg1_cost,
+    alg1_cost_terms,
+    continuous_optimal_grid,
+    run_25d,
+    run_alg1,
+    run_algorithm,
+    run_cannon,
+    run_carma,
+    run_outer_1d,
+    run_row_1d,
+    run_summa,
+    select_grid,
+)
+from .collectives import Communicator
+from .core import (
+    ProblemShape,
+    Regime,
+    accessed_data_bound,
+    classify,
+    communication_lower_bound,
+    leading_term,
+    memory_dependent_bound,
+    memory_independent_bound,
+    solve_lemma2,
+    square_lower_bound,
+)
+from .machine import Cost, CostModel, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Communicator",
+    "Cost",
+    "CostModel",
+    "Machine",
+    "ProblemShape",
+    "ProcessorGrid",
+    "Regime",
+    "accessed_data_bound",
+    "alg1_cost",
+    "alg1_cost_terms",
+    "classify",
+    "communication_lower_bound",
+    "continuous_optimal_grid",
+    "leading_term",
+    "memory_dependent_bound",
+    "memory_independent_bound",
+    "run_25d",
+    "run_alg1",
+    "run_algorithm",
+    "run_cannon",
+    "run_carma",
+    "run_outer_1d",
+    "run_row_1d",
+    "run_summa",
+    "select_grid",
+    "solve_lemma2",
+    "square_lower_bound",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Parallel matrix multiplication algorithms on the simulated machine.
+
+* :mod:`~repro.algorithms.alg1` — the paper's Algorithm 1 (All-Gather /
+  All-Gather / Reduce-Scatter on a 3D grid), which attains Theorem 3's
+  bound exactly with the Section 5.2 grid;
+* :mod:`~repro.algorithms.grid` / :mod:`~repro.algorithms.grid_selection` /
+  :mod:`~repro.algorithms.cost_models` — grids, the optimal-grid selection
+  and the closed-form expression (3);
+* baselines: :mod:`~repro.algorithms.summa`, :mod:`~repro.algorithms.cannon`,
+  :mod:`~repro.algorithms.c25d`, :mod:`~repro.algorithms.carma`,
+  :mod:`~repro.algorithms.naive`;
+* :mod:`~repro.algorithms.registry` — a uniform interface for sweeps.
+"""
+
+from .alg1 import Alg1Result, run_alg1
+from .blocked_gemm import (
+    SequentialGemmResult,
+    run_blocked_gemm,
+    run_naive_gemm,
+    run_optimal_gemm,
+    sequential_lower_bound,
+)
+from .c25d import C25DResult, run_25d
+from .cannon import CannonResult, cannon_predicted_words, run_cannon
+from .carma import CarmaResult, run_carma
+from .fox import FoxResult, run_fox
+from .cost_models import (
+    Alg1CostBreakdown,
+    alg1_cost,
+    alg1_cost_terms,
+    alg1_latency_rounds,
+    alg1_memory_words,
+    alg1_time,
+)
+from .distributions import (
+    assemble_c,
+    block_bounds,
+    block_of,
+    distribute_inputs,
+    expected_shard_words,
+    reference_product,
+    shard_bounds,
+    shards_divide_evenly,
+)
+from .grid import ProcessorGrid
+from .limited_memory import run_alg1_chunked
+from .grid_selection import (
+    GridChoice,
+    continuous_optimal_grid,
+    divisor_grids,
+    factor_triples,
+    grid_is_exactly_optimal,
+    select_grid,
+)
+from .naive import OneDResult, run_outer_1d, run_row_1d
+from .registry import (
+    REGISTRY,
+    AlgorithmEntry,
+    AlgorithmRun,
+    applicable_algorithms,
+    run_algorithm,
+)
+from .summa import SummaResult, run_summa
+
+__all__ = [
+    "Alg1CostBreakdown",
+    "Alg1Result",
+    "AlgorithmEntry",
+    "AlgorithmRun",
+    "C25DResult",
+    "CannonResult",
+    "CarmaResult",
+    "GridChoice",
+    "OneDResult",
+    "ProcessorGrid",
+    "REGISTRY",
+    "SummaResult",
+    "alg1_cost",
+    "alg1_cost_terms",
+    "alg1_latency_rounds",
+    "alg1_time",
+    "alg1_memory_words",
+    "applicable_algorithms",
+    "assemble_c",
+    "block_bounds",
+    "block_of",
+    "cannon_predicted_words",
+    "continuous_optimal_grid",
+    "distribute_inputs",
+    "divisor_grids",
+    "expected_shard_words",
+    "factor_triples",
+    "grid_is_exactly_optimal",
+    "reference_product",
+    "run_25d",
+    "run_alg1",
+    "run_alg1_chunked",
+    "run_algorithm",
+    "FoxResult",
+    "run_cannon",
+    "run_fox",
+    "run_naive_gemm",
+    "run_optimal_gemm",
+    "run_blocked_gemm",
+    "sequential_lower_bound",
+    "SequentialGemmResult",
+    "run_carma",
+    "run_outer_1d",
+    "run_row_1d",
+    "run_summa",
+    "select_grid",
+    "shard_bounds",
+    "shards_divide_evenly",
+]

@@ -1,0 +1,193 @@
+"""Sequential GEMM in the two-level I/O model: naive vs. blocked.
+
+Companion to :mod:`repro.machine.sequential`, exercising the
+memory-*dependent* bound ``2 n1 n2 n3 / sqrt(M)`` (Smith et al. 2019;
+Kwasniewski et al. 2019 — the constant-2 row of Section 2.1):
+
+``run_naive_gemm``
+    The textbook triple loop processed one ``C`` row at a time: for each of
+    the ``n1`` rows it loads the ``A`` row once but streams the *entire*
+    ``B`` (when ``B`` does not fit), paying ``~n1 n2 n3 / b`` words for
+    small row-block height ``b`` — far off the bound for large problems.
+
+``run_blocked_gemm``
+    Classic square tiling with tile side ``b``: loads an ``A`` tile and a
+    ``B`` tile per inner step and keeps a ``C`` tile resident, paying
+    ``2 n1 n2 n3 / b + lower order`` words.  With the largest feasible tile
+    ``b ~ sqrt(M/3)`` this is ``2 sqrt(3) mnk / sqrt(M) ~ 3.46 mnk/sqrt(M)``
+    — within a constant of the lower bound (the truly optimal schedule
+    keeps a ``sqrt(M) x sqrt(M)`` C tile and streams A and B in thin
+    panels; ``run_optimal_gemm`` implements it and achieves
+    ``2 mnk / sqrt(M)`` to leading order, matching the tight constant).
+
+All three produce numerically exact products and report exact word
+traffic, letting the tests pin the constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.shapes import ProblemShape
+from ..exceptions import ShapeError
+from ..machine.sequential import FastMemory, IOStats
+
+__all__ = [
+    "SequentialGemmResult",
+    "run_naive_gemm",
+    "run_blocked_gemm",
+    "run_optimal_gemm",
+    "sequential_lower_bound",
+]
+
+
+@dataclasses.dataclass
+class SequentialGemmResult:
+    """Output of a sequential two-level GEMM run."""
+
+    C: np.ndarray
+    shape: ProblemShape
+    M: float
+    io: IOStats
+    peak_words: int
+
+    @property
+    def total_io(self) -> float:
+        return self.io.total
+
+
+def sequential_lower_bound(shape: ProblemShape, M: float) -> float:
+    """The tight sequential I/O lower bound ``2 n1 n2 n3 / sqrt(M)``.
+
+    (Leading term; Smith et al. 2019 prove the constant 2 and its
+    attainability.)
+    """
+    if M <= 0:
+        raise ShapeError(f"fast memory M must be positive, got {M}")
+    return 2.0 * shape.volume / math.sqrt(M)
+
+
+def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResult:
+    """Row-at-a-time GEMM: streams all of ``B`` for every row block of ``A``.
+
+    Row-block height is chosen as large as fits alongside one column of B
+    working set; the point is the *shape* of its cost (proportional to
+    ``n1 n2 n3 / block``), not cleverness.
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n1, n2 = A.shape
+    n3 = B.shape[1]
+    shape = ProblemShape(n1, n2, n3)
+    fm = FastMemory(M)
+
+    # Choose a row-block height h and a B column-panel width w such that
+    # h*n2 (A rows) + n2*w (B panel) + h*w (C block) <= M.
+    w = max(1, min(n3, int(M // (4 * n2))))
+    h = max(1, min(n1, int((M - n2 * w) // (n2 + w))))
+    if h < 1 or n2 * w + h * n2 + h * w > M:
+        raise ShapeError(
+            f"M={M} too small for even one row/column of the {shape} problem"
+        )
+
+    C = np.empty((n1, n3))
+    for i0 in range(0, n1, h):
+        i1 = min(i0 + h, n1)
+        fm.load("A_rows", A[i0:i1, :])
+        for j0 in range(0, n3, w):
+            j1 = min(j0 + w, n3)
+            fm.load("B_panel", B[:, j0:j1])
+            fm.alloc("C_block", (i1 - i0, j1 - j0))
+            fm.get("C_block")[:] = fm.get("A_rows") @ fm.get("B_panel")
+            C[i0:i1, j0:j1] = fm.store("C_block")
+            fm.evict("B_panel")
+        fm.evict("A_rows")
+
+    return SequentialGemmResult(C=C, shape=shape, M=M, io=fm.stats,
+                                peak_words=fm.peak_words)
+
+
+def run_blocked_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    M: float,
+    tile: Optional[int] = None,
+) -> SequentialGemmResult:
+    """Square-tiled GEMM with tile side ``tile`` (default ``sqrt(M/3)``)."""
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n1, n2 = A.shape
+    n3 = B.shape[1]
+    shape = ProblemShape(n1, n2, n3)
+    if tile is None:
+        tile = max(1, int(math.isqrt(int(M // 3))))
+    if 3 * tile * tile > M:
+        raise ShapeError(f"tile {tile} needs 3*{tile}^2 = {3*tile*tile} > M = {M}")
+    fm = FastMemory(M)
+
+    C = np.empty((n1, n3))
+    for i0 in range(0, n1, tile):
+        i1 = min(i0 + tile, n1)
+        for j0 in range(0, n3, tile):
+            j1 = min(j0 + tile, n3)
+            fm.alloc("C_tile", (i1 - i0, j1 - j0))
+            for k0 in range(0, n2, tile):
+                k1 = min(k0 + tile, n2)
+                fm.load("A_tile", A[i0:i1, k0:k1])
+                fm.load("B_tile", B[k0:k1, j0:j1])
+                fm.get("C_tile")[:] += fm.get("A_tile") @ fm.get("B_tile")
+                fm.evict("A_tile")
+                fm.evict("B_tile")
+            C[i0:i1, j0:j1] = fm.store("C_tile")
+
+    return SequentialGemmResult(C=C, shape=shape, M=M, io=fm.stats,
+                                peak_words=fm.peak_words)
+
+
+def run_optimal_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    M: float,
+    panel: int = 1,
+) -> SequentialGemmResult:
+    """The I/O-optimal schedule: resident ``C`` tile, streamed A/B panels.
+
+    Keeps a ``b x b`` tile of ``C`` resident with ``b`` close to
+    ``sqrt(M)``, streaming ``b x panel`` slivers of ``A`` and ``panel x b``
+    slivers of ``B`` through the remaining space.  Traffic:
+    ``2 n1 n2 n3 / b + n1 n3`` plus lower-order terms — the constant-2
+    bound attained (up to the choice of ``b`` vs ``sqrt(M)``).
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    n1, n2 = A.shape
+    n3 = B.shape[1]
+    shape = ProblemShape(n1, n2, n3)
+    # b^2 (C tile) + 2*b*panel (slivers) <= M.
+    b = int((math.isqrt(int(panel * panel + M)) - panel))
+    b = max(1, min(b, n1, n3))
+    if b * b + 2 * b * panel > M:
+        raise ShapeError(f"M={M} too small for a C tile with panel={panel}")
+    fm = FastMemory(M)
+
+    C = np.empty((n1, n3))
+    for i0 in range(0, n1, b):
+        i1 = min(i0 + b, n1)
+        for j0 in range(0, n3, b):
+            j1 = min(j0 + b, n3)
+            fm.alloc("C_tile", (i1 - i0, j1 - j0))
+            for k0 in range(0, n2, panel):
+                k1 = min(k0 + panel, n2)
+                fm.load("A_sliver", A[i0:i1, k0:k1])
+                fm.load("B_sliver", B[k0:k1, j0:j1])
+                fm.get("C_tile")[:] += fm.get("A_sliver") @ fm.get("B_sliver")
+                fm.evict("A_sliver")
+                fm.evict("B_sliver")
+            C[i0:i1, j0:j1] = fm.store("C_tile")
+
+    return SequentialGemmResult(C=C, shape=shape, M=M, io=fm.stats,
+                                peak_words=fm.peak_words)

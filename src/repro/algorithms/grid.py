@@ -1,0 +1,142 @@
+"""Logical 3D processor grids.
+
+Algorithm 1 organizes the ``P`` processors into a ``p1 x p2 x p3`` grid
+(``p1 p2 p3 = P``); processor coordinates index the 3D iteration space of
+the multiplication, and each processor participates in three *fibers* —
+the 1D sub-grids obtained by freezing two of its coordinates:
+
+* the **p3-fiber** ``(p1', p2', :)`` — the All-Gather group for its block
+  of ``A``;
+* the **p1-fiber** ``(:, p2', p3')`` — the All-Gather group for its block
+  of ``B``;
+* the **p2-fiber** ``(p1', :, p3')`` — the Reduce-Scatter group for its
+  block of ``C``.
+
+Coordinates here are 0-based (the paper uses 1-based); ranks are laid out
+with ``p3`` fastest, matching ``numpy.unravel_index`` on shape
+``(p1, p2, p3)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+from ..exceptions import GridError
+
+__all__ = ["ProcessorGrid"]
+
+Coord = Tuple[int, int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorGrid:
+    """A ``p1 x p2 x p3`` logical grid over ranks ``0 .. p1*p2*p3 - 1``.
+
+    Examples
+    --------
+    >>> g = ProcessorGrid(3, 3, 3)       # the Figure 1 grid
+    >>> g.size
+    27
+    >>> g.coord(g.rank((0, 2, 0)))       # the paper's processor (1, 3, 1)
+    (0, 2, 0)
+    >>> g.fiber(3, (0, 2, 0))            # its All-Gather group for A
+    (6, 7, 8)
+    """
+
+    p1: int
+    p2: int
+    p3: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("p1", self.p1), ("p2", self.p2), ("p3", self.p3)):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise GridError(f"grid dimension {name} must be a positive int, got {value!r}")
+
+    # ------------------------------------------------------------------ #
+    # geometry                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dims(self) -> Coord:
+        return (self.p1, self.p2, self.p3)
+
+    @property
+    def size(self) -> int:
+        """Total number of processors ``P = p1 p2 p3``."""
+        return self.p1 * self.p2 * self.p3
+
+    def effective_dimensionality(self) -> int:
+        """How many grid dimensions exceed 1 (3D, 2D, 1D or 0D grid)."""
+        return sum(1 for p in self.dims if p > 1)
+
+    def rank(self, coord: Coord) -> int:
+        """Global rank of the processor at ``coord`` (row-major, p3 fastest)."""
+        c1, c2, c3 = coord
+        if not (0 <= c1 < self.p1 and 0 <= c2 < self.p2 and 0 <= c3 < self.p3):
+            raise GridError(f"coordinate {coord} outside grid {self.dims}")
+        return (c1 * self.p2 + c2) * self.p3 + c3
+
+    def coord(self, rank: int) -> Coord:
+        """Grid coordinate of a global rank."""
+        if not 0 <= rank < self.size:
+            raise GridError(f"rank {rank} outside grid of size {self.size}")
+        c3 = rank % self.p3
+        c2 = (rank // self.p3) % self.p2
+        c1 = rank // (self.p2 * self.p3)
+        return (c1, c2, c3)
+
+    def coords(self) -> Iterator[Coord]:
+        """All coordinates in rank order."""
+        for r in range(self.size):
+            yield self.coord(r)
+
+    # ------------------------------------------------------------------ #
+    # fibers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def fiber(self, axis: int, coord: Coord) -> Tuple[int, ...]:
+        """The 1D fiber through ``coord`` along grid ``axis`` (1, 2 or 3).
+
+        Returns the global ranks of the group, ordered by the varying
+        coordinate.  Axis 3 varies ``p3'`` (A's All-Gather group), axis 1
+        varies ``p1'`` (B's), axis 2 varies ``p2'`` (C's Reduce-Scatter).
+        """
+        c1, c2, c3 = coord
+        if axis == 1:
+            return tuple(self.rank((v, c2, c3)) for v in range(self.p1))
+        if axis == 2:
+            return tuple(self.rank((c1, v, c3)) for v in range(self.p2))
+        if axis == 3:
+            return tuple(self.rank((c1, c2, v)) for v in range(self.p3))
+        raise GridError(f"axis must be 1, 2 or 3, got {axis}")
+
+    def fibers(self, axis: int) -> List[Tuple[int, ...]]:
+        """All disjoint fibers along ``axis``, covering every processor once.
+
+        These are the groups over which Algorithm 1's collectives run
+        simultaneously: ``p1*p2`` fibers of length ``p3`` for axis 3, etc.
+        """
+        groups: List[Tuple[int, ...]] = []
+        if axis == 1:
+            for c2 in range(self.p2):
+                for c3 in range(self.p3):
+                    groups.append(self.fiber(1, (0, c2, c3)))
+        elif axis == 2:
+            for c1 in range(self.p1):
+                for c3 in range(self.p3):
+                    groups.append(self.fiber(2, (c1, 0, c3)))
+        elif axis == 3:
+            for c1 in range(self.p1):
+                for c2 in range(self.p2):
+                    groups.append(self.fiber(3, (c1, c2, 0)))
+        else:
+            raise GridError(f"axis must be 1, 2 or 3, got {axis}")
+        return groups
+
+    def divides(self, n1: int, n2: int, n3: int) -> bool:
+        """True when each grid dimension divides its matrix dimension."""
+        return n1 % self.p1 == 0 and n2 % self.p2 == 0 and n3 % self.p3 == 0
+
+    def __str__(self) -> str:
+        return f"{self.p1}x{self.p2}x{self.p3}"

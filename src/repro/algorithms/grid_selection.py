@@ -1,0 +1,202 @@
+"""Optimal processor grid selection — Section 5.2.
+
+Given matrix dimensions and ``P`` processors, choose grid dimensions
+``p, q, r`` (associated with the sorted dimensions ``m >= n >= k``) so
+Algorithm 1 attains the Theorem 3 lower bound:
+
+* **Case 1** (``P <= m/n``): 1D grid ``(P, 1, 1)`` — split only the
+  largest dimension.
+* **Case 2** (``m/n <= P <= mn/k^2``): 2D grid with ``m/p = n/q``:
+  ``p = sqrt(P m / n)``, ``q = sqrt(P n / m)``, ``r = 1``.
+* **Case 3** (``mn/k^2 <= P``): 3D grid with cubical local volumes
+  ``m/p = n/q = k/r``: ``p = (P/(mnk))^(1/3) m`` etc. (Agarwal et al. 1995).
+
+The continuous formulas above rarely give integers, so this module offers
+two entries:
+
+* :func:`continuous_optimal_grid` — the exact real-valued optimum (used to
+  verify the case structure and as a search anchor);
+* :func:`select_grid` — the best *integer* grid, found by enumerating all
+  ordered factor triples of ``P`` and minimizing expression (3), optionally
+  restricted to grids that divide the matrix dimensions (required to run
+  the executable Algorithm 1 evenly).
+
+For the paper's Figure 2 example (9600 x 2400 x 600) the integer search
+recovers exactly the grids in the figure: ``3x1x1``, ``12x3x1``, ``32x8x2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.cases import Regime, classify
+from ..core.shapes import ProblemShape
+from ..exceptions import GridError
+from .cost_models import alg1_cost
+from .grid import ProcessorGrid
+
+__all__ = [
+    "GridChoice",
+    "continuous_optimal_grid",
+    "factor_triples",
+    "select_grid",
+    "grid_is_exactly_optimal",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridChoice:
+    """A selected grid together with its predicted cost and context."""
+
+    grid: ProcessorGrid
+    cost: float
+    regime: Regime
+    divides: bool
+
+
+def _sorted_axis_order(shape: ProblemShape) -> Tuple[int, int, int]:
+    """Positions of the dimensions sorted descending.
+
+    Returns indices ``(im, in_, ik)`` into ``(n1, n2, n3)`` such that
+    ``dims[im] >= dims[in_] >= dims[ik]`` (stable on ties).
+    """
+    dims = shape.dims
+    order = sorted(range(3), key=lambda i: (-dims[i], i))
+    return tuple(order)  # type: ignore[return-value]
+
+
+def continuous_optimal_grid(shape: ProblemShape, P: int) -> Tuple[float, float, float]:
+    """Real-valued optimal grid ``(p1, p2, p3)`` in the original axis order.
+
+    The case formulas of Section 5.2, mapped from sorted ``(p, q, r)`` back
+    to the dimensions they split.  Products equal ``P`` exactly.
+    """
+    if P < 1:
+        raise GridError(f"P must be at least 1, got {P}")
+    m, n, k = shape.sorted_dims
+    regime = classify(shape, P)
+    if regime is Regime.ONE_D:
+        p, q, r = float(P), 1.0, 1.0
+    elif regime is Regime.TWO_D:
+        p = (P * m / n) ** 0.5
+        q = (P * n / m) ** 0.5
+        r = 1.0
+    else:
+        scale = (P / (m * n * k)) ** (1.0 / 3.0)
+        p, q, r = scale * m, scale * n, scale * k
+    grid = [0.0, 0.0, 0.0]
+    im, in_, ik = _sorted_axis_order(shape)
+    grid[im], grid[in_], grid[ik] = p, q, r
+    return tuple(grid)  # type: ignore[return-value]
+
+
+def factor_triples(P: int) -> Iterator[Tuple[int, int, int]]:
+    """All ordered triples ``(p1, p2, p3)`` of positive ints with product ``P``."""
+    if P < 1:
+        raise GridError(f"P must be at least 1, got {P}")
+    divisors = [d for d in range(1, P + 1) if P % d == 0]
+    for p1 in divisors:
+        rest = P // p1
+        for p2 in (d for d in divisors if d <= rest and rest % d == 0):
+            yield (p1, p2, rest // p2)
+
+
+def select_grid(
+    shape: ProblemShape,
+    P: int,
+    require_divisibility: bool = False,
+    alpha: float = 0.0,
+    beta: float = 1.0,
+) -> GridChoice:
+    """The best integer grid for ``shape`` on ``P`` processors.
+
+    Enumerates every ordered factor triple of ``P`` and picks the one
+    minimizing ``alpha * rounds + beta * words`` — with the default
+    ``alpha = 0`` that is exactly expression (3), the paper's
+    bandwidth-only objective.  A positive ``alpha`` trades bandwidth for
+    latency (fewer, larger messages), which matters for small problems on
+    high-latency networks.
+
+    With ``require_divisibility=True`` only grids whose dimensions divide
+    the matrix dimensions are considered (needed to *run* Algorithm 1 with
+    perfectly even blocks); a :class:`~repro.exceptions.GridError` is
+    raised when none exists.
+
+    Ties are broken toward the lexicographically largest-first grid, which
+    matches the paper's convention of splitting bigger dimensions more.
+
+    The returned ``GridChoice.cost`` is always the bandwidth words
+    (expression 3), regardless of the selection objective.
+
+    Examples
+    --------
+    >>> s = ProblemShape(9600, 2400, 600)
+    >>> select_grid(s, 3).grid.dims
+    (3, 1, 1)
+    >>> select_grid(s, 36).grid.dims
+    (12, 3, 1)
+    >>> select_grid(s, 512).grid.dims
+    (32, 8, 2)
+    """
+    from .cost_models import alg1_time
+
+    best: Optional[GridChoice] = None
+    best_objective = float("inf")
+    n1, n2, n3 = shape.dims
+    for dims in factor_triples(P):
+        grid = ProcessorGrid(*dims)
+        divides = grid.divides(n1, n2, n3)
+        if require_divisibility and not divides:
+            continue
+        objective = alg1_time(shape, grid, alpha=alpha, beta=beta)
+        candidate = GridChoice(
+            grid=grid, cost=alg1_cost(shape, grid),
+            regime=classify(shape, P), divides=divides,
+        )
+        if best is None or objective < best_objective - 1e-12 or (
+            abs(objective - best_objective) <= 1e-12 and dims > best.grid.dims
+        ):
+            best = candidate
+            best_objective = objective
+    if best is None:
+        raise GridError(
+            f"no factor triple of P={P} divides the dimensions {shape.dims}"
+        )
+    return best
+
+
+def grid_is_exactly_optimal(shape: ProblemShape, P: int, grid: ProcessorGrid) -> bool:
+    """Does ``grid`` attain the Theorem 3 bound *exactly*?
+
+    True iff expression (3) on this grid equals
+    ``D - (mn + mk + nk)/P``; this happens precisely when the grid matches
+    the continuous optimum (the integrality assumption of Section 5.2).
+    """
+    from ..core.lower_bounds import communication_lower_bound
+
+    cost = alg1_cost(shape, grid)
+    bound = communication_lower_bound(shape, P)
+    return abs(cost - bound) <= 1e-9 * max(1.0, bound)
+
+
+def divisor_grids(shape: ProblemShape, P: int) -> List[GridChoice]:
+    """All divisibility-respecting grids, sorted by predicted cost.
+
+    Useful for ablations over suboptimal grid choices.
+    """
+    n1, n2, n3 = shape.dims
+    out = []
+    for dims in factor_triples(P):
+        grid = ProcessorGrid(*dims)
+        if grid.divides(n1, n2, n3):
+            out.append(
+                GridChoice(
+                    grid=grid,
+                    cost=alg1_cost(shape, grid),
+                    regime=classify(shape, P),
+                    divides=True,
+                )
+            )
+    out.sort(key=lambda c: c.cost)
+    return out

@@ -1,0 +1,248 @@
+"""Name-based algorithm registry for sweeps and benchmarks.
+
+Each entry adapts an algorithm to the common signature
+``run(A, B, P) -> AlgorithmRun`` choosing reasonable configuration
+(e.g. the Section 5.2 optimal grid for Algorithm 1, the nearest square
+grid for Cannon/SUMMA).  Entries report applicability so sweeps can skip
+combinations an algorithm does not support (Cannon needs a square ``P``,
+CARMA a power of two, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..collectives.schedules import is_power_of_two
+from ..core.shapes import ProblemShape
+from ..machine.cost import Cost
+from .alg1 import run_alg1
+from .cannon import run_cannon
+from .fox import run_fox
+from .carma import run_carma
+from .c25d import run_25d
+from .grid_selection import select_grid
+from .naive import run_outer_1d, run_row_1d
+from .summa import run_summa
+
+__all__ = ["AlgorithmRun", "AlgorithmEntry", "REGISTRY", "run_algorithm", "applicable_algorithms"]
+
+
+@dataclasses.dataclass
+class AlgorithmRun:
+    """Uniform result record for registry-driven runs."""
+
+    name: str
+    C: np.ndarray
+    shape: ProblemShape
+    P: int
+    cost: Cost
+    config: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmEntry:
+    """A runnable algorithm with an applicability predicate."""
+
+    name: str
+    description: str
+    applicable: Callable[[ProblemShape, int], bool]
+    run: Callable[[np.ndarray, np.ndarray, int], AlgorithmRun]
+
+
+def _shape_of(A: np.ndarray, B: np.ndarray) -> ProblemShape:
+    return ProblemShape(A.shape[0], A.shape[1], B.shape[1])
+
+
+def _run_alg1_optimal(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    shape = _shape_of(A, B)
+    choice = select_grid(shape, P)
+    res = run_alg1(A, B, choice.grid)
+    return AlgorithmRun(
+        name="alg1", C=res.C, shape=shape, P=P, cost=res.cost,
+        config=f"grid {choice.grid}",
+    )
+
+
+def _alg1_applicable(shape: ProblemShape, P: int) -> bool:
+    try:
+        choice = select_grid(shape, P)
+    except Exception:
+        return False
+    g = choice.grid
+    return g.p1 <= shape.n1 and g.p2 <= shape.n2 and g.p3 <= shape.n3
+
+
+def _run_cannon_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    q = math.isqrt(P)
+    res = run_cannon(A, B, q)
+    return AlgorithmRun(
+        name="cannon", C=res.C, shape=res.shape, P=P, cost=res.cost,
+        config=f"grid {q}x{q}",
+    )
+
+
+def _run_fox_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    q = math.isqrt(P)
+    res = run_fox(A, B, q)
+    return AlgorithmRun(
+        name="fox", C=res.C, shape=res.shape, P=P, cost=res.cost,
+        config=f"grid {q}x{q}",
+    )
+
+
+def _cannon_applicable(shape: ProblemShape, P: int) -> bool:
+    q = math.isqrt(P)
+    return q * q == P and q <= min(shape.dims)
+
+
+def _summa_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
+    """Most balanced pr x pc factorization satisfying SUMMA's divisibility."""
+    best = None
+    for pr in range(1, P + 1):
+        if P % pr:
+            continue
+        pc = P // pr
+        if shape.n1 % pr or shape.n2 % pr or shape.n2 % pc or shape.n3 % pc:
+            continue
+        score = abs(pr - pc)
+        if best is None or score < best[0]:
+            best = (score, pr, pc)
+    return None if best is None else (best[1], best[2])
+
+
+def _run_summa_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    shape = _shape_of(A, B)
+    grid = _summa_grid(shape, P)
+    if grid is None:
+        raise ValueError(f"no SUMMA grid for {shape} on P={P}")
+    res = run_summa(A, B, *grid)
+    return AlgorithmRun(
+        name="summa", C=res.C, shape=shape, P=P, cost=res.cost,
+        config=f"grid {grid[0]}x{grid[1]}",
+    )
+
+
+def _run_25d_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    shape = _shape_of(A, B)
+    # Pick the largest c with P = q^2 c, c | q.
+    best = None
+    for c in range(1, P + 1):
+        if P % c:
+            continue
+        q = math.isqrt(P // c)
+        if q * q * c != P or q % c or q > min(shape.dims):
+            continue
+        if best is None or c > best[1]:
+            best = (q, c)
+    if best is None:
+        raise ValueError(f"no 2.5D grid for {shape} on P={P}")
+    res = run_25d(A, B, best[0], best[1])
+    return AlgorithmRun(
+        name="c25d", C=res.C, shape=shape, P=P, cost=res.cost,
+        config=f"grid {best[0]}x{best[0]}x{best[1]}",
+    )
+
+
+def _c25d_applicable(shape: ProblemShape, P: int) -> bool:
+    for c in range(1, P + 1):
+        if P % c:
+            continue
+        q = math.isqrt(P // c)
+        if q * q * c == P and q % c == 0 and q <= min(shape.dims):
+            return True
+    return False
+
+
+REGISTRY: Dict[str, AlgorithmEntry] = {
+    "alg1": AlgorithmEntry(
+        name="alg1",
+        description="Algorithm 1 with the Section 5.2 optimal grid (this paper)",
+        applicable=_alg1_applicable,
+        run=_run_alg1_optimal,
+    ),
+    "row_1d": AlgorithmEntry(
+        name="row_1d",
+        description="1D all-gather-B baseline",
+        applicable=lambda s, P: P <= s.n1,
+        run=lambda A, B, P: _wrap_1d(run_row_1d(A, B, P), "row_1d"),
+    ),
+    "outer_1d": AlgorithmEntry(
+        name="outer_1d",
+        description="1D outer-product (contraction-split) baseline",
+        applicable=lambda s, P: P <= s.n2,
+        run=lambda A, B, P: _wrap_1d(run_outer_1d(A, B, P), "outer_1d"),
+    ),
+    "cannon": AlgorithmEntry(
+        name="cannon",
+        description="Cannon's algorithm on a square 2D grid",
+        applicable=_cannon_applicable,
+        run=_run_cannon_square,
+    ),
+    "fox": AlgorithmEntry(
+        name="fox",
+        description="Fox's broadcast-multiply-roll algorithm on a square 2D grid",
+        applicable=_cannon_applicable,
+        run=_run_fox_square,
+    ),
+    "summa": AlgorithmEntry(
+        name="summa",
+        description="SUMMA on the most balanced divisible 2D grid",
+        applicable=lambda s, P: _summa_grid(s, P) is not None,
+        run=_run_summa_auto,
+    ),
+    "c25d": AlgorithmEntry(
+        name="c25d",
+        description="2.5D algorithm with the largest feasible replication factor",
+        applicable=_c25d_applicable,
+        run=_run_25d_auto,
+    ),
+    "carma": AlgorithmEntry(
+        name="carma",
+        description="CARMA-style recursive algorithm",
+        applicable=lambda s, P: _carma_feasible(s, P),
+        run=lambda A, B, P: _wrap_carma(run_carma(A, B, P)),
+    ),
+}
+
+
+def _carma_feasible(shape: ProblemShape, P: int) -> bool:
+    """Dry-run CARMA's split decisions: every chosen dimension must be even."""
+    if not is_power_of_two(P) or shape.n1 < P or shape.n2 < P:
+        return False
+    dims = list(shape.dims)
+    p = P
+    while p > 1:
+        # Tie-breaking must match run_carma's: n1 first, then n3, then n2.
+        idx = max([0, 2, 1], key=lambda i: dims[i])
+        if dims[idx] % 2:
+            return False
+        dims[idx] //= 2
+        p //= 2
+    return True
+
+
+def _wrap_1d(res, name: str) -> AlgorithmRun:
+    return AlgorithmRun(
+        name=name, C=res.C, shape=res.shape, P=res.P, cost=res.cost, config=f"P={res.P}",
+    )
+
+
+def _wrap_carma(res) -> AlgorithmRun:
+    return AlgorithmRun(
+        name="carma", C=res.C, shape=res.shape, P=res.P, cost=res.cost,
+        config=f"{len(res.splits)} splits",
+    )
+
+
+def run_algorithm(name: str, A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+    """Run a registered algorithm by name."""
+    return REGISTRY[name].run(A, B, P)
+
+
+def applicable_algorithms(shape: ProblemShape, P: int):
+    """Names of all registered algorithms runnable on ``(shape, P)``."""
+    return [name for name, entry in REGISTRY.items() if entry.applicable(shape, P)]

@@ -1,0 +1,68 @@
+"""Analysis utilities: verification, empirical constants, scaling sweeps."""
+
+from .constants import MeasuredConstant, case_remainder, constant_series, measure_constant
+from .integrality import GapPoint, GapProfile, gap_profile, integrality_gap
+from .report import CheckResult, ReproductionReport, reproduction_report
+from .scaling_laws import (
+    FittedLaw,
+    THEORY_EXPONENTS,
+    alg1_cost_exponents,
+    fit_exponent,
+    regime_exponents,
+)
+from .projections import (
+    assignment_projection_sizes,
+    grid_assignment_brick,
+    grid_projection_sizes,
+    is_computation_balanced,
+    total_projection_words,
+)
+from .strong_scaling import ScalingPoint, communication_efficiency, scaling_sweep
+from .sweep import SweepRecord, sweep
+from .tables import format_number, format_series, format_table
+from .traffic import TrafficSummary, communication_graph, traffic_summary
+from .verification import (
+    BoundCheck,
+    check_cost_against_bound,
+    check_grid_projections,
+    relative_gap,
+)
+
+__all__ = [
+    "BoundCheck",
+    "CheckResult",
+    "FittedLaw",
+    "GapPoint",
+    "GapProfile",
+    "ReproductionReport",
+    "MeasuredConstant",
+    "ScalingPoint",
+    "THEORY_EXPONENTS",
+    "SweepRecord",
+    "TrafficSummary",
+    "assignment_projection_sizes",
+    "case_remainder",
+    "check_cost_against_bound",
+    "alg1_cost_exponents",
+    "check_grid_projections",
+    "communication_efficiency",
+    "constant_series",
+    "fit_exponent",
+    "format_number",
+    "format_series",
+    "format_table",
+    "gap_profile",
+    "integrality_gap",
+    "grid_assignment_brick",
+    "grid_projection_sizes",
+    "is_computation_balanced",
+    "measure_constant",
+    "relative_gap",
+    "reproduction_report",
+    "regime_exponents",
+    "scaling_sweep",
+    "sweep",
+    "communication_graph",
+    "total_projection_words",
+    "traffic_summary",
+]

@@ -1,0 +1,90 @@
+"""Per-processor data footprints (the projections phi_A, phi_B, phi_C).
+
+The lower-bound proof reasons about the projections of a processor's
+assigned multiplication set ``F`` onto the three matrices.  This module
+computes those projections for
+
+* explicit point assignments (small problems, brute-force checks), and
+* grid parallelizations, where the assigned set is a brick and the
+  projections are its faces (Loomis-Whitney holds with equality).
+
+The verification layer compares these with the per-array access bounds of
+Lemma 1 and the Theorem 3 optimum — executable versions of the proof's
+inequalities on *actual* work assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..core.loomis_whitney import matmul_projections
+from ..core.shapes import ProblemShape
+from ..algorithms.distributions import block_bounds
+from ..algorithms.grid import ProcessorGrid
+
+__all__ = [
+    "grid_assignment_brick",
+    "grid_projection_sizes",
+    "assignment_projection_sizes",
+    "total_projection_words",
+    "is_computation_balanced",
+]
+
+Point = Tuple[int, int, int]
+
+
+def grid_assignment_brick(
+    shape: ProblemShape, grid: ProcessorGrid, coord: Tuple[int, int, int]
+) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+    """The iteration-space brick assigned to the processor at ``coord``.
+
+    Returns the three half-open index ranges ``(i1, i2, i3)``.
+    """
+    c1, c2, c3 = coord
+    return (
+        block_bounds(shape.n1, grid.p1, c1),
+        block_bounds(shape.n2, grid.p2, c2),
+        block_bounds(shape.n3, grid.p3, c3),
+    )
+
+
+def grid_projection_sizes(
+    shape: ProblemShape, grid: ProcessorGrid, coord: Tuple[int, int, int]
+) -> Dict[str, int]:
+    """Projection sizes of a grid processor's brick (no enumeration needed).
+
+    For a brick ``a x b x c`` the projections are its faces:
+    ``|phi_A| = a*b``, ``|phi_B| = b*c``, ``|phi_C| = a*c``.
+    """
+    (i0, i1), (j0, j1), (k0, k1) = grid_assignment_brick(shape, grid, coord)
+    a, b, c = i1 - i0, j1 - j0, k1 - k0
+    return {"A": a * b, "B": b * c, "C": a * c}
+
+
+def assignment_projection_sizes(points: Iterable[Point]) -> Dict[str, int]:
+    """Projection sizes of an arbitrary multiplication set (enumerated)."""
+    return matmul_projections(points)
+
+
+def total_projection_words(proj: Mapping[str, int]) -> int:
+    """``|phi_A| + |phi_B| + |phi_C|`` — the objective of Lemma 2."""
+    return proj["A"] + proj["B"] + proj["C"]
+
+
+def is_computation_balanced(
+    shape: ProblemShape,
+    assignment: Mapping[int, List[Point]],
+    P: int,
+    slack: float = 0.0,
+) -> bool:
+    """Does every processor perform at least ``(1 - slack)/P`` of the work?
+
+    ``assignment`` maps ranks to their multiplication points.  Theorem 3
+    assumes load balance of computation *or* data; grid parallelizations
+    with divisible dimensions are perfectly balanced.
+    """
+    target = shape.volume / P * (1.0 - slack)
+    counts = {r: len(pts) for r, pts in assignment.items()}
+    if len(counts) < P:
+        return False
+    return all(c >= target for c in counts.values())

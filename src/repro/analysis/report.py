@@ -1,0 +1,129 @@
+"""One-shot reproduction report: every headline check in a single call.
+
+:func:`reproduction_report` executes the library's core reproduction
+claims — Figure 2 grids + tightness, the empirical Table 1 constants,
+Corollary 4, and the Section 6.2 threshold identities — and returns a
+structured summary plus a rendered text report.  The CLI exposes it as
+``python -m repro report``; CI-style consumers can assert on
+``report.all_passed``.
+
+The heavy benchmark harnesses (`benchmarks/`) remain the full artifact
+generators; this module is the quick end-to-end "is the reproduction
+intact?" check (a few seconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ..algorithms.alg1 import run_alg1
+from ..algorithms.grid_selection import select_grid
+from ..core.crossover import memory_threshold_3d
+from ..core.lower_bounds import communication_lower_bound, square_lower_bound
+from ..core.memory_dependent import strong_scaling_limit
+from ..core.shapes import ProblemShape
+from ..workloads.generators import random_pair
+from ..workloads.suites import (
+    FIGURE2_EXPECTED_GRIDS,
+    FIGURE2_PROCESSOR_COUNTS,
+    FIGURE2_SCALED,
+    FIGURE2_SHAPE,
+)
+from .constants import measure_constant
+from .tables import format_table
+
+__all__ = ["CheckResult", "ReproductionReport", "reproduction_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one reproduction check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclasses.dataclass
+class ReproductionReport:
+    """All checks plus a rendered text report."""
+
+    checks: List[CheckResult]
+    text: str
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+
+def _close(a: float, b: float, tol: float = 1e-9) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def reproduction_report() -> ReproductionReport:
+    """Run the headline reproduction checks; see module docstring."""
+    checks: List[CheckResult] = []
+
+    # 1. Figure 2 grid selection on the full-size problem.
+    for P in FIGURE2_PROCESSOR_COUNTS:
+        got = select_grid(FIGURE2_SHAPE, P).grid.dims
+        want = FIGURE2_EXPECTED_GRIDS[P]
+        checks.append(CheckResult(
+            name=f"figure2 grid P={P}",
+            passed=got == want,
+            detail=f"selected {got}, paper shows {want}",
+        ))
+
+    # 2. Scaled Figure 2 execution: tight in every regime, correct numerics.
+    for P in FIGURE2_PROCESSOR_COUNTS:
+        A, B = random_pair(FIGURE2_SCALED, seed=P)
+        res = run_alg1(A, B, select_grid(FIGURE2_SCALED, P).grid)
+        bound = communication_lower_bound(FIGURE2_SCALED, P)
+        ok = bool(np.allclose(res.C, A @ B)) and _close(res.cost.words, bound)
+        checks.append(CheckResult(
+            name=f"figure2 tightness P={P}",
+            passed=ok,
+            detail=f"measured {res.cost.words:g} vs bound {bound:g}",
+        ))
+
+    # 3. Empirical Table 1 constants.
+    for shape, P, expect in (
+        (ProblemShape(96, 24, 6), 2, 1.0),
+        (ProblemShape(96, 24, 6), 16, 2.0),
+        (ProblemShape(48, 48, 48), 64, 3.0),
+    ):
+        mc = measure_constant(shape, P)
+        checks.append(CheckResult(
+            name=f"table1 constant case {int(expect)}",
+            passed=_close(mc.constant, expect),
+            detail=f"measured {mc.constant:.12g} (expect {expect:g})",
+        ))
+
+    # 4. Corollary 4 equals Theorem 3 on squares.
+    corollary, theorem = square_lower_bound(100, 8)
+    checks.append(CheckResult(
+        name="corollary 4",
+        passed=_close(corollary, theorem),
+        detail=f"{corollary:g} vs {theorem:g}",
+    ))
+
+    # 5. Section 6.2 threshold identity: P(M*(P)) == P.
+    sq = ProblemShape(512, 512, 512)
+    P = 4096
+    round_trip = strong_scaling_limit(sq, memory_threshold_3d(sq, P))
+    checks.append(CheckResult(
+        name="section 6.2 threshold identity",
+        passed=_close(round_trip, P, tol=1e-9),
+        detail=f"P* (M*({P})) = {round_trip:g}",
+    ))
+
+    rows = [[c.name, "PASS" if c.passed else "FAIL", c.detail] for c in checks]
+    text = format_table(
+        ["check", "status", "detail"],
+        rows,
+        title="Reproduction report — Al Daas et al., SPAA 2022",
+    )
+    return ReproductionReport(checks=checks, text=text)

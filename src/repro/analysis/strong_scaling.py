@@ -1,0 +1,83 @@
+"""Strong-scaling analysis of communication cost versus processor count.
+
+Ballard et al. (2012b) observed — and Section 6.2 quantifies — that
+memory-independent bounds limit strong scaling: communication *per
+processor* stops shrinking proportionally once the memory-independent
+bound overtakes the memory-dependent one.  This module sweeps ``P`` for a
+fixed problem and reports, at each point, the Theorem 3 bound, the
+memory-dependent bound (optionally, for a given ``M``), Algorithm 1's
+closed-form cost on the best integer grid, and the regime — the data
+behind ``benchmarks/bench_memory_crossover.py`` and the strong-scaling
+example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..algorithms.grid_selection import select_grid
+from ..core.cases import Regime, classify
+from ..core.lower_bounds import communication_lower_bound, leading_term
+from ..core.memory_dependent import memory_dependent_bound, min_memory_to_hold_problem
+from ..core.shapes import ProblemShape
+
+__all__ = ["ScalingPoint", "scaling_sweep", "communication_efficiency"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling sweep."""
+
+    P: int
+    regime: Regime
+    bound_communicated: float
+    bound_leading: float
+    alg1_cost: float
+    alg1_grid: tuple
+    memory_dependent: Optional[float]
+
+
+def scaling_sweep(
+    shape: ProblemShape,
+    processor_counts: Sequence[int],
+    M: Optional[float] = None,
+) -> List[ScalingPoint]:
+    """Evaluate bounds and Algorithm 1's best-grid cost over ``P`` values.
+
+    ``M`` (optional) additionally evaluates the memory-dependent bound
+    ``2 mnk/(P sqrt(M))`` at each point (only where ``M`` can hold the
+    problem).
+    """
+    points = []
+    for P in processor_counts:
+        choice = select_grid(shape, P)
+        md = None
+        if M is not None and M >= min_memory_to_hold_problem(shape, P):
+            md = memory_dependent_bound(shape, P, M)
+        points.append(
+            ScalingPoint(
+                P=P,
+                regime=classify(shape, P),
+                bound_communicated=communication_lower_bound(shape, P),
+                bound_leading=leading_term(shape, P),
+                alg1_cost=choice.cost,
+                alg1_grid=choice.grid.dims,
+                memory_dependent=md,
+            )
+        )
+    return points
+
+
+def communication_efficiency(points: Sequence[ScalingPoint]) -> List[float]:
+    """Strong-scaling efficiency of the bound relative to the first point.
+
+    Perfect communication scaling would keep ``P * bound`` constant; the
+    returned series is ``(P0 * bound0) / (P * bound)`` — it stays near 1 in
+    the perfectly-scaling memory-dependent regime and decays like
+    ``P^(-1/3)`` once the 3D memory-independent bound binds.
+    """
+    if not points:
+        return []
+    base = points[0].P * points[0].bound_leading
+    return [base / (pt.P * pt.bound_leading) for pt in points]

@@ -1,0 +1,65 @@
+"""Plain-text table and series rendering for the benchmark harnesses.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep the formatting consistent (fixed-width ASCII, no external deps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_number", "format_series"]
+
+
+def format_number(value, precision: int = 4) -> str:
+    """Compact numeric formatting: ints stay exact, floats get
+    ``precision`` significant digits, ``None`` renders as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_number(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence, ys: Sequence, precision: int = 4) -> str:
+    """Render an ``x -> y`` series on one labelled line per point."""
+    lines = [label]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {format_number(x, precision)} -> {format_number(y, precision)}")
+    return "\n".join(lines)

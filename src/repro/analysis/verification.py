@@ -1,0 +1,123 @@
+"""Verification: executed algorithms versus the paper's inequalities.
+
+The functions here turn Theorem 3 into executable assertions about *actual
+runs* of the simulated algorithms:
+
+* every algorithm's measured critical-path words must be at least the
+  memory-independent lower bound (no algorithm may beat Theorem 3);
+* Algorithm 1 with the Section 5.2 grid must *equal* the bound (tightness);
+* every processor's gathered data must satisfy Lemma 1's per-array access
+  bounds and the Loomis-Whitney inequality.
+
+A successful test suite therefore certifies both directions of the paper's
+main result on the simulated machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..algorithms.grid import ProcessorGrid
+from ..core.array_access import access_lower_bounds
+from ..core.lower_bounds import LowerBound, memory_independent_bound
+from ..core.shapes import ProblemShape
+from ..machine.cost import Cost
+from .projections import grid_projection_sizes, total_projection_words
+
+__all__ = [
+    "BoundCheck",
+    "check_cost_against_bound",
+    "check_grid_projections",
+    "relative_gap",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of comparing a measured cost against Theorem 3."""
+
+    shape: ProblemShape
+    P: int
+    measured_words: float
+    bound: LowerBound
+    satisfied: bool
+    tight: bool
+    gap_ratio: float
+
+
+def relative_gap(measured: float, bound: float) -> float:
+    """``measured / bound`` with care for the tiny-bound corner cases."""
+    if bound <= 0:
+        return float("inf") if measured > 0 else 1.0
+    return measured / bound
+
+
+def check_cost_against_bound(
+    shape: ProblemShape,
+    P: int,
+    cost: Cost,
+    tight_tol: float = 1e-9,
+) -> BoundCheck:
+    """Compare a run's measured words with the Theorem 3 bound.
+
+    ``satisfied`` — the run respected the bound (must always hold);
+    ``tight`` — the run attained it to relative tolerance ``tight_tol``
+    (holds for Algorithm 1 on a Section 5.2-optimal grid).
+    """
+    bound = memory_independent_bound(shape, P)
+    measured = cost.words
+    target = bound.communicated
+    satisfied = measured >= target - tight_tol * max(1.0, abs(target))
+    tight = abs(measured - target) <= tight_tol * max(1.0, abs(target))
+    return BoundCheck(
+        shape=shape,
+        P=P,
+        measured_words=measured,
+        bound=bound,
+        satisfied=satisfied,
+        tight=tight,
+        gap_ratio=relative_gap(measured, target) if target > 0 else float("nan"),
+    )
+
+
+def check_grid_projections(
+    shape: ProblemShape,
+    grid: ProcessorGrid,
+    coord: Optional[tuple] = None,
+) -> Dict[str, object]:
+    """Verify Lemma 1 and Lemma 2 on a grid processor's assigned brick.
+
+    Checks for the processor at ``coord`` (default: the one owning the
+    largest brick, i.e. coordinate (0, 0, 0)):
+
+    * each projection is at least the Lemma 1 per-array bound (scaled by
+      the brick's actual share of the computation — exact for divisible
+      dimensions);
+    * the summed projections are at least the Lemma 2 optimum ``D``.
+
+    Returns a report dict with the computed values.
+    """
+    if coord is None:
+        coord = (0, 0, 0)
+    proj = grid_projection_sizes(shape, grid, coord)
+    per_array = access_lower_bounds(shape, grid.size)
+    total = total_projection_words(proj)
+    optimum = memory_independent_bound(shape, grid.size).accessed
+
+    divisible = grid.divides(shape.n1, shape.n2, shape.n3)
+    per_array_ok = True
+    if divisible:
+        per_array_ok = all(proj[a] >= per_array[a] - 1e-9 for a in ("A", "B", "C"))
+    sum_ok = (not divisible) or total >= optimum - 1e-9 * max(1.0, optimum)
+
+    return {
+        "coord": coord,
+        "projections": proj,
+        "per_array_bounds": per_array,
+        "per_array_ok": per_array_ok,
+        "sum": total,
+        "lemma2_optimum": optimum,
+        "sum_ok": sum_ok,
+        "divisible": divisible,
+    }

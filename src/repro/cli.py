@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives downstream users the paper's results without writing any code:
+
+``bounds N1 N2 N3 --procs P [--memory M]``
+    Theorem 3 (and, with ``--memory``, the Section 6.2 comparison).
+``grid N1 N2 N3 --procs P``
+    The Section 5.2 optimal processor grid and expression (3) cost.
+``run N1 N2 N3 --procs P [--seed S]``
+    Execute Algorithm 1 on the simulated machine and report measured
+    cost versus the bound.
+``table1 | fig1 | fig2 | lemma2 | crossover``
+    Print a reproduction artifact (same output as the benchmark
+    harnesses' standalone mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Tight memory-independent parallel matmul communication lower "
+            "bounds (SPAA 2022) - reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_shape(p: argparse.ArgumentParser) -> None:
+        p.add_argument("n1", type=int, help="rows of A")
+        p.add_argument("n2", type=int, help="columns of A / rows of B")
+        p.add_argument("n3", type=int, help="columns of B")
+        p.add_argument("--procs", "-p", type=int, required=True, help="processor count P")
+
+    p_bounds = sub.add_parser("bounds", help="evaluate Theorem 3 for a problem")
+    add_shape(p_bounds)
+    p_bounds.add_argument("--memory", "-m", type=float, default=None,
+                          help="local memory M (words) for the Section 6.2 comparison")
+
+    p_grid = sub.add_parser("grid", help="select the Section 5.2 optimal grid")
+    add_shape(p_grid)
+
+    p_run = sub.add_parser("run", help="execute Algorithm 1 on the simulator")
+    add_shape(p_run)
+    p_run.add_argument("--seed", type=int, default=0, help="operand RNG seed")
+
+    for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
+        sub.add_parser(name, help=f"print the {name} reproduction artifact")
+
+    sub.add_parser("report", help="run the quick end-to-end reproduction checks")
+
+    return parser
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from .core import (
+        ProblemShape,
+        classify,
+        compare_bounds,
+        memory_independent_bound,
+        min_memory_to_hold_problem,
+    )
+
+    shape = ProblemShape(args.n1, args.n2, args.n3)
+    lb = memory_independent_bound(shape, args.procs)
+    print(f"problem {shape}, P = {args.procs}, regime {classify(shape, args.procs)}")
+    print(f"minimum words accessed by some processor (D): {lb.accessed:g}")
+    print(f"data a processor may own for free:            {lb.owned:g}")
+    print(f"communication lower bound (D - owned):        {lb.communicated:g}")
+    print(f"leading term (tight constant):                {lb.leading:g}")
+    if args.memory is not None:
+        needed = min_memory_to_hold_problem(shape, args.procs)
+        if args.memory < needed:
+            print(f"M = {args.memory:g} cannot hold the problem "
+                  f"(needs {needed:g} words/processor)")
+            return 1
+        cmp = compare_bounds(shape, args.procs, args.memory)
+        print(f"with M = {args.memory:g}: memory-dependent bound "
+              f"2mnk/(P sqrt(M)) = {cmp.memory_dependent:g}; "
+              f"binding: {cmp.binding}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .algorithms import continuous_optimal_grid, select_grid
+    from .core import ProblemShape, communication_lower_bound
+
+    shape = ProblemShape(args.n1, args.n2, args.n3)
+    cont = continuous_optimal_grid(shape, args.procs)
+    choice = select_grid(shape, args.procs)
+    bound = communication_lower_bound(shape, args.procs)
+    print(f"problem {shape}, P = {args.procs} ({choice.regime})")
+    print(f"continuous optimum: {cont[0]:.3f} x {cont[1]:.3f} x {cont[2]:.3f}")
+    print(f"best integer grid:  {choice.grid} "
+          f"(divides dimensions: {choice.divides})")
+    print(f"expression (3) cost: {choice.cost:g} words "
+          f"(lower bound {bound:g}, ratio "
+          f"{choice.cost / bound if bound else float('nan'):.4f})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .algorithms import run_alg1, select_grid
+    from .core import ProblemShape, communication_lower_bound
+
+    shape = ProblemShape(args.n1, args.n2, args.n3)
+    choice = select_grid(shape, args.procs)
+    rng = np.random.default_rng(args.seed)
+    A = rng.random((shape.n1, shape.n2))
+    B = rng.random((shape.n2, shape.n3))
+    res = run_alg1(A, B, choice.grid)
+    ok = np.allclose(res.C, A @ B)
+    bound = communication_lower_bound(shape, args.procs)
+    print(f"problem {shape}, P = {args.procs}, grid {choice.grid}")
+    print(f"numerically correct: {ok}")
+    print(f"measured words: {res.cost.words:g}  rounds: {res.cost.rounds}  "
+          f"flops/proc: {res.cost.flops:g}")
+    print(f"lower bound:    {bound:g}  "
+          f"(tight: {abs(res.cost.words - bound) < 1e-9 * max(1.0, bound)})")
+    print(f"peak memory per processor: {res.peak_memory} words")
+    return 0 if ok else 1
+
+
+def _cmd_artifact(name: str) -> int:
+    import importlib
+    import os
+    import sys as _sys
+
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "benchmarks")
+    module_map = {
+        "table1": "bench_table1",
+        "fig1": "bench_fig1",
+        "fig2": "bench_fig2",
+        "lemma2": "bench_lemma2_cases",
+        "crossover": "bench_memory_crossover",
+    }
+    if os.path.isdir(bench_dir) and bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    try:
+        module = importlib.import_module(module_map[name])
+    except ImportError:
+        print(
+            f"artifact modules live in the repository's benchmarks/ directory, "
+            f"which was not found near {bench_dir!r}; run from a source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    module.main()
+    return 0
+
+
+def _cmd_report() -> int:
+    from .analysis import reproduction_report
+
+    report = reproduction_report()
+    print(report.text)
+    return 0 if report.all_passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report()
+    return _cmd_artifact(args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Collective communication library on the simulated machine.
+
+Implements the standard MPI collectives out of validated point-to-point
+rounds, using the bandwidth-optimal algorithms the paper's cost analysis
+assumes (ring for arbitrary group sizes; recursive doubling / halving /
+bidirectional exchange for powers of two).  All data movement is real —
+numpy arrays travel through the network — so the collectives are testable
+both for *numerical* output and for *exact* word counts against the
+closed-form costs in :mod:`repro.collectives.cost_formulas`.
+"""
+
+from .allgather import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allgather_schedule,
+)
+from .allreduce import allreduce_recursive_doubling, allreduce_rsag, allreduce_schedule
+from .alltoall import alltoall_bruck, alltoall_pairwise, alltoall_schedule
+from .barrier import barrier_dissemination
+from .broadcast import broadcast_binomial, broadcast_scatter_allgather, broadcast_schedule
+from .communicator import (
+    Communicator,
+    parallel_allgather,
+    parallel_allreduce,
+    parallel_alltoall,
+    parallel_broadcast,
+    parallel_reduce_scatter,
+)
+from .cost_formulas import (
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    broadcast_cost,
+    gather_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    scatter_cost,
+)
+from .gather import gather_binomial, gather_schedule
+from .ops import REDUCE_OPS, resolve_op
+from .reduce import reduce_binomial, reduce_schedule
+from .reduce_scatter import (
+    reduce_scatter_recursive_halving,
+    reduce_scatter_ring,
+    reduce_scatter_schedule,
+)
+from .scatter import scatter_binomial, scatter_schedule
+from .schedules import ceil_log2, group_index, is_power_of_two, run_schedule, run_schedules
+
+__all__ = [
+    "Communicator",
+    "allgather_bruck",
+    "allgather_cost",
+    "allgather_recursive_doubling",
+    "allgather_ring",
+    "allgather_schedule",
+    "allreduce_cost",
+    "allreduce_recursive_doubling",
+    "allreduce_rsag",
+    "allreduce_schedule",
+    "alltoall_bruck",
+    "alltoall_cost",
+    "alltoall_pairwise",
+    "alltoall_schedule",
+    "barrier_cost",
+    "barrier_dissemination",
+    "broadcast_binomial",
+    "broadcast_cost",
+    "broadcast_scatter_allgather",
+    "broadcast_schedule",
+    "ceil_log2",
+    "gather_binomial",
+    "gather_cost",
+    "gather_schedule",
+    "group_index",
+    "is_power_of_two",
+    "REDUCE_OPS",
+    "parallel_allgather",
+    "parallel_allreduce",
+    "parallel_alltoall",
+    "parallel_broadcast",
+    "parallel_reduce_scatter",
+    "reduce_binomial",
+    "reduce_cost",
+    "reduce_schedule",
+    "resolve_op",
+    "reduce_scatter_cost",
+    "reduce_scatter_recursive_halving",
+    "reduce_scatter_ring",
+    "reduce_scatter_schedule",
+    "run_schedule",
+    "run_schedules",
+    "scatter_binomial",
+    "scatter_cost",
+    "scatter_schedule",
+]

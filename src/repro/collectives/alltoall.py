@@ -1,0 +1,159 @@
+"""All-to-All (personalized exchange).
+
+Member ``i`` starts with ``p`` blocks, block ``j`` destined to member ``j``;
+everyone ends holding the ``p`` blocks addressed to them.  The pairwise
+(rotation) algorithm runs ``p - 1`` rounds: in round ``t``, member ``i``
+sends its block for member ``(i + t) mod p`` and receives from
+``(i - t) mod p``.  Per-processor bandwidth ``(1 - 1/p) W``.
+
+The original 3D algorithm of Agarwal et al. (1995) finishes with an
+All-to-All; the paper's Algorithm 1 replaces it by a Reduce-Scatter, which
+moves the same number of words but in fewer rounds (``log2 p`` vs ``p - 1``
+for power-of-two groups) — the ablation ``benchmarks/bench_rs_vs_a2a.py``
+reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from ..machine.message import Message
+from .schedules import Schedule
+
+__all__ = ["alltoall_pairwise", "alltoall_bruck", "alltoall_schedule"]
+
+
+def alltoall_pairwise(
+    group: Sequence[int],
+    blocks: Mapping[int, Sequence[np.ndarray]],
+    tag: str = "alltoall",
+) -> Schedule:
+    """Pairwise-rotation All-to-All for any group size.
+
+    Returns ``{rank: [block from member 0, ..., block from member p-1]}``.
+    """
+    group = tuple(group)
+    p = len(group)
+    for r in group:
+        if r not in blocks:
+            raise CommunicatorError(f"alltoall: no input blocks for rank {r}")
+        if len(blocks[r]) != p:
+            raise CommunicatorError(
+                f"alltoall: rank {r} supplied {len(blocks[r])} blocks, expected p={p}"
+            )
+
+    received = [[None] * p for _ in range(p)]
+    for i in range(p):
+        received[i][i] = np.asarray(blocks[group[i]][i]).copy()
+
+    for t in range(1, p):
+        msgs = []
+        for i in range(p):
+            dest = (i + t) % p
+            msgs.append(
+                Message(
+                    src=group[i],
+                    dest=group[dest],
+                    payload=np.asarray(blocks[group[i]][dest]),
+                    tag=tag,
+                )
+            )
+        deliveries = yield msgs
+        for i in range(p):
+            src = (i - t) % p
+            received[i][src] = deliveries[group[i]]
+
+    return {group[i]: list(received[i]) for i in range(p)}
+
+
+def alltoall_bruck(
+    group: Sequence[int],
+    blocks: Mapping[int, Sequence[np.ndarray]],
+    tag: str = "alltoall",
+) -> Schedule:
+    """Bruck All-to-All: ``ceil(log2 p)`` rounds at ``~(w/2) log2 p`` words.
+
+    The short-message algorithm: in the round with distance ``d``, member
+    ``i`` forwards to ``(i - d) mod p`` every block whose remaining route
+    has the ``d`` bit set.  Latency drops from ``p - 1`` to
+    ``ceil(log2 p)`` rounds but each block travels ``popcount(route)``
+    hops, so the per-processor bandwidth grows from ``(1 - 1/p) W`` to
+    about ``(W/2) log2 p`` — the classic latency/bandwidth trade, useful
+    when blocks are tiny.
+    """
+    group = tuple(group)
+    p = len(group)
+    for r in group:
+        if r not in blocks:
+            raise CommunicatorError(f"alltoall: no input blocks for rank {r}")
+        if len(blocks[r]) != p:
+            raise CommunicatorError(
+                f"alltoall: rank {r} supplied {len(blocks[r])} blocks, expected p={p}"
+            )
+
+    # held[i] maps remaining relative distance -> (origin index, block).
+    # Hops go from src to (src - d) mod p, so the block from origin i
+    # destined to j travels total distance (i - j) mod p.
+    held = [
+        {
+            (i - j) % p: [(i, np.asarray(blocks[group[i]][j]).copy())]
+            for j in range(p)
+        }
+        for i in range(p)
+    ]
+    # Merge distance-0 out immediately (own block stays put).
+    received = [[None] * p for _ in range(p)]
+    for i in range(p):
+        for origin, arr in held[i].pop(0):
+            received[i][origin] = arr
+
+    d = 1
+    while d < p:
+        msgs = []
+        send_keys: list = []
+        for i in range(p):
+            keys = sorted(k for k in held[i] if k & d)
+            send_keys.append(keys)
+            payload = tuple(arr for k in keys for (_, arr) in held[i][k])
+            msgs.append(
+                Message(src=group[i], dest=group[(i - d) % p], payload=payload, tag=tag)
+            )
+        deliveries = yield msgs
+        for i in range(p):
+            sender = (i + d) % p
+            incoming = iter(deliveries[group[i]])
+            for k in send_keys[sender]:
+                for origin, _ in held[sender][k]:
+                    arr = next(incoming)
+                    remaining = k - d
+                    if remaining == 0:
+                        received[i][origin] = arr
+                    else:
+                        held[i].setdefault(remaining, []).append((origin, arr))
+        for i in range(p):
+            for k in send_keys[i]:
+                del held[i][k]
+        d *= 2
+
+    return {group[i]: list(received[i]) for i in range(p)}
+
+
+def alltoall_schedule(
+    group: Sequence[int],
+    blocks: Mapping[int, Sequence[np.ndarray]],
+    algorithm: str = "pairwise",
+    tag: str = "alltoall",
+) -> Schedule:
+    """Dispatch to a concrete All-to-All algorithm.
+
+    ``pairwise`` (default, bandwidth-optimal) or ``bruck`` (logarithmic
+    latency at higher bandwidth).
+    """
+    if algorithm == "pairwise":
+        return alltoall_pairwise(group, blocks, tag=tag)
+    if algorithm == "bruck":
+        return alltoall_bruck(group, blocks, tag=tag)
+    raise CommunicatorError(f"unknown alltoall algorithm {algorithm!r}")

@@ -1,0 +1,36 @@
+"""Dissemination barrier.
+
+``ceil(log2 p)`` rounds of zero-word messages: in round ``s``, member ``i``
+signals member ``(i + 2**s) mod p``.  After the last round every member has
+(transitively) heard from everyone.  Costs only latency
+(``ceil(log2 p) * alpha``), no bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..machine.message import Message
+from .schedules import Schedule
+
+__all__ = ["barrier_dissemination"]
+
+
+def barrier_dissemination(group: Sequence[int], tag: str = "barrier") -> Schedule:
+    """Dissemination barrier over ``group``.  Returns ``{rank: True}``."""
+    group = tuple(group)
+    p = len(group)
+    empty = np.empty(0)
+
+    dist = 1
+    while dist < p:
+        msgs = [
+            Message(src=group[i], dest=group[(i + dist) % p], payload=empty, tag=tag)
+            for i in range(p)
+        ]
+        yield msgs
+        dist *= 2
+
+    return {r: True for r in group}

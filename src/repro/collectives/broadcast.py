@@ -1,0 +1,109 @@
+"""Broadcast schedules.
+
+``binomial``
+    The classic binomial tree: ``ceil(log2 p)`` rounds, each transmitting
+    the full ``w`` words along the critical path (cost
+    ``ceil(log2 p) * (alpha + beta*w)``).  Best for short messages.
+
+``scatter_allgather``
+    The van de Geijn long-message algorithm: binomial scatter of ``p``
+    pieces followed by a ring All-Gather.  Bandwidth approaches ``2w`` for
+    large ``p`` instead of ``w log p``.
+
+Broadcasts appear in the SUMMA and 2.5D baselines (row/column broadcasts of
+panels and input replication), not in Algorithm 1 itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from ..machine.message import Message
+from .allgather import allgather_ring
+from .schedules import Schedule, group_index
+
+__all__ = ["broadcast_binomial", "broadcast_scatter_allgather", "broadcast_schedule"]
+
+
+def broadcast_binomial(
+    group: Sequence[int],
+    root: int,
+    value: np.ndarray,
+    tag: str = "broadcast",
+) -> Schedule:
+    """Binomial-tree broadcast of ``value`` from global rank ``root``.
+
+    Returns ``{rank: value copy}`` for every group member.
+    """
+    group = tuple(group)
+    p = len(group)
+    root_index = group_index(group, root)
+    value = np.asarray(value)
+
+    # Work in a rotated index space where the root is index 0.
+    held = {0: value}
+    dist = 1
+    while dist < p:
+        msgs = []
+        senders = [i for i in held if i + dist < p]
+        for i in senders:
+            src = group[(i + root_index) % p]
+            dest = group[(i + dist + root_index) % p]
+            msgs.append(Message(src=src, dest=dest, payload=held[i], tag=tag))
+        deliveries = yield msgs
+        for i in senders:
+            dest = group[(i + dist + root_index) % p]
+            held[i + dist] = deliveries[dest]
+        dist *= 2
+
+    return {group[(i + root_index) % p]: held[i] for i in range(p)}
+
+
+def broadcast_scatter_allgather(
+    group: Sequence[int],
+    root: int,
+    value: np.ndarray,
+    tag: str = "broadcast",
+) -> Schedule:
+    """Long-message broadcast: binomial scatter + ring All-Gather.
+
+    The value is flattened, split into ``p`` nearly equal pieces, scattered
+    binomially and re-gathered with a ring.  Each member ends with the full
+    value (reshaped to the original shape).
+    """
+    from .scatter import scatter_binomial  # local import to avoid a cycle
+
+    group = tuple(group)
+    p = len(group)
+    value = np.asarray(value)
+    flat = value.reshape(-1)
+    pieces = np.array_split(flat, p)
+
+    scattered = yield from scatter_binomial(
+        group, root, {group[j]: pieces[j] for j in range(p)}, tag=tag + "/scatter"
+    )
+    gathered = yield from allgather_ring(
+        group, {r: scattered[r] for r in group}, tag=tag + "/allgather"
+    )
+    return {
+        r: np.concatenate([np.asarray(c).reshape(-1) for c in gathered[r]]).reshape(value.shape)
+        for r in group
+    }
+
+
+def broadcast_schedule(
+    group: Sequence[int],
+    root: int,
+    value: np.ndarray,
+    algorithm: str = "binomial",
+    tag: str = "broadcast",
+) -> Schedule:
+    """Dispatch to a concrete broadcast algorithm."""
+    if algorithm == "binomial":
+        return broadcast_binomial(group, root, value, tag=tag)
+    if algorithm == "scatter_allgather":
+        return broadcast_scatter_allgather(group, root, value, tag=tag)
+    raise CommunicatorError(f"unknown broadcast algorithm {algorithm!r}")

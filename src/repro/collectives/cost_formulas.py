@@ -1,0 +1,170 @@
+"""Closed-form costs of the collective algorithms.
+
+These are the textbook expressions (Thakur et al. 2005; Chan et al. 2007)
+that the paper's Section 5.1 cost analysis relies on — in particular that a
+bandwidth-optimal All-Gather or Reduce-Scatter over ``p`` processors costs
+
+    ``beta * (1 - 1/p) * w``
+
+words, where ``w`` is the data held per processor *after* the All-Gather or
+*before* the Reduce-Scatter.  The test suite asserts that every simulated
+collective's measured cost equals these formulas **exactly** (word counts
+are integers in the equal-chunk case), which is what justifies using the
+formulas inside :mod:`repro.algorithms.cost_models`.
+
+All functions return a :class:`~repro.machine.cost.Cost` (rounds + words;
+flops only where the collective itself reduces).
+"""
+
+from __future__ import annotations
+
+from ..machine.cost import Cost
+from .schedules import ceil_log2, is_power_of_two
+
+__all__ = [
+    "allgather_cost",
+    "reduce_scatter_cost",
+    "broadcast_cost",
+    "reduce_cost",
+    "allreduce_cost",
+    "alltoall_cost",
+    "gather_cost",
+    "scatter_cost",
+    "barrier_cost",
+]
+
+
+def _bandwidth_optimal_words(p: int, total_words: float) -> float:
+    """The ``(1 - 1/p) * W`` term common to AG / RS / A2A.
+
+    Computed as ``W * (p - 1) / p`` so integer word counts stay exact in
+    floating point (e.g. ``9 * 2 / 3 == 6.0`` exactly).
+    """
+    return total_words * (p - 1) / p
+
+
+def allgather_cost(p: int, total_words: float, algorithm: str = "auto") -> Cost:
+    """Cost of All-Gather over ``p`` procs ending with ``total_words`` each.
+
+    ``ring``: ``p - 1`` rounds; ``recursive_doubling``: ``log2 p`` rounds.
+    Bandwidth is ``(1 - 1/p) * total_words`` either way.
+    """
+    if p < 1:
+        raise ValueError(f"p must be positive, got {p}")
+    if p == 1:
+        return Cost()
+    if algorithm == "auto":
+        algorithm = "recursive_doubling" if is_power_of_two(p) else "ring"
+    words = _bandwidth_optimal_words(p, total_words)
+    if algorithm == "ring":
+        return Cost(rounds=p - 1, words=words)
+    if algorithm == "recursive_doubling":
+        if not is_power_of_two(p):
+            raise ValueError(f"recursive doubling needs a power of two, got p={p}")
+        return Cost(rounds=ceil_log2(p), words=words)
+    if algorithm == "bruck":
+        return Cost(rounds=ceil_log2(p), words=words)
+    raise ValueError(f"unknown allgather algorithm {algorithm!r}")
+
+
+def reduce_scatter_cost(p: int, total_words: float, algorithm: str = "auto") -> Cost:
+    """Cost of Reduce-Scatter over ``p`` procs starting with ``total_words`` each.
+
+    Bandwidth ``(1 - 1/p) * total_words``; the receiver also performs the
+    same number of additions (charged as flops).
+    """
+    if p < 1:
+        raise ValueError(f"p must be positive, got {p}")
+    if p == 1:
+        return Cost()
+    if algorithm == "auto":
+        algorithm = "recursive_halving" if is_power_of_two(p) else "ring"
+    words = _bandwidth_optimal_words(p, total_words)
+    if algorithm == "ring":
+        return Cost(rounds=p - 1, words=words, flops=words)
+    if algorithm == "recursive_halving":
+        if not is_power_of_two(p):
+            raise ValueError(f"recursive halving needs a power of two, got p={p}")
+        return Cost(rounds=ceil_log2(p), words=words, flops=words)
+    raise ValueError(f"unknown reduce_scatter algorithm {algorithm!r}")
+
+
+def broadcast_cost(p: int, words: float, algorithm: str = "binomial") -> Cost:
+    """Cost of broadcasting ``words`` to ``p`` processors."""
+    if p == 1:
+        return Cost()
+    if algorithm == "binomial":
+        q = ceil_log2(p)
+        return Cost(rounds=q, words=q * words)
+    if algorithm == "scatter_allgather":
+        scatter = scatter_cost(p, words)
+        gather = allgather_cost(p, words, algorithm="ring")
+        return scatter + gather
+    raise ValueError(f"unknown broadcast algorithm {algorithm!r}")
+
+
+def reduce_cost(p: int, words: float, algorithm: str = "binomial") -> Cost:
+    """Cost of a binomial-tree reduction of a ``words``-sized value."""
+    if p == 1:
+        return Cost()
+    if algorithm == "binomial":
+        q = ceil_log2(p)
+        return Cost(rounds=q, words=q * words, flops=q * words)
+    raise ValueError(f"unknown reduce algorithm {algorithm!r}")
+
+
+def allreduce_cost(p: int, words: float, algorithm: str = "auto") -> Cost:
+    """Cost of an All-Reduce of a ``words``-sized value."""
+    if p == 1:
+        return Cost()
+    if algorithm == "auto":
+        algorithm = "reduce_scatter_allgather"
+    if algorithm == "reduce_scatter_allgather":
+        rs = reduce_scatter_cost(p, words, algorithm="ring")
+        ag = allgather_cost(p, words, algorithm="ring")
+        return rs + ag
+    if algorithm == "recursive_doubling":
+        if not is_power_of_two(p):
+            raise ValueError(f"recursive doubling needs a power of two, got p={p}")
+        q = ceil_log2(p)
+        return Cost(rounds=q, words=q * words, flops=q * words)
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def alltoall_cost(p: int, total_words: float, algorithm: str = "pairwise") -> Cost:
+    """Cost of an All-to-All where each proc starts with ``total_words``.
+
+    ``pairwise``: ``p - 1`` rounds, bandwidth ``(1 - 1/p) W``.
+    ``bruck``: ``ceil(log2 p)`` rounds; each block travels once per set bit
+    of its route, so the per-processor words are
+    ``(W/p) * sum_{j=1}^{p-1} popcount(j)``, approximately ``(W/2) log2 p``.
+    """
+    if p == 1:
+        return Cost()
+    if algorithm == "pairwise":
+        return Cost(rounds=p - 1, words=_bandwidth_optimal_words(p, total_words))
+    if algorithm == "bruck":
+        hops = sum(bin(j).count("1") for j in range(1, p))
+        return Cost(rounds=ceil_log2(p), words=total_words * hops / p)
+    raise ValueError(f"unknown alltoall algorithm {algorithm!r}")
+
+
+def gather_cost(p: int, total_words: float) -> Cost:
+    """Cost of a binomial gather of ``total_words`` (equal chunks) to the root."""
+    if p == 1:
+        return Cost()
+    return Cost(rounds=ceil_log2(p), words=_bandwidth_optimal_words(p, total_words))
+
+
+def scatter_cost(p: int, total_words: float) -> Cost:
+    """Cost of a binomial scatter of ``total_words`` (equal blocks) from the root."""
+    if p == 1:
+        return Cost()
+    return Cost(rounds=ceil_log2(p), words=_bandwidth_optimal_words(p, total_words))
+
+
+def barrier_cost(p: int) -> Cost:
+    """Cost of a dissemination barrier: pure latency."""
+    if p == 1:
+        return Cost()
+    return Cost(rounds=ceil_log2(p), words=0.0)

@@ -1,0 +1,86 @@
+"""Binomial-tree Gather (the mirror image of scatter).
+
+After ``ceil(log2 p)`` rounds the root holds every member's chunk.  In the
+equal-chunk case the root receives ``(1 - 1/p) W`` words with ``W`` the
+gathered total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from ..machine.message import Message
+from .schedules import Schedule, group_index
+
+__all__ = ["gather_binomial", "gather_schedule"]
+
+
+def gather_binomial(
+    group: Sequence[int],
+    root: int,
+    chunks: Mapping[int, np.ndarray],
+    tag: str = "gather",
+) -> Schedule:
+    """Gather each member's chunk to ``root``.
+
+    Returns ``{root: [chunk_0, ..., chunk_{p-1}]}`` ordered by group
+    position (other ranks map to ``None``).
+    """
+    group = tuple(group)
+    p = len(group)
+    root_index = group_index(group, root)
+    missing = [r for r in group if r not in chunks]
+    if missing:
+        raise CommunicatorError(f"gather: no chunk for ranks {missing}")
+
+    def rot(i: int) -> int:
+        return group[(i + root_index) % p]
+
+    # Rotated index i holds a list of (original group position, chunk).
+    holding: Dict[int, List[Tuple[int, np.ndarray]]] = {
+        i: [((i + root_index) % p, np.asarray(chunks[rot(i)]))] for i in range(p)
+    }
+
+    dist = 1
+    while dist < p:
+        msgs = []
+        senders = [i for i in sorted(holding) if i % (2 * dist) == dist]
+        for i in senders:
+            msgs.append(
+                Message(
+                    src=rot(i),
+                    dest=rot(i - dist),
+                    payload=tuple(b for (_, b) in holding[i]),
+                    tag=tag,
+                )
+            )
+        if msgs:
+            deliveries = yield msgs
+            for i in senders:
+                incoming = deliveries[rot(i - dist)]
+                pairs = [(j, arr) for (j, _), arr in zip(holding[i], incoming)]
+                holding[i - dist].extend(pairs)
+                del holding[i]
+        dist *= 2
+
+    collected = dict(holding[0])
+    ordered = [collected[j] for j in sorted(collected)]
+    result: Dict[int, object] = {r: None for r in group}
+    result[root] = ordered
+    return result
+
+
+def gather_schedule(
+    group: Sequence[int],
+    root: int,
+    chunks: Mapping[int, np.ndarray],
+    algorithm: str = "binomial",
+    tag: str = "gather",
+) -> Schedule:
+    """Dispatch to a concrete gather algorithm (only binomial provided)."""
+    if algorithm == "binomial":
+        return gather_binomial(group, root, chunks, tag=tag)
+    raise CommunicatorError(f"unknown gather algorithm {algorithm!r}")

@@ -1,0 +1,39 @@
+"""Reduction operators for the reducing collectives.
+
+MPI-style predefined operations.  All are associative and commutative on
+elementwise numpy arrays, so every reduction schedule (tree, ring,
+halving) computes the same result regardless of combine order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["REDUCE_OPS", "resolve_op"]
+
+#: name -> elementwise binary operator.
+REDUCE_OPS: Dict[str, Callable] = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": np.multiply,
+}
+
+
+def resolve_op(op) -> Callable:
+    """Accept an operator name or a callable; return the callable.
+
+    Callables must be associative and commutative elementwise binary
+    functions (like the numpy ufuncs in :data:`REDUCE_OPS`).
+    """
+    if callable(op):
+        return op
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)} "
+            f"or pass a callable"
+        ) from None

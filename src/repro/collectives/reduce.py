@@ -1,0 +1,95 @@
+"""Binomial-tree Reduce.
+
+Element-wise sum of equal-shaped arrays, delivered to the root after
+``ceil(log2 p)`` rounds of ``w`` words each.  Reduction flops are charged to
+the receiving processors when a machine is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from ..machine.machine import Machine
+from ..machine.message import Message
+from .ops import resolve_op
+from .schedules import Schedule, group_index
+
+__all__ = ["reduce_binomial", "reduce_schedule"]
+
+
+def reduce_binomial(
+    group: Sequence[int],
+    root: int,
+    values: Mapping[int, np.ndarray],
+    machine: Machine = None,
+    tag: str = "reduce",
+    op="sum",
+) -> Schedule:
+    """Reduce ``values`` across the group with ``op`` (default elementwise
+    sum), leaving the result at ``root``.
+
+    ``op`` is a name from :data:`repro.collectives.ops.REDUCE_OPS`
+    (``sum``/``max``/``min``/``prod``) or any associative commutative
+    callable.  Returns ``{root: reduction}`` (other ranks map to ``None``).
+    """
+    combine = resolve_op(op)
+    group = tuple(group)
+    p = len(group)
+    root_index = group_index(group, root)
+    missing = [r for r in group if r not in values]
+    if missing:
+        raise CommunicatorError(f"reduce: no value for ranks {missing}")
+    shape = np.asarray(values[group[0]]).shape
+    for r in group[1:]:
+        if np.asarray(values[r]).shape != shape:
+            raise CommunicatorError(
+                f"reduce: shape mismatch between rank {group[0]} {shape} and "
+                f"rank {r} {np.asarray(values[r]).shape}"
+            )
+
+    def rot(i: int) -> int:
+        return group[(i + root_index) % p]
+
+    partial: Dict[int, np.ndarray] = {
+        i: np.asarray(values[rot(i)], dtype=float).copy() for i in range(p)
+    }
+
+    dist = 1
+    while dist < p:
+        senders = [i for i in sorted(partial) if i % (2 * dist) == dist]
+        msgs = [
+            Message(src=rot(i), dest=rot(i - dist), payload=partial[i], tag=tag)
+            for i in senders
+        ]
+        if msgs:
+            deliveries = yield msgs
+            for i in senders:
+                dest_idx = i - dist
+                incoming = deliveries[rot(dest_idx)]
+                partial[dest_idx] = combine(partial[dest_idx], incoming)
+                if machine is not None:
+                    machine.compute(rot(dest_idx), float(incoming.size))
+                del partial[i]
+        dist *= 2
+
+    result: Dict[int, object] = {r: None for r in group}
+    result[root] = partial[0]
+    return result
+
+
+def reduce_schedule(
+    group: Sequence[int],
+    root: int,
+    values: Mapping[int, np.ndarray],
+    machine: Machine = None,
+    algorithm: str = "binomial",
+    tag: str = "reduce",
+    op="sum",
+) -> Schedule:
+    """Dispatch to a concrete reduce algorithm (only binomial provided)."""
+    if algorithm == "binomial":
+        return reduce_binomial(group, root, values, machine=machine, tag=tag, op=op)
+    raise CommunicatorError(f"unknown reduce algorithm {algorithm!r}")

@@ -1,0 +1,95 @@
+"""Binomial-tree Scatter.
+
+The root starts with one block per group member; after ``ceil(log2 p)``
+rounds each member holds exactly its own block.  At each step a holder of a
+contiguous index range forwards the upper half of its range to the member at
+the range's midpoint.  The root sends ``(p-1)/p`` of the total data in the
+equal-block case, matching the classic cost ``(1 - 1/p) W`` with
+``W = sum of block sizes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from ..machine.message import Message
+from .schedules import Schedule, ceil_log2, group_index
+
+__all__ = ["scatter_binomial", "scatter_schedule"]
+
+
+def scatter_binomial(
+    group: Sequence[int],
+    root: int,
+    blocks: Mapping[int, np.ndarray],
+    tag: str = "scatter",
+) -> Schedule:
+    """Scatter ``blocks[rank]`` from ``root`` to each group member.
+
+    Returns ``{rank: its block}``.
+    """
+    group = tuple(group)
+    p = len(group)
+    root_index = group_index(group, root)
+    missing = [r for r in group if r not in blocks]
+    if missing:
+        raise CommunicatorError(f"scatter: root has no block for ranks {missing}")
+
+    def rot(i: int) -> int:
+        """Rotated index -> global rank (root becomes index 0)."""
+        return group[(i + root_index) % p]
+
+    # holder state: rotated index -> list of (rotated dest index, block)
+    holding: Dict[int, List[Tuple[int, np.ndarray]]] = {
+        0: [(i, np.asarray(blocks[rot(i)])) for i in range(p)]
+    }
+
+    # Walk distances p_ceil/2, p_ceil/4, ..., 1 where p_ceil = 2**ceil(log2 p).
+    dist = 1 << max(ceil_log2(p) - 1, 0) if p > 1 else 0
+    while dist >= 1:
+        msgs = []
+        senders = []
+        for i in sorted(holding):
+            upper = [(j, b) for (j, b) in holding[i] if j >= i + dist]
+            if not upper:
+                continue
+            senders.append((i, upper))
+            msgs.append(
+                Message(
+                    src=rot(i),
+                    dest=rot(i + dist),
+                    payload=tuple(b for (_, b) in upper),
+                    tag=tag,
+                )
+            )
+        if msgs:
+            deliveries = yield msgs
+            for i, upper in senders:
+                holding[i] = [(j, b) for (j, b) in holding[i] if j < i + dist]
+                incoming = deliveries[rot(i + dist)]
+                holding[i + dist] = [
+                    (j, arr) for (j, _), arr in zip(upper, incoming)
+                ]
+        dist //= 2
+
+    result = {}
+    for i, items in holding.items():
+        assert len(items) == 1 and items[0][0] == i, "scatter bookkeeping error"
+        result[rot(i)] = items[0][1]
+    return result
+
+
+def scatter_schedule(
+    group: Sequence[int],
+    root: int,
+    blocks: Mapping[int, np.ndarray],
+    algorithm: str = "binomial",
+    tag: str = "scatter",
+) -> Schedule:
+    """Dispatch to a concrete scatter algorithm (only binomial provided)."""
+    if algorithm == "binomial":
+        return scatter_binomial(group, root, blocks, tag=tag)
+    raise CommunicatorError(f"unknown scatter algorithm {algorithm!r}")

@@ -1,0 +1,181 @@
+"""Communication schedules and the round-merging driver.
+
+A *schedule* is a Python generator that implements one collective operation
+for one processor group.  It repeatedly
+
+* ``yield``\\ s a list of :class:`~repro.machine.message.Message` — the
+  messages of its next communication round — and
+* receives (via ``generator.send``) a mapping ``dest rank -> payload`` of the
+  messages delivered to its group's members in that round,
+
+and finally ``return``\\ s the collective's result (a mapping from global
+rank to that rank's output).
+
+Writing collectives this way has one crucial payoff: schedules for
+**disjoint** groups can be *zipped together* by :func:`run_schedules`, so
+that round ``t`` of every group executes in the same physical network round.
+That is exactly how Algorithm 1 behaves — all ``p1*p2`` All-Gathers along
+the third grid dimension happen simultaneously — and it is what makes the
+simulator's critical-path word count match the paper's expression (3)
+exactly.  Running the fibers' collectives one after another would inflate
+the measured critical path by the number of fibers.
+
+The driver validates nothing about group disjointness itself; the network's
+one-send/one-receive-per-round rule catches any overlap and raises
+:class:`~repro.exceptions.NetworkContentionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence
+
+from ..exceptions import CommunicatorError
+from ..machine.machine import Machine
+from ..machine.message import Message
+
+__all__ = [
+    "Schedule",
+    "run_schedules",
+    "run_schedule",
+    "merge_schedules",
+    "group_index",
+    "is_power_of_two",
+    "ceil_log2",
+]
+
+#: Type alias for collective schedules.
+Schedule = Generator[List[Message], Dict[int, Any], Any]
+
+
+def group_index(group: Sequence[int], rank: int) -> int:
+    """Position of a global ``rank`` within ``group``.
+
+    Raises :class:`~repro.exceptions.CommunicatorError` when the rank is not
+    a member — collectives address peers by group position, so this guards
+    against mixing up global ranks and group indices.
+    """
+    try:
+        return group.index(rank)  # type: ignore[union-attr]
+    except ValueError:
+        raise CommunicatorError(f"rank {rank} is not a member of group {tuple(group)}") from None
+
+
+def is_power_of_two(p: int) -> bool:
+    """True when ``p`` is a positive power of two."""
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+def ceil_log2(p: int) -> int:
+    """Smallest ``q`` with ``2**q >= p`` (``p >= 1``)."""
+    if p < 1:
+        raise ValueError(f"p must be positive, got {p}")
+    return (p - 1).bit_length()
+
+
+def run_schedules(machine: Machine, schedules: Sequence[Schedule]) -> List[Any]:
+    """Execute several schedules over *disjoint* groups simultaneously.
+
+    Round ``t`` of every still-active schedule is merged into a single
+    network round.  Schedules may have different lengths; exhausted ones
+    simply stop contributing messages.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose network executes the merged rounds.
+    schedules:
+        Collective schedules (see module docstring).  Their groups must be
+        pairwise disjoint, otherwise the network raises
+        :class:`~repro.exceptions.NetworkContentionError`.
+
+    Returns
+    -------
+    list
+        The schedules' results, in input order.
+    """
+    scheds = list(schedules)
+    results: List[Any] = [None] * len(scheds)
+    active: Dict[int, Schedule] = dict(enumerate(scheds))
+    inbox: Dict[int, Any] = {i: None for i in active}
+
+    while active:
+        round_msgs: List[Message] = []
+        dest_owner: Dict[int, int] = {}
+        for i in list(active):
+            try:
+                msgs = active[i].send(inbox[i])
+            except StopIteration as stop:
+                results[i] = stop.value
+                del active[i]
+                continue
+            for msg in msgs:
+                if msg.dest in dest_owner:
+                    raise CommunicatorError(
+                        f"two parallel schedules both deliver to rank {msg.dest}; "
+                        f"their groups overlap"
+                    )
+                dest_owner[msg.dest] = i
+            round_msgs.extend(msgs)
+
+        if not active:
+            break
+
+        deliveries = machine.exchange(round_msgs)
+        inbox = {i: {} for i in active}
+        for dest, payload in deliveries.items():
+            inbox[dest_owner[dest]][dest] = payload
+
+    return results
+
+
+def run_schedule(machine: Machine, schedule: Schedule) -> Any:
+    """Execute a single schedule to completion and return its result."""
+    return run_schedules(machine, [schedule])[0]
+
+
+def merge_schedules(schedules: Sequence[Schedule]) -> Schedule:
+    """Compose several disjoint-group schedules into one schedule.
+
+    Like :func:`run_schedules` but *itself a schedule*: the merged rounds
+    are yielded upward instead of executed, so recursive algorithms (e.g.
+    the CARMA-style baseline) can run their sub-recursions' communication
+    concurrently — round ``t`` of every branch lands in the same physical
+    network round, keeping critical-path accounting honest.
+
+    Returns (as the generator's value) the list of the schedules' results
+    in input order.
+    """
+    scheds = list(schedules)
+    results: List[Any] = [None] * len(scheds)
+    active: Dict[int, Schedule] = dict(enumerate(scheds))
+    inbox: Dict[int, Any] = {i: None for i in active}
+
+    while active:
+        round_msgs: List[Message] = []
+        dest_owner: Dict[int, int] = {}
+        for i in list(active):
+            try:
+                msgs = active[i].send(inbox[i])
+            except StopIteration as stop:
+                results[i] = stop.value
+                del active[i]
+                continue
+            for msg in msgs:
+                if msg.dest in dest_owner:
+                    raise CommunicatorError(
+                        f"two merged schedules both deliver to rank {msg.dest}; "
+                        f"their groups overlap"
+                    )
+                dest_owner[msg.dest] = i
+            round_msgs.extend(msgs)
+
+        if not active:
+            break
+
+        deliveries = yield round_msgs
+        inbox = {i: {} for i in active}
+        for dest, payload in (deliveries or {}).items():
+            if dest in dest_owner:
+                inbox[dest_owner[dest]][dest] = payload
+
+    return results

@@ -1,0 +1,151 @@
+"""The paper's mathematical results: bounds, optimization, and KKT proofs.
+
+This subpackage is the library's primary contribution layer:
+
+* :mod:`~repro.core.shapes` / :mod:`~repro.core.cases` — problem dimensions
+  and the three regimes of Theorem 3;
+* :mod:`~repro.core.loomis_whitney` / :mod:`~repro.core.array_access` —
+  Lemmas 1 (both of them: the geometric inequality and the per-array access
+  bounds);
+* :mod:`~repro.core.optimization` / :mod:`~repro.core.kkt` — Lemma 2's
+  constrained optimization problem, its analytic solution, and the KKT
+  certificate from the proof;
+* :mod:`~repro.core.lower_bounds` — Theorem 3 and Corollary 4;
+* :mod:`~repro.core.prior_bounds` — the comparison rows of Table 1;
+* :mod:`~repro.core.memory_dependent` / :mod:`~repro.core.crossover` —
+  the Section 6.2 limited-memory analysis.
+"""
+
+from .array_access import (
+    access_lower_bounds,
+    min_elements_accessed,
+    multiplications_per_element,
+    sorted_access_lower_bounds,
+)
+from .cases import Regime, boundary_processor_counts, classify, regime_interval
+from .extensions import (
+    GeneralBound,
+    generalized_loomis_whitney_holds,
+    one_omitted_access_bounds,
+    one_omitted_lower_bound,
+    projections_d,
+)
+from .crossover import (
+    BoundComparison,
+    binding_bound,
+    compare_bounds,
+    memory_independent_always_dominates,
+    memory_threshold_3d,
+)
+from .kkt import (
+    KKTResiduals,
+    check_kkt,
+    dual_variables,
+    kkt_residuals,
+    quasiconvexity_witness,
+)
+from .loomis_whitney import (
+    brick,
+    loomis_whitney_bound,
+    matmul_projections,
+    projection_sizes,
+    projections,
+    satisfies_loomis_whitney,
+)
+from .lower_bounds import (
+    LowerBound,
+    accessed_data_bound,
+    communication_lower_bound,
+    leading_term,
+    leading_term_constant,
+    memory_independent_bound,
+    square_lower_bound,
+)
+from .memory_dependent import (
+    MEMORY_DEPENDENT_CONSTANTS,
+    memory_dependent_bound,
+    memory_dependent_leading_term,
+    min_memory_to_hold_problem,
+    strong_scaling_limit,
+)
+from .optimization import (
+    Lemma2Solution,
+    feasible,
+    lemma2_constraints,
+    solve_general,
+    solve_lemma2,
+    solve_numerically,
+)
+from .prior_bounds import (
+    PriorBound,
+    TABLE1_CONSTANTS,
+    aggarwal1990_bound,
+    demmel2013_bound,
+    evaluate_bound,
+    irony2004_bound,
+    leading_terms,
+    table1_rows,
+    thiswork_bound,
+)
+from .shapes import MATRIX_NAMES, ProblemShape
+
+__all__ = [
+    "BoundComparison",
+    "GeneralBound",
+    "KKTResiduals",
+    "Lemma2Solution",
+    "LowerBound",
+    "MATRIX_NAMES",
+    "MEMORY_DEPENDENT_CONSTANTS",
+    "PriorBound",
+    "ProblemShape",
+    "Regime",
+    "TABLE1_CONSTANTS",
+    "access_lower_bounds",
+    "accessed_data_bound",
+    "aggarwal1990_bound",
+    "binding_bound",
+    "boundary_processor_counts",
+    "brick",
+    "check_kkt",
+    "classify",
+    "communication_lower_bound",
+    "compare_bounds",
+    "demmel2013_bound",
+    "dual_variables",
+    "evaluate_bound",
+    "feasible",
+    "generalized_loomis_whitney_holds",
+    "irony2004_bound",
+    "kkt_residuals",
+    "leading_term",
+    "leading_term_constant",
+    "leading_terms",
+    "lemma2_constraints",
+    "loomis_whitney_bound",
+    "matmul_projections",
+    "memory_dependent_bound",
+    "memory_dependent_leading_term",
+    "memory_independent_always_dominates",
+    "memory_independent_bound",
+    "memory_threshold_3d",
+    "min_elements_accessed",
+    "min_memory_to_hold_problem",
+    "multiplications_per_element",
+    "one_omitted_access_bounds",
+    "one_omitted_lower_bound",
+    "projections_d",
+    "projection_sizes",
+    "projections",
+    "quasiconvexity_witness",
+    "regime_interval",
+    "satisfies_loomis_whitney",
+    "solve_general",
+    "solve_lemma2",
+    "solve_numerically",
+    "sorted_access_lower_bounds",
+    "square_lower_bound",
+    "strong_scaling_limit",
+    "table1_rows",
+    "thiswork_bound",
+]

@@ -1,0 +1,93 @@
+"""Lemma 1: lower bounds on individual array access.
+
+A processor that performs at least ``1/P``-th of the ``n1 n2 n3`` scalar
+multiplications must access
+
+* at least ``n1 n2 / P`` elements of ``A`` (each ``A`` element is involved
+  in only ``n3`` multiplications),
+* at least ``n2 n3 / P`` elements of ``B`` (each involved in ``n1``), and
+* contribute to at least ``n1 n3 / P`` elements of ``C`` (each the sum of
+  ``n2`` products).
+
+These per-array bounds are what separate the 1D and 2D cases from the pure
+Loomis-Whitney 3D case; they become *active* exactly when aspect ratios are
+large relative to ``P`` (Section 6.3).  The same counting argument applies
+verbatim to any computation once "operations per element" is known, so the
+module also exposes the generic form :func:`min_elements_accessed`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..exceptions import ShapeError
+from .shapes import ProblemShape
+
+__all__ = [
+    "min_elements_accessed",
+    "access_lower_bounds",
+    "sorted_access_lower_bounds",
+    "multiplications_per_element",
+]
+
+
+def multiplications_per_element(shape: ProblemShape) -> Dict[str, int]:
+    """How many scalar multiplications touch one element of each array.
+
+    ``A[i1, i2]`` is used by the ``n3`` products over ``i3``;
+    ``B[i2, i3]`` by the ``n1`` products over ``i1``;
+    ``C[i1, i3]`` accumulates the ``n2`` products over ``i2``.
+    """
+    return {"A": shape.n3, "B": shape.n1, "C": shape.n2}
+
+
+def min_elements_accessed(total_ops: float, ops_share: float, ops_per_element: float) -> float:
+    """The generic Lemma 1 bound.
+
+    A processor performing at least ``ops_share`` operations, where each
+    element of some array is involved in at most ``ops_per_element`` of the
+    ``total_ops`` operations, must access at least
+    ``ops_share / ops_per_element`` of that array's elements.
+
+    (``total_ops`` is accepted for interface clarity and sanity checking.)
+    """
+    if ops_share < 0 or ops_per_element <= 0:
+        raise ShapeError(
+            f"need ops_share >= 0 and ops_per_element > 0, got "
+            f"{ops_share}, {ops_per_element}"
+        )
+    if ops_share > total_ops:
+        raise ShapeError(
+            f"a processor cannot perform {ops_share} of {total_ops} operations"
+        )
+    return ops_share / ops_per_element
+
+
+def access_lower_bounds(shape: ProblemShape, P: int) -> Dict[str, float]:
+    """Per-array access lower bounds for a ``1/P`` computation share.
+
+    Returns ``{"A": n1*n2/P, "B": n2*n3/P, "C": n1*n3/P}``.
+
+    Examples
+    --------
+    >>> access_lower_bounds(ProblemShape(4, 6, 8), 2)
+    {'A': 12.0, 'B': 24.0, 'C': 16.0}
+    """
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    share = shape.volume / P
+    per_elem = multiplications_per_element(shape)
+    return {
+        name: min_elements_accessed(shape.volume, share, per_elem[name])
+        for name in ("A", "B", "C")
+    }
+
+
+def sorted_access_lower_bounds(shape: ProblemShape, P: int) -> Dict[str, float]:
+    """The bounds keyed by sorted role: smallest array first.
+
+    Returns ``{"x1": nk/P, "x2": mk/P, "x3": mn/P}`` — the constraint
+    right-hand sides of Lemma 2 in the paper's variable order.
+    """
+    m, n, k = shape.sorted_dims
+    return {"x1": n * k / P, "x2": m * k / P, "x3": m * n / P}

@@ -1,0 +1,78 @@
+"""The three regimes of Theorem 3 / Lemma 2.
+
+Which of the paper's three bounds applies depends on how the number of
+processors ``P`` compares with the aspect ratios of the sorted dimensions
+``m >= n >= k``:
+
+* ``1 <= P <= m/n`` — **ONE_D**: only the largest dimension is worth
+  splitting; the optimal grid is ``P x 1 x 1`` and the per-processor
+  footprint is dominated by the whole smallest array (``nk`` words).
+* ``m/n <= P <= m n / k**2`` — **TWO_D**: the two largest dimensions are
+  split; the smallest array is still replicated across fibers.
+* ``m n / k**2 <= P`` — **THREE_D**: all three dimensions are split and the
+  per-processor subvolume is a cube.
+
+At a boundary both adjacent cases give the same bound value (the paper notes
+the solutions coincide there); :func:`classify` breaks ties toward the
+smaller case index for determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from .shapes import ProblemShape
+
+__all__ = ["Regime", "classify", "regime_interval", "boundary_processor_counts"]
+
+
+class Regime(enum.Enum):
+    """The three cases of Theorem 3, named by effective grid dimensionality."""
+
+    ONE_D = 1
+    TWO_D = 2
+    THREE_D = 3
+
+    def __str__(self) -> str:
+        return {1: "1D", 2: "2D", 3: "3D"}[self.value]
+
+
+def classify(shape: ProblemShape, P: int) -> Regime:
+    """Which case of Theorem 3 applies for ``shape`` on ``P`` processors.
+
+    Boundary values belong to the smaller case (the bounds agree there).
+
+    Examples
+    --------
+    >>> s = ProblemShape(9600, 2400, 600)
+    >>> classify(s, 3), classify(s, 36), classify(s, 512)
+    (<Regime.ONE_D: 1>, <Regime.TWO_D: 2>, <Regime.THREE_D: 3>)
+    """
+    if P < 1:
+        raise ValueError(f"P must be at least 1, got {P}")
+    m, n, k = shape.sorted_dims
+    # Compare with exact integer arithmetic: P <= m/n  <=>  P*n <= m, etc.
+    if P * n <= m:
+        return Regime.ONE_D
+    if P * k * k <= m * n:
+        return Regime.TWO_D
+    return Regime.THREE_D
+
+
+def regime_interval(shape: ProblemShape, regime: Regime) -> Tuple[float, float]:
+    """The (closed) interval of ``P`` values in which ``regime`` applies.
+
+    Returns ``(lo, hi)`` with ``hi = inf`` for the 3D case.
+    """
+    ratio1, ratio2 = shape.aspect_ratio_thresholds()
+    if regime is Regime.ONE_D:
+        return (1.0, ratio1)
+    if regime is Regime.TWO_D:
+        return (ratio1, ratio2)
+    return (ratio2, float("inf"))
+
+
+def boundary_processor_counts(shape: ProblemShape) -> Tuple[float, float]:
+    """The two case boundaries ``(m/n, m*n/k**2)`` as floats."""
+    return shape.aspect_ratio_thresholds()

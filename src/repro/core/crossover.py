@@ -1,0 +1,136 @@
+"""Section 6.2: interplay of memory-dependent and memory-independent bounds.
+
+Theorem 3 is always a valid lower bound, but with limited local memory
+``M`` the memory-dependent bound ``2 mnk / (P sqrt(M))`` can be larger
+(tighter).  The paper's analysis:
+
+* In the **3D case** (``P > mn/k^2``) the memory-dependent bound dominates
+  exactly when ``P <= (8/27) mnk / M^(3/2)`` — equivalently when
+  ``M < (4/9) (mnk/P)^(2/3)``, i.e. when memory is too small to run
+  Algorithm 1 with a 3D grid (whose temporary footprint is
+  ``3 (mnk/P)^(2/3)`` to leading order).
+* In the **1D and 2D cases** (``P <= mn/k^2``) the memory-independent bound
+  always dominates: since ``M > mn/P`` just to hold the largest matrix,
+  ``2 mnk/(P sqrt(M)) < 2 sqrt(mnk^2/P)``, and the case-1 bound in turn
+  dominates the case-2 expression by AM-GM.
+
+This module computes the binding bound, the crossover thresholds, and the
+memory Algorithm 1 itself needs — the inputs to
+``benchmarks/bench_memory_crossover.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..exceptions import ShapeError
+from .cases import Regime, classify
+from .lower_bounds import accessed_data_bound
+from .memory_dependent import (
+    memory_dependent_bound,
+    min_memory_to_hold_problem,
+    strong_scaling_limit,
+)
+from .shapes import ProblemShape
+
+__all__ = [
+    "BoundComparison",
+    "compare_bounds",
+    "binding_bound",
+    "memory_threshold_3d",
+    "memory_independent_always_dominates",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundComparison:
+    """Both bounds evaluated at one ``(shape, P, M)`` point.
+
+    ``memory_independent`` is Theorem 3's full ``D`` (which in the 3D case
+    equals its leading term ``3 (mnk/P)^(2/3)`` exactly — the quantity
+    Section 6.2 compares; in cases 1-2 the paper's dominance argument also
+    uses the full bound, e.g. ``2 sqrt(mnk^2/P) <= mk/P + nk`` by AM-GM);
+    ``memory_dependent`` is ``2 mnk / (P sqrt(M))``; ``binding`` names the
+    larger of the two ("memory_independent" on ties).
+    """
+
+    shape: ProblemShape
+    P: int
+    M: float
+    regime: Regime
+    memory_independent: float
+    memory_dependent: float
+    binding: str
+
+    @property
+    def max_bound(self) -> float:
+        return max(self.memory_independent, self.memory_dependent)
+
+
+def compare_bounds(shape: ProblemShape, P: int, M: float) -> BoundComparison:
+    """Evaluate and compare both bounds' leading terms at ``(shape, P, M)``.
+
+    Raises :class:`~repro.exceptions.ShapeError` when ``M`` cannot even
+    hold the distributed problem (``M < (mn + mk + nk)/P``), where neither
+    analysis applies.
+    """
+    min_m = min_memory_to_hold_problem(shape, P)
+    if M < min_m:
+        raise ShapeError(
+            f"M={M} cannot hold the problem: need at least "
+            f"(mn+mk+nk)/P = {min_m} words per processor"
+        )
+    mi = accessed_data_bound(shape, P)
+    md = memory_dependent_bound(shape, P, M)
+    return BoundComparison(
+        shape=shape,
+        P=P,
+        M=M,
+        regime=classify(shape, P),
+        memory_independent=mi,
+        memory_dependent=md,
+        binding="memory_dependent" if md > mi else "memory_independent",
+    )
+
+
+def binding_bound(shape: ProblemShape, P: int, M: Optional[float] = None) -> float:
+    """The larger (binding) lower bound at ``(shape, P, M)``.
+
+    With ``M=None`` (infinite memory) this is just Theorem 3's ``D``.
+    """
+    if M is None:
+        return accessed_data_bound(shape, P)
+    return compare_bounds(shape, P, M).max_bound
+
+
+def memory_threshold_3d(shape: ProblemShape, P: int) -> float:
+    """The 3D-case memory threshold ``M* = (4/9) (mnk/P)^(2/3)``.
+
+    For ``M < M*`` the memory-dependent bound dominates (and Algorithm 1's
+    3D-grid temporaries no longer fit); for ``M >= M*`` Theorem 3's case-3
+    bound binds.  Equivalent to ``P = (8/27) mnk / M^(3/2)`` solved for M.
+    """
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    return (4.0 / 9.0) * (shape.volume / P) ** (2.0 / 3.0)
+
+
+def memory_independent_always_dominates(shape: ProblemShape, P: int) -> bool:
+    """True when Theorem 3 binds for *every* feasible ``M`` (cases 1-2).
+
+    In cases 1 and 2 (``P <= mn/k^2``) the constraint ``M > mn/P`` needed
+    just to store the largest matrix already forces the memory-dependent
+    bound below the memory-independent one (Section 6.2); in case 3 it
+    depends on ``M``, so the answer is False.
+    """
+    regime = classify(shape, P)
+    if regime is not Regime.THREE_D:
+        return True
+    # In the 3D case the memory-dependent bound dominates on the window
+    # mn/k^2 < P <= (8/27) mnk / M^(3/2) whenever that window is non-empty
+    # for feasible M, so Theorem 3 does not always bind — except in the
+    # degenerate situation where even the minimum feasible M exceeds the
+    # threshold.
+    min_m = min_memory_to_hold_problem(shape, P)
+    return P > strong_scaling_limit(shape, min_m)

@@ -1,0 +1,156 @@
+"""Section 6.3: the proof technique applied beyond matrix multiplication.
+
+The paper closes by observing that its argument — per-array access lower
+bounds (Lemma 1) feeding a constrained optimization with a
+Loomis-Whitney-type product constraint (Lemma 2) — "can be applied to many
+other computations that have iteration spaces with uneven dimensions".
+
+This module implements the generalization for the *one-index-omitted*
+family of computations: a ``d``-dimensional iteration space of extents
+``(n_1, ..., n_d)`` with ``d`` arrays, where array ``j`` is indexed by all
+indices except the ``j``-th.  Matrix multiplication is the ``d = 3``
+member (``C`` omits the contraction index, ``A`` omits ``i3``, ``B`` omits
+``i1``).  For ``d > 3`` this family covers multi-way reductions such as
+``OUT(i2..id) += IN1(i1, i3..id) * ... `` chains — any computation whose
+element at ``(i_1, ..., i_d)`` multiplies one element of each array.
+
+For this family the generalized Loomis-Whitney (Hölder / Brascamp-Lieb)
+inequality with exponents ``1/(d-1)`` gives
+
+    ``|V|^(d-1) <= prod_j |phi_j(V)|``
+
+(each index appears in exactly ``d - 1`` of the projections, so the
+exponent vector ``(1/(d-1), ..., 1/(d-1))`` is feasible), and Lemma 1's
+counting argument gives per-array bounds ``|phi_j| >= (prod_{i != j} n_i)/P``.
+The memory-independent bound is then the optimum of
+
+    minimize sum x_j  s.t.  prod x_j >= (prod_i n_i / P)^(d-1),
+                            x_j >= (prod_{i != j} n_i) / P
+
+which :func:`repro.core.optimization.solve_general` solves by the same
+water-filling argument as Lemma 2; for ``d = 3`` it reproduces Theorem 3
+exactly (tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..exceptions import ShapeError
+from .optimization import solve_general
+
+__all__ = [
+    "GeneralBound",
+    "one_omitted_access_bounds",
+    "one_omitted_lower_bound",
+    "projections_d",
+    "generalized_loomis_whitney_holds",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralBound:
+    """The generalized memory-independent bound for a one-omitted computation.
+
+    Attributes
+    ----------
+    extents:
+        The iteration-space extents ``(n_1, ..., n_d)``.
+    P:
+        Number of processors.
+    x:
+        Optimal per-array access sizes (in input order: ``x[j]`` belongs to
+        the array omitting index ``j``).
+    accessed:
+        ``sum(x)`` — minimum words some processor must access.
+    owned:
+        ``sum_j prod_{i != j} n_i / P`` — data a processor may hold for free.
+    communicated:
+        ``accessed - owned``.
+    active:
+        Indices of per-array bounds tight at the optimum.
+    """
+
+    extents: Tuple[int, ...]
+    P: int
+    x: Tuple[float, ...]
+    accessed: float
+    owned: float
+    communicated: float
+    active: Tuple[int, ...]
+
+
+def one_omitted_access_bounds(extents: Sequence[int], P: int) -> List[float]:
+    """Lemma 1 generalized: array ``j`` (omitting index ``j``) has
+    ``prod_{i != j} n_i`` elements, each involved in ``n_j`` of the
+    ``prod n_i`` scalar products — so a ``1/P`` computation share needs at
+    least ``prod_{i != j} n_i / P`` of its elements."""
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    extents = [int(n) for n in extents]
+    if len(extents) < 2 or any(n < 1 for n in extents):
+        raise ShapeError(f"need >= 2 positive extents, got {extents}")
+    volume = math.prod(extents)
+    return [volume / n / P for n in extents]
+
+
+def one_omitted_lower_bound(extents: Sequence[int], P: int) -> GeneralBound:
+    """The generalized Theorem 3 for a ``d``-dimensional one-omitted space.
+
+    Examples
+    --------
+    >>> gb = one_omitted_lower_bound((8, 8, 8), 64)   # matmul, 3D regime
+    >>> tuple(round(x, 9) for x in gb.x)
+    (4.0, 4.0, 4.0)
+    >>> gb4 = one_omitted_lower_bound((16, 16, 16, 16), 4096)
+    >>> gb4.x                                         # (volume/P)^(3/4) each
+    (8.0, 8.0, 8.0, 8.0)
+    """
+    extents = tuple(int(n) for n in extents)
+    bounds = one_omitted_access_bounds(extents, P)
+    d = len(extents)
+    volume = math.prod(extents)
+    L = (volume / P) ** (d - 1)
+    x, accessed = solve_general(L, bounds)
+    owned = sum(bounds)
+    active = tuple(
+        j for j, (xj, bj) in enumerate(zip(x, bounds))
+        if math.isclose(xj, bj, rel_tol=1e-12)
+    )
+    return GeneralBound(
+        extents=extents,
+        P=P,
+        x=tuple(x),
+        accessed=accessed,
+        owned=owned,
+        communicated=accessed - owned,
+        active=active,
+    )
+
+
+Point = Tuple[int, ...]
+
+
+def projections_d(V: Iterable[Point], d: int) -> List[FrozenSet[Tuple[int, ...]]]:
+    """The ``d`` one-omitted projections of a ``d``-dimensional lattice set."""
+    projections: List[set] = [set() for _ in range(d)]
+    for point in V:
+        if len(point) != d:
+            raise ShapeError(f"point {point} is not {d}-dimensional")
+        for j in range(d):
+            projections[j].add(point[:j] + point[j + 1:])
+    return [frozenset(p) for p in projections]
+
+
+def generalized_loomis_whitney_holds(V: Iterable[Point], d: int) -> bool:
+    """Check ``|V|^(d-1) <= prod_j |phi_j(V)|`` on an explicit point set.
+
+    For ``d = 3`` this is the classical Loomis-Whitney inequality; the
+    property tests exercise ``d = 4`` as well (brute force on small sets).
+    """
+    points = set(V)
+    projections = projections_d(points, d)
+    product = math.prod(len(p) for p in projections)
+    return len(points) ** (d - 1) <= product

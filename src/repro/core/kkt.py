@@ -1,0 +1,190 @@
+"""Karush-Kuhn-Tucker machinery for Lemma 2's optimization problem.
+
+The paper proves Lemma 2 by exhibiting, for each of the three cases, dual
+variables ``mu*`` that satisfy the KKT conditions (Definition 4) together
+with the claimed primal point ``x*``; Lemma 6 shows the conditions are
+*sufficient* here because the objective is convex and every constraint is
+quasiconvex (Lemma 5 for the product constraint, affinity for the rest).
+
+This module makes that argument executable:
+
+* :func:`dual_variables` returns the paper's closed-form multipliers for
+  each case;
+* :func:`kkt_residuals` evaluates all four KKT conditions at an arbitrary
+  primal/dual pair and reports the worst violation of each;
+* :func:`check_kkt` asserts the conditions hold to tolerance;
+* :func:`quasiconvexity_witness` numerically exercises Lemma 5's defining
+  inequality for the function ``g0(x) = L - x1 x2 x3``.
+
+Tests sweep these over many ``(m, n, k, P)`` tuples, which is a line-by-line
+verification of the paper's proof.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .cases import Regime
+from .optimization import Lemma2Solution, lemma2_constraints, solve_lemma2
+
+__all__ = [
+    "KKTResiduals",
+    "dual_variables",
+    "kkt_residuals",
+    "check_kkt",
+    "quasiconvexity_witness",
+]
+
+
+def dual_variables(m: float, n: float, k: float, P: float) -> Tuple[float, float, float, float]:
+    """The paper's closed-form KKT multipliers ``(mu1, mu2, mu3, mu4)``.
+
+    Constraint order matches Lemma 2: the Loomis-Whitney product constraint
+    first, then the lower bounds on ``x1``, ``x2``, ``x3``.
+
+    Case 1 (``P <= m/n``)::
+
+        mu = (P^2 / (m^2 n k), 0, 1 - P n / m, 1 - P k / m)
+
+    Case 2 (``m/n <= P <= m n / k^2``)::
+
+        mu = ((P / (m n k^(2/3)))^(3/2), 0, 0, 1 - sqrt(P k^2 / (m n)))
+
+    Case 3 (``m n / k^2 <= P``)::
+
+        mu = ((P / (m n k))^(4/3), 0, 0, 0)
+    """
+    sol = solve_lemma2(m, n, k, P)
+    if sol.regime is Regime.ONE_D:
+        return (
+            P * P / (m * m * n * k),
+            0.0,
+            1.0 - P * n / m,
+            1.0 - P * k / m,
+        )
+    if sol.regime is Regime.TWO_D:
+        return (
+            (P / (m * n * k ** (2.0 / 3.0))) ** 1.5,
+            0.0,
+            0.0,
+            1.0 - math.sqrt(P * k * k / (m * n)),
+        )
+    return ((P / (m * n * k)) ** (4.0 / 3.0), 0.0, 0.0, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class KKTResiduals:
+    """Worst-case violations of the four KKT conditions.
+
+    All residuals are normalized so that *zero means satisfied*:
+
+    * ``primal``: ``max_i max(g_i(x), 0)`` relative to the constraint scale;
+    * ``dual``: ``max_i max(-mu_i, 0)``;
+    * ``stationarity``: ``max | grad f + mu . J_g |`` (the gradient equation);
+    * ``complementarity``: ``max_i | mu_i g_i(x) |`` relative to scale.
+    """
+
+    primal: float
+    dual: float
+    stationarity: float
+    complementarity: float
+
+    def max_violation(self) -> float:
+        return max(self.primal, self.dual, self.stationarity, self.complementarity)
+
+
+def _constraints_and_jacobian(x: Sequence[float], m: float, n: float, k: float, P: float):
+    """Evaluate ``g(x)`` (in the <= 0 convention) and its Jacobian."""
+    L, bounds = lemma2_constraints(m, n, k, P)
+    x1, x2, x3 = (float(v) for v in x)
+    g = np.array(
+        [
+            L - x1 * x2 * x3,
+            bounds[0] - x1,
+            bounds[1] - x2,
+            bounds[2] - x3,
+        ]
+    )
+    J = np.array(
+        [
+            [-x2 * x3, -x1 * x3, -x1 * x2],
+            [-1.0, 0.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [0.0, 0.0, -1.0],
+        ]
+    )
+    scales = np.array([L, bounds[0], bounds[1], bounds[2]])
+    return g, J, scales
+
+
+def kkt_residuals(
+    x: Sequence[float],
+    mu: Sequence[float],
+    m: float,
+    n: float,
+    k: float,
+    P: float,
+) -> KKTResiduals:
+    """Evaluate the KKT conditions of Definition 4 at ``(x, mu)``."""
+    g, J, scales = _constraints_and_jacobian(x, m, n, k, P)
+    mu_arr = np.asarray(mu, dtype=float)
+
+    primal = float(np.max(np.maximum(g / scales, 0.0)))
+    dual = float(np.max(np.maximum(-mu_arr, 0.0)))
+    grad_f = np.ones(3)
+    stationarity = float(np.max(np.abs(grad_f + mu_arr @ J)))
+    complementarity = float(np.max(np.abs(mu_arr * g / scales)))
+    return KKTResiduals(
+        primal=primal,
+        dual=dual,
+        stationarity=stationarity,
+        complementarity=complementarity,
+    )
+
+
+def check_kkt(m: float, n: float, k: float, P: float, tol: float = 1e-8) -> Lemma2Solution:
+    """Verify the paper's primal/dual pair satisfies KKT; return the solution.
+
+    Raises ``AssertionError`` with the residuals when a condition fails —
+    used by the test suite as an executable version of the Lemma 2 proof.
+    """
+    sol = solve_lemma2(m, n, k, P)
+    mu = dual_variables(m, n, k, P)
+    res = kkt_residuals(sol.x, mu, m, n, k, P)
+    if res.max_violation() > tol:
+        raise AssertionError(
+            f"KKT violation {res} for m={m}, n={n}, k={k}, P={P} "
+            f"(case {sol.regime}, x*={sol.x}, mu*={mu})"
+        )
+    return sol
+
+
+def quasiconvexity_witness(
+    x: Sequence[float],
+    y: Sequence[float],
+    L: float = 0.0,
+) -> float:
+    """Exercise Lemma 5: ``g0(x) = L - x1 x2 x3`` is quasiconvex on the
+    positive octant.
+
+    For points with ``g0(y) <= g0(x)`` the definition requires
+    ``<grad g0(x), y - x> <= 0``; this function returns that inner product
+    when the premise holds (so tests can assert it is ``<= 0``), and
+    ``-inf`` when the premise does not apply.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValueError("quasiconvexity of g0 is claimed only on the positive octant")
+    gx = L - float(np.prod(x_arr))
+    gy = L - float(np.prod(y_arr))
+    if gy > gx:
+        return float("-inf")
+    grad = -np.array(
+        [x_arr[1] * x_arr[2], x_arr[0] * x_arr[2], x_arr[0] * x_arr[1]]
+    )
+    return float(grad @ (y_arr - x_arr))

@@ -1,0 +1,114 @@
+"""The Loomis-Whitney inequality (Lemma 1) for 3D lattice sets.
+
+For a finite set ``V`` of integer points ``(i, j, k)`` and its three axis
+projections ``phi_i, phi_j, phi_k`` (each dropping one coordinate), the
+classical Loomis-Whitney inequality states
+
+    ``|V|**2 <= |phi_i(V)| * |phi_j(V)| * |phi_k(V)|``.
+
+(The paper's Lemma 1 prints the weaker unsquared form, but its Theorem 3
+proof applies the squared version — that is where the constraint
+``x1 x2 x3 >= (mnk/P)**2`` of Lemma 2 comes from — so we implement the
+classical squared inequality, which is also the one that is *tight* for
+bricks: ``(abc)**2 = (ab)(bc)(ca)``.)
+
+In the matmul context ``V`` is the set of scalar multiplications a
+processor performs, and the projections are exactly the entries of ``A``
+(drop the third index), ``B`` (drop the first) and ``C`` (drop the second)
+the processor must access — the inequality is what couples computation to
+data access in the lower-bound proof.
+
+The module works with explicit point sets (for property-based verification
+on small random ``V``) and with the brick-shaped sets arising from grid
+parallelizations (where the inequality is tight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+__all__ = [
+    "projections",
+    "projection_sizes",
+    "loomis_whitney_bound",
+    "satisfies_loomis_whitney",
+    "brick",
+    "matmul_projections",
+]
+
+Point = Tuple[int, int, int]
+
+
+def projections(V: Iterable[Point]) -> Dict[str, FrozenSet[Tuple[int, int]]]:
+    """The three axis projections of a 3D lattice set.
+
+    Keys follow the matmul convention: projecting out the third index gives
+    the ``A`` footprint ``(i1, i2)``, projecting out the first gives ``B``'s
+    ``(i2, i3)``, and projecting out the second gives ``C``'s ``(i1, i3)``.
+    """
+    pa, pb, pc = set(), set(), set()
+    for (i, j, k) in V:
+        pa.add((i, j))
+        pb.add((j, k))
+        pc.add((i, k))
+    return {"A": frozenset(pa), "B": frozenset(pb), "C": frozenset(pc)}
+
+
+def projection_sizes(V: Iterable[Point]) -> Tuple[int, int, int]:
+    """``(|phi_A|, |phi_B|, |phi_C|)`` of the lattice set."""
+    proj = projections(V)
+    return (len(proj["A"]), len(proj["B"]), len(proj["C"]))
+
+
+def loomis_whitney_bound(V: Iterable[Point]) -> int:
+    """The projection product ``|phi_A| * |phi_B| * |phi_C|``.
+
+    The inequality bounds ``|V|**2`` by this product; equivalently
+    ``|V| <= sqrt(product)``, with equality exactly for (combinatorial)
+    bricks.
+    """
+    a, b, c = projection_sizes(V)
+    return a * b * c
+
+
+def satisfies_loomis_whitney(V: Iterable[Point]) -> bool:
+    """Check the classical inequality
+    ``|V|**2 <= |phi_A(V)| * |phi_B(V)| * |phi_C(V)|``.
+
+    Always true — the tests use this as an executable statement of
+    Lemma 1 over random sets.
+    """
+    points = set(V)
+    return len(points) ** 2 <= loomis_whitney_bound(points)
+
+
+def brick(
+    i_range: Tuple[int, int],
+    j_range: Tuple[int, int],
+    k_range: Tuple[int, int],
+) -> FrozenSet[Point]:
+    """The axis-aligned brick ``[i0, i1) x [j0, j1) x [k0, k1)``.
+
+    Bricks are the per-processor subvolumes of grid parallelizations; the
+    Loomis-Whitney inequality is an *equality* for bricks, which is why the
+    lower bound is attainable.
+    """
+    (i0, i1), (j0, j1), (k0, k1) = i_range, j_range, k_range
+    if i0 > i1 or j0 > j1 or k0 > k1:
+        raise ValueError(f"empty or inverted ranges {i_range}, {j_range}, {k_range}")
+    return frozenset(
+        (i, j, k)
+        for i in range(i0, i1)
+        for j in range(j0, j1)
+        for k in range(k0, k1)
+    )
+
+
+def matmul_projections(V: Iterable[Point]) -> Dict[str, int]:
+    """Sizes of the ``A``/``B``/``C`` footprints of a multiplication set.
+
+    ``V`` contains triples ``(i1, i2, i3)`` meaning the scalar product
+    ``A[i1, i2] * B[i2, i3]`` contributing to ``C[i1, i3]``.
+    """
+    a, b, c = projection_sizes(V)
+    return {"A": a, "B": b, "C": c}

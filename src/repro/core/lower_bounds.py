@@ -1,0 +1,145 @@
+"""Theorem 3 and Corollary 4: the tight memory-independent lower bounds.
+
+For matmul dimensions sorted as ``m >= n >= k`` on ``P`` processors, any
+parallel algorithm that starts with one copy of the inputs, ends with one
+copy of the output, and load balances either the computation or the data
+must communicate at least ``D - (mn + mk + nk)/P`` words, where
+
+    Case 1 (``P <= m/n``):        ``D = (mn + mk)/P + nk``
+    Case 2 (``m/n <= P <= mn/k^2``): ``D = 2 sqrt(mnk^2/P) + mn/P``
+    Case 3 (``mn/k^2 <= P``):     ``D = 3 (mnk/P)^(2/3)``
+
+``D`` itself is the minimum number of words a processor must *access*
+(the optimum of Lemma 2); subtracting the data a processor may already own,
+``(mn + mk + nk)/P``, gives the words that must move over the network.
+
+The leading terms and their constants (1, 2, 3) are the content of Table 1's
+last row; the square specialization ``3 n^2 / P^(2/3) - 3 n^2 / P`` is
+Corollary 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..exceptions import ShapeError
+from .cases import Regime, classify
+from .optimization import solve_lemma2
+from .shapes import ProblemShape
+
+__all__ = [
+    "LowerBound",
+    "memory_independent_bound",
+    "accessed_data_bound",
+    "communication_lower_bound",
+    "leading_term",
+    "leading_term_constant",
+    "square_lower_bound",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LowerBound:
+    """A fully resolved instance of Theorem 3.
+
+    Attributes
+    ----------
+    shape:
+        The problem dimensions.
+    P:
+        Number of processors.
+    regime:
+        Which of the three cases applies.
+    accessed:
+        ``D`` — the minimum words a critical processor must access.
+    owned:
+        ``(mn + mk + nk) / P`` — data the processor may hold for free.
+    communicated:
+        ``D - owned`` — the lower bound on communicated words.
+    leading:
+        The leading-order term of ``D`` (``nk``, ``2 sqrt(mnk^2/P)`` or
+        ``3 (mnk/P)^(2/3)``).
+    """
+
+    shape: ProblemShape
+    P: int
+    regime: Regime
+    accessed: float
+    owned: float
+    communicated: float
+    leading: float
+
+
+def accessed_data_bound(shape: ProblemShape, P: int) -> float:
+    """``D`` of Theorem 3: minimum words accessed by some processor.
+
+    Evaluated through the Lemma 2 optimum, which is *exactly* the
+    case-wise expression of the theorem.
+    """
+    m, n, k = shape.sorted_dims
+    return solve_lemma2(m, n, k, P).value
+
+
+def leading_term(shape: ProblemShape, P: int) -> float:
+    """The leading-order term of ``D`` (with its tight constant).
+
+    Case 1: ``nk``;  case 2: ``2 (mnk^2/P)^(1/2)``;  case 3: ``3 (mnk/P)^(2/3)``.
+    """
+    m, n, k = shape.sorted_dims
+    regime = classify(shape, P)
+    if regime is Regime.ONE_D:
+        return float(n * k)
+    if regime is Regime.TWO_D:
+        return 2.0 * (m * n * k * k / P) ** 0.5
+    return 3.0 * (m * n * k / P) ** (2.0 / 3.0)
+
+
+def leading_term_constant(regime: Regime) -> float:
+    """The tight constant of this paper's bound in each case: 1, 2 or 3."""
+    return {Regime.ONE_D: 1.0, Regime.TWO_D: 2.0, Regime.THREE_D: 3.0}[regime]
+
+
+def memory_independent_bound(shape: ProblemShape, P: int) -> LowerBound:
+    """Evaluate Theorem 3 completely for ``shape`` on ``P`` processors.
+
+    Examples
+    --------
+    >>> lb = memory_independent_bound(ProblemShape(9600, 2400, 600), 512)
+    >>> lb.regime
+    <Regime.THREE_D: 3>
+    >>> round(lb.communicated, 1)
+    210937.5
+    """
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    accessed = accessed_data_bound(shape, P)
+    owned = shape.total_data / P
+    return LowerBound(
+        shape=shape,
+        P=P,
+        regime=classify(shape, P),
+        accessed=accessed,
+        owned=owned,
+        communicated=accessed - owned,
+        leading=leading_term(shape, P),
+    )
+
+
+def communication_lower_bound(shape: ProblemShape, P: int) -> float:
+    """``D - (mn + mk + nk)/P``: the bound on communicated words."""
+    return memory_independent_bound(shape, P).communicated
+
+
+def square_lower_bound(n: int, P: int) -> Tuple[float, float]:
+    """Corollary 4: for ``n x n`` matrices, at least
+    ``3 n^2 / P^(2/3) - 3 n^2 / P`` words must be communicated.
+
+    Returns ``(corollary value, Theorem 3 value)`` — they agree because a
+    square problem always falls into case 3 (``mn/k^2 = 1 <= P``).
+    """
+    if n < 1 or P < 1:
+        raise ShapeError(f"need n >= 1 and P >= 1, got n={n}, P={P}")
+    corollary = 3.0 * n * n / P ** (2.0 / 3.0) - 3.0 * n * n / P
+    theorem = communication_lower_bound(ProblemShape(n, n, n), P)
+    return corollary, theorem

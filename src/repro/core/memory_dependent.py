@@ -1,0 +1,91 @@
+"""Memory-dependent communication lower bounds (Section 2.1 / 6.2 context).
+
+When each processor's local memory is limited to ``M`` words, a different
+family of bounds applies, with leading term ``c * mnk / (P * sqrt(M))``.
+The constant ``c`` was tightened over two decades:
+
+* Irony, Toledo & Tiskin (2004): ``c = (1/2)^(3/2) ~ 0.354``;
+* Dongarra et al. (2008): ``c = (3/2)^(3/2) ~ 1.837``;
+* Smith et al. (2019) and Kwasniewski et al. (2019): ``c = 2`` — tight.
+
+Section 6.2 of the paper analyzes when the memory-dependent bound (with the
+tight ``c = 2``) exceeds the memory-independent bound of Theorem 3; that
+interplay is implemented in :mod:`repro.core.crossover`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..exceptions import ShapeError
+from .shapes import ProblemShape
+
+__all__ = [
+    "MEMORY_DEPENDENT_CONSTANTS",
+    "memory_dependent_bound",
+    "memory_dependent_leading_term",
+    "min_memory_to_hold_problem",
+    "strong_scaling_limit",
+]
+
+#: Historical constants of the ``mnk / (P sqrt(M))`` leading term.
+MEMORY_DEPENDENT_CONSTANTS: Dict[str, float] = {
+    "irony2004": 0.5 ** 1.5,
+    "dongarra2008": 1.5 ** 1.5,
+    "smith2019": 2.0,
+    "kwasniewski2019": 2.0,
+}
+
+
+def memory_dependent_leading_term(shape: ProblemShape, P: int, M: float) -> float:
+    """The unit-constant leading term ``mnk / (P sqrt(M))``."""
+    if M <= 0:
+        raise ShapeError(f"local memory M must be positive, got {M}")
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    return shape.volume / (P * math.sqrt(M))
+
+
+def memory_dependent_bound(
+    shape: ProblemShape,
+    P: int,
+    M: float,
+    constant: str = "smith2019",
+) -> float:
+    """Leading term of the memory-dependent bound ``c * mnk/(P sqrt(M))``.
+
+    ``constant`` selects the historical row (default: the tight ``c = 2``).
+
+    Examples
+    --------
+    >>> memory_dependent_bound(ProblemShape(64, 64, 64), 8, M=1024.0)
+    2048.0
+    """
+    c = MEMORY_DEPENDENT_CONSTANTS[constant]
+    return c * memory_dependent_leading_term(shape, P, M)
+
+
+def min_memory_to_hold_problem(shape: ProblemShape, P: int) -> float:
+    """``(mn + mk + nk) / P``: memory needed just to store the problem.
+
+    Any valid ``M`` satisfies ``M >= min_memory_to_hold_problem`` (the
+    paper notes ``M > mn/P`` already for the largest matrix alone).
+    """
+    if P < 1:
+        raise ShapeError(f"P must be at least 1, got {P}")
+    return shape.total_data / P
+
+
+def strong_scaling_limit(shape: ProblemShape, M: float) -> float:
+    """The processor count beyond which the memory-dependent bound with
+    tight constant stops dominating: ``P* = (8/27) * mnk / M^(3/2)``.
+
+    For ``P > P*`` the memory-independent 3D bound ``3 (mnk/P)^(2/3)`` is
+    the larger (binding) one; equivalently, perfect strong scaling of
+    communication volume per processor ends at ``P*`` (Ballard et al. 2012b
+    first made this observation; Section 6.2 gives the constant).
+    """
+    if M <= 0:
+        raise ShapeError(f"local memory M must be positive, got {M}")
+    return (8.0 / 27.0) * shape.volume / M ** 1.5

@@ -1,0 +1,251 @@
+"""Lemma 2: the key constrained optimization problem, solved analytically.
+
+The lower-bound proof reduces to
+
+    minimize    x1 + x2 + x3
+    subject to  (m n k / P)**2 <= x1 * x2 * x3          (Loomis-Whitney)
+                n k / P <= x1                           (Lemma 1, smallest array)
+                m k / P <= x2                           (Lemma 1, middle array)
+                m n / P <= x3                           (Lemma 1, largest array)
+
+with ``m >= n >= k >= 1`` and ``P >= 1``.  The analytic solution has three
+cases (Lemma 2 of the paper), visualized on the ``P`` axis:
+
+    1 ----------- m/n ----------- m n / k**2 ----------->
+      x1* = nk        x1*=x2*=sqrt(mnk^2/P)     x1*=x2*=x3*=(mnk/P)^(2/3)
+      x2* = mk/P      x3* = mn/P
+      x3* = mn/P
+
+This module provides:
+
+* :func:`solve_lemma2` — the analytic solution, with the case;
+* :func:`solve_numerically` — an independent scipy (SLSQP) solve used by the
+  test suite to confirm the analytic optimum;
+* :func:`solve_general` — the Section 6.3 generalization to ``d`` variables
+  (minimize a sum subject to a product constraint and per-variable lower
+  bounds), solved by the same "activate the big lower bounds first"
+  water-filling argument; for ``d = 3`` it reproduces :func:`solve_lemma2`;
+* :func:`feasible` — constraint check for arbitrary points (used by the
+  property-based tests: no random feasible point may beat the optimum).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence, Tuple
+
+from ..exceptions import ShapeError
+from .cases import Regime
+
+__all__ = [
+    "Lemma2Solution",
+    "solve_lemma2",
+    "solve_numerically",
+    "solve_general",
+    "feasible",
+    "lemma2_constraints",
+]
+
+
+def _validate(m: float, n: float, k: float, P: float) -> None:
+    if not (m >= n >= k >= 1):
+        raise ShapeError(f"need m >= n >= k >= 1, got m={m}, n={n}, k={k}")
+    if P < 1:
+        raise ShapeError(f"need P >= 1, got P={P}")
+
+
+def lemma2_constraints(m: float, n: float, k: float, P: float) -> Tuple[float, Tuple[float, float, float]]:
+    """The constraint data of Lemma 2.
+
+    Returns ``(L, (b1, b2, b3))`` where the product constraint is
+    ``x1*x2*x3 >= L = (mnk/P)**2`` and ``b_i`` are the per-variable lower
+    bounds ``nk/P, mk/P, mn/P`` (sorted ascending, as in the paper).
+    """
+    _validate(m, n, k, P)
+    L = (m * n * k / P) ** 2
+    return L, (n * k / P, m * k / P, m * n / P)
+
+
+@dataclasses.dataclass(frozen=True)
+class Lemma2Solution:
+    """The optimum of Lemma 2's problem.
+
+    Attributes
+    ----------
+    x:
+        The minimizer ``(x1*, x2*, x3*)``, ordered smallest array first.
+    value:
+        ``x1* + x2* + x3*`` — the quantity ``D`` of Theorem 3.
+    regime:
+        Which of the three cases applied.
+    active:
+        Indices (0-based, into the per-variable constraints) of the lower
+        bounds that are tight at the optimum, as the proof's complementary
+        slackness describes: case 1 -> {1, 2}; case 2 -> {2}; case 3 -> {}.
+        (The Loomis-Whitney product constraint is tight in every case.)
+    """
+
+    x: Tuple[float, float, float]
+    value: float
+    regime: Regime
+    active: Tuple[int, ...]
+
+
+def solve_lemma2(m: float, n: float, k: float, P: float) -> Lemma2Solution:
+    """Analytic solution of the Lemma 2 optimization problem.
+
+    Examples
+    --------
+    >>> sol = solve_lemma2(8, 8, 8, 64)        # square, 3D regime
+    >>> sol.regime
+    <Regime.THREE_D: 3>
+    >>> tuple(round(x, 9) for x in sol.x)
+    (4.0, 4.0, 4.0)
+    """
+    _validate(m, n, k, P)
+    if P * n <= m:  # Case 1: 1 <= P <= m/n
+        x = (float(n * k), m * k / P, m * n / P)
+        return Lemma2Solution(x=x, value=sum(x), regime=Regime.ONE_D, active=(1, 2))
+    if P * k * k <= m * n:  # Case 2: m/n <= P <= mn/k^2
+        s = math.sqrt(m * n * k * k / P)
+        x = (s, s, m * n / P)
+        return Lemma2Solution(x=x, value=sum(x), regime=Regime.TWO_D, active=(2,))
+    # Case 3: mn/k^2 <= P
+    c = (m * n * k / P) ** (2.0 / 3.0)
+    x = (c, c, c)
+    return Lemma2Solution(x=x, value=sum(x), regime=Regime.THREE_D, active=())
+
+
+def feasible(
+    x: Sequence[float],
+    m: float,
+    n: float,
+    k: float,
+    P: float,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Check whether ``x`` satisfies all of Lemma 2's constraints.
+
+    A small relative slack ``rel_tol`` avoids spurious failures at
+    floating-point boundary points.
+    """
+    L, bounds = lemma2_constraints(m, n, k, P)
+    x1, x2, x3 = (float(v) for v in x)
+    slack = 1.0 - rel_tol
+    if x1 * x2 * x3 < L * slack:
+        return False
+    for xi, bi in zip((x1, x2, x3), bounds):
+        if xi < bi * slack:
+            return False
+    return True
+
+
+def solve_numerically(
+    m: float,
+    n: float,
+    k: float,
+    P: float,
+    x0: Optional[Sequence[float]] = None,
+) -> Tuple[Tuple[float, float, float], float]:
+    """Solve Lemma 2's problem with scipy's SLSQP as an independent check.
+
+    Works in log-space (``x_i = exp(y_i)``), where the product constraint is
+    linear and the objective convex, so SLSQP converges reliably.  Returns
+    ``(x, value)``.
+    """
+    import numpy as np
+    from scipy.optimize import minimize
+
+    L, bounds = lemma2_constraints(m, n, k, P)
+
+    # Normalize by the scale of the answer so SLSQP's absolute tolerances
+    # behave identically for tiny and enormous problems: substitute
+    # x_i = scale * u_i with scale chosen near the optimum's magnitude.
+    scale = max(L ** (1.0 / 3.0), max(bounds))
+    u_bounds = [b / scale for b in bounds]
+    logL_u = math.log(L) - 3.0 * math.log(scale)
+    log_u_bounds = [math.log(b) for b in u_bounds]
+
+    def objective(y: "np.ndarray") -> float:
+        return float(np.exp(y).sum())
+
+    def objective_grad(y: "np.ndarray") -> "np.ndarray":
+        return np.exp(y)
+
+    constraints = [
+        {"type": "ineq", "fun": lambda y: float(y.sum() - logL_u),
+         "jac": lambda y: np.ones(3)},
+    ]
+    variable_bounds = [(lb, None) for lb in log_u_bounds]
+
+    if x0 is None:
+        sol = solve_lemma2(m, n, k, P)
+        y0 = np.log(np.asarray(sol.x) * 1.3 / scale)  # start off-optimum on purpose
+    else:
+        y0 = np.log(np.asarray(x0, dtype=float) / scale)
+
+    result = minimize(
+        objective,
+        y0,
+        jac=objective_grad,
+        bounds=variable_bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-14},
+    )
+    x = tuple(float(v) * scale for v in np.exp(result.x))
+    return x, float(sum(x))
+
+
+def solve_general(L: float, lower_bounds: Sequence[float]) -> Tuple[Tuple[float, ...], float]:
+    """Section 6.3 generalization: minimize ``sum(x)`` s.t. ``prod(x) >= L``,
+    ``x_i >= b_i > 0``.
+
+    The structure of the optimum mirrors Lemma 2: sort the bounds
+    descending; the largest bounds are *active* (``x_i = b_i``) until the
+    equal value ``t`` assigned to the remaining free variables — chosen so
+    the product constraint is tight — exceeds all remaining bounds.  With
+    ``j`` active bounds of product ``B_j``, the free value is
+    ``t_j = (L / B_j) ** (1 / (d - j))``; the optimal ``j`` is the smallest
+    one making ``t_j`` feasible.  If even activating every bound leaves the
+    product above ``L``, the bounds themselves are optimal.
+
+    Returns ``(x, value)`` with ``x`` in the *original* input order.
+
+    For ``d = 3`` with Lemma 2's data this reproduces the paper's three
+    cases: ``j = 0`` is case 3, ``j = 1`` case 2, ``j = 2`` case 1.
+    """
+    if L <= 0:
+        raise ValueError(f"product target L must be positive, got {L}")
+    d = len(lower_bounds)
+    if d == 0:
+        raise ValueError("need at least one variable")
+    bounds = [float(b) for b in lower_bounds]
+    if any(b <= 0 for b in bounds):
+        raise ValueError(f"lower bounds must be positive, got {bounds}")
+
+    order = sorted(range(d), key=lambda i: -bounds[i])  # descending
+    sorted_bounds = [bounds[i] for i in order]
+
+    prod_all = math.prod(sorted_bounds)
+    if prod_all >= L:
+        return tuple(bounds), sum(bounds)
+
+    x_sorted: Optional[list] = None
+    prefix_product = 1.0
+    for j in range(d):
+        # Activate the j largest bounds; the d-j free variables share t.
+        free = d - j
+        t = (L / prefix_product) ** (1.0 / free)
+        next_bound = sorted_bounds[j]
+        if t >= next_bound * (1.0 - 1e-12):
+            x_sorted = sorted_bounds[:j] + [t] * free
+            break
+        prefix_product *= next_bound
+    assert x_sorted is not None, "solve_general: no feasible activation level"
+
+    x = [0.0] * d
+    for pos, i in enumerate(order):
+        x[i] = x_sorted[pos]
+    return tuple(x), sum(x)

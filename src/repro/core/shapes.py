@@ -1,0 +1,128 @@
+"""Problem shapes for classical matrix multiplication.
+
+The paper multiplies an ``n1 x n2`` matrix ``A`` by an ``n2 x n3`` matrix
+``B``.  All of its results are stated in terms of the *sorted* dimensions
+
+    ``m = max{n1, n2, n3}``, ``n = median{n1, n2, n3}``, ``k = min{n1, n2, n3}``
+
+so that ``m >= n >= k``.  :class:`ProblemShape` stores the raw dimensions,
+exposes the sorted view, and keeps track of which sorted letter corresponds
+to which original dimension — needed to map the abstract optimization
+variables ``x1 <= x2 <= x3`` of Lemma 2 back onto the concrete matrices
+``A`` (size ``n1*n2``), ``B`` (``n2*n3``) and ``C`` (``n1*n3``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..exceptions import ShapeError
+
+__all__ = ["ProblemShape", "MATRIX_NAMES"]
+
+#: The three arrays of the computation, in the index-pair convention used
+#: throughout: ``A`` is indexed by (i1, i2), ``B`` by (i2, i3), ``C`` by (i1, i3).
+MATRIX_NAMES = ("A", "B", "C")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProblemShape:
+    """Dimensions of a classical matmul ``C (n1 x n3) = A (n1 x n2) * B (n2 x n3)``.
+
+    Examples
+    --------
+    >>> s = ProblemShape(9600, 2400, 600)   # the paper's Figure 2 example
+    >>> (s.m, s.n, s.k)
+    (9600, 2400, 600)
+    >>> s.matrix_sizes()["A"]
+    23040000
+    """
+
+    n1: int
+    n2: int
+    n3: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("n1", self.n1), ("n2", self.n2), ("n3", self.n3)):
+            if not isinstance(value, (int,)) or isinstance(value, bool):
+                raise ShapeError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise ShapeError(f"{name} must be positive, got {value}")
+
+    # ------------------------------------------------------------------ #
+    # sorted view                                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        """The raw dimensions ``(n1, n2, n3)``."""
+        return (self.n1, self.n2, self.n3)
+
+    @property
+    def sorted_dims(self) -> Tuple[int, int, int]:
+        """``(m, n, k)`` with ``m >= n >= k``."""
+        return tuple(sorted(self.dims, reverse=True))  # type: ignore[return-value]
+
+    @property
+    def m(self) -> int:
+        """Largest dimension."""
+        return self.sorted_dims[0]
+
+    @property
+    def n(self) -> int:
+        """Median dimension."""
+        return self.sorted_dims[1]
+
+    @property
+    def k(self) -> int:
+        """Smallest dimension."""
+        return self.sorted_dims[2]
+
+    # ------------------------------------------------------------------ #
+    # derived quantities                                                 #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def volume(self) -> int:
+        """Number of scalar multiplications ``n1 * n2 * n3 = m * n * k``."""
+        return self.n1 * self.n2 * self.n3
+
+    def matrix_sizes(self) -> Dict[str, int]:
+        """Word counts of the three arrays: ``A`` = n1*n2, ``B`` = n2*n3, ``C`` = n1*n3."""
+        return {
+            "A": self.n1 * self.n2,
+            "B": self.n2 * self.n3,
+            "C": self.n1 * self.n3,
+        }
+
+    @property
+    def total_data(self) -> int:
+        """``mn + mk + nk``: total words of input plus output."""
+        return self.n1 * self.n2 + self.n2 * self.n3 + self.n1 * self.n3
+
+    def matrices_by_size(self) -> Tuple[str, str, str]:
+        """Array names ordered smallest-to-largest footprint.
+
+        The abstract variables of Lemma 2 have ``x1`` as the *smallest*
+        array's projection (size ``n*k``), ``x2`` the middle (``m*k``) and
+        ``x3`` the largest (``m*n``).  Ties are broken alphabetically, which
+        is harmless because tied arrays have identical constraint values.
+        """
+        sizes = self.matrix_sizes()
+        return tuple(sorted(MATRIX_NAMES, key=lambda a: (sizes[a], a)))  # type: ignore[return-value]
+
+    def is_square(self) -> bool:
+        """True for ``n1 == n2 == n3`` (Corollary 4's setting)."""
+        return self.n1 == self.n2 == self.n3
+
+    def aspect_ratio_thresholds(self) -> Tuple[float, float]:
+        """The two case boundaries of Theorem 3: ``(m/n, m*n/k**2)``.
+
+        For ``P`` below the first the problem is effectively 1D; between
+        them, 2D; above the second, 3D.
+        """
+        return (self.m / self.n, self.m * self.n / (self.k * self.k))
+
+    def __str__(self) -> str:
+        return f"{self.n1}x{self.n2}x{self.n3}"

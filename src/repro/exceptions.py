@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish model violations (e.g. two sends from the same processor
+in one network round) from plain usage errors (e.g. a processor grid that does
+not divide the matrix dimensions).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelViolationError",
+    "NetworkContentionError",
+    "MemoryLimitExceededError",
+    "GridError",
+    "DistributionError",
+    "CommunicatorError",
+    "ShapeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelViolationError(ReproError):
+    """The alpha-beta-gamma machine model's rules were violated.
+
+    The model (paper, Section 3.1) states that each processor can send at
+    most one message and receive at most one message per communication round.
+    Violations of these rules — or sends from a processor to itself — raise
+    this error (or the more specific :class:`NetworkContentionError`).
+    """
+
+
+class NetworkContentionError(ModelViolationError):
+    """Two messages in a single round contend for the same send or receive port."""
+
+
+class MemoryLimitExceededError(ReproError):
+    """A processor's local store exceeded the configured memory limit ``M``.
+
+    Raised only when the :class:`repro.machine.Machine` is constructed with a
+    finite ``memory_limit``; the paper's memory-independent analysis assumes
+    ``M`` is infinite, which is the default.
+    """
+
+
+class GridError(ReproError):
+    """An invalid processor grid, e.g. dimensions whose product is not ``P``."""
+
+
+class DistributionError(ReproError):
+    """A matrix cannot be distributed as requested (e.g. indivisible blocks)."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid communicator usage, e.g. overlapping groups run in parallel."""
+
+
+class ShapeError(ReproError):
+    """Invalid problem shape (non-positive dimensions, mismatched operands)."""

@@ -1,0 +1,41 @@
+"""Simulated distributed-memory machine in the alpha-beta-gamma model.
+
+This subpackage is the substrate everything else runs on: ``P`` processors
+with private numpy stores, a fully connected bidirectional network executing
+validated communication rounds, and exact critical-path cost accounting
+(latency rounds, bandwidth words, flops).
+
+See the paper's Section 3.1 for the model being simulated.
+"""
+
+from .cost import BANDWIDTH_ONLY, Cost, CostModel, ZERO_COST
+from .machine import CounterSnapshot, Machine
+from .message import Message, payload_words
+from .network import FullyConnectedNetwork, RoundSummary
+from .processor import Processor
+from .sequential import FastMemory, IOStats
+from .spmd import CollectiveRequest, RankContext, spmd_run
+from .store import LocalStore
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "BANDWIDTH_ONLY",
+    "Cost",
+    "CostModel",
+    "CounterSnapshot",
+    "FullyConnectedNetwork",
+    "LocalStore",
+    "Machine",
+    "Message",
+    "FastMemory",
+    "IOStats",
+    "Processor",
+    "RankContext",
+    "CollectiveRequest",
+    "RoundSummary",
+    "spmd_run",
+    "Trace",
+    "TraceEvent",
+    "ZERO_COST",
+    "payload_words",
+]

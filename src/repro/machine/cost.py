@@ -1,0 +1,138 @@
+"""Cost accounting for the alpha-beta-gamma parallel machine model.
+
+The paper (Section 3.1) uses the standard distributed-memory cost model of
+Thakur et al. (2005) and Chan et al. (2007):
+
+* sending a message of ``w`` words from one processor to another costs
+  ``alpha + beta * w`` — ``alpha`` is the per-message latency and ``beta``
+  the per-word (reciprocal) bandwidth;
+* a single arithmetic operation costs ``gamma``;
+* the communication cost of an algorithm is counted **along the critical
+  path**: when several pairs of processors exchange messages simultaneously,
+  the round costs ``alpha + beta * max(w)``.
+
+This module provides the immutable :class:`Cost` record (number of rounds,
+words moved along the critical path, and flops along the critical path)
+together with :class:`CostModel`, which converts a :class:`Cost` into time.
+Keeping the three components separate lets tests assert *exact* word counts,
+which is how we reproduce the paper's constants without any hardware noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["Cost", "CostModel", "ZERO_COST"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cost:
+    """An immutable cost record in the alpha-beta-gamma model.
+
+    Attributes
+    ----------
+    rounds:
+        Number of communication rounds along the critical path.  Each round
+        contributes one ``alpha`` to the total time (all messages within a
+        round are concurrent).
+    words:
+        Words of data moved along the critical path, i.e. the sum over
+        rounds of the largest message in each round.  This is the quantity
+        bounded below by Theorem 3 of the paper.
+    flops:
+        Arithmetic operations along the critical path (the maximum over
+        processors of the work they perform, summed across compute phases).
+    """
+
+    rounds: int = 0
+    words: float = 0.0
+    flops: float = 0.0
+
+    def __add__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(
+            rounds=self.rounds + other.rounds,
+            words=self.words + other.words,
+            flops=self.flops + other.flops,
+        )
+
+    def __sub__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(
+            rounds=self.rounds - other.rounds,
+            words=self.words - other.words,
+            flops=self.flops - other.flops,
+        )
+
+    def scaled(self, factor: float) -> "Cost":
+        """Return a copy with every component multiplied by ``factor``."""
+        return Cost(
+            rounds=int(round(self.rounds * factor)),
+            words=self.words * factor,
+            flops=self.flops * factor,
+        )
+
+    def is_zero(self) -> bool:
+        """True when no rounds, words or flops have been accumulated."""
+        return self.rounds == 0 and self.words == 0.0 and self.flops == 0.0
+
+    def isclose(self, other: "Cost", rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+        """Component-wise approximate equality (exact on ``rounds``)."""
+        return (
+            self.rounds == other.rounds
+            and math.isclose(self.words, other.words, rel_tol=rel_tol, abs_tol=abs_tol)
+            and math.isclose(self.flops, other.flops, rel_tol=rel_tol, abs_tol=abs_tol)
+        )
+
+
+ZERO_COST = Cost()
+"""The additive identity: zero rounds, zero words, zero flops."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Machine parameters of the alpha-beta-gamma model.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency cost.  Dominated by bandwidth for the dense
+        matrix multiplications studied here (paper, Section 3.1), but we
+        track it so the latency trade-offs between collective algorithms
+        (e.g. ring vs. recursive doubling, Reduce-Scatter vs. All-to-All)
+        remain visible.
+    beta:
+        Per-word bandwidth cost.
+    gamma:
+        Cost of one arithmetic operation.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError(
+                f"cost model parameters must be non-negative, got "
+                f"alpha={self.alpha}, beta={self.beta}, gamma={self.gamma}"
+            )
+
+    def time(self, cost: Cost) -> float:
+        """Total modelled execution time of ``cost`` under this machine.
+
+        ``T = alpha * rounds + beta * words + gamma * flops``.
+        """
+        return self.alpha * cost.rounds + self.beta * cost.words + self.gamma * cost.flops
+
+    def message_time(self, words: float) -> float:
+        """Time for a single message of ``words`` words: ``alpha + beta*w``."""
+        return self.alpha + self.beta * words
+
+
+#: A cost model that charges only bandwidth — convenient for tests that
+#: compare against the paper's pure word-count bounds.
+BANDWIDTH_ONLY = CostModel(alpha=0.0, beta=1.0, gamma=0.0)

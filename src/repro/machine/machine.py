@@ -1,0 +1,182 @@
+"""The simulated distributed-memory machine.
+
+:class:`Machine` bundles ``P`` :class:`~repro.machine.processor.Processor`
+objects, a :class:`~repro.machine.network.FullyConnectedNetwork`, a
+:class:`~repro.machine.cost.CostModel` and a
+:class:`~repro.machine.trace.Trace`.  Algorithms obtain communicators from
+it (see :mod:`repro.collectives.communicator`) and all data movement flows
+through :meth:`Machine.exchange`, so cost accounting is complete by
+construction.
+
+Design notes
+------------
+The simulator is written in the "conductor" (god-view SPMD) style: one Python
+thread orchestrates all ranks, but data locality is enforced — each rank's
+arrays live in its own :class:`~repro.machine.store.LocalStore`, messages are
+deep-copied in transit, and any access pattern that would be impossible on a
+real distributed machine (reading another rank's store without a message)
+simply is not offered by the API used by the algorithms.  This is the
+standard approach for counting *model* quantities exactly: a real MPI run
+(the paper is analysis-only) could confirm trends but its measured bytes
+would include protocol overheads that obscure the constants the paper is
+about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional
+
+from .cost import Cost, CostModel
+from .message import Message
+from .network import FullyConnectedNetwork
+from .processor import Processor
+from .trace import Trace
+
+__all__ = ["Machine", "CounterSnapshot"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable snapshot of a machine's cumulative counters."""
+
+    cost: Cost
+    total_words: float
+    sent_words: tuple
+    recv_words: tuple
+    flops: tuple
+
+    def delta(self, later: "CounterSnapshot") -> "CounterSnapshot":
+        """Per-counter difference ``later - self``."""
+        return CounterSnapshot(
+            cost=later.cost - self.cost,
+            total_words=later.total_words - self.total_words,
+            sent_words=tuple(b - a for a, b in zip(self.sent_words, later.sent_words)),
+            recv_words=tuple(b - a for a, b in zip(self.recv_words, later.recv_words)),
+            flops=tuple(b - a for a, b in zip(self.flops, later.flops)),
+        )
+
+
+class Machine:
+    """A ``P``-processor distributed-memory machine in the alpha-beta-gamma model.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors ``P >= 1``.
+    cost_model:
+        Machine parameters; defaults to ``alpha=1, beta=1, gamma=0``.
+    memory_limit:
+        Per-processor local memory ``M`` in words, or ``None`` (default)
+        for the paper's memory-independent setting.
+
+    Examples
+    --------
+    >>> from repro.machine import Machine
+    >>> m = Machine(4)
+    >>> m.n_procs
+    4
+    >>> m.comm_world().size
+    4
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        cost_model: Optional[CostModel] = None,
+        memory_limit: Optional[float] = None,
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.n_procs = n_procs
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.memory_limit = memory_limit
+        self.processors: List[Processor] = [
+            Processor(rank, memory_limit=memory_limit) for rank in range(n_procs)
+        ]
+        self.network = FullyConnectedNetwork(n_procs)
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------ #
+    # access                                                             #
+    # ------------------------------------------------------------------ #
+
+    def proc(self, rank: int) -> Processor:
+        """The processor with the given global rank."""
+        if not 0 <= rank < self.n_procs:
+            raise IndexError(f"rank {rank} outside 0..{self.n_procs - 1}")
+        return self.processors[rank]
+
+    def comm_world(self):
+        """A communicator over all ``P`` processors.
+
+        Imported lazily to avoid a circular import between the machine and
+        collectives layers.
+        """
+        from ..collectives.communicator import Communicator
+
+        return Communicator(self, tuple(range(self.n_procs)))
+
+    # ------------------------------------------------------------------ #
+    # execution primitives                                               #
+    # ------------------------------------------------------------------ #
+
+    def exchange(self, messages: Iterable[Message]) -> Dict[int, Any]:
+        """Execute one network round; see
+        :meth:`repro.machine.network.FullyConnectedNetwork.execute_round`."""
+        return self.network.execute_round(messages)
+
+    def compute(self, rank: int, flops: float) -> None:
+        """Charge ``flops`` arithmetic operations to processor ``rank``."""
+        self.proc(rank).compute(flops)
+
+    # ------------------------------------------------------------------ #
+    # counters                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cost(self) -> Cost:
+        """Cumulative critical-path cost: network rounds/words plus the
+        *maximum* per-processor flop count (compute proceeds in parallel)."""
+        comm = self.network.cost
+        max_flops = max((p.flops for p in self.processors), default=0.0)
+        return Cost(rounds=comm.rounds, words=comm.words, flops=max_flops)
+
+    @property
+    def time(self) -> float:
+        """Modelled execution time of everything run so far."""
+        return self.cost_model.time(self.cost)
+
+    def snapshot(self) -> CounterSnapshot:
+        """Snapshot all cumulative counters (for delta measurements)."""
+        return CounterSnapshot(
+            cost=self.cost,
+            total_words=self.network.total_words,
+            sent_words=tuple(self.network.sent_words),
+            recv_words=tuple(self.network.recv_words),
+            flops=tuple(p.flops for p in self.processors),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero all cost counters and the trace; stores keep their data."""
+        self.network.reset()
+        for p in self.processors:
+            p.reset_counters()
+        self.trace.clear()
+
+    def reset(self) -> None:
+        """Full reset: counters, trace, and every processor's store."""
+        self.reset_counters()
+        for p in self.processors:
+            p.store.clear()
+            p.store.reset_peak()
+
+    def peak_memory_words(self) -> int:
+        """Largest peak store footprint over all processors."""
+        return max(p.store.peak_words for p in self.processors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(P={self.n_procs}, rounds={self.network.rounds}, "
+            f"critical_words={self.network.critical_words})"
+        )

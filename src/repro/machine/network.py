@@ -1,0 +1,167 @@
+"""The fully connected network of the alpha-beta-gamma machine model.
+
+The paper's machine model (Section 3.1):
+
+* every pair of processors has a dedicated bidirectional link (no
+  contention between different pairs);
+* each processor can send at most one message **and** receive at most one
+  message at the same time;
+* the communication cost of simultaneously transmitted messages is that of
+  the largest one, and the algorithm's communication cost is accumulated
+  along the critical path.
+
+:class:`FullyConnectedNetwork` executes *rounds*: a round is a set of
+messages obeying the one-send/one-receive rule.  Executing a round
+
+1. validates the rule (raising :class:`~repro.exceptions.NetworkContentionError`
+   on violation),
+2. charges ``1`` round and ``max(message words)`` critical-path words,
+3. accumulates per-processor sent/received word counters, and
+4. delivers the (copied) payloads to their destinations.
+
+Collectives (see :mod:`repro.collectives`) are built purely out of rounds,
+so their measured cost is exactly what the paper's analysis predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..exceptions import NetworkContentionError
+from .cost import Cost
+from .message import Message
+
+__all__ = ["FullyConnectedNetwork", "RoundSummary"]
+
+
+class RoundSummary:
+    """Summary statistics of one executed network round."""
+
+    __slots__ = ("index", "n_messages", "max_words", "total_words", "tags")
+
+    def __init__(self, index: int, messages: Sequence[Message]) -> None:
+        self.index = index
+        self.n_messages = len(messages)
+        self.max_words = max((m.words for m in messages), default=0)
+        self.total_words = sum(m.words for m in messages)
+        self.tags = tuple(sorted({m.tag for m in messages if m.tag}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundSummary(#{self.index}: {self.n_messages} msgs, "
+            f"max={self.max_words}w, total={self.total_words}w)"
+        )
+
+
+class FullyConnectedNetwork:
+    """Executes communication rounds and accounts their cost.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors ``P`` attached to the network.  Ranks are
+        ``0 .. P-1``.
+    """
+
+    def __init__(self, n_procs: int) -> None:
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.n_procs = n_procs
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # counters                                                           #
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Zero every counter (rounds, critical words, per-processor volumes)."""
+        self.rounds: int = 0
+        self.critical_words: float = 0.0
+        self.total_words: float = 0.0
+        self.sent_words: List[float] = [0.0] * self.n_procs
+        self.recv_words: List[float] = [0.0] * self.n_procs
+        self.sent_messages: List[int] = [0] * self.n_procs
+        self.recv_messages: List[int] = [0] * self.n_procs
+        self.round_log: List[RoundSummary] = []
+        #: Cumulative words per directed (src, dest) link — the traffic
+        #: matrix, used by :mod:`repro.analysis.traffic`.
+        self.edge_words: Dict[tuple, float] = {}
+
+    @property
+    def cost(self) -> Cost:
+        """Communication cost accumulated so far (no flops — see Machine)."""
+        return Cost(rounds=self.rounds, words=self.critical_words, flops=0.0)
+
+    def per_processor_words(self, rank: int) -> float:
+        """Words sent plus received by ``rank`` so far.
+
+        For the symmetric collectives used by Algorithm 1 this equals twice
+        the send volume; the lower bound of Theorem 3 counts the data a
+        processor must *access*, which our verification layer compares with
+        ``recv_words`` + initially owned data.
+        """
+        return self.sent_words[rank] + self.recv_words[rank]
+
+    # ------------------------------------------------------------------ #
+    # round execution                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _validate_round(self, messages: Sequence[Message]) -> None:
+        senders: Dict[int, Message] = {}
+        receivers: Dict[int, Message] = {}
+        for msg in messages:
+            if not (0 <= msg.src < self.n_procs and 0 <= msg.dest < self.n_procs):
+                raise NetworkContentionError(
+                    f"message {msg!r} references a rank outside 0..{self.n_procs - 1}"
+                )
+            if msg.src in senders:
+                raise NetworkContentionError(
+                    f"processor {msg.src} attempts two sends in one round: "
+                    f"{senders[msg.src]!r} and {msg!r}"
+                )
+            if msg.dest in receivers:
+                raise NetworkContentionError(
+                    f"processor {msg.dest} attempts two receives in one round: "
+                    f"{receivers[msg.dest]!r} and {msg!r}"
+                )
+            senders[msg.src] = msg
+            receivers[msg.dest] = msg
+
+    def execute_round(self, messages: Iterable[Message]) -> Dict[int, Any]:
+        """Execute one communication round.
+
+        Parameters
+        ----------
+        messages:
+            Messages to transmit concurrently.  Must obey the
+            one-send/one-receive-per-processor rule.  An empty round is a
+            no-op costing nothing (it is *not* counted as a round).
+
+        Returns
+        -------
+        dict
+            Mapping ``dest rank -> delivered payload``.  Payloads were
+            already copied at :class:`~repro.machine.message.Message`
+            construction, so receivers own their data.
+        """
+        msgs = list(messages)
+        if not msgs:
+            return {}
+        self._validate_round(msgs)
+
+        max_words = max(m.words for m in msgs)
+        self.rounds += 1
+        self.critical_words += max_words
+        self.total_words += sum(m.words for m in msgs)
+        self.round_log.append(RoundSummary(self.rounds, msgs))
+
+        deliveries: Dict[int, Any] = {}
+        for msg in msgs:
+            self.sent_words[msg.src] += msg.words
+            self.recv_words[msg.dest] += msg.words
+            self.sent_messages[msg.src] += 1
+            self.recv_messages[msg.dest] += 1
+            key = (msg.src, msg.dest)
+            self.edge_words[key] = self.edge_words.get(key, 0.0) + msg.words
+            deliveries[msg.dest] = msg.payload
+        return deliveries

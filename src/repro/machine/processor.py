@@ -1,0 +1,45 @@
+"""A single simulated processor: local store plus arithmetic counters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .store import LocalStore
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """One of the ``P`` processors of the alpha-beta-gamma machine.
+
+    Attributes
+    ----------
+    rank:
+        Global rank in ``0 .. P-1``.
+    store:
+        The processor's private :class:`~repro.machine.store.LocalStore`.
+    flops:
+        Arithmetic operations performed so far.  For matrix multiplication
+        we follow the paper and count *scalar multiplications* (each fused
+        with its addition), so a local ``a x b x c`` GEMM adds ``a*b*c``.
+    """
+
+    def __init__(self, rank: int, memory_limit: Optional[float] = None) -> None:
+        if rank < 0:
+            raise ValueError(f"rank must be non-negative, got {rank}")
+        self.rank = rank
+        self.store = LocalStore(rank, limit=memory_limit)
+        self.flops: float = 0.0
+
+    def compute(self, flops: float) -> None:
+        """Charge ``flops`` arithmetic operations to this processor."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        self.flops += flops
+
+    def reset_counters(self) -> None:
+        """Zero the flop counter (the store's contents are untouched)."""
+        self.flops = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Processor(rank={self.rank}, flops={self.flops}, {len(self.store)} arrays)"

@@ -1,0 +1,127 @@
+"""A sequential two-level memory (cache) simulator.
+
+The memory-*dependent* side of the paper's story (Section 2.1, Section
+6.2) lives in the sequential two-level I/O model of Hong & Kung: a fast
+memory of ``M`` words backed by unbounded slow memory, with the I/O cost
+being the words moved between the levels.  The tight sequential bound is
+``2 n1 n2 n3 / sqrt(M)`` words to leading order (Smith et al. 2019), and
+dividing by ``P`` gives the parallel memory-dependent bound
+``2 mnk / (P sqrt(M))`` that Section 6.2 plays against Theorem 3.
+
+:class:`FastMemory` simulates the fast level with *explicit, exact* load
+and store counting: algorithms must ``load`` a region before computing on
+it and ``store`` results back; capacity is enforced, evictions are
+explicit, and every transferred word is counted.  The blocked GEMM in
+:mod:`repro.algorithms.blocked_gemm` runs on it and lands within a small
+factor of the ``2 mnk / sqrt(M)`` bound, while the naive algorithm pays
+the classic ``~2 mnk`` when no operand fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import MemoryLimitExceededError
+
+__all__ = ["FastMemory", "IOStats"]
+
+
+@dataclasses.dataclass
+class IOStats:
+    """Cumulative two-level traffic counters (in words)."""
+
+    loads: float = 0.0
+    stores: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.loads + self.stores
+
+
+class FastMemory:
+    """An explicitly managed fast memory of ``M`` words.
+
+    Algorithms interact with it through named *regions* (numpy arrays).
+    ``load`` copies a slow-memory array in (counting its words), ``alloc``
+    creates an output buffer without traffic, ``store`` writes a region
+    back out (counting its words) and ``evict`` drops one for free (clean
+    data needs no write-back when the caller knows it is unmodified).
+
+    Parameters
+    ----------
+    M:
+        Capacity in words, or ``None`` for unlimited (useful in tests).
+    """
+
+    def __init__(self, M: Optional[float] = None) -> None:
+        if M is not None and M <= 0:
+            raise ValueError(f"fast memory size must be positive or None, got {M}")
+        self.M = M
+        self.stats = IOStats()
+        self._regions: Dict[str, np.ndarray] = {}
+        self.current_words: int = 0
+        self.peak_words: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _charge_capacity(self, extra: int, name: str) -> None:
+        new_current = self.current_words + extra
+        if self.M is not None and new_current > self.M:
+            raise MemoryLimitExceededError(
+                f"loading {name!r} ({extra} words) would raise fast-memory "
+                f"use to {new_current} words, exceeding M={self.M}"
+            )
+        self.current_words = new_current
+        self.peak_words = max(self.peak_words, self.current_words)
+
+    def load(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Bring ``data`` into fast memory under ``name`` (counts reads)."""
+        if name in self._regions:
+            raise KeyError(f"region {name!r} is already resident")
+        array = np.array(data, dtype=float)
+        self._charge_capacity(int(array.size), name)
+        self.stats.loads += array.size
+        self._regions[name] = array
+        return array
+
+    def alloc(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        """Create an output region (no slow-memory traffic)."""
+        if name in self._regions:
+            raise KeyError(f"region {name!r} is already resident")
+        array = np.zeros(shape)
+        self._charge_capacity(int(array.size), name)
+        self._regions[name] = array
+        return array
+
+    def get(self, name: str) -> np.ndarray:
+        return self._regions[name]
+
+    def store(self, name: str) -> np.ndarray:
+        """Write a region back to slow memory (counts writes) and evict it."""
+        array = self._regions.pop(name)
+        self.stats.stores += array.size
+        self.current_words -= int(array.size)
+        return array
+
+    def evict(self, name: str) -> None:
+        """Drop a clean region without write-back (no traffic)."""
+        array = self._regions.pop(name)
+        self.current_words -= int(array.size)
+
+    def resident(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._regions))
+
+    def reset(self) -> None:
+        self._regions.clear()
+        self.current_words = 0
+        self.peak_words = 0
+        self.stats = IOStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FastMemory(M={self.M}, resident={self.resident()}, "
+            f"loads={self.stats.loads}, stores={self.stats.stores})"
+        )

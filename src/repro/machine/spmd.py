@@ -1,0 +1,355 @@
+"""SPMD facade: write rank-local programs against the simulated machine.
+
+The core library is written in "conductor" style (one driver orchestrates
+all ranks), which is ideal for exact accounting but unlike how people
+write MPI programs.  This module provides the familiar SPMD view: you
+write ONE function that every rank executes, calling collective methods on
+its :class:`RankContext` — and the runtime interleaves all ranks, matches
+up their collective calls, and executes them through the normal accounting
+machinery.
+
+Rank programs must be *generator functions* (``yield`` at each collective)
+so the runtime can suspend and resume them::
+
+    def program(ctx):
+        chunk = np.full(2, float(ctx.rank))
+        gathered = yield ctx.allgather(chunk)     # list of all chunks
+        total = yield ctx.allreduce(gathered[0])
+        return total.sum()
+
+    results = spmd_run(machine, program)           # {rank: return value}
+
+Semantics and guard rails:
+
+* A collective completes only when *every* rank of the group has called
+  it; ranks that return early while peers still wait cause a
+  :class:`~repro.exceptions.CommunicatorError` (a deadlock on a real
+  machine, a loud error here).
+* All ranks of a group must issue the *same* collective with compatible
+  arguments; mismatches (one rank calls allgather while another calls
+  reduce) are detected and reported with both call sites' descriptions.
+* ``ctx.barrier()``, ``ctx.allgather``, ``ctx.reduce_scatter``,
+  ``ctx.broadcast``, ``ctx.reduce``, ``ctx.allreduce``, ``ctx.alltoall``,
+  ``ctx.scatter`` and ``ctx.gather`` are available, plus point-to-point
+  ``ctx.sendrecv`` pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CommunicatorError
+from .machine import Machine
+from .message import Message
+
+__all__ = ["RankContext", "CollectiveRequest", "spmd_run"]
+
+
+@dataclasses.dataclass
+class CollectiveRequest:
+    """A pending collective call from one rank (yield this from a program)."""
+
+    kind: str
+    rank: int
+    group: Tuple[int, ...]
+    payload: Any = None
+    root: Optional[int] = None
+    partner: Optional[int] = None
+
+    def signature(self) -> Tuple:
+        """What must agree across the group for the calls to match."""
+        return (self.kind, self.group, self.root)
+
+
+class RankContext:
+    """The per-rank handle a program receives.
+
+    Provides ``rank``, ``size``, ``store`` (the rank's local store) and
+    constructor methods for every collective; each returns a
+    :class:`CollectiveRequest` the program must ``yield``.
+    """
+
+    def __init__(self, machine: Machine, rank: int, group: Tuple[int, ...]) -> None:
+        self.machine = machine
+        self.rank = rank
+        self.group = group
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def index(self) -> int:
+        """This rank's position within the group."""
+        return self.group.index(self.rank)
+
+    @property
+    def store(self):
+        return self.machine.proc(self.rank).store
+
+    # -- collective constructors --------------------------------------- #
+    #
+    # Every constructor accepts an optional ``group`` (a tuple of global
+    # ranks including this one) to run the collective over a *subgroup* —
+    # e.g. a grid fiber.  Disjoint subgroups issuing the same collective
+    # kind execute in MERGED network rounds, so fiber-parallel programs
+    # (like Algorithm 1) get the correct critical path.
+
+    def _group(self, group: Optional[Sequence[int]]) -> Tuple[int, ...]:
+        if group is None:
+            return self.group
+        group = tuple(group)
+        if self.rank not in group:
+            raise CommunicatorError(
+                f"rank {self.rank} issued a collective on group {group} "
+                f"it does not belong to"
+            )
+        return group
+
+    def barrier(self, group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("barrier", self.rank, self._group(group))
+
+    def allgather(self, chunk: np.ndarray,
+                  group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("allgather", self.rank, self._group(group),
+                                 payload=chunk)
+
+    def reduce_scatter(self, blocks: Sequence[np.ndarray],
+                       group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("reduce_scatter", self.rank, self._group(group),
+                                 payload=list(blocks))
+
+    def broadcast(self, root: int, value: Optional[np.ndarray] = None,
+                  group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("broadcast", self.rank, self._group(group),
+                                 payload=value, root=root)
+
+    def reduce(self, root: int, value: np.ndarray,
+               group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("reduce", self.rank, self._group(group),
+                                 payload=value, root=root)
+
+    def allreduce(self, value: np.ndarray,
+                  group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("allreduce", self.rank, self._group(group),
+                                 payload=value)
+
+    def alltoall(self, blocks: Sequence[np.ndarray],
+                 group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("alltoall", self.rank, self._group(group),
+                                 payload=list(blocks))
+
+    def scatter(self, root: int, blocks: Optional[Sequence[np.ndarray]] = None,
+                group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("scatter", self.rank, self._group(group),
+                                 payload=None if blocks is None else list(blocks),
+                                 root=root)
+
+    def gather(self, root: int, chunk: np.ndarray,
+               group: Optional[Sequence[int]] = None) -> CollectiveRequest:
+        return CollectiveRequest("gather", self.rank, self._group(group),
+                                 payload=chunk, root=root)
+
+    def sendrecv(self, partner: int, value: np.ndarray) -> CollectiveRequest:
+        """Pairwise exchange: send ``value`` to ``partner``, receive theirs."""
+        return CollectiveRequest("sendrecv", self.rank, self.group,
+                                 payload=value, partner=partner)
+
+
+def _build_schedule(machine: Machine, kind: str, requests: Dict[int, CollectiveRequest]):
+    """Construct the round schedule for one matched collective."""
+    from ..collectives.allgather import allgather_schedule
+    from ..collectives.allreduce import allreduce_schedule
+    from ..collectives.alltoall import alltoall_schedule
+    from ..collectives.barrier import barrier_dissemination
+    from ..collectives.broadcast import broadcast_schedule
+    from ..collectives.gather import gather_schedule
+    from ..collectives.reduce import reduce_schedule
+    from ..collectives.reduce_scatter import reduce_scatter_schedule
+    from ..collectives.scatter import scatter_schedule
+
+    group = next(iter(requests.values())).group
+
+    if kind == "barrier":
+        return barrier_dissemination(group)
+    if kind == "allgather":
+        chunks = {r: np.asarray(req.payload) for r, req in requests.items()}
+        return allgather_schedule(group, chunks)
+    if kind == "reduce_scatter":
+        blocks = {r: req.payload for r, req in requests.items()}
+        return reduce_scatter_schedule(group, blocks, machine=machine)
+    if kind == "broadcast":
+        root = next(iter(requests.values())).root
+        value = requests[root].payload
+        if value is None:
+            raise CommunicatorError("broadcast root supplied no value")
+        return broadcast_schedule(group, root, np.asarray(value))
+    if kind == "reduce":
+        root = next(iter(requests.values())).root
+        values = {r: np.asarray(req.payload) for r, req in requests.items()}
+        return reduce_schedule(group, root, values, machine=machine)
+    if kind == "allreduce":
+        values = {r: np.asarray(req.payload) for r, req in requests.items()}
+        return allreduce_schedule(group, values, machine=machine)
+    if kind == "alltoall":
+        blocks = {r: req.payload for r, req in requests.items()}
+        return alltoall_schedule(group, blocks)
+    if kind == "scatter":
+        root = next(iter(requests.values())).root
+        payload = requests[root].payload
+        if payload is None:
+            raise CommunicatorError("scatter root supplied no blocks")
+        blocks = {r: np.asarray(b) for r, b in zip(group, payload)}
+        return scatter_schedule(group, root, blocks)
+    if kind == "gather":
+        root = next(iter(requests.values())).root
+        chunks = {r: np.asarray(req.payload) for r, req in requests.items()}
+        return gather_schedule(group, root, chunks)
+    if kind == "sendrecv":
+        msgs = []
+        for r, req in requests.items():
+            if req.partner not in requests or requests[req.partner].partner != r:
+                raise CommunicatorError(
+                    f"sendrecv mismatch: rank {r} targets {req.partner}"
+                )
+            msgs.append(Message(src=r, dest=req.partner,
+                                payload=np.asarray(req.payload), tag="spmd"))
+
+        def pair_schedule(messages=msgs):
+            deliveries = yield messages
+            return deliveries
+
+        return pair_schedule()
+    raise CommunicatorError(f"unknown collective kind {kind!r}")
+
+
+def _execute_batch(
+    machine: Machine,
+    kind: str,
+    batches: List[Dict[int, CollectiveRequest]],
+) -> Dict[int, Any]:
+    """Execute every complete collective of one kind in MERGED rounds.
+
+    Disjoint groups (e.g. grid fibers) issuing the same collective at the
+    same time share physical network rounds — matching the conductor-style
+    ``parallel_*`` helpers, so SPMD programs measure the same critical
+    path as the library algorithms.
+    """
+    from ..collectives.schedules import run_schedules
+
+    schedules = [_build_schedule(machine, kind, reqs) for reqs in batches]
+    groups = tuple(tuple(next(iter(reqs.values())).group) for reqs in batches)
+    before = machine.cost
+    results = run_schedules(machine, schedules)
+    machine.trace.record(kind, "spmd", groups=groups, cost=machine.cost - before)
+    merged: Dict[int, Any] = {}
+    for reqs, result in zip(batches, results):
+        for r in reqs:
+            merged[r] = result[r] if result is not None else None
+    return merged
+
+
+def spmd_run(
+    machine: Machine,
+    program: Callable[[RankContext], Any],
+    ranks: Optional[Sequence[int]] = None,
+) -> Dict[int, Any]:
+    """Execute a rank-local generator ``program`` on every rank.
+
+    Returns ``{rank: program return value}``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.machine import Machine
+    >>> def program(ctx):
+    ...     gathered = yield ctx.allgather(np.full(1, float(ctx.rank)))
+    ...     return float(sum(c[0] for c in gathered))
+    >>> spmd_run(Machine(4), program)
+    {0: 6.0, 1: 6.0, 2: 6.0, 3: 6.0}
+    """
+    group = tuple(ranks) if ranks is not None else tuple(range(machine.n_procs))
+    contexts = {r: RankContext(machine, r, group) for r in group}
+    gens: Dict[int, Any] = {}
+    results: Dict[int, Any] = {}
+    pending: Dict[int, CollectiveRequest] = {}
+    inbox: Dict[int, Any] = {}
+
+    for r in group:
+        gen = program(contexts[r])
+        if not hasattr(gen, "send"):
+            raise CommunicatorError(
+                "SPMD programs must be generator functions (use 'yield' at "
+                "every collective call)"
+            )
+        gens[r] = gen
+
+    active = set(group)
+    # Drive ranks round-robin; a rank blocks at its yielded collective until
+    # all group members of that collective have arrived.
+    while active or pending:
+        progressed = False
+        for r in list(active):
+            if r in pending:
+                continue
+            try:
+                if r in inbox:
+                    request = gens[r].send(inbox.pop(r))
+                else:
+                    request = next(gens[r])
+            except StopIteration as stop:
+                results[r] = stop.value
+                active.discard(r)
+                progressed = True
+                continue
+            if not isinstance(request, CollectiveRequest):
+                raise CommunicatorError(
+                    f"rank {r} yielded {request!r}; programs must yield "
+                    f"RankContext collective calls"
+                )
+            pending[r] = request
+            progressed = True
+
+        if pending:
+            # Group by signature; batch all complete collectives of the
+            # same kind into merged rounds (disjoint groups share rounds).
+            by_sig: Dict[Tuple, Dict[int, CollectiveRequest]] = {}
+            for r, req in pending.items():
+                by_sig.setdefault(req.signature(), {})[r] = req
+            ready_by_kind: Dict[str, List[Dict[int, CollectiveRequest]]] = {}
+            for sig, reqs in by_sig.items():
+                kind, grp, _ = sig
+                if set(reqs) == set(grp):
+                    ready_by_kind.setdefault(kind, []).append(reqs)
+            executed = False
+            for kind, batches in ready_by_kind.items():
+                outcome = _execute_batch(machine, kind, batches)
+                for reqs in batches:
+                    for r in reqs:
+                        inbox[r] = outcome.get(r)
+                        del pending[r]
+                executed = True
+                progressed = True
+            if not executed and not any(r not in pending for r in active):
+                # Every active rank is blocked and nothing is complete.
+                detail = {r: (req.kind, req.group) for r, req in pending.items()}
+                missing = {
+                    sig: sorted(set(sig[1]) - set(reqs))
+                    for sig, reqs in by_sig.items()
+                }
+                raise CommunicatorError(
+                    f"SPMD deadlock: mismatched or incomplete collectives. "
+                    f"Blocked calls: {detail}; awaiting ranks: {missing}"
+                )
+        if not progressed and not pending:
+            break
+
+    if pending:
+        raise CommunicatorError(
+            f"ranks {sorted(pending)} are blocked in collectives but their "
+            f"peers already returned"
+        )
+    return results

@@ -1,0 +1,126 @@
+"""Per-processor local memory with word-level accounting.
+
+Each simulated processor owns a :class:`LocalStore`: a mapping from names to
+numpy arrays that tracks the *current* and *peak* number of resident words.
+The peak counter is what Section 6.2 of the paper reasons about — e.g. that
+Algorithm 1 on a 3D grid needs temporary memory asymptotically larger than
+the minimum ``(mn + mk + nk) / P`` needed to hold the problem, while 1D and
+2D grids need only a constant factor more.
+
+An optional ``limit`` turns the store into a limited-memory machine: any
+allocation pushing the current footprint above the limit raises
+:class:`~repro.exceptions.MemoryLimitExceededError`.  The default limit is
+``None`` (infinite memory), matching the paper's memory-independent setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..exceptions import MemoryLimitExceededError
+
+__all__ = ["LocalStore"]
+
+
+class LocalStore:
+    """Named numpy arrays resident on one simulated processor.
+
+    Parameters
+    ----------
+    rank:
+        Owning processor's global rank (for error messages).
+    limit:
+        Maximum number of resident words ``M``, or ``None`` for infinite
+        local memory.
+    """
+
+    def __init__(self, rank: int, limit: Optional[float] = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError(f"memory limit must be positive or None, got {limit}")
+        self.rank = rank
+        self.limit = limit
+        self._arrays: Dict[str, np.ndarray] = {}
+        self.current_words: int = 0
+        self.peak_words: int = 0
+
+    # -- mapping protocol ------------------------------------------------ #
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def keys(self):
+        return self._arrays.keys()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"processor {self.rank} has no array named {name!r} "
+                f"(resident: {sorted(self._arrays)})"
+            ) from None
+
+    def __setitem__(self, name: str, array: np.ndarray) -> None:
+        self.put(name, array)
+
+    def __delitem__(self, name: str) -> None:
+        self.free(name)
+
+    # -- allocation ------------------------------------------------------ #
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        """Store ``array`` under ``name``, replacing any previous array.
+
+        The footprint change is charged atomically: replacing an array of
+        equal size never trips the memory limit.
+        """
+        if not isinstance(array, np.ndarray):
+            raise TypeError(
+                f"stores hold numpy arrays, got {type(array).__name__} for {name!r}"
+            )
+        old_words = self._arrays[name].size if name in self._arrays else 0
+        new_current = self.current_words - old_words + int(array.size)
+        if self.limit is not None and new_current > self.limit:
+            raise MemoryLimitExceededError(
+                f"processor {self.rank}: storing {name!r} ({array.size} words) "
+                f"would raise the footprint to {new_current} words, "
+                f"exceeding the limit M={self.limit}"
+            )
+        self._arrays[name] = array
+        self.current_words = new_current
+        self.peak_words = max(self.peak_words, self.current_words)
+
+    def free(self, name: str) -> None:
+        """Release the array stored under ``name``."""
+        array = self[name]
+        self.current_words -= int(array.size)
+        del self._arrays[name]
+
+    def pop(self, name: str) -> np.ndarray:
+        """Return the array stored under ``name`` and release it."""
+        array = self[name]
+        self.free(name)
+        return array
+
+    def clear(self) -> None:
+        """Release everything (peak counter is preserved)."""
+        self._arrays.clear()
+        self.current_words = 0
+
+    def reset_peak(self) -> None:
+        """Reset the peak counter to the current footprint."""
+        self.peak_words = self.current_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalStore(rank={self.rank}, arrays={sorted(self._arrays)}, "
+            f"current={self.current_words}w, peak={self.peak_words}w)"
+        )

@@ -1,0 +1,92 @@
+"""Structured event trace of a simulated execution.
+
+The trace records high-level events — collective operations, compute phases,
+distribution/assembly steps — each annotated with the communication cost
+delta it incurred.  Benchmarks use it to reproduce Figure 1 of the paper
+(which processors participate in which collectives, and how many words each
+collective moves), and tests use it to pin per-phase costs to the closed-form
+expressions of Section 5.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from .cost import Cost
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    kind:
+        Event category, e.g. ``"allgather"``, ``"reduce-scatter"``,
+        ``"compute"``, ``"distribute"``.
+    label:
+        Free-form description (e.g. which matrix / which grid fiber).
+    groups:
+        The processor groups involved (a tuple of rank tuples); empty for
+        purely local events.
+    cost:
+        Communication cost delta attributable to the event.
+    """
+
+    kind: str
+    label: str
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    cost: Cost = Cost()
+
+
+class Trace:
+    """An append-only list of :class:`TraceEvent` with simple queries."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        label: str,
+        groups: Tuple[Tuple[int, ...], ...] = (),
+        cost: Cost = Cost(),
+    ) -> TraceEvent:
+        event = TraceEvent(kind=kind, label=label, groups=groups, cost=cost)
+        self.events.append(event)
+        return event
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of the given category, in execution order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def total_cost(self, kind: Optional[str] = None) -> Cost:
+        """Sum of cost deltas, optionally restricted to one event kind."""
+        total = Cost()
+        for event in self.events:
+            if kind is None or event.kind == kind:
+                total = total + event.cost
+        return total
+
+    def groups_involving(self, rank: int) -> List[TraceEvent]:
+        """Events whose processor groups include ``rank``.
+
+        This is exactly the information highlighted for processor (1,3,1)
+        in Figure 1 of the paper: the three collective fibers a processor
+        participates in.
+        """
+        return [
+            e for e in self.events if any(rank in group for group in e.groups)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

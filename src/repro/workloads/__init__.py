@@ -1,0 +1,28 @@
+"""Workload generators and named problem suites."""
+
+from .generators import integer_pair, operand_pair, random_pair, structured_pair
+from .suites import (
+    FIGURE2_EXPECTED_GRIDS,
+    FIGURE2_PROCESSOR_COUNTS,
+    FIGURE2_SCALED,
+    FIGURE2_SHAPE,
+    paper_example,
+    regime_suite,
+    square_suite,
+    tall_skinny_suite,
+)
+
+__all__ = [
+    "FIGURE2_EXPECTED_GRIDS",
+    "FIGURE2_PROCESSOR_COUNTS",
+    "FIGURE2_SCALED",
+    "FIGURE2_SHAPE",
+    "integer_pair",
+    "operand_pair",
+    "paper_example",
+    "random_pair",
+    "regime_suite",
+    "square_suite",
+    "structured_pair",
+    "tall_skinny_suite",
+]

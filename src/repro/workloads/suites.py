@@ -1,0 +1,81 @@
+"""Named problem-shape suites used across tests, examples and benchmarks.
+
+The centerpiece is the paper's running example (Section 5.3, Figure 2):
+multiplying a ``9600 x 2400`` matrix by a ``2400 x 600`` one, so that with
+``m >= n >= k`` the aspect-ratio thresholds are ``m/n = 4`` and
+``mn/k^2 = 64``; ``P = 3, 36, 512`` land in the 1D, 2D and 3D regimes with
+optimal grids ``3x1x1``, ``12x3x1`` and ``32x8x2``.
+
+``FIGURE2_SCALED`` keeps the exact 16:4:1 dimension ratios at 1/12.5 scale
+(``768 x 192 x 48``), so the regime boundaries (``m/n = 4``,
+``mn/k^2 = 64``) and the optimal grids are identical to the paper's — and
+every block *and shard* divides evenly under all three Figure 2 grids, so
+the simulated Algorithm 1 matches the lower bound to the word while the
+full ``P = 512`` run completes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.shapes import ProblemShape
+
+__all__ = [
+    "FIGURE2_SHAPE",
+    "FIGURE2_SCALED",
+    "FIGURE2_PROCESSOR_COUNTS",
+    "FIGURE2_EXPECTED_GRIDS",
+    "square_suite",
+    "tall_skinny_suite",
+    "regime_suite",
+    "paper_example",
+]
+
+#: The paper's Figure 2 problem: A is 9600 x 2400, B is 2400 x 600.
+FIGURE2_SHAPE = ProblemShape(9600, 2400, 600)
+
+#: Same aspect ratios at 1/12.5 scale — executable end-to-end at P = 512,
+#: with even blocks AND even shards under all three Figure 2 grids.
+FIGURE2_SCALED = ProblemShape(768, 192, 48)
+
+#: The processor counts of Figure 2's three panels.
+FIGURE2_PROCESSOR_COUNTS = (3, 36, 512)
+
+#: The optimal grids Figure 2 displays for those counts.
+FIGURE2_EXPECTED_GRIDS = {3: (3, 1, 1), 36: (12, 3, 1), 512: (32, 8, 2)}
+
+
+def paper_example() -> Tuple[ProblemShape, Tuple[int, ...], Dict[int, tuple]]:
+    """The Figure 2 problem, processor counts, and expected grids."""
+    return FIGURE2_SHAPE, FIGURE2_PROCESSOR_COUNTS, dict(FIGURE2_EXPECTED_GRIDS)
+
+
+def square_suite(sizes=(8, 16, 32, 64)) -> List[ProblemShape]:
+    """Square problems (always regime 3 for ``P >= 1``)."""
+    return [ProblemShape(s, s, s) for s in sizes]
+
+
+def tall_skinny_suite() -> List[ProblemShape]:
+    """Shapes with extreme aspect ratios, exercising regimes 1 and 2."""
+    return [
+        ProblemShape(256, 16, 4),
+        ProblemShape(512, 8, 8),
+        ProblemShape(64, 64, 2),
+        ProblemShape(1024, 32, 2),
+        ProblemShape(16, 256, 4),   # largest dimension is the contraction
+        ProblemShape(4, 16, 256),   # largest dimension is n3
+    ]
+
+
+def regime_suite(shape: ProblemShape) -> Dict[str, int]:
+    """Representative processor counts for each regime of ``shape``.
+
+    Picks a ``P`` strictly inside each regime's interval where possible.
+    """
+    r1, r2 = shape.aspect_ratio_thresholds()
+    out: Dict[str, int] = {}
+    if r1 >= 2:
+        out["1D"] = max(2, int(r1) // 2)
+    out["2D"] = max(int(r1) + 1, min(int(r2) - 1, int((r1 * r2) ** 0.5))) if r2 > r1 + 1 else int(r1) + 1
+    out["3D"] = int(r2) * 2 if r2 >= 1 else 8
+    return out

@@ -1,0 +1,67 @@
+"""Property-based tests for Algorithm 1 (hypothesis).
+
+Random divisible configurations: the simulated run must be numerically
+correct, match expression (3) when shards are even, and never communicate
+less than Theorem 3.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ProcessorGrid, alg1_cost, run_alg1, shards_divide_evenly
+from repro.core import ProblemShape, communication_lower_bound
+
+grid_dims = st.tuples(
+    st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)
+)
+multipliers = st.tuples(
+    st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)
+)
+seeds = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dims=grid_dims, mult=multipliers, seed=seeds)
+def test_alg1_random_divisible_configs(dims, mult, seed):
+    """n_i = p_i * mult_i guarantees divisible blocks; verify everything."""
+    p1, p2, p3 = dims
+    n1, n2, n3 = p1 * mult[0] * 2, p2 * mult[1] * 2, p3 * mult[2] * 2
+    shape = ProblemShape(n1, n2, n3)
+    grid = ProcessorGrid(p1, p2, p3)
+    rng = np.random.default_rng(seed)
+    A, B = rng.random((n1, n2)), rng.random((n2, n3))
+
+    res = run_alg1(A, B, grid)
+
+    # 1. Numerics.
+    assert np.allclose(res.C, A @ B)
+
+    # 2. Never below Theorem 3.
+    bound = communication_lower_bound(shape, grid.size)
+    assert res.cost.words >= bound - 1e-9
+
+    # 3. Exact expression (3) whenever shards divide evenly; never below
+    #    the formula otherwise (imbalance can only inflate the critical
+    #    path).
+    predicted = alg1_cost(shape, grid)
+    if shards_divide_evenly(shape, grid):
+        assert abs(res.cost.words - predicted) <= 1e-9
+    else:
+        assert res.cost.words >= predicted - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(dims=grid_dims, seed=seeds)
+def test_alg1_permuting_grid_with_shape_is_consistent(dims, seed):
+    """Transposing the problem and the grid together transposes the result."""
+    p1, p2, p3 = dims
+    n1, n2, n3 = 2 * p1, 2 * p2, 2 * p3
+    rng = np.random.default_rng(seed)
+    A, B = rng.random((n1, n2)), rng.random((n2, n3))
+
+    res = run_alg1(A, B, ProcessorGrid(p1, p2, p3))
+    # (A B)^T = B^T A^T with the reversed grid.
+    res_t = run_alg1(B.T.copy(), A.T.copy(), ProcessorGrid(p3, p2, p1))
+    assert np.allclose(res_t.C, res.C.T)
+    # Symmetric costs: the collective structure mirrors exactly.
+    assert res_t.cost.words == res.cost.words

@@ -1,0 +1,116 @@
+"""Tests for sequential GEMM in the two-level I/O model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.blocked_gemm import (
+    run_blocked_gemm,
+    run_naive_gemm,
+    run_optimal_gemm,
+    sequential_lower_bound,
+)
+from repro.core import ProblemShape
+from repro.exceptions import ShapeError
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("runner,M", [
+        (run_naive_gemm, 600.0),
+        (run_blocked_gemm, 600.0),
+        (run_optimal_gemm, 600.0),
+    ])
+    def test_matches_numpy(self, rng, runner, M):
+        A, B = rng.random((24, 20)), rng.random((20, 28))
+        res = runner(A, B, M)
+        assert np.allclose(res.C, A @ B)
+
+    @pytest.mark.parametrize("runner", [run_naive_gemm, run_blocked_gemm, run_optimal_gemm])
+    def test_odd_sizes(self, rng, runner):
+        A, B = rng.random((13, 7)), rng.random((7, 11))
+        res = runner(A, B, 200.0)
+        assert np.allclose(res.C, A @ B)
+
+    def test_capacity_respected(self, rng):
+        A, B = rng.random((32, 32)), rng.random((32, 32))
+        for runner in (run_naive_gemm, run_blocked_gemm, run_optimal_gemm):
+            res = runner(A, B, 400.0)
+            assert res.peak_words <= 400
+
+
+class TestIOBounds:
+    def test_lower_bound_formula(self):
+        shape = ProblemShape(64, 64, 64)
+        assert sequential_lower_bound(shape, 1024.0) == pytest.approx(
+            2 * 64**3 / 32
+        )
+        with pytest.raises(ShapeError):
+            sequential_lower_bound(shape, 0.0)
+
+    def test_optimal_attains_constant_2(self, rng):
+        """The resident-C schedule's traffic is ~2 mnk / b + n1 n3."""
+        n, M = 96, 1200.0
+        A, B = rng.random((n, n)), rng.random((n, n))
+        res = run_optimal_gemm(A, B, M, panel=1)
+        b = min(int(math.isqrt(int(1 + M)) - 1), n)
+        expected = 2 * n**3 / b + n * n
+        assert res.total_io == pytest.approx(expected, rel=0.1)
+        # Within a factor ~ sqrt(M)/b * (1 + eps) of the tight bound.
+        bound = sequential_lower_bound(res.shape, M)
+        assert res.total_io >= bound * 0.9  # sanity: not *below* the bound zone
+        assert res.total_io <= 2.0 * bound
+
+    def test_blocked_is_constant_factor_from_bound(self, rng):
+        n, M = 96, 1200.0
+        A, B = rng.random((n, n)), rng.random((n, n))
+        res = run_blocked_gemm(A, B, M)
+        bound = sequential_lower_bound(res.shape, M)
+        assert bound * 0.9 <= res.total_io <= 4.0 * bound
+
+    def test_naive_much_worse_when_b_does_not_fit(self, rng):
+        # The gap grows like sqrt(M) * n2 / M: visible once B is far from
+        # fitting (here ~5x).
+        n, M = 192, 600.0
+        A, B = rng.random((n, n)), rng.random((n, n))
+        naive = run_naive_gemm(A, B, M)
+        optimal = run_optimal_gemm(A, B, M)
+        assert naive.total_io > 2.5 * optimal.total_io
+
+    def test_everything_cheap_when_memory_ample(self, rng):
+        """With M >= whole problem, traffic collapses to compulsory I/O."""
+        n = 24
+        A, B = rng.random((n, n)), rng.random((n, n))
+        M = 10.0 * (3 * n * n)
+        res = run_optimal_gemm(A, B, M, panel=n)
+        compulsory = 2 * n * n + n * n  # read A and B once, write C once
+        assert res.total_io == pytest.approx(compulsory)
+
+    def test_smaller_memory_more_traffic(self, rng):
+        n = 64
+        A, B = rng.random((n, n)), rng.random((n, n))
+        io_small = run_optimal_gemm(A, B, 300.0).total_io
+        io_big = run_optimal_gemm(A, B, 3000.0).total_io
+        assert io_small > io_big
+
+    def test_parallel_consistency_with_section_62(self):
+        """The sequential bound / P is the memory-dependent parallel bound."""
+        from repro.core import memory_dependent_bound
+
+        shape = ProblemShape(128, 64, 32)
+        M, P = 512.0, 16
+        assert sequential_lower_bound(shape, M) / P == pytest.approx(
+            memory_dependent_bound(shape, P, M)
+        )
+
+
+class TestValidation:
+    def test_tile_too_large_rejected(self, rng):
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        with pytest.raises(ShapeError):
+            run_blocked_gemm(A, B, 100.0, tile=10)
+
+    def test_memory_too_small_for_naive(self, rng):
+        A, B = rng.random((8, 512)), rng.random((512, 8))
+        with pytest.raises(ShapeError):
+            run_naive_gemm(A, B, 20.0)

@@ -1,0 +1,72 @@
+"""Tests for the closed-form Algorithm 1 cost (expression 3)."""
+
+import pytest
+
+from repro.algorithms import ProcessorGrid, alg1_cost, alg1_cost_terms, alg1_memory_words
+from repro.core import ProblemShape
+
+PAPER = ProblemShape(9600, 2400, 600)
+
+
+class TestExpression3:
+    def test_total_formula(self):
+        grid = ProcessorGrid(32, 8, 2)
+        n1, n2, n3 = PAPER.dims
+        p1, p2, p3 = grid.dims
+        expected = (
+            n1 * n2 / (p1 * p2)
+            + n2 * n3 / (p2 * p3)
+            + n1 * n3 / (p1 * p3)
+            - (n1 * n2 + n2 * n3 + n1 * n3) / 512
+        )
+        assert alg1_cost(PAPER, grid) == pytest.approx(expected)
+
+    def test_paper_case3_value(self):
+        # 3 (mnk/P)^(2/3) - (mn+mk+nk)/P with the exact 32x8x2 grid.
+        assert alg1_cost(PAPER, ProcessorGrid(32, 8, 2)) == pytest.approx(
+            3 * (PAPER.volume / 512) ** (2 / 3) - PAPER.total_data / 512
+        )
+
+    def test_case1_only_smallest_matrix_moves(self):
+        # Grid (P,1,1): only B (the nk-sized matrix here) is communicated.
+        cost = alg1_cost(PAPER, ProcessorGrid(3, 1, 1))
+        assert cost == pytest.approx((1 - 1 / 3) * 2400 * 600)
+
+    def test_unit_grid_is_free(self):
+        assert alg1_cost(PAPER, ProcessorGrid(1, 1, 1)) == 0.0
+
+    def test_terms_nonnegative(self):
+        for dims in [(3, 1, 1), (12, 3, 1), (32, 8, 2), (1, 512, 1)]:
+            terms = alg1_cost_terms(PAPER, ProcessorGrid(*dims))
+            assert terms.allgather_a >= 0
+            assert terms.allgather_b >= 0
+            assert terms.reduce_scatter_c >= 0
+
+    def test_term_attribution(self):
+        # p3 = 1 means A needs no gathering; p1 = 1 means B doesn't; p2 = 1
+        # means C needs no reduction.
+        t = alg1_cost_terms(PAPER, ProcessorGrid(12, 3, 1))
+        assert t.allgather_a == 0.0
+        assert t.allgather_b > 0 and t.reduce_scatter_c > 0
+        t = alg1_cost_terms(PAPER, ProcessorGrid(1, 36, 1))
+        assert t.allgather_a == 0.0   # p3 = 1
+        assert t.allgather_b == 0.0   # p1 = 1
+        assert t.reduce_scatter_c > 0  # p2 = 36
+
+
+class TestMemoryModel:
+    def test_accessed_equals_positive_terms(self):
+        grid = ProcessorGrid(32, 8, 2)
+        t = alg1_cost_terms(PAPER, grid)
+        assert t.accessed == pytest.approx(t.total + PAPER.total_data / 512)
+
+    def test_memory_words_helper(self):
+        grid = ProcessorGrid(12, 3, 1)
+        assert alg1_memory_words(PAPER, grid) == pytest.approx(
+            alg1_cost_terms(PAPER, grid).accessed
+        )
+
+    def test_exact_float_arithmetic(self):
+        # Word counts must be exact, e.g. (1 - 1/3)*small ints.
+        shape = ProblemShape(6, 6, 6)
+        assert alg1_cost(shape, ProcessorGrid(3, 1, 1)) == 24.0

@@ -1,0 +1,123 @@
+"""Tests for block distributions and reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProcessorGrid, block_bounds, block_of, distribute_inputs, shard_bounds
+from repro.algorithms.distributions import assemble_c, expected_shard_words
+from repro.core import ProblemShape
+from repro.exceptions import DistributionError
+from repro.machine import Machine
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert [block_bounds(12, 3, i) for i in range(3)] == [(0, 4), (4, 8), (8, 12)]
+
+    def test_ragged_split_matches_array_split(self):
+        for extent, parts in [(10, 3), (7, 4), (5, 5), (13, 6)]:
+            arr = np.arange(extent)
+            pieces = np.array_split(arr, parts)
+            for i in range(parts):
+                lo, hi = block_bounds(extent, parts, i)
+                assert np.array_equal(arr[lo:hi], pieces[i])
+
+    def test_bounds_tile_exactly(self):
+        covered = []
+        for i in range(4):
+            lo, hi = block_bounds(11, 4, i)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(11))
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(DistributionError):
+            block_bounds(3, 4, 0)
+
+    def test_bad_index(self):
+        with pytest.raises(DistributionError):
+            block_bounds(10, 2, 2)
+
+
+class TestShardBounds:
+    def test_allows_empty_shards(self):
+        sizes = [shard_bounds(2, 4, i) for i in range(4)]
+        assert [hi - lo for lo, hi in sizes] == [1, 1, 0, 0]
+
+    def test_tiles(self):
+        covered = []
+        for i in range(5):
+            lo, hi = shard_bounds(13, 5, i)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(13))
+
+
+class TestBlockOf:
+    def test_view_of_correct_region(self):
+        m = np.arange(24.0).reshape(4, 6)
+        blk = block_of(m, (2, 3), (1, 2))
+        assert np.array_equal(blk, m[2:4, 4:6])
+
+    def test_is_view(self):
+        m = np.zeros((4, 6))
+        blk = block_of(m, (2, 3), (0, 0))
+        blk[0, 0] = 7.0
+        assert m[0, 0] == 7.0
+
+
+class TestDistributeAndAssemble:
+    def test_one_copy_of_inputs(self, rng):
+        A, B = rng.random((6, 4)), rng.random((4, 10))
+        grid = ProcessorGrid(3, 2, 2)
+        m = Machine(grid.size)
+        shape = distribute_inputs(m, grid, A, B)
+        total_a = sum(m.proc(r).store["A_shard"].size for r in range(grid.size))
+        total_b = sum(m.proc(r).store["B_shard"].size for r in range(grid.size))
+        assert total_a == A.size
+        assert total_b == B.size
+        assert shape == ProblemShape(6, 4, 10)
+
+    def test_no_communication_charged(self, rng):
+        A, B = rng.random((6, 4)), rng.random((4, 10))
+        grid = ProcessorGrid(3, 2, 2)
+        m = Machine(grid.size)
+        distribute_inputs(m, grid, A, B)
+        assert m.cost.is_zero()
+
+    def test_expected_shard_words(self):
+        shape = ProblemShape(8, 4, 6)
+        grid = ProcessorGrid(2, 2, 2)
+        words = expected_shard_words(shape, grid)
+        assert words == {"A": 4.0, "B": 3.0, "C": 6.0}
+
+    def test_mismatched_operands_rejected(self, rng):
+        with pytest.raises(DistributionError, match="mismatch"):
+            distribute_inputs(Machine(1), ProcessorGrid(1, 1, 1),
+                              rng.random((3, 4)), rng.random((5, 2)))
+
+    def test_oversized_grid_rejected(self, rng):
+        with pytest.raises(DistributionError, match="too large"):
+            distribute_inputs(Machine(8), ProcessorGrid(8, 1, 1),
+                              rng.random((3, 4)), rng.random((4, 2)))
+
+    def test_wrong_machine_size_rejected(self, rng):
+        with pytest.raises(DistributionError, match="processors"):
+            distribute_inputs(Machine(3), ProcessorGrid(2, 2, 1),
+                              rng.random((4, 4)), rng.random((4, 4)))
+
+    def test_assemble_roundtrip_via_alg1_identity_grid(self, rng):
+        # With grid (1,1,1) "C_shard" is just the whole product.
+        from repro.algorithms import run_alg1
+
+        A, B = rng.random((5, 3)), rng.random((3, 4))
+        res = run_alg1(A, B, ProcessorGrid(1, 1, 1))
+        assert np.allclose(res.C, A @ B)
+
+    def test_assemble_detects_bad_shards(self, rng):
+        A, B = rng.random((4, 4)), rng.random((4, 4))
+        grid = ProcessorGrid(2, 2, 1)
+        m = Machine(4)
+        shape = distribute_inputs(m, grid, A, B)
+        for r in range(4):
+            m.proc(r).store["C_shard"] = np.zeros(1)  # wrong size
+        with pytest.raises(DistributionError, match="words"):
+            assemble_c(m, shape, grid)

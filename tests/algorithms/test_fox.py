@@ -1,0 +1,57 @@
+"""Tests for Fox's broadcast-multiply-roll algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import run_cannon
+from repro.algorithms.fox import run_fox
+from repro.core import ProblemShape, communication_lower_bound
+from repro.exceptions import GridError
+
+
+class TestNumerics:
+    @pytest.mark.parametrize(
+        "q,dims",
+        [(1, (4, 4, 4)), (2, (6, 8, 4)), (3, (6, 9, 6)), (4, (8, 8, 8)),
+         (3, (7, 8, 5))],
+    )
+    def test_matches_numpy(self, rng, q, dims):
+        A, B = rng.random(dims[:2]), rng.random(dims[1:])
+        res = run_fox(A, B, q)
+        assert np.allclose(res.C, A @ B)
+
+    def test_binomial_broadcast_variant(self, rng):
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        res = run_fox(A, B, 4, broadcast_algorithm="binomial")
+        assert np.allclose(res.C, A @ B)
+
+
+class TestCosts:
+    def test_respects_lower_bound(self, rng):
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        res = run_fox(A, B, 2)
+        assert res.cost.words >= communication_lower_bound(ProblemShape(8, 8, 8), 4)
+
+    def test_pays_broadcast_overhead_vs_cannon(self, rng):
+        """Fox broadcasts A panels where Cannon shifts them: more words."""
+        A, B = rng.random((16, 16)), rng.random((16, 16))
+        fox = run_fox(A, B, 4)
+        cannon = run_cannon(A, B, 4)
+        assert fox.cost.words > cannon.cost.words
+
+    def test_single_processor_free(self, rng):
+        A, B = rng.random((4, 4)), rng.random((4, 4))
+        res = run_fox(A, B, 1)
+        assert res.cost.words == 0.0
+
+
+class TestValidation:
+    def test_oversized_grid_rejected(self, rng):
+        with pytest.raises(GridError):
+            run_fox(rng.random((2, 8)), rng.random((8, 8)), 3)
+
+    def test_machine_size_mismatch(self, rng):
+        from repro.machine import Machine
+
+        with pytest.raises(GridError):
+            run_fox(rng.random((8, 8)), rng.random((8, 8)), 2, machine=Machine(3))

@@ -1,0 +1,88 @@
+"""Tests for repro.algorithms.grid."""
+
+import pytest
+
+from repro.algorithms import ProcessorGrid
+from repro.exceptions import GridError
+
+
+class TestGeometry:
+    def test_size(self):
+        assert ProcessorGrid(3, 4, 5).size == 60
+
+    def test_rank_coord_roundtrip(self):
+        g = ProcessorGrid(2, 3, 4)
+        for r in range(g.size):
+            assert g.rank(g.coord(r)) == r
+        for c in g.coords():
+            assert g.coord(g.rank(c)) == c
+
+    def test_rank_layout_p3_fastest(self):
+        g = ProcessorGrid(2, 2, 3)
+        assert g.rank((0, 0, 0)) == 0
+        assert g.rank((0, 0, 1)) == 1
+        assert g.rank((0, 1, 0)) == 3
+        assert g.rank((1, 0, 0)) == 6
+
+    def test_effective_dimensionality(self):
+        assert ProcessorGrid(4, 1, 1).effective_dimensionality() == 1
+        assert ProcessorGrid(4, 2, 1).effective_dimensionality() == 2
+        assert ProcessorGrid(4, 2, 2).effective_dimensionality() == 3
+        assert ProcessorGrid(1, 1, 1).effective_dimensionality() == 0
+
+    def test_out_of_range(self):
+        g = ProcessorGrid(2, 2, 2)
+        with pytest.raises(GridError):
+            g.rank((2, 0, 0))
+        with pytest.raises(GridError):
+            g.coord(8)
+
+    def test_invalid_dims(self):
+        with pytest.raises(GridError):
+            ProcessorGrid(0, 1, 1)
+        with pytest.raises(GridError):
+            ProcessorGrid(2, -1, 1)
+
+    def test_divides(self):
+        assert ProcessorGrid(2, 3, 4).divides(4, 6, 8)
+        assert not ProcessorGrid(2, 3, 4).divides(4, 7, 8)
+
+    def test_str(self):
+        assert str(ProcessorGrid(32, 8, 2)) == "32x8x2"
+
+
+class TestFibers:
+    def test_fiber_through_figure1_processor(self):
+        """The three fibers of Figure 1's processor (1, 3, 1) (0-based (0, 2, 0))."""
+        g = ProcessorGrid(3, 3, 3)
+        coord = (0, 2, 0)
+        rank = g.rank(coord)
+        fiber3 = g.fiber(3, coord)  # A's All-Gather group
+        fiber1 = g.fiber(1, coord)  # B's All-Gather group
+        fiber2 = g.fiber(2, coord)  # C's Reduce-Scatter group
+        assert rank in fiber3 and rank in fiber1 and rank in fiber2
+        assert len(fiber3) == len(fiber1) == len(fiber2) == 3
+        # fibers intersect exactly at the processor itself
+        assert set(fiber3) & set(fiber1) == {rank}
+        assert set(fiber3) & set(fiber2) == {rank}
+
+    def test_fiber_orders_by_varying_coordinate(self):
+        g = ProcessorGrid(2, 3, 4)
+        f = g.fiber(2, (1, 0, 2))
+        assert f == tuple(g.rank((1, v, 2)) for v in range(3))
+
+    @pytest.mark.parametrize("axis", [1, 2, 3])
+    def test_fibers_partition_all_ranks(self, axis):
+        g = ProcessorGrid(2, 3, 4)
+        groups = g.fibers(axis)
+        seen = [r for grp in groups for r in grp]
+        assert sorted(seen) == list(range(g.size))
+        expected_count = {1: 12, 2: 8, 3: 6}[axis]
+        assert len(groups) == expected_count
+
+    def test_bad_axis(self):
+        g = ProcessorGrid(2, 2, 2)
+        with pytest.raises(GridError):
+            g.fiber(0, (0, 0, 0))
+        with pytest.raises(GridError):
+            g.fibers(4)

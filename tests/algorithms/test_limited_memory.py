@@ -1,0 +1,86 @@
+"""Tests for the chunked (limited-memory) Algorithm 1 variant."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProcessorGrid, run_alg1
+from repro.algorithms.limited_memory import run_alg1_chunked
+from repro.exceptions import GridError
+from repro.machine import Machine
+from repro.exceptions import MemoryLimitExceededError
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("chunks", [1, 2, 4])
+    @pytest.mark.parametrize("dims", [(4, 2, 1), (2, 4, 1), (8, 1, 1), (1, 4, 1)])
+    def test_matches_numpy(self, rng, chunks, dims):
+        # n2 = 16 keeps the local contraction extent divisible by every
+        # tested chunk count on every grid.
+        A, B = rng.random((16, 16)), rng.random((16, 4))
+        res = run_alg1_chunked(A, B, ProcessorGrid(*dims), chunks=chunks)
+        assert np.allclose(res.C, A @ B)
+
+    def test_chunks_1_delegates_to_plain(self, rng):
+        A, B = rng.random((16, 8)), rng.random((8, 4))
+        plain = run_alg1(A, B, ProcessorGrid(4, 2, 1))
+        chunked = run_alg1_chunked(A, B, ProcessorGrid(4, 2, 1), chunks=1)
+        assert chunked.cost.words == pytest.approx(plain.cost.words)
+
+
+class TestSection62Claim:
+    """Same bandwidth, more latency, less memory — the paper's sentence."""
+
+    def test_bandwidth_unchanged(self, rng):
+        A, B = rng.random((16, 16)), rng.random((16, 8))
+        grid = ProcessorGrid(4, 2, 1)
+        plain = run_alg1(A, B, grid)
+        for chunks in (2, 4, 8):
+            res = run_alg1_chunked(A, B, grid, chunks=chunks)
+            assert res.cost.words == pytest.approx(plain.cost.words)
+
+    def test_latency_scales_with_chunks(self, rng):
+        A, B = rng.random((16, 16)), rng.random((16, 8))
+        grid = ProcessorGrid(4, 2, 1)
+        rounds = {
+            c: run_alg1_chunked(A, B, grid, chunks=c).cost.rounds for c in (1, 2, 4)
+        }
+        assert rounds[1] < rounds[2] < rounds[4]
+
+    def test_memory_shrinks_with_chunks(self, rng):
+        A, B = rng.random((32, 32)), rng.random((32, 32))
+        grid = ProcessorGrid(4, 2, 1)
+        peaks = {
+            c: run_alg1_chunked(A, B, grid, chunks=c).peak_memory for c in (1, 2, 8)
+        }
+        assert peaks[8] < peaks[2] < peaks[1]
+
+    def test_runs_under_budget_that_stops_plain_variant(self, rng):
+        """The chunked variant fits in a memory budget the plain one busts."""
+        A, B = rng.random((32, 32)), rng.random((32, 32))
+        grid = ProcessorGrid(4, 2, 1)
+        plain_peak = run_alg1(A, B, grid).peak_memory
+        chunk_peak = run_alg1_chunked(A, B, grid, chunks=8).peak_memory
+        budget = (plain_peak + chunk_peak) / 2
+        with pytest.raises(MemoryLimitExceededError):
+            run_alg1(A, B, grid, machine=Machine(8, memory_limit=budget))
+        res = run_alg1_chunked(
+            A, B, grid, chunks=8, machine=Machine(8, memory_limit=budget)
+        )
+        assert np.allclose(res.C, A @ B)
+
+
+class TestValidation:
+    def test_3d_grid_rejected(self, rng):
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        with pytest.raises(GridError, match="p3 == 1"):
+            run_alg1_chunked(A, B, ProcessorGrid(2, 2, 2), chunks=2)
+
+    def test_indivisible_chunks_rejected(self, rng):
+        A, B = rng.random((16, 8)), rng.random((8, 4))
+        with pytest.raises(GridError, match="chunks"):
+            run_alg1_chunked(A, B, ProcessorGrid(4, 2, 1), chunks=3)
+
+    def test_indivisible_grid_rejected(self, rng):
+        A, B = rng.random((15, 8)), rng.random((8, 4))
+        with pytest.raises(GridError, match="divide"):
+            run_alg1_chunked(A, B, ProcessorGrid(4, 2, 1), chunks=2)

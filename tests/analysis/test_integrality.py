@@ -1,0 +1,34 @@
+"""Tests for the integrality-gap analysis."""
+
+import pytest
+
+from repro.analysis import gap_profile, integrality_gap
+from repro.core import ProblemShape
+from repro.workloads import FIGURE2_SHAPE
+
+
+class TestIntegralityGap:
+    def test_attained_points_have_gap_one(self):
+        for P in (3, 36, 512):
+            assert integrality_gap(FIGURE2_SHAPE, P).gap == pytest.approx(1.0)
+
+    def test_gap_never_below_one(self):
+        profile = gap_profile(FIGURE2_SHAPE, range(2, 40))
+        assert all(pt.gap >= 1.0 - 1e-9 for pt in profile.points)
+
+    def test_prime_processor_counts_hurt(self):
+        # 127 is prime: only 1D factorizations exist, far from the cubical
+        # continuous optimum.
+        assert integrality_gap(FIGURE2_SHAPE, 127).gap > 2.0
+
+    def test_profile_statistics(self):
+        profile = gap_profile(FIGURE2_SHAPE, range(1, 65))
+        assert 1 in profile.attainable
+        assert 36 in profile.attainable
+        assert profile.worst.gap == max(pt.gap for pt in profile.points)
+        assert 1.0 <= profile.mean_gap <= profile.worst.gap
+
+    def test_degenerate_p1(self):
+        pt = integrality_gap(ProblemShape(4, 4, 4), 1)
+        assert pt.gap == 1.0
+        assert pt.bound == 0.0

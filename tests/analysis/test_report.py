@@ -1,0 +1,32 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.analysis import reproduction_report
+
+
+class TestReproductionReport:
+    def test_all_checks_pass(self):
+        report = reproduction_report()
+        failing = [c for c in report.checks if not c.passed]
+        assert not failing, failing
+        assert report.all_passed
+
+    def test_covers_all_headline_claims(self):
+        report = reproduction_report()
+        names = " ".join(c.name for c in report.checks)
+        assert "figure2 grid" in names
+        assert "figure2 tightness" in names
+        assert "table1 constant" in names
+        assert "corollary 4" in names
+        assert "6.2" in names
+        assert len(report.checks) >= 11
+
+    def test_text_rendering(self):
+        report = reproduction_report()
+        assert "PASS" in report.text
+        assert "SPAA 2022" in report.text
+
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Tests for the scaling-law extraction."""
+
+import pytest
+
+from repro.analysis.scaling_laws import (
+    THEORY_EXPONENTS,
+    alg1_cost_exponents,
+    fit_exponent,
+    regime_exponents,
+)
+from repro.core import ProblemShape, Regime
+from repro.workloads import FIGURE2_SHAPE
+
+
+class TestFitExponent:
+    def test_exact_power_law(self):
+        samples = [(p, 7.0 * p ** -0.5) for p in (2, 4, 8, 16)]
+        fit = fit_exponent(samples)
+        assert fit.exponent == pytest.approx(-0.5)
+        assert fit.coefficient == pytest.approx(7.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([(2, 1.0)])
+
+    def test_ignores_nonpositive(self):
+        fit = fit_exponent([(2, 4.0), (4, 2.0), (8, 0.0), (0, 5.0)])
+        assert fit.n_points == 2
+
+
+class TestBoundExponents:
+    def test_theory_recovered_exactly(self):
+        """The bound's leading term follows the predicted power laws."""
+        fits = regime_exponents(FIGURE2_SHAPE)
+        for regime, fit in fits.items():
+            assert fit.exponent == pytest.approx(THEORY_EXPONENTS[regime], abs=1e-9)
+            assert fit.residual < 1e-9
+
+    def test_square_shape_only_3d(self):
+        fits = regime_exponents(ProblemShape(256, 256, 256))
+        assert set(fits) == {Regime.THREE_D}
+        assert fits[Regime.THREE_D].exponent == pytest.approx(-2 / 3, abs=1e-9)
+
+
+class TestAlg1Exponents:
+    def test_executable_series_tracks_theory(self):
+        """Algorithm 1's selected-grid leading series follows the laws to
+        within integrality noise."""
+        fits = alg1_cost_exponents(FIGURE2_SHAPE)
+        assert fits[Regime.TWO_D].exponent == pytest.approx(-0.5, abs=0.05)
+        assert fits[Regime.THREE_D].exponent == pytest.approx(-2 / 3, abs=0.05)

@@ -1,0 +1,47 @@
+"""Tests for the ASCII table renderer."""
+
+from repro.analysis import format_number, format_series, format_table
+
+
+class TestFormatNumber:
+    def test_ints_exact(self):
+        assert format_number(123456789) == "123456789"
+
+    def test_floats_rounded(self):
+        assert format_number(3.14159265, precision=3) == "3.14"
+
+    def test_integral_floats_compact(self):
+        assert format_number(4.0) == "4"
+
+    def test_none_is_dash(self):
+        assert format_number(None) == "-"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_bool_passthrough(self):
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("3x1x1") == "3x1x1"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [333, None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        # All rows equal width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+        assert set(out.splitlines()[1]) == {"="}
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("P -> bound", [1, 2], [10.0, 5.0])
+        assert out.splitlines() == ["P -> bound", "  1 -> 10", "  2 -> 5"]

@@ -1,0 +1,71 @@
+"""Tests for the communication-pattern analysis (networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProcessorGrid, run_alg1, run_cannon
+from repro.analysis import communication_graph, traffic_summary
+from repro.machine import Machine, Message
+from repro.workloads import random_pair
+from repro.core import ProblemShape
+
+
+class TestCommunicationGraph:
+    def test_edges_from_exchange(self):
+        m = Machine(3)
+        m.exchange([Message(src=0, dest=1, payload=np.zeros(5))])
+        m.exchange([Message(src=0, dest=1, payload=np.zeros(3)),
+                    Message(src=1, dest=2, payload=np.zeros(2))])
+        g = communication_graph(m)
+        assert g[0][1]["words"] == 8.0
+        assert g[1][2]["words"] == 2.0
+        assert not g.has_edge(2, 0)
+
+    def test_alg1_fiber_locality(self):
+        """Algorithm 1 on a grid only talks within fibers: the neighbor
+        degree is bounded by (p1-1)+(p2-1)+(p3-1)."""
+        shape = ProblemShape(12, 12, 12)
+        A, B = random_pair(shape, seed=3)
+        res = run_alg1(A, B, ProcessorGrid(2, 3, 2))
+        summary = traffic_summary(res.machine)
+        assert summary.max_degree <= (2 - 1) + (3 - 1) + (2 - 1)
+        assert summary.is_connected
+
+    def test_cannon_is_a_torus_pattern(self):
+        """Cannon's shifts touch only grid-ring neighbors plus skew targets."""
+        A, B = np.random.default_rng(0).random((8, 8)), np.random.default_rng(1).random((8, 8))
+        res = run_cannon(A, B, 4)
+        summary = traffic_summary(res.machine)
+        # Each processor shifts to one row neighbor and one column
+        # neighbor, plus at most two skew partners (in + out directions).
+        assert summary.max_degree <= 8
+
+
+class TestTrafficSummary:
+    def test_balanced_run(self):
+        shape = ProblemShape(12, 12, 12)
+        A, B = random_pair(shape, seed=3)
+        res = run_alg1(A, B, ProcessorGrid(2, 3, 2))
+        summary = traffic_summary(res.machine)
+        assert summary.send_imbalance == pytest.approx(1.0)
+        assert summary.max_send_words == summary.min_send_words
+
+    def test_total_words_matches_network(self):
+        shape = ProblemShape(12, 12, 12)
+        A, B = random_pair(shape, seed=3)
+        res = run_alg1(A, B, ProcessorGrid(2, 2, 1))
+        summary = traffic_summary(res.machine)
+        assert summary.total_words == res.machine.network.total_words
+
+    def test_idle_machine(self):
+        summary = traffic_summary(Machine(4))
+        assert summary.total_words == 0.0
+        assert summary.max_degree == 0
+        assert summary.is_connected  # vacuously
+
+    def test_disconnected_groups_detected(self):
+        m = Machine(4)
+        m.exchange([Message(src=0, dest=1, payload=np.zeros(1)),
+                    Message(src=2, dest=3, payload=np.zeros(1))])
+        summary = traffic_summary(m)
+        assert not summary.is_connected

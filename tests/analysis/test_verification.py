@@ -1,0 +1,63 @@
+"""Tests for the bound-verification layer."""
+
+import pytest
+
+from repro.analysis import check_cost_against_bound, check_grid_projections, relative_gap
+from repro.algorithms import ProcessorGrid
+from repro.core import ProblemShape
+from repro.machine import Cost
+
+
+class TestCostChecks:
+    def test_tight_run_detected(self):
+        shape = ProblemShape(48, 48, 48)
+        from repro.core import communication_lower_bound
+
+        bound = communication_lower_bound(shape, 8)
+        check = check_cost_against_bound(shape, 8, Cost(words=bound))
+        assert check.satisfied and check.tight
+        assert check.gap_ratio == pytest.approx(1.0)
+
+    def test_violating_run_detected(self):
+        shape = ProblemShape(48, 48, 48)
+        check = check_cost_against_bound(shape, 8, Cost(words=1.0))
+        assert not check.satisfied
+
+    def test_loose_run_detected(self):
+        shape = ProblemShape(48, 48, 48)
+        from repro.core import communication_lower_bound
+
+        bound = communication_lower_bound(shape, 8)
+        check = check_cost_against_bound(shape, 8, Cost(words=2 * bound))
+        assert check.satisfied and not check.tight
+        assert check.gap_ratio == pytest.approx(2.0)
+
+    def test_relative_gap_corner_cases(self):
+        assert relative_gap(5.0, 0.0) == float("inf")
+        assert relative_gap(0.0, 0.0) == 1.0
+        assert relative_gap(6.0, 3.0) == 2.0
+
+
+class TestProjectionChecks:
+    def test_divisible_grid_passes(self):
+        report = check_grid_projections(ProblemShape(8, 8, 8), ProcessorGrid(2, 2, 2))
+        assert report["divisible"]
+        assert report["per_array_ok"]
+        assert report["sum_ok"]
+        assert report["sum"] >= report["lemma2_optimum"] - 1e-9
+
+    def test_optimal_grid_sum_is_tight(self):
+        shape = ProblemShape(48, 48, 48)
+        report = check_grid_projections(shape, ProcessorGrid(4, 4, 4))
+        assert report["sum"] == pytest.approx(report["lemma2_optimum"])
+
+    def test_suboptimal_grid_exceeds_optimum(self):
+        shape = ProblemShape(48, 48, 48)
+        report = check_grid_projections(shape, ProcessorGrid(8, 1, 1))
+        assert report["sum"] > report["lemma2_optimum"]
+
+    def test_specific_coordinate(self):
+        report = check_grid_projections(
+            ProblemShape(8, 8, 8), ProcessorGrid(2, 2, 2), coord=(1, 1, 1)
+        )
+        assert report["coord"] == (1, 1, 1)

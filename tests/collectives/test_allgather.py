@@ -1,0 +1,135 @@
+"""Tests for All-Gather schedules: numerics and exact costs."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allgather_bruck,
+    allgather_cost,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allgather_schedule,
+    run_schedule,
+)
+from repro.exceptions import CommunicatorError
+from repro.machine import Machine
+
+
+def run_allgather(P, chunk_words, algorithm, group=None):
+    m = Machine(P if group is None else max(group) + 1)
+    group = tuple(range(P)) if group is None else tuple(group)
+    rng = np.random.default_rng(7)
+    chunks = {r: rng.random(chunk_words) for r in group}
+    if algorithm == "ring":
+        sched = allgather_ring(group, chunks)
+    elif algorithm == "recursive_doubling":
+        sched = allgather_recursive_doubling(group, chunks)
+    elif algorithm == "bruck":
+        sched = allgather_bruck(group, chunks)
+    else:
+        sched = allgather_schedule(group, chunks, algorithm=algorithm)
+    result = run_schedule(m, sched)
+    return m, group, chunks, result
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 5, 7, 8, 16])
+    def test_ring_everyone_gets_everything_in_order(self, P):
+        m, group, chunks, result = run_allgather(P, 3, "ring")
+        expected = [chunks[r] for r in group]
+        for r in group:
+            assert len(result[r]) == P
+            for got, want in zip(result[r], expected):
+                assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("P", [1, 2, 4, 8, 16])
+    def test_recursive_doubling_matches_ring(self, P):
+        _, group, chunks, res_rd = run_allgather(P, 3, "recursive_doubling")
+        _, _, _, res_ring = run_allgather(P, 3, "ring")
+        for r in group:
+            for a, b in zip(res_rd[r], res_ring[r]):
+                assert np.array_equal(a, b)
+
+    def test_ragged_chunks(self):
+        m = Machine(3)
+        group = (0, 1, 2)
+        chunks = {0: np.arange(1.0), 1: np.arange(5.0), 2: np.arange(2.0)}
+        result = run_schedule(m, allgather_ring(group, chunks))
+        for r in group:
+            assert [c.size for c in result[r]] == [1, 5, 2]
+
+    def test_non_contiguous_group_ranks(self):
+        m = Machine(6)
+        group = (1, 3, 5)
+        chunks = {r: np.full(2, float(r)) for r in group}
+        result = run_schedule(m, allgather_ring(group, chunks))
+        for r in group:
+            assert [c[0] for c in result[r]] == [1.0, 3.0, 5.0]
+
+
+class TestBruck:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 6, 7, 8, 13])
+    def test_matches_ring_output(self, P):
+        _, group, chunks, res_bruck = run_allgather(P, 3, "bruck")
+        expected = [chunks[r] for r in group]
+        for r in group:
+            for got, want in zip(res_bruck[r], expected):
+                assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("P", [2, 3, 5, 7, 8, 13])
+    def test_log_rounds_any_p(self, P):
+        m, _, _, _ = run_allgather(P, 4, "bruck")
+        expected = allgather_cost(P, 4 * P, algorithm="bruck")
+        assert m.cost.rounds == expected.rounds == (P - 1).bit_length()
+        assert m.cost.words == expected.words  # bandwidth-optimal
+
+    def test_beats_ring_latency_for_non_powers(self):
+        m_ring, _, _, _ = run_allgather(13, 4, "ring")
+        m_bruck, _, _, _ = run_allgather(13, 4, "bruck")
+        assert m_bruck.cost.rounds < m_ring.cost.rounds
+        assert m_bruck.cost.words == m_ring.cost.words
+
+
+class TestCosts:
+    @pytest.mark.parametrize("P", [2, 3, 5, 8, 12])
+    def test_ring_cost_exact(self, P):
+        m, _, _, _ = run_allgather(P, 4, "ring")
+        expected = allgather_cost(P, 4 * P, algorithm="ring")
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds == P - 1
+
+    @pytest.mark.parametrize("P", [2, 4, 8, 16])
+    def test_recursive_doubling_cost_exact(self, P):
+        m, _, _, _ = run_allgather(P, 4, "recursive_doubling")
+        expected = allgather_cost(P, 4 * P, algorithm="recursive_doubling")
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+    def test_bandwidth_identical_across_algorithms(self):
+        m_ring, _, _, _ = run_allgather(8, 4, "ring")
+        m_rd, _, _, _ = run_allgather(8, 4, "recursive_doubling")
+        assert m_ring.cost.words == m_rd.cost.words
+        assert m_rd.cost.rounds < m_ring.cost.rounds
+
+    def test_singleton_group_is_free(self):
+        m, _, _, result = run_allgather(1, 4, "ring")
+        assert m.cost.is_zero()
+        assert len(result[0]) == 1
+
+
+class TestValidation:
+    def test_recursive_doubling_rejects_non_power_of_two(self):
+        with pytest.raises(CommunicatorError, match="power-of-two"):
+            run_allgather(3, 2, "recursive_doubling")
+
+    def test_missing_chunk_rejected(self):
+        with pytest.raises(CommunicatorError, match="no input chunk"):
+            run_schedule(Machine(2), allgather_ring((0, 1), {0: np.zeros(1)}))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(CommunicatorError, match="unknown"):
+            allgather_schedule((0, 1), {0: np.zeros(1), 1: np.zeros(1)}, algorithm="bogus")
+
+    def test_auto_picks_recursive_doubling_for_powers_of_two(self):
+        m, _, _, _ = run_allgather(8, 2, "auto")
+        assert m.cost.rounds == 3  # log2(8), not 7

@@ -1,0 +1,141 @@
+"""Tests for broadcast, reduce and allreduce schedules."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allreduce_cost,
+    allreduce_recursive_doubling,
+    allreduce_rsag,
+    broadcast_binomial,
+    broadcast_cost,
+    broadcast_scatter_allgather,
+    reduce_binomial,
+    reduce_cost,
+    run_schedule,
+)
+from repro.exceptions import CommunicatorError
+from repro.machine import Machine
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("P", [1, 2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("root_index", [0, -1])
+    def test_binomial_delivers_to_all(self, P, root_index):
+        m = Machine(P)
+        group = tuple(range(P))
+        root = group[root_index]
+        value = np.arange(6.0)
+        result = run_schedule(m, broadcast_binomial(group, root, value))
+        for r in group:
+            assert np.array_equal(result[r], value)
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_binomial_cost(self, P):
+        m = Machine(P)
+        value = np.zeros(12)
+        run_schedule(m, broadcast_binomial(tuple(range(P)), 0, value))
+        expected = broadcast_cost(P, 12, algorithm="binomial")
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+    @pytest.mark.parametrize("P", [2, 3, 4, 6, 8])
+    def test_scatter_allgather_delivers_to_all(self, P):
+        m = Machine(P)
+        value = np.arange(24.0).reshape(4, 6)
+        result = run_schedule(
+            m, broadcast_scatter_allgather(tuple(range(P)), 1 % P, value)
+        )
+        for r in range(P):
+            assert np.array_equal(result[r], value)
+
+    def test_scatter_allgather_beats_binomial_bandwidth_for_large_p(self):
+        # ~2w versus w log2 p: strictly less for p = 16.
+        P, w = 16, 160
+        m1, m2 = Machine(P), Machine(P)
+        run_schedule(m1, broadcast_binomial(tuple(range(P)), 0, np.zeros(w)))
+        run_schedule(m2, broadcast_scatter_allgather(tuple(range(P)), 0, np.zeros(w)))
+        assert m2.cost.words < m1.cost.words
+
+    def test_root_must_be_member(self):
+        with pytest.raises(CommunicatorError):
+            run_schedule(Machine(3), broadcast_binomial((0, 1), 2, np.zeros(1)))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_sum_lands_at_root(self, P):
+        m = Machine(P)
+        group = tuple(range(P))
+        rng = np.random.default_rng(1)
+        values = {r: rng.random(5) for r in group}
+        root = P - 1
+        result = run_schedule(m, reduce_binomial(group, root, values, machine=m))
+        assert np.allclose(result[root], sum(values.values()))
+        for r in group:
+            if r != root:
+                assert result[r] is None
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_cost(self, P):
+        m = Machine(P)
+        values = {r: np.zeros(6) for r in range(P)}
+        run_schedule(m, reduce_binomial(tuple(range(P)), 0, values, machine=m))
+        expected = reduce_cost(P, 6)
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+    def test_shape_mismatch_rejected(self):
+        values = {0: np.zeros(2), 1: np.zeros(3)}
+        with pytest.raises(CommunicatorError, match="shape mismatch"):
+            run_schedule(Machine(2), reduce_binomial((0, 1), 0, values))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 6, 8])
+    def test_rsag_everyone_gets_sum(self, P):
+        m = Machine(P)
+        rng = np.random.default_rng(2)
+        values = {r: rng.random((2, 3)) for r in range(P)}
+        result = run_schedule(m, allreduce_rsag(tuple(range(P)), values, machine=m))
+        expected = sum(values.values())
+        for r in range(P):
+            assert np.allclose(result[r], expected)
+            assert result[r].shape == (2, 3)
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_recursive_doubling_matches(self, P):
+        rng = np.random.default_rng(2)
+        values = {r: rng.random(4) for r in range(P)}
+        m = Machine(P)
+        result = run_schedule(
+            m, allreduce_recursive_doubling(tuple(range(P)), values, machine=m)
+        )
+        expected = sum(values.values())
+        for r in range(P):
+            assert np.allclose(result[r], expected)
+
+    def test_rsag_cost_with_divisible_value(self):
+        P, w = 4, 8  # pieces split evenly: costs are exact
+        m = Machine(P)
+        values = {r: np.zeros(w) for r in range(P)}
+        run_schedule(m, allreduce_rsag(tuple(range(P)), values, machine=m))
+        expected = allreduce_cost(P, w, algorithm="reduce_scatter_allgather")
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+    def test_bandwidth_rsag_below_recursive_doubling_for_large_values(self):
+        P, w = 8, 80
+        values = {r: np.zeros(w) for r in range(P)}
+        m1, m2 = Machine(P), Machine(P)
+        run_schedule(m1, allreduce_rsag(tuple(range(P)), values))
+        run_schedule(m2, allreduce_recursive_doubling(tuple(range(P)), values))
+        assert m1.cost.words < m2.cost.words
+        assert m1.cost.rounds > m2.cost.rounds
+
+    def test_recursive_doubling_rejects_non_power_of_two(self):
+        values = {r: np.zeros(2) for r in range(3)}
+        with pytest.raises(CommunicatorError, match="power-of-two"):
+            run_schedule(
+                Machine(3), allreduce_recursive_doubling((0, 1, 2), values)
+            )

@@ -1,0 +1,95 @@
+"""Tests for the closed-form collective cost expressions."""
+
+import pytest
+
+from repro.collectives import (
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    broadcast_cost,
+    gather_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    scatter_cost,
+)
+
+
+class TestBandwidthOptimalTerm:
+    @pytest.mark.parametrize("p,w", [(2, 10), (3, 9), (4, 16), (7, 14)])
+    def test_allgather_words(self, p, w):
+        assert allgather_cost(p, w, algorithm="ring").words == w * (p - 1) / p
+
+    def test_exact_in_float(self):
+        # 9 * 2/3 must be exactly 6.0 (regression: 1 - 1/3 rounding).
+        assert allgather_cost(3, 9, algorithm="ring").words == 6.0
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_ring_and_doubling_same_bandwidth(self, p):
+        w = 16 * p
+        ring = allgather_cost(p, w, algorithm="ring")
+        rd = allgather_cost(p, w, algorithm="recursive_doubling")
+        assert ring.words == rd.words
+        assert rd.rounds <= ring.rounds
+
+    def test_reduce_scatter_charges_flops(self):
+        c = reduce_scatter_cost(4, 16)
+        assert c.flops == c.words == 12.0
+
+
+class TestSingletonGroups:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (allgather_cost, (1, 10)),
+            (reduce_scatter_cost, (1, 10)),
+            (broadcast_cost, (1, 10)),
+            (reduce_cost, (1, 10)),
+            (allreduce_cost, (1, 10)),
+            (alltoall_cost, (1, 10)),
+            (gather_cost, (1, 10)),
+            (scatter_cost, (1, 10)),
+            (barrier_cost, (1,)),
+        ],
+    )
+    def test_free_for_one_processor(self, fn, args):
+        assert fn(*args).is_zero()
+
+
+class TestValidation:
+    def test_doubling_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            allgather_cost(3, 9, algorithm="recursive_doubling")
+        with pytest.raises(ValueError):
+            reduce_scatter_cost(5, 10, algorithm="recursive_halving")
+        with pytest.raises(ValueError):
+            allreduce_cost(6, 12, algorithm="recursive_doubling")
+
+    def test_unknown_algorithms(self):
+        with pytest.raises(ValueError):
+            allgather_cost(4, 8, algorithm="bogus")
+        with pytest.raises(ValueError):
+            broadcast_cost(4, 8, algorithm="bogus")
+
+    def test_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            allgather_cost(0, 8)
+
+
+class TestCompositions:
+    def test_allreduce_is_rs_plus_ag(self):
+        p, w = 5, 10
+        total = allreduce_cost(p, w)
+        rs = reduce_scatter_cost(p, w, algorithm="ring")
+        ag = allgather_cost(p, w, algorithm="ring")
+        assert total.words == rs.words + ag.words
+        assert total.rounds == rs.rounds + ag.rounds
+
+    def test_scatter_allgather_broadcast(self):
+        p, w = 8, 64
+        c = broadcast_cost(p, w, algorithm="scatter_allgather")
+        assert c.words == scatter_cost(p, w).words + allgather_cost(p, w, "ring").words
+
+    def test_broadcast_binomial_scales_with_log(self):
+        assert broadcast_cost(8, 10).words == 3 * 10
+        assert broadcast_cost(9, 10).words == 4 * 10

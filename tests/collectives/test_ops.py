@@ -1,0 +1,86 @@
+"""Tests for reduction operators across all reducing collectives."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import REDUCE_OPS, resolve_op
+from repro.machine import Machine
+
+
+@pytest.fixture
+def values():
+    rng = np.random.default_rng(5)
+    return {r: rng.random(6) for r in range(5)}
+
+
+class TestResolveOp:
+    def test_names(self):
+        assert resolve_op("sum") is np.add
+        assert resolve_op("max") is np.maximum
+        assert resolve_op("min") is np.minimum
+        assert resolve_op("prod") is np.multiply
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: a + b
+        assert resolve_op(fn) is fn
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduction op"):
+            resolve_op("xor")
+
+
+class TestOpsAcrossCollectives:
+    @pytest.mark.parametrize("op,reference", [
+        ("sum", lambda vs: np.sum(vs, axis=0)),
+        ("max", lambda vs: np.max(vs, axis=0)),
+        ("min", lambda vs: np.min(vs, axis=0)),
+        ("prod", lambda vs: np.prod(vs, axis=0)),
+    ])
+    def test_allreduce(self, values, op, reference):
+        m = Machine(5)
+        res = m.comm_world().allreduce(values, op=op)
+        expected = reference(np.stack([values[r] for r in range(5)]))
+        for r in range(5):
+            assert np.allclose(res[r], expected)
+
+    @pytest.mark.parametrize("op,reference", [
+        ("max", lambda vs: np.max(vs, axis=0)),
+        ("prod", lambda vs: np.prod(vs, axis=0)),
+    ])
+    def test_reduce(self, values, op, reference):
+        m = Machine(5)
+        res = m.comm_world().reduce(0, values, op=op)
+        expected = reference(np.stack([values[r] for r in range(5)]))
+        assert np.allclose(res[0], expected)
+
+    @pytest.mark.parametrize("P,algorithm", [(5, "ring"), (4, "recursive_halving")])
+    def test_reduce_scatter_max(self, P, algorithm):
+        rng = np.random.default_rng(9)
+        blocks = {r: [rng.random(3) for _ in range(P)] for r in range(P)}
+        m = Machine(P)
+        res = m.comm_world().reduce_scatter(blocks, algorithm=algorithm, op="max")
+        for j in range(P):
+            expected = np.max(np.stack([blocks[r][j] for r in range(P)]), axis=0)
+            assert np.allclose(res[j], expected)
+
+    def test_allreduce_recursive_doubling_min(self):
+        rng = np.random.default_rng(9)
+        values = {r: rng.random(4) for r in range(8)}
+        m = Machine(8)
+        res = m.comm_world().allreduce(values, algorithm="recursive_doubling", op="min")
+        expected = np.min(np.stack([values[r] for r in range(8)]), axis=0)
+        assert np.allclose(res[0], expected)
+
+    def test_custom_callable(self, values):
+        m = Machine(5)
+        res = m.comm_world().allreduce(values, op=np.hypot)
+        # hypot is associative and commutative: sqrt of sum of squares.
+        expected = np.sqrt(np.sum(np.stack([values[r] ** 2 for r in range(5)]), axis=0))
+        assert np.allclose(res[0], expected)
+
+    def test_cost_independent_of_op(self, values):
+        m1, m2 = Machine(5), Machine(5)
+        m1.comm_world().allreduce(values, op="sum")
+        m2.comm_world().allreduce(values, op="max")
+        assert m1.cost.words == m2.cost.words
+        assert m1.cost.rounds == m2.cost.rounds

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the collectives library."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import (
+    allgather_cost,
+    allgather_schedule,
+    alltoall_pairwise,
+    allreduce_rsag,
+    broadcast_binomial,
+    reduce_scatter_cost,
+    reduce_scatter_schedule,
+    run_schedule,
+)
+from repro.machine import Machine
+
+group_sizes = st.integers(min_value=1, max_value=9)
+chunk_sizes = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds)
+def test_allgather_equals_concatenation(P, w, seed):
+    """All-Gather output == the list of inputs in group order, everywhere."""
+    rng = np.random.default_rng(seed)
+    m = Machine(P)
+    chunks = {r: rng.random(w) for r in range(P)}
+    result = run_schedule(m, allgather_schedule(tuple(range(P)), chunks))
+    for r in range(P):
+        got = np.concatenate(result[r])
+        want = np.concatenate([chunks[s] for s in range(P)])
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds)
+def test_allgather_cost_formula_exact(P, w, seed):
+    """Measured cost equals the closed form for every group size."""
+    rng = np.random.default_rng(seed)
+    m = Machine(P)
+    chunks = {r: rng.random(w) for r in range(P)}
+    run_schedule(m, allgather_schedule(tuple(range(P)), chunks))
+    expected = allgather_cost(P, w * P)
+    assert m.cost.words == expected.words
+    assert m.cost.rounds == expected.rounds
+
+
+@settings(max_examples=40, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds)
+def test_reduce_scatter_equals_numpy_sum(P, w, seed):
+    """Reduce-Scatter output == column sums of the block matrix."""
+    rng = np.random.default_rng(seed)
+    m = Machine(P)
+    blocks = {r: [rng.random(w) for _ in range(P)] for r in range(P)}
+    result = run_schedule(
+        m, reduce_scatter_schedule(tuple(range(P)), blocks, machine=m)
+    )
+    for j in range(P):
+        assert np.allclose(result[j], sum(blocks[r][j] for r in range(P)))
+    expected = reduce_scatter_cost(P, w * P)
+    assert m.cost.words == expected.words
+
+
+@settings(max_examples=30, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds, root_offset=st.integers(0, 8))
+def test_broadcast_reaches_everyone(P, w, seed, root_offset):
+    rng = np.random.default_rng(seed)
+    m = Machine(P)
+    value = rng.random(w)
+    root = root_offset % P
+    result = run_schedule(m, broadcast_binomial(tuple(range(P)), root, value))
+    for r in range(P):
+        assert np.array_equal(result[r], value)
+
+
+@settings(max_examples=30, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds)
+def test_alltoall_is_transpose(P, w, seed):
+    """All-to-All twice returns every block to its origin (transpose^2 = id)."""
+    rng = np.random.default_rng(seed)
+    blocks = {r: [rng.random(w) for _ in range(P)] for r in range(P)}
+    m = Machine(P)
+    once = run_schedule(m, alltoall_pairwise(tuple(range(P)), blocks))
+    twice = run_schedule(m, alltoall_pairwise(tuple(range(P)), once))
+    for r in range(P):
+        for j in range(P):
+            assert np.array_equal(twice[r][j], blocks[r][j])
+
+
+@settings(max_examples=30, deadline=None)
+@given(P=group_sizes, w=chunk_sizes, seed=seeds)
+def test_allreduce_invariant_under_rank_permutation(P, w, seed):
+    """The All-Reduce result is symmetric in the inputs."""
+    rng = np.random.default_rng(seed)
+    values = {r: rng.random(w) for r in range(P)}
+    m1 = Machine(P)
+    res = run_schedule(m1, allreduce_rsag(tuple(range(P)), values, machine=m1))
+    perm = list(np.random.default_rng(seed + 1).permutation(P))
+    shuffled = {r: values[perm[r]] for r in range(P)}
+    m2 = Machine(P)
+    res2 = run_schedule(m2, allreduce_rsag(tuple(range(P)), shuffled, machine=m2))
+    assert np.allclose(res[0], res2[0])

@@ -1,0 +1,134 @@
+"""Tests for scatter, gather, all-to-all and barrier schedules."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    alltoall_bruck,
+    alltoall_cost,
+    alltoall_pairwise,
+    barrier_cost,
+    barrier_dissemination,
+    gather_binomial,
+    gather_cost,
+    run_schedule,
+    scatter_binomial,
+    scatter_cost,
+)
+from repro.exceptions import CommunicatorError
+from repro.machine import Machine
+
+
+class TestScatter:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("root", [0, -1])
+    def test_each_member_gets_its_block(self, P, root):
+        m = Machine(P)
+        group = tuple(range(P))
+        blocks = {r: np.full(3, float(r)) for r in group}
+        result = run_schedule(m, scatter_binomial(group, group[root], blocks))
+        for r in group:
+            assert np.array_equal(result[r], blocks[r])
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_cost_power_of_two(self, P):
+        m = Machine(P)
+        blocks = {r: np.zeros(4) for r in range(P)}
+        run_schedule(m, scatter_binomial(tuple(range(P)), 0, blocks))
+        expected = scatter_cost(P, 4 * P)
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+    def test_missing_block_rejected(self):
+        with pytest.raises(CommunicatorError, match="no block"):
+            run_schedule(Machine(2), scatter_binomial((0, 1), 0, {0: np.zeros(1)}))
+
+
+class TestGather:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_root_collects_in_group_order(self, P):
+        m = Machine(P)
+        group = tuple(range(P))
+        chunks = {r: np.full(2, float(r)) for r in group}
+        root = P // 2
+        result = run_schedule(m, gather_binomial(group, root, chunks))
+        assert [c[0] for c in result[root]] == [float(r) for r in group]
+        for r in group:
+            if r != root:
+                assert result[r] is None
+
+    @pytest.mark.parametrize("P", [2, 4, 8])
+    def test_cost_power_of_two(self, P):
+        m = Machine(P)
+        chunks = {r: np.zeros(4) for r in range(P)}
+        run_schedule(m, gather_binomial(tuple(range(P)), 0, chunks))
+        expected = gather_cost(P, 4 * P)
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_personalized_exchange(self, P):
+        m = Machine(P)
+        group = tuple(range(P))
+        blocks = {r: [np.full(2, 10.0 * r + j) for j in range(P)] for r in group}
+        result = run_schedule(m, alltoall_pairwise(group, blocks))
+        for r in group:
+            for s in group:
+                assert np.array_equal(result[r][s], np.full(2, 10.0 * s + r))
+
+    @pytest.mark.parametrize("P", [2, 3, 5, 8])
+    def test_cost(self, P):
+        m = Machine(P)
+        blocks = {r: [np.zeros(3) for _ in range(P)] for r in range(P)}
+        run_schedule(m, alltoall_pairwise(tuple(range(P)), blocks))
+        expected = alltoall_cost(P, 3 * P)
+        assert m.cost.words == expected.words
+        assert m.cost.rounds == expected.rounds == P - 1
+
+    def test_wrong_block_count_rejected(self):
+        blocks = {0: [np.zeros(1)], 1: [np.zeros(1)]}
+        with pytest.raises(CommunicatorError, match="expected p=2"):
+            run_schedule(Machine(2), alltoall_pairwise((0, 1), blocks))
+
+
+class TestAlltoallBruck:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8, 13])
+    def test_matches_pairwise_output(self, P):
+        m = Machine(P)
+        group = tuple(range(P))
+        blocks = {r: [np.full(2, 10.0 * r + j) for j in range(P)] for r in group}
+        result = run_schedule(m, alltoall_bruck(group, blocks))
+        for r in group:
+            for s in group:
+                assert np.array_equal(result[r][s], np.full(2, 10.0 * s + r))
+
+    @pytest.mark.parametrize("P", [2, 3, 5, 8, 13])
+    def test_log_rounds_higher_bandwidth(self, P):
+        m = Machine(P)
+        blocks = {r: [np.zeros(3) for _ in range(P)] for r in range(P)}
+        run_schedule(m, alltoall_bruck(tuple(range(P)), blocks))
+        expected = alltoall_cost(P, 3 * P, algorithm="bruck")
+        assert m.cost.rounds == expected.rounds == (P - 1).bit_length()
+        assert m.cost.words == expected.words
+        if P > 3:
+            pairwise = alltoall_cost(P, 3 * P, algorithm="pairwise")
+            assert m.cost.rounds < pairwise.rounds
+            assert m.cost.words > pairwise.words
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("P", [1, 2, 3, 5, 8])
+    def test_completes_for_any_group(self, P):
+        m = Machine(P)
+        result = run_schedule(m, barrier_dissemination(tuple(range(P))))
+        assert all(result[r] for r in range(P))
+
+    @pytest.mark.parametrize("P", [2, 4, 5, 8])
+    def test_latency_only(self, P):
+        m = Machine(P)
+        run_schedule(m, barrier_dissemination(tuple(range(P))))
+        expected = barrier_cost(P)
+        assert m.cost.words == 0.0
+        assert m.cost.rounds == expected.rounds

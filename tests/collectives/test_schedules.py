@@ -1,0 +1,104 @@
+"""Tests for the schedule driver: parallel composition and merging."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allgather_ring,
+    ceil_log2,
+    group_index,
+    is_power_of_two,
+    run_schedule,
+    run_schedules,
+)
+from repro.collectives.schedules import merge_schedules
+from repro.exceptions import CommunicatorError, NetworkContentionError
+from repro.machine import Machine
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert [p for p in range(1, 20) if is_power_of_two(p)] == [1, 2, 4, 8, 16]
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    def test_ceil_log2(self):
+        assert [ceil_log2(p) for p in [1, 2, 3, 4, 5, 8, 9]] == [0, 1, 2, 2, 3, 3, 4]
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    def test_group_index(self):
+        assert group_index((4, 7, 9), 7) == 1
+        with pytest.raises(CommunicatorError):
+            group_index((4, 7), 9)
+
+
+def chunks_for(group):
+    return {r: np.full(2, float(r)) for r in group}
+
+
+class TestRunSchedules:
+    def test_disjoint_groups_merge_rounds(self):
+        m = Machine(9)
+        groups = [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+        schedules = [allgather_ring(g, chunks_for(g)) for g in groups]
+        results = run_schedules(m, schedules)
+        # Three rings of size 3 run in the same 2 rounds.
+        assert m.cost.rounds == 2
+        for g, res in zip(groups, results):
+            for r in g:
+                assert [c[0] for c in res[r]] == [float(x) for x in g]
+
+    def test_unequal_length_schedules(self):
+        m = Machine(7)
+        groups = [(0, 1, 2, 3, 4), (5, 6)]  # 4 rounds vs 1 round
+        schedules = [allgather_ring(g, chunks_for(g)) for g in groups]
+        run_schedules(m, schedules)
+        assert m.cost.rounds == 4
+
+    def test_overlapping_groups_detected(self):
+        m = Machine(4)
+        groups = [(0, 1, 2), (2, 3)]
+        schedules = [allgather_ring(g, chunks_for(g)) for g in groups]
+        with pytest.raises((CommunicatorError, NetworkContentionError)):
+            run_schedules(m, schedules)
+
+    def test_empty_schedule_list(self):
+        assert run_schedules(Machine(1), []) == []
+
+    def test_results_in_input_order(self):
+        m = Machine(4)
+        schedules = [
+            allgather_ring((2, 3), chunks_for((2, 3))),
+            allgather_ring((0, 1), chunks_for((0, 1))),
+        ]
+        results = run_schedules(m, schedules)
+        assert set(results[0]) == {2, 3}
+        assert set(results[1]) == {0, 1}
+
+
+class TestMergeSchedules:
+    def test_merged_is_itself_a_schedule(self):
+        m = Machine(6)
+        inner = merge_schedules(
+            [
+                allgather_ring((0, 1, 2), chunks_for((0, 1, 2))),
+                allgather_ring((3, 4, 5), chunks_for((3, 4, 5))),
+            ]
+        )
+        results = run_schedule(m, inner)
+        assert m.cost.rounds == 2
+        assert set(results[0]) == {0, 1, 2}
+        assert set(results[1]) == {3, 4, 5}
+
+    def test_nested_merge(self):
+        m = Machine(8)
+
+        def pair(a, b):
+            return allgather_ring((a, b), chunks_for((a, b)))
+
+        inner1 = merge_schedules([pair(0, 1), pair(2, 3)])
+        inner2 = merge_schedules([pair(4, 5), pair(6, 7)])
+        outer = merge_schedules([inner1, inner2])
+        run_schedule(m, outer)
+        assert m.cost.rounds == 1  # all four pairs exchange simultaneously

@@ -1,0 +1,16 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_operands(rng):
+    """A modest (8x6) x (6x4) operand pair."""
+    return rng.random((8, 6)), rng.random((6, 4))

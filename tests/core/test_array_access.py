@@ -1,0 +1,71 @@
+"""Tests for Lemma 1 (per-array access lower bounds)."""
+
+import pytest
+
+from repro.core import (
+    ProblemShape,
+    access_lower_bounds,
+    min_elements_accessed,
+    multiplications_per_element,
+    sorted_access_lower_bounds,
+)
+from repro.exceptions import ShapeError
+
+
+class TestMultiplicationsPerElement:
+    def test_counts(self):
+        s = ProblemShape(4, 6, 8)
+        assert multiplications_per_element(s) == {"A": 8, "B": 4, "C": 6}
+
+    def test_each_element_times_its_count_covers_volume(self):
+        s = ProblemShape(4, 6, 8)
+        per = multiplications_per_element(s)
+        sizes = s.matrix_sizes()
+        for name in ("A", "B", "C"):
+            assert per[name] * sizes[name] == s.volume
+
+
+class TestGenericBound:
+    def test_basic(self):
+        assert min_elements_accessed(100, 50, 10) == 5.0
+
+    def test_rejects_impossible_share(self):
+        with pytest.raises(ShapeError):
+            min_elements_accessed(100, 200, 10)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            min_elements_accessed(100, -1, 10)
+        with pytest.raises(ShapeError):
+            min_elements_accessed(100, 10, 0)
+
+
+class TestMatmulBounds:
+    def test_paper_values(self):
+        s = ProblemShape(4, 6, 8)
+        assert access_lower_bounds(s, 2) == {"A": 12.0, "B": 24.0, "C": 16.0}
+
+    def test_p1_requires_whole_matrices(self):
+        s = ProblemShape(4, 6, 8)
+        bounds = access_lower_bounds(s, 1)
+        assert bounds == {"A": 24.0, "B": 48.0, "C": 32.0}
+        assert bounds == {k: float(v) for k, v in s.matrix_sizes().items()}
+
+    def test_sorted_bounds_are_lemma2_rhs(self):
+        s = ProblemShape(9600, 2400, 600)
+        b = sorted_access_lower_bounds(s, 36)
+        assert b["x1"] == 2400 * 600 / 36
+        assert b["x2"] == 9600 * 600 / 36
+        assert b["x3"] == 9600 * 2400 / 36
+        assert b["x1"] <= b["x2"] <= b["x3"]
+
+    def test_invalid_P(self):
+        with pytest.raises(ShapeError):
+            access_lower_bounds(ProblemShape(2, 2, 2), 0)
+
+    def test_scaling_in_P(self):
+        s = ProblemShape(12, 12, 12)
+        b2 = access_lower_bounds(s, 2)
+        b4 = access_lower_bounds(s, 4)
+        for name in ("A", "B", "C"):
+            assert b2[name] == 2 * b4[name]

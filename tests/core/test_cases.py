@@ -1,0 +1,71 @@
+"""Tests for the three-regime classification."""
+
+import math
+
+import pytest
+
+from repro.core import ProblemShape, Regime, boundary_processor_counts, classify, regime_interval
+
+PAPER = ProblemShape(9600, 2400, 600)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "P,regime",
+        [
+            (1, Regime.ONE_D),
+            (3, Regime.ONE_D),
+            (4, Regime.ONE_D),      # boundary m/n = 4 belongs to case 1
+            (5, Regime.TWO_D),
+            (36, Regime.TWO_D),
+            (64, Regime.TWO_D),     # boundary mn/k^2 = 64 belongs to case 2
+            (65, Regime.THREE_D),
+            (512, Regime.THREE_D),
+            (10**9, Regime.THREE_D),
+        ],
+    )
+    def test_paper_example(self, P, regime):
+        assert classify(PAPER, P) is regime
+
+    def test_square_always_3d_beyond_p1(self):
+        s = ProblemShape(7, 7, 7)
+        for P in [2, 10, 1000]:
+            assert classify(s, P) is Regime.THREE_D
+
+    def test_square_boundaries_degenerate(self):
+        # m/n = 1 and mn/k^2 = 1: both boundaries at P = 1.
+        s = ProblemShape(7, 7, 7)
+        assert classify(s, 1) is Regime.ONE_D  # ties go to the smaller case
+
+    def test_exact_integer_boundaries(self):
+        # Thresholds compared in exact integer arithmetic, no float fuzz.
+        s = ProblemShape(10**9, 10**6, 10**3)
+        assert classify(s, 10**3) is Regime.ONE_D
+        assert classify(s, 10**3 + 1) is Regime.TWO_D
+        assert classify(s, 10**9) is Regime.TWO_D
+        assert classify(s, 10**9 + 1) is Regime.THREE_D
+
+    def test_invalid_P(self):
+        with pytest.raises(ValueError):
+            classify(PAPER, 0)
+
+    def test_classification_monotone_in_P(self):
+        prev = 0
+        for P in range(1, 200):
+            value = classify(PAPER, P).value
+            assert value >= prev
+            prev = value
+
+
+class TestIntervals:
+    def test_intervals_tile_the_P_axis(self):
+        lo1, hi1 = regime_interval(PAPER, Regime.ONE_D)
+        lo2, hi2 = regime_interval(PAPER, Regime.TWO_D)
+        lo3, hi3 = regime_interval(PAPER, Regime.THREE_D)
+        assert lo1 == 1.0
+        assert hi1 == lo2 == 4.0
+        assert hi2 == lo3 == 64.0
+        assert math.isinf(hi3)
+
+    def test_boundaries(self):
+        assert boundary_processor_counts(PAPER) == (4.0, 64.0)

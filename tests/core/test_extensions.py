@@ -1,0 +1,105 @@
+"""Tests for the Section 6.3 generalization to d-dimensional spaces."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ProblemShape, accessed_data_bound
+from repro.core.extensions import (
+    generalized_loomis_whitney_holds,
+    one_omitted_access_bounds,
+    one_omitted_lower_bound,
+    projections_d,
+)
+from repro.exceptions import ShapeError
+
+
+class TestAccessBounds:
+    def test_matmul_case(self):
+        bounds = one_omitted_access_bounds((4, 6, 8), 2)
+        # Array omitting index j has volume/n_j elements; bound /P.
+        assert bounds == [6 * 8 / 2, 4 * 8 / 2, 4 * 6 / 2]
+
+    def test_d4(self):
+        bounds = one_omitted_access_bounds((2, 3, 4, 5), 1)
+        assert bounds == [60.0, 40.0, 30.0, 24.0]
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            one_omitted_access_bounds((4,), 1)
+        with pytest.raises(ShapeError):
+            one_omitted_access_bounds((4, 0, 2), 1)
+        with pytest.raises(ShapeError):
+            one_omitted_access_bounds((4, 4, 4), 0)
+
+
+class TestGeneralBound:
+    @pytest.mark.parametrize(
+        "dims,P",
+        [((9600, 2400, 600), 3), ((9600, 2400, 600), 36), ((9600, 2400, 600), 512),
+         ((8, 8, 8), 64), ((100, 10, 1), 5)],
+    )
+    def test_d3_reproduces_theorem3(self, dims, P):
+        """The generalized machinery at d = 3 IS Theorem 3."""
+        gb = one_omitted_lower_bound(dims, P)
+        shape = ProblemShape(*dims)
+        assert gb.accessed == pytest.approx(accessed_data_bound(shape, P), rel=1e-12)
+        assert gb.owned == pytest.approx(shape.total_data / P)
+
+    def test_d4_balanced(self):
+        gb = one_omitted_lower_bound((16, 16, 16, 16), 4096)
+        assert gb.x == pytest.approx((8.0, 8.0, 8.0, 8.0))
+        assert gb.active == ()
+
+    def test_d4_uneven_activates_bounds(self):
+        """A very skewed 4D space pins the small arrays' bounds, the analog
+        of the paper's cases 1-2."""
+        gb = one_omitted_lower_bound((1000, 10, 10, 10), 5)
+        # The array omitting the huge index (j = 0) is tiny (10^3 words);
+        # its per-array bound must be active at the optimum.
+        assert 0 not in gb.active          # x_0's bound is big: 10^3/5 = 200
+        # Arrays omitting a small index have 10^5/5 = 2e4-word bounds,
+        # which dominate the free level -> active.
+        assert set(gb.active) >= {1, 2, 3}
+
+    def test_monotone_in_P(self):
+        values = [one_omitted_lower_bound((64, 32, 16, 8), P).accessed
+                  for P in range(1, 50)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_communicated_nonnegative(self):
+        for P in [1, 2, 7, 100]:
+            gb = one_omitted_lower_bound((12, 10, 8, 6), P)
+            assert gb.communicated >= -1e-9
+
+
+class TestGeneralizedLW:
+    def test_projections_d3(self):
+        proj = projections_d([(1, 2, 3)], 3)
+        assert proj[0] == frozenset({(2, 3)})
+        assert proj[1] == frozenset({(1, 3)})
+        assert proj[2] == frozenset({(1, 2)})
+
+    def test_brick_d4_tight(self):
+        brick = set(itertools.product(range(2), range(3), range(2), range(2)))
+        proj = projections_d(brick, 4)
+        product = math.prod(len(p) for p in proj)
+        assert len(brick) ** 3 == product
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            projections_d([(1, 2)], 3)
+
+    @settings(max_examples=80, deadline=None)
+    @given(V=st.sets(st.tuples(*[st.integers(0, 3)] * 4), max_size=40))
+    def test_holds_for_random_4d_sets(self, V):
+        assert generalized_loomis_whitney_holds(V, 4)
+
+    @settings(max_examples=80, deadline=None)
+    @given(V=st.sets(st.tuples(*[st.integers(0, 4)] * 3), max_size=60))
+    def test_d3_agrees_with_classical(self, V):
+        from repro.core import satisfies_loomis_whitney
+
+        assert generalized_loomis_whitney_holds(V, 3) == satisfies_loomis_whitney(V)

@@ -1,0 +1,130 @@
+"""Tests for Theorem 3 and Corollary 4."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ProblemShape,
+    Regime,
+    accessed_data_bound,
+    communication_lower_bound,
+    leading_term,
+    leading_term_constant,
+    memory_independent_bound,
+    square_lower_bound,
+)
+from repro.exceptions import ShapeError
+
+PAPER = ProblemShape(9600, 2400, 600)
+
+
+class TestTheorem3Values:
+    def test_case1_closed_form(self):
+        m, n, k, P = 9600, 2400, 600, 3
+        lb = memory_independent_bound(PAPER, P)
+        D = (m * n + m * k) / P + n * k
+        assert lb.accessed == pytest.approx(D)
+        assert lb.communicated == pytest.approx(D - (m * n + m * k + n * k) / P)
+        # Case 1 communicated simplifies to (1 - 1/P) nk.
+        assert lb.communicated == pytest.approx((1 - 1 / P) * n * k)
+
+    def test_case2_closed_form(self):
+        m, n, k, P = 9600, 2400, 600, 36
+        lb = memory_independent_bound(PAPER, P)
+        D = 2 * math.sqrt(m * n * k * k / P) + m * n / P
+        assert lb.accessed == pytest.approx(D)
+        # Communicated simplifies to 2 sqrt(mnk^2/P) - (mk + nk)/P.
+        assert lb.communicated == pytest.approx(
+            2 * math.sqrt(m * n * k * k / P) - (m * k + n * k) / P
+        )
+
+    def test_case3_closed_form(self):
+        m, n, k, P = 9600, 2400, 600, 512
+        lb = memory_independent_bound(PAPER, P)
+        D = 3 * (m * n * k / P) ** (2 / 3)
+        assert lb.accessed == pytest.approx(D)
+        # mnk/P = 13.824e9 / 512 = 27e6 and 27e6^(2/3) = 90000 exactly.
+        assert lb.accessed == pytest.approx(3 * 90000.0)
+        assert lb.communicated == pytest.approx(D - (m * n + m * k + n * k) / P)
+
+    def test_case3_exact_paper_number(self):
+        # (9600*2400*600/512)^(2/3) = 27000000^(2/3) = 90000^... -> 3*(27e6)^(2/3)
+        lb = memory_independent_bound(PAPER, 512)
+        assert lb.accessed == pytest.approx(3 * 27000000 ** (2 / 3))
+        assert lb.communicated == pytest.approx(270000 - 30240000 / 512)
+
+    def test_regime_recorded(self):
+        assert memory_independent_bound(PAPER, 3).regime is Regime.ONE_D
+        assert memory_independent_bound(PAPER, 36).regime is Regime.TWO_D
+        assert memory_independent_bound(PAPER, 512).regime is Regime.THREE_D
+
+    def test_accessed_equals_lemma2_value(self):
+        for P in [1, 3, 17, 64, 999]:
+            lb = memory_independent_bound(PAPER, P)
+            assert lb.accessed == pytest.approx(accessed_data_bound(PAPER, P))
+
+    def test_single_processor_communicates_nothing(self):
+        # P = 1: D = mn + mk + nk = owned, so the bound is zero.
+        lb = memory_independent_bound(PAPER, 1)
+        assert lb.communicated == pytest.approx(0.0)
+
+    def test_invalid_P(self):
+        with pytest.raises(ShapeError):
+            memory_independent_bound(PAPER, 0)
+
+
+class TestLeadingTerm:
+    def test_constants_by_regime(self):
+        assert leading_term_constant(Regime.ONE_D) == 1.0
+        assert leading_term_constant(Regime.TWO_D) == 2.0
+        assert leading_term_constant(Regime.THREE_D) == 3.0
+
+    def test_case1_leading_is_nk(self):
+        assert leading_term(PAPER, 2) == 2400 * 600
+
+    def test_case2_leading(self):
+        P = 36
+        expected = 2 * math.sqrt(9600 * 2400 * 600**2 / P)
+        assert leading_term(PAPER, P) == pytest.approx(expected)
+
+    def test_case3_leading(self):
+        P = 512
+        expected = 3 * (9600 * 2400 * 600 / P) ** (2 / 3)
+        assert leading_term(PAPER, P) == pytest.approx(expected)
+
+    def test_leading_dominates_communicated(self):
+        # D >= communicated always, and leading term is within D.
+        for P in [2, 36, 512, 5000]:
+            lb = memory_independent_bound(PAPER, P)
+            assert lb.leading <= lb.accessed + 1e-9
+            assert lb.communicated <= lb.accessed
+
+
+class TestCorollary4:
+    @pytest.mark.parametrize("n,P", [(10, 1), (100, 8), (64, 27), (1000, 4096), (7, 3)])
+    def test_corollary_equals_theorem(self, n, P):
+        corollary, theorem = square_lower_bound(n, P)
+        assert corollary == pytest.approx(theorem)
+
+    def test_formula(self):
+        corollary, _ = square_lower_bound(100, 8)
+        assert corollary == pytest.approx(3 * 100**2 / 4 - 3 * 100**2 / 8)
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            square_lower_bound(0, 4)
+
+
+class TestMonotonicity:
+    def test_communication_bound_nondecreasing_then_shrinks_per_processor(self):
+        # D decreases with P; the communicated bound is single-peaked in
+        # general but must stay nonnegative and below D.
+        for P in range(1, 300):
+            lb = memory_independent_bound(PAPER, P)
+            assert -1e-9 <= lb.communicated <= lb.accessed
+
+    def test_communication_lower_bound_helper(self):
+        assert communication_lower_bound(PAPER, 512) == pytest.approx(
+            memory_independent_bound(PAPER, 512).communicated
+        )

@@ -1,0 +1,157 @@
+"""Tests for Lemma 2's optimization problem and its solvers."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Regime,
+    feasible,
+    lemma2_constraints,
+    solve_general,
+    solve_lemma2,
+    solve_numerically,
+)
+from repro.exceptions import ShapeError
+
+CASES = [
+    # (m, n, k, P, regime)
+    (9600, 2400, 600, 3, Regime.ONE_D),
+    (9600, 2400, 600, 36, Regime.TWO_D),
+    (9600, 2400, 600, 512, Regime.THREE_D),
+    (100, 10, 1, 5, Regime.ONE_D),
+    (50, 50, 2, 100, Regime.TWO_D),
+    (8, 8, 8, 64, Regime.THREE_D),
+    (7, 5, 3, 1, Regime.ONE_D),
+    (12, 4, 4, 3, Regime.ONE_D),
+]
+
+
+class TestAnalyticSolution:
+    @pytest.mark.parametrize("m,n,k,P,regime", CASES)
+    def test_case_classification(self, m, n, k, P, regime):
+        assert solve_lemma2(m, n, k, P).regime is regime
+
+    def test_case1_values(self):
+        sol = solve_lemma2(9600, 2400, 600, 3)
+        assert sol.x == (2400 * 600, 9600 * 600 / 3, 9600 * 2400 / 3)
+        assert sol.active == (1, 2)
+
+    def test_case2_values(self):
+        m, n, k, P = 9600, 2400, 600, 36
+        sol = solve_lemma2(m, n, k, P)
+        s = math.sqrt(m * n * k * k / P)
+        assert sol.x == pytest.approx((s, s, m * n / P))
+        assert sol.active == (2,)
+
+    def test_case3_values(self):
+        sol = solve_lemma2(8, 8, 8, 64)
+        assert sol.x == pytest.approx((4.0, 4.0, 4.0))
+        assert sol.active == ()
+
+    @pytest.mark.parametrize("m,n,k,P,_", CASES)
+    def test_solution_is_feasible(self, m, n, k, P, _):
+        sol = solve_lemma2(m, n, k, P)
+        assert feasible(sol.x, m, n, k, P)
+
+    def test_value_continuous_at_boundaries(self):
+        m, n, k = 9600, 2400, 600
+        # Boundary P = m/n = 4 between cases 1 and 2.
+        case1 = (m * n + m * k) / 4 + n * k
+        case2 = 2 * math.sqrt(m * n * k * k / 4) + m * n / 4
+        assert case1 == pytest.approx(case2)
+        assert solve_lemma2(m, n, k, 4).value == pytest.approx(case1)
+        # Boundary P = mn/k^2 = 64 between cases 2 and 3.
+        case2b = 2 * math.sqrt(m * n * k * k / 64) + m * n / 64
+        case3b = 3 * (m * n * k / 64) ** (2 / 3)
+        assert case2b == pytest.approx(case3b)
+        assert solve_lemma2(m, n, k, 64).value == pytest.approx(case2b)
+
+    def test_value_decreasing_in_P(self):
+        m, n, k = 9600, 2400, 600
+        values = [solve_lemma2(m, n, k, P).value for P in range(1, 200)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ShapeError):
+            solve_lemma2(2, 3, 1, 1)  # m < n
+        with pytest.raises(ShapeError):
+            solve_lemma2(3, 2, 0.5, 1)  # k < 1
+        with pytest.raises(ShapeError):
+            solve_lemma2(3, 2, 1, 0.5)  # P < 1
+
+
+class TestNumericCrossCheck:
+    @pytest.mark.parametrize("m,n,k,P,_", CASES)
+    def test_slsqp_agrees(self, m, n, k, P, _):
+        sol = solve_lemma2(m, n, k, P)
+        _, value = solve_numerically(m, n, k, P)
+        assert value == pytest.approx(sol.value, rel=1e-6)
+
+    def test_from_far_away_start(self):
+        m, n, k, P = 9600, 2400, 600, 36
+        sol = solve_lemma2(m, n, k, P)
+        L, bounds = lemma2_constraints(m, n, k, P)
+        x0 = (bounds[0] * 100, bounds[1] * 100, bounds[2] * 100)
+        _, value = solve_numerically(m, n, k, P, x0=x0)
+        assert value == pytest.approx(sol.value, rel=1e-5)
+
+
+class TestGeneralSolver:
+    @pytest.mark.parametrize("m,n,k,P,_", CASES)
+    def test_matches_lemma2_for_d3(self, m, n, k, P, _):
+        sol = solve_lemma2(m, n, k, P)
+        L, bounds = lemma2_constraints(m, n, k, P)
+        x, value = solve_general(L, bounds)
+        assert value == pytest.approx(sol.value, rel=1e-12)
+        assert x == pytest.approx(sol.x, rel=1e-12)
+
+    def test_bounds_alone_feasible(self):
+        # Product of bounds already exceeds L: bounds are optimal.
+        x, value = solve_general(5.0, [2.0, 3.0, 4.0])
+        assert x == (2.0, 3.0, 4.0)
+        assert value == 9.0
+
+    def test_no_bounds_active(self):
+        x, value = solve_general(8.0, [0.1, 0.1, 0.1])
+        assert x == pytest.approx((2.0, 2.0, 2.0))
+
+    def test_general_dimension(self):
+        # d=4, two large bounds become active.
+        x, value = solve_general(10000.0, [1.0, 1.0, 10.0, 20.0])
+        # active: 20, 10 -> free pair shares t = sqrt(10000/200) ~ 7.07 >= 1.
+        t = math.sqrt(10000.0 / 200.0)
+        assert x == pytest.approx((t, t, 10.0, 20.0))
+        assert value == pytest.approx(2 * t + 30.0)
+
+    def test_result_in_input_order(self):
+        x, _ = solve_general(10000.0, [20.0, 1.0, 10.0, 1.0])
+        assert x[0] == 20.0 and x[2] == 10.0
+
+    def test_d1(self):
+        assert solve_general(5.0, [1.0]) == ((5.0,), 5.0)
+        assert solve_general(5.0, [9.0]) == ((9.0,), 9.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            solve_general(0.0, [1.0])
+        with pytest.raises(ValueError):
+            solve_general(1.0, [])
+        with pytest.raises(ValueError):
+            solve_general(1.0, [1.0, -2.0])
+
+
+class TestFeasibility:
+    def test_rejects_product_violation(self):
+        assert not feasible((1.0, 1.0, 1.0), 10, 10, 10, 1)
+
+    def test_rejects_bound_violation(self):
+        m, n, k, P = 10, 10, 10, 1
+        # Product fine but x1 below nk/P = 100.
+        assert not feasible((50.0, 10000.0, 10000.0), m, n, k, P)
+
+    def test_accepts_scaled_optimum(self):
+        m, n, k, P = 9600, 2400, 600, 36
+        sol = solve_lemma2(m, n, k, P)
+        bigger = tuple(2 * x for x in sol.x)
+        assert feasible(bigger, m, n, k, P)

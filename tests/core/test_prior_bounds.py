@@ -1,0 +1,87 @@
+"""Tests for the Table 1 comparison constants."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ProblemShape,
+    Regime,
+    TABLE1_CONSTANTS,
+    aggarwal1990_bound,
+    classify,
+    demmel2013_bound,
+    evaluate_bound,
+    irony2004_bound,
+    leading_terms,
+    table1_rows,
+    thiswork_bound,
+)
+
+PAPER = ProblemShape(9600, 2400, 600)
+
+
+class TestTableStructure:
+    def test_rows_present(self):
+        assert set(TABLE1_CONSTANTS) == {
+            "aggarwal1990", "irony2004", "demmel2013", "thiswork",
+        }
+
+    def test_constants_match_paper_table1(self):
+        t = TABLE1_CONSTANTS
+        assert t["aggarwal1990"].constants == (None, None, pytest.approx(0.5 ** (2 / 3)))
+        assert t["irony2004"].constants == (None, None, 0.5)
+        assert t["demmel2013"].constants == (
+            pytest.approx(16 / 25), pytest.approx(math.sqrt(2 / 3)), 1.0,
+        )
+        assert t["thiswork"].constants == (1.0, 2.0, 3.0)
+
+    def test_numeric_values_from_paper(self):
+        # The paper prints ~.63, .5, (.64, ~.82, 1).
+        assert TABLE1_CONSTANTS["aggarwal1990"].constants[2] == pytest.approx(0.63, abs=0.005)
+        assert TABLE1_CONSTANTS["demmel2013"].constants[1] == pytest.approx(0.82, abs=0.005)
+
+
+class TestEvaluation:
+    def test_dashes_outside_case3(self):
+        assert aggarwal1990_bound(PAPER, 3) is None
+        assert aggarwal1990_bound(PAPER, 36) is None
+        assert irony2004_bound(PAPER, 36) is None
+        assert aggarwal1990_bound(PAPER, 512) is not None
+
+    def test_demmel_covers_all_cases(self):
+        for P in [3, 36, 512]:
+            assert demmel2013_bound(PAPER, P) is not None
+
+    def test_thiswork_is_tightest_everywhere(self):
+        for P in [2, 3, 36, 512, 10**6]:
+            ours = thiswork_bound(PAPER, P)
+            for key in ("aggarwal1990", "irony2004", "demmel2013"):
+                other = evaluate_bound(key, PAPER, P)
+                if other is not None:
+                    assert ours > other
+
+    def test_improvement_factors(self):
+        # Case 1: 1 / (16/25) = 25/16; case 2: 2/sqrt(2/3) = sqrt(6);
+        # case 3: 3/1 = 3 over Demmel et al.
+        assert thiswork_bound(PAPER, 2) / demmel2013_bound(PAPER, 2) == pytest.approx(25 / 16)
+        assert thiswork_bound(PAPER, 36) / demmel2013_bound(PAPER, 36) == pytest.approx(
+            math.sqrt(6)
+        )
+        assert thiswork_bound(PAPER, 512) / demmel2013_bound(PAPER, 512) == pytest.approx(3.0)
+
+    def test_leading_terms_values(self):
+        nk, case2, case3 = leading_terms(PAPER, 512)
+        assert nk == 2400 * 600
+        assert case2 == pytest.approx(math.sqrt(9600 * 2400 * 600**2 / 512))
+        assert case3 == pytest.approx((9600 * 2400 * 600 / 512) ** (2 / 3))
+
+    def test_table1_rows_iteration_order(self):
+        keys = [key for key, _, _ in table1_rows(PAPER, 512)]
+        assert keys == ["aggarwal1990", "irony2004", "demmel2013", "thiswork"]
+
+    def test_row_values_use_current_regime(self):
+        P = 36
+        assert classify(PAPER, P) is Regime.TWO_D
+        value = evaluate_bound("thiswork", PAPER, P)
+        assert value == pytest.approx(2 * leading_terms(PAPER, P)[1])

@@ -1,0 +1,117 @@
+"""Property-based tests for the bound machinery (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import (
+    ProblemShape,
+    classify,
+    communication_lower_bound,
+    dual_variables,
+    feasible,
+    kkt_residuals,
+    lemma2_constraints,
+    memory_independent_bound,
+    solve_general,
+    solve_lemma2,
+)
+
+dims = st.integers(min_value=1, max_value=500)
+procs = st.integers(min_value=1, max_value=10000)
+positive = st.floats(min_value=0.05, max_value=50.0, allow_nan=False)
+
+
+def sorted_dims(n1, n2, n3):
+    m, n, k = sorted((n1, n2, n3), reverse=True)
+    return m, n, k
+
+
+@settings(max_examples=150, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=procs)
+def test_kkt_certificate_everywhere(n1, n2, n3, P):
+    """The paper's dual variables certify optimality at every point."""
+    m, n, k = sorted_dims(n1, n2, n3)
+    sol = solve_lemma2(m, n, k, P)
+    mu = dual_variables(m, n, k, P)
+    res = kkt_residuals(sol.x, mu, m, n, k, P)
+    assert res.max_violation() < 1e-7, (m, n, k, P, res)
+
+
+@settings(max_examples=150, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=procs,
+       f1=positive, f2=positive, f3=positive)
+def test_no_feasible_point_beats_optimum(n1, n2, n3, P, f1, f2, f3):
+    """Random feasible points never undercut the analytic minimum."""
+    m, n, k = sorted_dims(n1, n2, n3)
+    sol = solve_lemma2(m, n, k, P)
+    L, bounds = lemma2_constraints(m, n, k, P)
+    # Build a random point that respects the per-variable bounds, then
+    # scale it up to satisfy the product constraint.
+    x = [bounds[0] * (1 + f1), bounds[1] * (1 + f2), bounds[2] * (1 + f3)]
+    prod = x[0] * x[1] * x[2]
+    if prod < L:
+        scale = (L / prod) ** (1 / 3)
+        x = [v * scale for v in x]
+    assume(feasible(x, m, n, k, P))
+    assert sum(x) >= sol.value * (1 - 1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=procs)
+def test_bound_nonnegative_and_below_accessed(n1, n2, n3, P):
+    shape = ProblemShape(n1, n2, n3)
+    lb = memory_independent_bound(shape, P)
+    assert lb.communicated >= -1e-6
+    assert lb.communicated <= lb.accessed + 1e-9
+    assert lb.leading <= lb.accessed * (1 + 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=st.integers(1, 400))
+def test_bound_decreasing_in_P_for_accessed_data(n1, n2, n3, P):
+    """D (accessed data) never increases when processors are added."""
+    shape = ProblemShape(n1, n2, n3)
+    d1 = memory_independent_bound(shape, P).accessed
+    d2 = memory_independent_bound(shape, P + 1).accessed
+    assert d2 <= d1 * (1 + 1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=procs)
+def test_bound_symmetric_under_dimension_permutation(n1, n2, n3, P):
+    """Theorem 3 depends only on {n1, n2, n3} as a multiset."""
+    base = communication_lower_bound(ProblemShape(n1, n2, n3), P)
+    for perm in [(n1, n3, n2), (n2, n1, n3), (n3, n2, n1), (n2, n3, n1), (n3, n1, n2)]:
+        other = communication_lower_bound(ProblemShape(*perm), P)
+        assert other == pytest.approx(base, rel=1e-12, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    L=st.floats(min_value=0.01, max_value=1e9),
+    bounds=st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1, max_size=6),
+)
+def test_general_solver_feasible_and_product_tight_or_bounds(L, bounds):
+    """solve_general returns a feasible point; the product constraint is
+    tight unless the bounds alone already satisfy it."""
+    x, value = solve_general(L, bounds)
+    assert value == pytest.approx(sum(x))
+    for xi, bi in zip(x, bounds):
+        assert xi >= bi * (1 - 1e-9)
+    prod = math.prod(x)
+    prod_bounds = math.prod(bounds)
+    if prod_bounds >= L:
+        assert x == tuple(bounds)
+    else:
+        assert prod >= L * (1 - 1e-9)
+        assert prod == pytest.approx(L, rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n1=dims, n2=dims, n3=dims, P=st.integers(1, 500))
+def test_regime_consistent_between_classify_and_solver(n1, n2, n3, P):
+    shape = ProblemShape(n1, n2, n3)
+    m, n, k = shape.sorted_dims
+    assert classify(shape, P) is solve_lemma2(m, n, k, P).regime

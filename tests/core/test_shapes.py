@@ -1,0 +1,70 @@
+"""Tests for repro.core.shapes."""
+
+import pytest
+
+from repro.core import ProblemShape
+from repro.exceptions import ShapeError
+
+
+class TestSortedView:
+    def test_paper_example(self):
+        s = ProblemShape(9600, 2400, 600)
+        assert (s.m, s.n, s.k) == (9600, 2400, 600)
+
+    def test_sorting_any_order(self):
+        s = ProblemShape(600, 9600, 2400)
+        assert s.sorted_dims == (9600, 2400, 600)
+
+    def test_square(self):
+        s = ProblemShape(5, 5, 5)
+        assert s.sorted_dims == (5, 5, 5)
+        assert s.is_square()
+
+    def test_not_square(self):
+        assert not ProblemShape(5, 5, 6).is_square()
+
+
+class TestDerivedQuantities:
+    def test_volume(self):
+        assert ProblemShape(2, 3, 4).volume == 24
+
+    def test_matrix_sizes(self):
+        sizes = ProblemShape(2, 3, 4).matrix_sizes()
+        assert sizes == {"A": 6, "B": 12, "C": 8}
+
+    def test_total_data(self):
+        assert ProblemShape(2, 3, 4).total_data == 6 + 12 + 8
+
+    def test_matrices_by_size(self):
+        # A = n1 n2 = 6 (smallest), C = 8, B = 12 (largest)
+        assert ProblemShape(2, 3, 4).matrices_by_size() == ("A", "C", "B")
+
+    def test_matrices_by_size_ties_alphabetical(self):
+        assert ProblemShape(3, 3, 3).matrices_by_size() == ("A", "B", "C")
+
+    def test_aspect_ratio_thresholds(self):
+        s = ProblemShape(9600, 2400, 600)
+        assert s.aspect_ratio_thresholds() == (4.0, 64.0)
+
+    def test_str(self):
+        assert str(ProblemShape(2, 3, 4)) == "2x3x4"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("dims", [(0, 1, 1), (1, -2, 1), (1, 1, 0)])
+    def test_nonpositive_rejected(self, dims):
+        with pytest.raises(ShapeError):
+            ProblemShape(*dims)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ShapeError):
+            ProblemShape(2.5, 3, 4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ShapeError):
+            ProblemShape(True, 3, 4)
+
+    def test_frozen(self):
+        s = ProblemShape(2, 3, 4)
+        with pytest.raises(Exception):
+            s.n1 = 5

@@ -1,0 +1,83 @@
+"""Cross-algorithm integration: everyone computes A@B, nobody beats the bound."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ProcessorGrid,
+    applicable_algorithms,
+    run_alg1,
+    run_algorithm,
+    run_outer_1d,
+    run_row_1d,
+)
+from repro.analysis import sweep
+from repro.core import ProblemShape, communication_lower_bound
+from repro.workloads import integer_pair, random_pair, tall_skinny_suite
+
+
+class TestEveryoneIsCorrectAndBounded:
+    @pytest.mark.parametrize("P", [4, 16])
+    def test_square_problem(self, P):
+        records = sweep([ProblemShape(16, 16, 16)], [P], seed=2)
+        assert records, "no algorithms ran"
+        for r in records:
+            assert r.correct
+            assert r.words >= r.bound - 1e-9
+
+    def test_rectangular_problems(self):
+        shapes = [ProblemShape(32, 8, 4), ProblemShape(8, 32, 4), ProblemShape(4, 8, 32)]
+        records = sweep(shapes, [2, 4], seed=3)
+        for r in records:
+            assert r.correct and r.words >= r.bound - 1e-9
+
+    def test_alg1_never_loses(self):
+        """Algorithm 1 with the optimal grid has the smallest cost of all
+        applicable algorithms on every tested configuration."""
+        shapes = [ProblemShape(16, 16, 16), ProblemShape(32, 8, 4)]
+        records = sweep(shapes, [4], seed=4)
+        for shape in shapes:
+            words = {
+                r.algorithm: r.words for r in records if r.shape == shape
+            }
+            assert words["alg1"] == min(words.values())
+
+
+class TestDegenerateGridEquivalences:
+    """The 1D baselines coincide with Algorithm 1 on degenerate grids."""
+
+    def test_row_1d_equals_alg1_P11(self, rng):
+        A, B = rng.random((12, 6)), rng.random((6, 6))
+        res_1d = run_row_1d(A, B, 4)
+        res_alg1 = run_alg1(A, B, ProcessorGrid(4, 1, 1))
+        assert res_1d.cost.words == pytest.approx(res_alg1.cost.words)
+        assert np.allclose(res_1d.C, res_alg1.C)
+
+    def test_outer_1d_equals_alg1_1P1(self, rng):
+        A, B = rng.random((6, 12)), rng.random((12, 6))
+        res_1d = run_outer_1d(A, B, 4)
+        res_alg1 = run_alg1(A, B, ProcessorGrid(1, 4, 1))
+        assert res_1d.cost.words == pytest.approx(res_alg1.cost.words)
+        assert np.allclose(res_1d.C, res_alg1.C)
+
+
+class TestNumericalAgreementAcrossAlgorithms:
+    def test_all_algorithms_agree_bitwise_on_integers(self):
+        """Integer operands: every algorithm returns the bitwise-identical
+        product (all arithmetic exact in float64)."""
+        shape = ProblemShape(16, 16, 16)
+        A, B = integer_pair(shape, seed=9)
+        expected = A @ B
+        for name in applicable_algorithms(shape, 4):
+            run = run_algorithm(name, A, B, 4)
+            assert np.array_equal(run.C, expected), name
+
+    def test_tall_skinny_suite_runs(self):
+        for shape in tall_skinny_suite()[:3]:
+            A, B = random_pair(shape, seed=0)
+            for P in (2,):
+                names = applicable_algorithms(shape, P)
+                assert "alg1" in names
+                run = run_algorithm("alg1", A, B, P)
+                assert np.allclose(run.C, A @ B)
+                assert run.cost.words >= communication_lower_bound(shape, P) - 1e-9

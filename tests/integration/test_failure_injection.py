@@ -1,0 +1,100 @@
+"""Failure injection: model violations must be loud, never silent."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProcessorGrid, run_alg1
+from repro.collectives import Communicator, run_schedules
+from repro.collectives.allgather import allgather_ring
+from repro.exceptions import (
+    CommunicatorError,
+    DistributionError,
+    GridError,
+    MemoryLimitExceededError,
+    NetworkContentionError,
+)
+from repro.machine import Machine, Message
+
+
+class TestNetworkViolations:
+    def test_duplicate_send_raises_not_warns(self):
+        m = Machine(3)
+        msgs = [
+            Message(src=0, dest=1, payload=np.zeros(1)),
+            Message(src=0, dest=2, payload=np.zeros(1)),
+        ]
+        with pytest.raises(NetworkContentionError):
+            m.exchange(msgs)
+
+    def test_overlapping_parallel_collectives_detected(self):
+        m = Machine(4)
+        chunks = {r: np.zeros(1) for r in range(4)}
+        schedules = [
+            allgather_ring((0, 1, 2), {r: chunks[r] for r in (0, 1, 2)}),
+            allgather_ring((2, 3), {r: chunks[r] for r in (2, 3)}),
+        ]
+        with pytest.raises((CommunicatorError, NetworkContentionError)):
+            run_schedules(m, schedules)
+
+    def test_malformed_payload_rejected_before_transit(self):
+        with pytest.raises(TypeError):
+            Message(src=0, dest=1, payload={"not": "allowed"})
+
+
+class TestMemoryLimits:
+    def test_alg1_fails_cleanly_when_memory_too_small(self):
+        """Section 6.2: a 3D grid's gathered blocks can exceed M; the
+        simulated machine enforces this by raising, not by swapping."""
+        rng = np.random.default_rng(0)
+        A, B = rng.random((24, 24)), rng.random((24, 24))
+        shape_words = 3 * 24 * 24 / 8  # minimum to hold the problem
+        machine = Machine(8, memory_limit=shape_words * 1.05)
+        with pytest.raises(MemoryLimitExceededError):
+            run_alg1(A, B, ProcessorGrid(2, 2, 2), machine=machine)
+
+    def test_alg1_succeeds_with_enough_memory(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.random((24, 24)), rng.random((24, 24))
+        # Accessed-term words plus shards: give a comfortable 5x minimum.
+        machine = Machine(8, memory_limit=5 * 3 * 24 * 24 / 8)
+        res = run_alg1(A, B, ProcessorGrid(2, 2, 2), machine=machine)
+        assert np.allclose(res.C, A @ B)
+
+    def test_memory_budget_separates_grids(self):
+        """The memory/communication trade-off of Section 6.2, executed: on
+        a tall case-1 problem the optimal 1D grid has a smaller footprint
+        than a 2D grid, so a budget between the two peaks admits exactly
+        one of them."""
+        rng = np.random.default_rng(0)
+        A, B = rng.random((64, 8)), rng.random((8, 8))
+        peak_1d = run_alg1(A, B, ProcessorGrid(4, 1, 1)).peak_memory
+        peak_2d = run_alg1(A, B, ProcessorGrid(2, 2, 1)).peak_memory
+        assert peak_1d < peak_2d
+        budget = (peak_1d + peak_2d) / 2
+        m2d = Machine(4, memory_limit=budget)
+        with pytest.raises(MemoryLimitExceededError):
+            run_alg1(A, B, ProcessorGrid(2, 2, 1), machine=m2d)
+        m1d = Machine(4, memory_limit=budget)
+        res = run_alg1(A, B, ProcessorGrid(4, 1, 1), machine=m1d)
+        assert np.allclose(res.C, A @ B)
+
+
+class TestUsageErrors:
+    def test_grid_machine_mismatch(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        with pytest.raises(DistributionError):
+            run_alg1(A, B, ProcessorGrid(2, 2, 2), machine=Machine(4))
+
+    def test_grid_bigger_than_problem(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DistributionError):
+            run_alg1(rng.random((2, 8)), rng.random((8, 8)), ProcessorGrid(4, 1, 1))
+
+    def test_invalid_grid_dimensions(self):
+        with pytest.raises(GridError):
+            ProcessorGrid(2, 0, 2)
+
+    def test_communicator_outside_machine(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(Machine(2), (0, 3))

@@ -1,0 +1,82 @@
+"""Tests for repro.machine.cost."""
+
+import math
+
+import pytest
+
+from repro.machine.cost import BANDWIDTH_ONLY, Cost, CostModel, ZERO_COST
+
+
+class TestCost:
+    def test_default_is_zero(self):
+        assert Cost() == ZERO_COST
+        assert ZERO_COST.is_zero()
+
+    def test_addition(self):
+        a = Cost(rounds=2, words=10.0, flops=5.0)
+        b = Cost(rounds=3, words=1.5, flops=0.0)
+        c = a + b
+        assert c == Cost(rounds=5, words=11.5, flops=5.0)
+
+    def test_subtraction(self):
+        a = Cost(rounds=5, words=11.5, flops=5.0)
+        b = Cost(rounds=3, words=1.5, flops=0.0)
+        assert a - b == Cost(rounds=2, words=10.0, flops=5.0)
+
+    def test_add_non_cost_raises(self):
+        with pytest.raises(TypeError):
+            Cost() + 3
+
+    def test_scaled(self):
+        c = Cost(rounds=2, words=10.0, flops=4.0).scaled(2.5)
+        assert c == Cost(rounds=5, words=25.0, flops=10.0)
+
+    def test_is_zero_false(self):
+        assert not Cost(words=1.0).is_zero()
+        assert not Cost(rounds=1).is_zero()
+        assert not Cost(flops=1.0).is_zero()
+
+    def test_isclose(self):
+        a = Cost(rounds=1, words=10.0, flops=0.0)
+        b = Cost(rounds=1, words=10.0 + 1e-12, flops=0.0)
+        assert a.isclose(b)
+        assert not a.isclose(Cost(rounds=2, words=10.0))
+        assert not a.isclose(Cost(rounds=1, words=11.0))
+
+    def test_immutability(self):
+        c = Cost(rounds=1)
+        with pytest.raises(Exception):
+            c.rounds = 2
+
+
+class TestCostModel:
+    def test_time_combines_components(self):
+        model = CostModel(alpha=10.0, beta=2.0, gamma=0.5)
+        t = model.time(Cost(rounds=3, words=7.0, flops=4.0))
+        assert t == 10.0 * 3 + 2.0 * 7.0 + 0.5 * 4.0
+
+    def test_message_time(self):
+        model = CostModel(alpha=5.0, beta=0.5)
+        assert model.message_time(8) == 5.0 + 4.0
+
+    def test_defaults(self):
+        model = CostModel()
+        assert model.alpha == 1.0 and model.beta == 1.0 and model.gamma == 0.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(beta=-0.1)
+        with pytest.raises(ValueError):
+            CostModel(gamma=-2.0)
+
+    def test_bandwidth_only_model(self):
+        t = BANDWIDTH_ONLY.time(Cost(rounds=100, words=7.0, flops=999.0))
+        assert t == 7.0
+
+    def test_time_is_linear(self):
+        model = CostModel(alpha=1.0, beta=3.0, gamma=2.0)
+        a = Cost(rounds=1, words=2.0, flops=3.0)
+        b = Cost(rounds=4, words=5.0, flops=6.0)
+        assert math.isclose(model.time(a + b), model.time(a) + model.time(b))

@@ -1,0 +1,61 @@
+"""Tests for repro.machine.message."""
+
+import numpy as np
+import pytest
+
+from repro.machine.message import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_array(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+
+    def test_empty_array(self):
+        assert payload_words(np.empty(0)) == 0
+
+    def test_nested_tuples(self):
+        payload = (np.zeros(2), (np.zeros(3), np.zeros(4)), [np.zeros(1)])
+        assert payload_words(payload) == 10
+
+    def test_rejects_scalars(self):
+        with pytest.raises(TypeError):
+            payload_words(3.0)
+
+    def test_rejects_lists_of_scalars(self):
+        with pytest.raises(TypeError):
+            payload_words([1, 2, 3])
+
+
+class TestMessage:
+    def test_words_cached(self):
+        msg = Message(src=0, dest=1, payload=np.ones((2, 5)))
+        assert msg.words == 10
+
+    def test_payload_copied_on_send(self):
+        arr = np.ones(4)
+        msg = Message(src=0, dest=1, payload=arr)
+        arr[:] = 99.0
+        assert np.all(msg.payload == 1.0)
+
+    def test_nested_payload_copied(self):
+        arr = np.ones(3)
+        msg = Message(src=0, dest=1, payload=(arr, [arr]))
+        arr[:] = -1.0
+        assert np.all(msg.payload[0] == 1.0)
+        assert np.all(msg.payload[1][0] == 1.0)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Message(src=2, dest=2, payload=np.zeros(1))
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Message(src=-1, dest=0, payload=np.zeros(1))
+
+    def test_tag_recorded(self):
+        msg = Message(src=0, dest=1, payload=np.zeros(1), tag="allgather")
+        assert msg.tag == "allgather"
+
+    def test_non_array_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Message(src=0, dest=1, payload="hello")

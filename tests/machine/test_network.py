@@ -1,0 +1,111 @@
+"""Tests for repro.machine.network — the model's round semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkContentionError
+from repro.machine.message import Message
+from repro.machine.network import FullyConnectedNetwork
+
+
+def msg(src, dest, words, tag=""):
+    return Message(src=src, dest=dest, payload=np.zeros(words), tag=tag)
+
+
+class TestRoundExecution:
+    def test_empty_round_is_free(self):
+        net = FullyConnectedNetwork(4)
+        assert net.execute_round([]) == {}
+        assert net.rounds == 0
+        assert net.critical_words == 0.0
+
+    def test_single_message(self):
+        net = FullyConnectedNetwork(2)
+        deliveries = net.execute_round([msg(0, 1, 5)])
+        assert set(deliveries) == {1}
+        assert net.rounds == 1
+        assert net.critical_words == 5.0
+        assert net.total_words == 5.0
+
+    def test_critical_path_charges_max(self):
+        net = FullyConnectedNetwork(4)
+        net.execute_round([msg(0, 1, 3), msg(2, 3, 10)])
+        assert net.critical_words == 10.0
+        assert net.total_words == 13.0
+
+    def test_send_and_receive_simultaneously_allowed(self):
+        # Bidirectional links: an exchange pair is one round.
+        net = FullyConnectedNetwork(2)
+        deliveries = net.execute_round([msg(0, 1, 4), msg(1, 0, 4)])
+        assert set(deliveries) == {0, 1}
+        assert net.rounds == 1
+
+    def test_two_sends_from_one_processor_rejected(self):
+        net = FullyConnectedNetwork(3)
+        with pytest.raises(NetworkContentionError, match="two sends"):
+            net.execute_round([msg(0, 1, 1), msg(0, 2, 1)])
+
+    def test_two_receives_at_one_processor_rejected(self):
+        net = FullyConnectedNetwork(3)
+        with pytest.raises(NetworkContentionError, match="two receives"):
+            net.execute_round([msg(0, 2, 1), msg(1, 2, 1)])
+
+    def test_out_of_range_rank_rejected(self):
+        net = FullyConnectedNetwork(2)
+        with pytest.raises(NetworkContentionError, match="outside"):
+            net.execute_round([msg(0, 5, 1)])
+
+    def test_failed_round_charges_nothing(self):
+        net = FullyConnectedNetwork(3)
+        with pytest.raises(NetworkContentionError):
+            net.execute_round([msg(0, 1, 1), msg(0, 2, 1)])
+        assert net.rounds == 0
+        assert net.critical_words == 0.0
+
+
+class TestCounters:
+    def test_per_processor_volumes(self):
+        net = FullyConnectedNetwork(3)
+        net.execute_round([msg(0, 1, 5), msg(1, 2, 2)])
+        assert net.sent_words == [5.0, 2.0, 0.0]
+        assert net.recv_words == [0.0, 5.0, 2.0]
+        assert net.sent_messages == [1, 1, 0]
+        assert net.recv_messages == [0, 1, 1]
+        assert net.per_processor_words(1) == 7.0
+
+    def test_cost_property(self):
+        net = FullyConnectedNetwork(2)
+        net.execute_round([msg(0, 1, 5)])
+        net.execute_round([msg(1, 0, 3)])
+        assert net.cost.rounds == 2
+        assert net.cost.words == 8.0
+
+    def test_reset(self):
+        net = FullyConnectedNetwork(2)
+        net.execute_round([msg(0, 1, 5)])
+        net.reset()
+        assert net.rounds == 0
+        assert net.sent_words == [0.0, 0.0]
+        assert net.round_log == []
+
+    def test_round_log(self):
+        net = FullyConnectedNetwork(4)
+        net.execute_round([msg(0, 1, 3, tag="x"), msg(2, 3, 7, tag="y")])
+        (summary,) = net.round_log
+        assert summary.n_messages == 2
+        assert summary.max_words == 7
+        assert summary.total_words == 10
+        assert summary.tags == ("x", "y")
+
+    def test_delivery_payload_is_receiver_owned(self):
+        net = FullyConnectedNetwork(2)
+        src_arr = np.ones(3)
+        deliveries = net.execute_round([Message(src=0, dest=1, payload=src_arr)])
+        src_arr[:] = 7.0
+        assert np.all(deliveries[1] == 1.0)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_processor(self):
+        with pytest.raises(ValueError):
+            FullyConnectedNetwork(0)

@@ -1,0 +1,86 @@
+"""Tests for the sequential two-level memory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MemoryLimitExceededError
+from repro.machine.sequential import FastMemory
+
+
+class TestFastMemory:
+    def test_load_counts_reads(self):
+        fm = FastMemory(100)
+        fm.load("x", np.zeros((4, 5)))
+        assert fm.stats.loads == 20
+        assert fm.stats.stores == 0
+        assert fm.current_words == 20
+
+    def test_store_counts_writes_and_evicts(self):
+        fm = FastMemory(100)
+        fm.load("x", np.arange(6.0))
+        out = fm.store("x")
+        assert fm.stats.stores == 6
+        assert fm.current_words == 0
+        assert np.array_equal(out, np.arange(6.0))
+        assert "x" not in fm.resident()
+
+    def test_alloc_is_free_traffic(self):
+        fm = FastMemory(100)
+        fm.alloc("c", (3, 3))
+        assert fm.stats.total == 0
+        assert fm.current_words == 9
+
+    def test_evict_is_free(self):
+        fm = FastMemory(100)
+        fm.load("x", np.zeros(10))
+        fm.evict("x")
+        assert fm.stats.total == 10  # only the load
+        assert fm.current_words == 0
+
+    def test_capacity_enforced(self):
+        fm = FastMemory(10)
+        fm.load("x", np.zeros(8))
+        with pytest.raises(MemoryLimitExceededError):
+            fm.load("y", np.zeros(4))
+        # Failed load does not corrupt state.
+        assert fm.current_words == 8
+        assert fm.stats.loads == 8
+
+    def test_duplicate_region_rejected(self):
+        fm = FastMemory(100)
+        fm.load("x", np.zeros(2))
+        with pytest.raises(KeyError):
+            fm.load("x", np.zeros(2))
+        with pytest.raises(KeyError):
+            fm.alloc("x", (1,))
+
+    def test_peak_tracking(self):
+        fm = FastMemory(100)
+        fm.load("x", np.zeros(30))
+        fm.load("y", np.zeros(40))
+        fm.evict("x")
+        assert fm.peak_words == 70
+        assert fm.current_words == 40
+
+    def test_loaded_data_is_a_copy(self):
+        fm = FastMemory(100)
+        src = np.ones(4)
+        region = fm.load("x", src)
+        src[:] = -1
+        assert np.all(region == 1.0)
+
+    def test_unlimited(self):
+        fm = FastMemory(None)
+        fm.load("x", np.zeros(10**6))
+        assert fm.current_words == 10**6
+
+    def test_reset(self):
+        fm = FastMemory(100)
+        fm.load("x", np.zeros(10))
+        fm.reset()
+        assert fm.stats.total == 0
+        assert fm.resident() == ()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FastMemory(0)

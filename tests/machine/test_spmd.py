@@ -1,0 +1,186 @@
+"""Tests for the SPMD facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicatorError
+from repro.machine import Machine
+from repro.machine.spmd import spmd_run
+
+
+class TestBasicCollectives:
+    def test_allgather(self):
+        def program(ctx):
+            gathered = yield ctx.allgather(np.full(2, float(ctx.rank)))
+            return [c[0] for c in gathered]
+
+        results = spmd_run(Machine(3), program)
+        assert results == {r: [0.0, 1.0, 2.0] for r in range(3)}
+
+    def test_allreduce(self):
+        def program(ctx):
+            total = yield ctx.allreduce(np.full(3, float(ctx.rank + 1)))
+            return float(total[0])
+
+        results = spmd_run(Machine(4), program)
+        assert results == {r: 10.0 for r in range(4)}
+
+    def test_broadcast_root_value_only(self):
+        def program(ctx):
+            value = np.arange(4.0) if ctx.rank == 1 else None
+            received = yield ctx.broadcast(1, value)
+            return float(received.sum())
+
+        results = spmd_run(Machine(3), program)
+        assert results == {r: 6.0 for r in range(3)}
+
+    def test_reduce_to_root(self):
+        def program(ctx):
+            out = yield ctx.reduce(0, np.full(2, float(ctx.rank)))
+            return None if out is None else float(out[0])
+
+        results = spmd_run(Machine(3), program)
+        assert results[0] == 3.0
+        assert results[1] is None and results[2] is None
+
+    def test_reduce_scatter(self):
+        def program(ctx):
+            blocks = [np.full(2, float(10 * ctx.rank + j)) for j in range(ctx.size)]
+            mine = yield ctx.reduce_scatter(blocks)
+            return float(mine[0])
+
+        results = spmd_run(Machine(3), program)
+        # Block j sums 10*0+j + 10*1+j + 10*2+j = 30 + 3j.
+        assert results == {0: 30.0, 1: 33.0, 2: 36.0}
+
+    def test_scatter_and_gather(self):
+        def program(ctx):
+            blocks = None
+            if ctx.rank == 0:
+                blocks = [np.full(2, float(j * j)) for j in range(ctx.size)]
+            mine = yield ctx.scatter(0, blocks)
+            collected = yield ctx.gather(0, mine)
+            if ctx.rank == 0:
+                return [float(c[0]) for c in collected]
+            return float(mine[0])
+
+        results = spmd_run(Machine(3), program)
+        assert results[0] == [0.0, 1.0, 4.0]
+        assert results[1] == 1.0 and results[2] == 4.0
+
+    def test_alltoall(self):
+        def program(ctx):
+            blocks = [np.full(1, float(10 * ctx.rank + j)) for j in range(ctx.size)]
+            received = yield ctx.alltoall(blocks)
+            return [float(b[0]) for b in received]
+
+        results = spmd_run(Machine(3), program)
+        assert results[1] == [1.0, 11.0, 21.0]
+
+    def test_barrier_and_sendrecv(self):
+        def program(ctx):
+            yield ctx.barrier()
+            partner = ctx.rank ^ 1
+            theirs = yield ctx.sendrecv(partner, np.full(1, float(ctx.rank)))
+            return float(theirs[0])
+
+        results = spmd_run(Machine(4), program)
+        assert results == {0: 1.0, 1: 0.0, 2: 3.0, 3: 2.0}
+
+
+class TestComposition:
+    def test_multi_phase_program_counts_cost_once(self):
+        def program(ctx):
+            gathered = yield ctx.allgather(np.full(4, 1.0))
+            total = yield ctx.allreduce(gathered[0])
+            return float(total[0])
+
+        m = Machine(4)
+        results = spmd_run(m, program)
+        assert all(v == 4.0 for v in results.values())
+        assert m.cost.words > 0
+        kinds = [e.kind for e in m.trace.events]
+        assert "allgather" in kinds and "allreduce" in kinds
+
+    def test_subgroup(self):
+        def program(ctx):
+            gathered = yield ctx.allgather(np.full(1, float(ctx.rank)))
+            return sorted(float(c[0]) for c in gathered)
+
+        m = Machine(6)
+        results = spmd_run(m, program, ranks=(1, 3, 5))
+        assert set(results) == {1, 3, 5}
+        assert results[3] == [1.0, 3.0, 5.0]
+
+    def test_rank_dependent_control_flow_same_collectives(self):
+        def program(ctx):
+            value = np.full(2, float(ctx.rank))
+            if ctx.rank % 2 == 0:
+                value = value * 10  # data divergence is fine
+            total = yield ctx.allreduce(value)
+            return float(total[0])
+
+        results = spmd_run(Machine(4), program)
+        assert all(v == 0.0 + 10.0 * 0 + 1 + 20 + 3 for v in results.values())
+
+    def test_spmd_matmul_row_1d(self):
+        """A realistic program: the row-1D algorithm written SPMD-style."""
+        rng = np.random.default_rng(0)
+        # |B| = 40 divides evenly into 4 shards, so the measured critical
+        # path equals (1 - 1/P)|B| exactly.
+        A, B = rng.random((8, 5)), rng.random((5, 8))
+
+        def program(ctx):
+            rows = A[ctx.rank * 2:(ctx.rank + 1) * 2]
+            flat_b = B.reshape(-1)
+            share = np.array_split(flat_b, ctx.size)[ctx.index]
+            gathered = yield ctx.allgather(share)
+            full_b = np.concatenate(gathered).reshape(B.shape)
+            return rows @ full_b
+
+        m = Machine(4)
+        results = spmd_run(m, program)
+        C = np.vstack([results[r] for r in range(4)])
+        assert np.allclose(C, A @ B)
+        assert m.cost.words == (1 - 1 / 4) * 40  # (1-1/P)|B|
+
+
+class TestErrors:
+    def test_non_generator_program_rejected(self):
+        with pytest.raises(CommunicatorError, match="generator"):
+            spmd_run(Machine(2), lambda ctx: 42)
+
+    def test_mismatched_collectives_detected(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.allgather(np.zeros(1))
+            else:
+                yield ctx.allreduce(np.zeros(1))
+
+        with pytest.raises(CommunicatorError, match="deadlock"):
+            spmd_run(Machine(2), program)
+
+    def test_early_return_while_peers_blocked(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                return 1  # returns without joining the collective
+            yield ctx.barrier()
+
+        with pytest.raises(CommunicatorError):
+            spmd_run(Machine(2), program)
+
+    def test_yielding_garbage_rejected(self):
+        def program(ctx):
+            yield "not a collective"
+
+        with pytest.raises(CommunicatorError, match="yield"):
+            spmd_run(Machine(2), program)
+
+    def test_sendrecv_partner_mismatch(self):
+        def program(ctx):
+            # 0 -> 1, 1 -> 0, but 2 -> 0 and 3 -> 2: inconsistent pairing.
+            partner = {0: 1, 1: 0, 2: 0, 3: 2}[ctx.rank]
+            yield ctx.sendrecv(partner, np.zeros(1))
+
+        with pytest.raises(CommunicatorError):
+            spmd_run(Machine(4), program)

@@ -1,0 +1,110 @@
+"""Tests for repro.machine.store — memory accounting and limits."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MemoryLimitExceededError
+from repro.machine.store import LocalStore
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        store = LocalStore(rank=0)
+        arr = np.ones((2, 3))
+        store["x"] = arr
+        assert store["x"] is arr
+        assert "x" in store
+        assert len(store) == 1
+
+    def test_missing_key_message_lists_contents(self):
+        store = LocalStore(rank=3)
+        store["a"] = np.zeros(1)
+        with pytest.raises(KeyError, match="processor 3.*'b'"):
+            store["b"]
+
+    def test_free(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(5)
+        store.free("x")
+        assert "x" not in store
+        assert store.current_words == 0
+
+    def test_pop(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.arange(4.0)
+        arr = store.pop("x")
+        assert np.all(arr == np.arange(4.0))
+        assert "x" not in store
+
+    def test_non_array_rejected(self):
+        store = LocalStore(rank=0)
+        with pytest.raises(TypeError):
+            store.put("x", [1, 2, 3])
+
+    def test_iteration_and_keys(self):
+        store = LocalStore(rank=0)
+        store["a"] = np.zeros(1)
+        store["b"] = np.zeros(2)
+        assert sorted(store) == ["a", "b"]
+        assert sorted(store.keys()) == ["a", "b"]
+
+
+class TestAccounting:
+    def test_current_and_peak(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(10)
+        store["y"] = np.zeros(5)
+        assert store.current_words == 15
+        assert store.peak_words == 15
+        store.free("x")
+        assert store.current_words == 5
+        assert store.peak_words == 15
+
+    def test_replace_charges_delta(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(10)
+        store["x"] = np.zeros(4)
+        assert store.current_words == 4
+        assert store.peak_words == 10
+
+    def test_clear_preserves_peak(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(7)
+        store.clear()
+        assert store.current_words == 0
+        assert store.peak_words == 7
+
+    def test_reset_peak(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(7)
+        store.free("x")
+        store.reset_peak()
+        assert store.peak_words == 0
+
+
+class TestMemoryLimit:
+    def test_limit_enforced(self):
+        store = LocalStore(rank=0, limit=10)
+        store["x"] = np.zeros(8)
+        with pytest.raises(MemoryLimitExceededError, match="M=10"):
+            store["y"] = np.zeros(3)
+        # The failed allocation must not corrupt accounting.
+        assert store.current_words == 8
+        assert "y" not in store
+
+    def test_equal_size_replace_fits(self):
+        store = LocalStore(rank=0, limit=10)
+        store["x"] = np.zeros(10)
+        store["x"] = np.ones(10)  # replacement at the same size is fine
+        assert store.current_words == 10
+
+    def test_infinite_by_default(self):
+        store = LocalStore(rank=0)
+        store["x"] = np.zeros(10**6)
+        assert store.current_words == 10**6
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            LocalStore(rank=0, limit=0)
+        with pytest.raises(ValueError):
+            LocalStore(rank=0, limit=-5)

@@ -1,0 +1,35 @@
+"""Tests for repro.machine.trace."""
+
+from repro.machine.cost import Cost
+from repro.machine.trace import Trace
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        t = Trace()
+        t.record("allgather", "A blocks", groups=((0, 1), (2, 3)), cost=Cost(words=4.0))
+        t.record("compute", "gemm")
+        assert len(t) == 2
+        assert [e.kind for e in t] == ["allgather", "compute"]
+        assert len(t.by_kind("allgather")) == 1
+
+    def test_total_cost_filters_by_kind(self):
+        t = Trace()
+        t.record("allgather", "a", cost=Cost(rounds=1, words=4.0))
+        t.record("reduce-scatter", "c", cost=Cost(rounds=2, words=6.0))
+        assert t.total_cost().words == 10.0
+        assert t.total_cost("allgather") == Cost(rounds=1, words=4.0)
+
+    def test_groups_involving(self):
+        t = Trace()
+        t.record("allgather", "a", groups=((0, 1), (2, 3)))
+        t.record("reduce-scatter", "c", groups=((0, 2),))
+        t.record("broadcast", "b", groups=((1, 3),))
+        involving_0 = t.groups_involving(0)
+        assert [e.kind for e in involving_0] == ["allgather", "reduce-scatter"]
+
+    def test_clear(self):
+        t = Trace()
+        t.record("compute", "x")
+        t.clear()
+        assert len(t) == 0

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["bounds", "4", "4", "4", "-p", "2"],
+            ["grid", "4", "4", "4", "-p", "2"],
+            ["run", "4", "4", "4", "-p", "2"],
+            ["table1"],
+            ["fig2"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestBounds:
+    def test_basic(self, capsys):
+        assert main(["bounds", "9600", "2400", "600", "-p", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "270000" in out
+        assert "3D" in out
+
+    def test_with_memory(self, capsys):
+        assert main(["bounds", "512", "512", "512", "-p", "4096", "-m", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "memory_dependent" in out or "memory_independent" in out
+
+    def test_memory_too_small(self, capsys):
+        assert main(["bounds", "512", "512", "512", "-p", "4", "-m", "10"]) == 1
+        assert "cannot hold" in capsys.readouterr().out
+
+
+class TestGrid:
+    def test_figure2(self, capsys):
+        assert main(["grid", "9600", "2400", "600", "-p", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "32x8x2" in out
+
+
+class TestRun:
+    def test_small_run(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "numerically correct: True" in out
+        assert "tight: True" in out
+
+
+class TestArtifacts:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "32x8x2" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "(1,3,1)" in out
+
+    def test_lemma2(self, capsys):
+        assert main(["lemma2"]) == 0
+        out = capsys.readouterr().out
+        assert "x1*" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover"]) == 0
+        out = capsys.readouterr().out
+        assert "binding" in out

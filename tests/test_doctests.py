@@ -1,0 +1,31 @@
+"""Run every docstring example in the library as a test.
+
+Public-API docstrings double as documentation; this keeps their examples
+from rotting.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,93 @@
+"""Tests for workload generators and shape suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemShape, Regime, classify
+from repro.workloads import (
+    FIGURE2_EXPECTED_GRIDS,
+    FIGURE2_PROCESSOR_COUNTS,
+    FIGURE2_SCALED,
+    FIGURE2_SHAPE,
+    integer_pair,
+    operand_pair,
+    paper_example,
+    random_pair,
+    regime_suite,
+    square_suite,
+    structured_pair,
+    tall_skinny_suite,
+)
+
+
+class TestGenerators:
+    def test_random_pair_shapes(self):
+        A, B = random_pair(ProblemShape(4, 5, 6), seed=0)
+        assert A.shape == (4, 5) and B.shape == (5, 6)
+
+    def test_random_pair_deterministic(self):
+        s = ProblemShape(4, 5, 6)
+        A1, B1 = random_pair(s, seed=42)
+        A2, B2 = random_pair(s, seed=42)
+        assert np.array_equal(A1, A2) and np.array_equal(B1, B2)
+
+    def test_integer_pair_exact_products(self):
+        s = ProblemShape(8, 16, 8)
+        A, B = integer_pair(s, seed=3)
+        C = A @ B
+        assert np.array_equal(C, np.round(C))  # exactly integral
+
+    def test_structured_pair_closed_form(self):
+        s = ProblemShape(3, 4, 2)
+        A, B = structured_pair(s)
+        assert A[2, 3] == 2 + 2 * 3
+        assert B[3, 1] == 3 - 1
+
+    def test_operand_pair_dispatch(self):
+        s = ProblemShape(2, 2, 2)
+        for kind in ("random", "integer", "structured"):
+            A, B = operand_pair(s, kind=kind)
+            assert A.shape == (2, 2)
+        with pytest.raises(ValueError):
+            operand_pair(s, kind="bogus")
+
+
+class TestSuites:
+    def test_figure2_shape_and_thresholds(self):
+        assert FIGURE2_SHAPE.dims == (9600, 2400, 600)
+        assert FIGURE2_SHAPE.aspect_ratio_thresholds() == (4.0, 64.0)
+
+    def test_scaled_shape_same_regime_structure(self):
+        assert FIGURE2_SCALED.aspect_ratio_thresholds() == (4.0, 64.0)
+        for P in FIGURE2_PROCESSOR_COUNTS:
+            assert classify(FIGURE2_SHAPE, P) is classify(FIGURE2_SCALED, P)
+
+    def test_scaled_shape_divisible_by_expected_grids(self):
+        for P, dims in FIGURE2_EXPECTED_GRIDS.items():
+            n1, n2, n3 = FIGURE2_SCALED.dims
+            assert n1 % dims[0] == 0 and n2 % dims[1] == 0 and n3 % dims[2] == 0
+
+    def test_paper_example_tuple(self):
+        shape, counts, grids = paper_example()
+        assert shape is FIGURE2_SHAPE
+        assert counts == (3, 36, 512)
+        assert grids[512] == (32, 8, 2)
+
+    def test_square_suite(self):
+        for s in square_suite():
+            assert s.is_square()
+
+    def test_tall_skinny_suite_has_all_orientations(self):
+        suite = tall_skinny_suite()
+        largest_positions = set()
+        for s in suite:
+            dims = s.dims
+            largest_positions.add(dims.index(max(dims)))
+        assert largest_positions == {0, 1, 2}
+
+    def test_regime_suite_classifies_correctly(self):
+        shape = FIGURE2_SCALED
+        picks = regime_suite(shape)
+        assert classify(shape, picks["1D"]) is Regime.ONE_D
+        assert classify(shape, picks["2D"]) is Regime.TWO_D
+        assert classify(shape, picks["3D"]) is Regime.THREE_D
