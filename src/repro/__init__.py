@@ -15,7 +15,10 @@ The library has four layers:
   certificate, Theorem 3 / Corollary 4, the Table 1 comparison constants,
   and the Section 6.2 limited-memory analysis;
 * :mod:`repro.algorithms` — Algorithm 1 (which attains the bound exactly)
-  plus SUMMA, Cannon, 2.5D, CARMA-style recursive and 1D baselines.
+  plus SUMMA, Cannon, 2.5D, CARMA-style recursive and 1D baselines;
+* :mod:`repro.obs` — observability: span tracing, per-rank metrics,
+  bound-attainment gauges, and timeline exporters
+  (see ``docs/OBSERVABILITY.md``).
 
 Quickstart
 ----------
@@ -59,10 +62,12 @@ from .core import (
     square_lower_bound,
 )
 from .machine import Cost, CostModel, Machine
+from .obs import Attainment, bound_attainment
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Attainment",
     "Communicator",
     "Cost",
     "CostModel",
@@ -73,6 +78,7 @@ __all__ = [
     "accessed_data_bound",
     "alg1_cost",
     "alg1_cost_terms",
+    "bound_attainment",
     "classify",
     "communication_lower_bound",
     "continuous_optimal_grid",

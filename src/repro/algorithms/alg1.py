@@ -33,6 +33,7 @@ from ..collectives.communicator import (
 from ..core.shapes import ProblemShape
 from ..machine.cost import Cost, CostModel
 from ..machine.machine import Machine
+from ..obs.attainment import Attainment, record_attainment
 from .cost_models import Alg1CostBreakdown, alg1_cost_terms
 from .distributions import (
     assemble_c,
@@ -66,7 +67,13 @@ class Alg1Result:
         Largest per-processor peak store footprint (words), for the
         Section 6.2 memory analysis.
     machine:
-        The machine the run used (with full trace and counters).
+        The machine the run used (with full span trace, metrics registry
+        and counters).
+    attainment:
+        Bound-attainment gauges for this run: measured words over the
+        Theorem 3 bound (and over the memory-dependent bound when the
+        machine has a memory limit).  Also published to
+        ``machine.metrics`` as ``attainment_ratio`` gauges.
     """
 
     C: np.ndarray
@@ -77,6 +84,7 @@ class Alg1Result:
     phase_words: Dict[str, float]
     peak_memory: int
     machine: Machine
+    attainment: Attainment
 
 
 def run_alg1(
@@ -141,101 +149,101 @@ def run_alg1(
     phase_words: Dict[str, float] = {}
 
     # ---- Line 3: All-Gather A blocks along p3-fibers ------------------- #
-    before = machine.cost
     ag_alg = collective_algorithm
-    if p3 > 1:
-        chunks = {r: machine.proc(r).store["A_shard"] for r in range(grid.size)}
-        gathered = parallel_allgather(
-            machine, grid.fibers(3), chunks, algorithm=ag_alg, label="A blocks"
-        )
-    else:
-        gathered = {r: [machine.proc(r).store["A_shard"]] for r in range(grid.size)}
-    for rank in range(grid.size):
-        c1, c2, _ = grid.coord(rank)
-        r0, r1 = block_bounds(n1, p1, c1)
-        c0, c1b = block_bounds(n2, p2, c2)
-        flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
-        machine.proc(rank).store["A_block"] = flat.reshape(r1 - r0, c1b - c0)
-    phase_words["allgather_a"] = (machine.cost - before).words
+    with machine.span("allgather-A", kind="collective") as span_a:
+        if p3 > 1:
+            chunks = {r: machine.proc(r).store["A_shard"] for r in range(grid.size)}
+            gathered = parallel_allgather(
+                machine, grid.fibers(3), chunks, algorithm=ag_alg, label="A blocks"
+            )
+        else:
+            gathered = {r: [machine.proc(r).store["A_shard"]] for r in range(grid.size)}
+        for rank in range(grid.size):
+            c1, c2, _ = grid.coord(rank)
+            r0, r1 = block_bounds(n1, p1, c1)
+            c0, c1b = block_bounds(n2, p2, c2)
+            flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
+            machine.proc(rank).store["A_block"] = flat.reshape(r1 - r0, c1b - c0)
+    phase_words["allgather_a"] = span_a.cost.words
 
     # ---- Line 4: All-Gather B blocks along p1-fibers ------------------- #
-    before = machine.cost
-    if p1 > 1:
-        chunks = {r: machine.proc(r).store["B_shard"] for r in range(grid.size)}
-        gathered = parallel_allgather(
-            machine, grid.fibers(1), chunks, algorithm=ag_alg, label="B blocks"
-        )
-    else:
-        gathered = {r: [machine.proc(r).store["B_shard"]] for r in range(grid.size)}
-    for rank in range(grid.size):
-        _, c2, c3 = grid.coord(rank)
-        r0, r1 = block_bounds(n2, p2, c2)
-        c0, c1b = block_bounds(n3, p3, c3)
-        flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
-        machine.proc(rank).store["B_block"] = flat.reshape(r1 - r0, c1b - c0)
-    phase_words["allgather_b"] = (machine.cost - before).words
+    with machine.span("allgather-B", kind="collective") as span_b:
+        if p1 > 1:
+            chunks = {r: machine.proc(r).store["B_shard"] for r in range(grid.size)}
+            gathered = parallel_allgather(
+                machine, grid.fibers(1), chunks, algorithm=ag_alg, label="B blocks"
+            )
+        else:
+            gathered = {r: [machine.proc(r).store["B_shard"]] for r in range(grid.size)}
+        for rank in range(grid.size):
+            _, c2, c3 = grid.coord(rank)
+            r0, r1 = block_bounds(n2, p2, c2)
+            c0, c1b = block_bounds(n3, p3, c3)
+            flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
+            machine.proc(rank).store["B_block"] = flat.reshape(r1 - r0, c1b - c0)
+    phase_words["allgather_b"] = span_b.cost.words
 
     # ---- Line 6: local computation D = A_block @ B_block --------------- #
-    for rank in range(grid.size):
-        store = machine.proc(rank).store
-        a_blk = store["A_block"]
-        b_blk = store["B_block"]
-        d = a_blk @ b_blk
-        store["D"] = d
-        # The paper counts scalar multiplications: (n1/p1)(n2/p2)(n3/p3).
-        machine.compute(rank, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
-        if not keep_blocks:
-            store.free("A_block")
-            store.free("B_block")
-    machine.trace.record("compute", "local GEMM D = A_block @ B_block")
+    with machine.trace.measure("local GEMM D = A_block @ B_block", "compute"):
+        for rank in range(grid.size):
+            store = machine.proc(rank).store
+            a_blk = store["A_block"]
+            b_blk = store["B_block"]
+            d = a_blk @ b_blk
+            store["D"] = d
+            # The paper counts scalar multiplications: (n1/p1)(n2/p2)(n3/p3).
+            machine.compute(rank, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
+            if not keep_blocks:
+                store.free("A_block")
+                store.free("B_block")
 
     # ---- Line 8: Reduce-Scatter D along p2-fibers ---------------------- #
-    before = machine.cost
     # The gather-phase algorithm names map onto their reduce-phase duals.
     rs_alg = {"recursive_doubling": "recursive_halving"}.get(
         collective_algorithm, collective_algorithm
     )
-    if p2 > 1:
-        blocks = {}
-        for rank in range(grid.size):
-            d_flat = machine.proc(rank).store["D"].reshape(-1)
-            blocks[rank] = [
-                d_flat[lo:hi]
-                for lo, hi in (
-                    shard_bounds(d_flat.size, p2, j) for j in range(p2)
-                )
-            ]
-        if final_phase == "reduce_scatter":
-            reduced = parallel_reduce_scatter(
-                machine, grid.fibers(2), blocks, algorithm=rs_alg, label="C blocks",
-            )
-        elif final_phase == "alltoall":
-            exchanged = parallel_alltoall(
-                machine, grid.fibers(2), blocks, label="C blocks (all-to-all)",
-            )
-            reduced = {}
+    with machine.span("reduce-scatter-C", kind="collective") as span_c:
+        if p2 > 1:
+            blocks = {}
             for rank in range(grid.size):
-                partials = exchanged[rank]
-                total = np.zeros_like(np.asarray(partials[0], dtype=float))
-                for part in partials:
-                    total = total + np.asarray(part, dtype=float)
-                # Local summation of p2 partials, charged as flops.
-                machine.compute(rank, float(total.size * (len(partials) - 1)))
-                reduced[rank] = total
+                d_flat = machine.proc(rank).store["D"].reshape(-1)
+                blocks[rank] = [
+                    d_flat[lo:hi]
+                    for lo, hi in (
+                        shard_bounds(d_flat.size, p2, j) for j in range(p2)
+                    )
+                ]
+            if final_phase == "reduce_scatter":
+                reduced = parallel_reduce_scatter(
+                    machine, grid.fibers(2), blocks, algorithm=rs_alg, label="C blocks",
+                )
+            elif final_phase == "alltoall":
+                exchanged = parallel_alltoall(
+                    machine, grid.fibers(2), blocks, label="C blocks (all-to-all)",
+                )
+                reduced = {}
+                for rank in range(grid.size):
+                    partials = exchanged[rank]
+                    total = np.zeros_like(np.asarray(partials[0], dtype=float))
+                    for part in partials:
+                        total = total + np.asarray(part, dtype=float)
+                    # Local summation of p2 partials, charged as flops.
+                    machine.compute(rank, float(total.size * (len(partials) - 1)))
+                    reduced[rank] = total
+            else:
+                raise ValueError(
+                    f"final_phase must be 'reduce_scatter' or 'alltoall', got "
+                    f"{final_phase!r}"
+                )
         else:
-            raise ValueError(
-                f"final_phase must be 'reduce_scatter' or 'alltoall', got "
-                f"{final_phase!r}"
-            )
-    else:
-        reduced = {
-            r: machine.proc(r).store["D"].reshape(-1).copy() for r in range(grid.size)
-        }
-    for rank in range(grid.size):
-        store = machine.proc(rank).store
-        store["C_shard"] = np.asarray(reduced[rank]).reshape(-1)
-        store.free("D")
-    phase_words["reduce_scatter_c"] = (machine.cost - before).words
+            reduced = {
+                r: machine.proc(r).store["D"].reshape(-1).copy() for r in range(grid.size)
+            }
+        for rank in range(grid.size):
+            store = machine.proc(rank).store
+            store["C_shard"] = np.asarray(reduced[rank]).reshape(-1)
+            store.free("D")
+    phase_words["reduce_scatter_c"] = span_c.cost.words
 
     C = assemble_c(machine, shape, grid)
     return Alg1Result(
@@ -247,4 +255,7 @@ def run_alg1(
         phase_words=phase_words,
         peak_memory=machine.peak_memory_words(),
         machine=machine,
+        attainment=record_attainment(
+            machine, shape, P=grid.size, algorithm="alg1"
+        ),
     )

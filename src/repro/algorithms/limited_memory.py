@@ -36,6 +36,7 @@ from ..collectives.communicator import parallel_allgather, parallel_reduce_scatt
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
 from ..machine.machine import Machine
+from ..obs.attainment import record_attainment
 from .alg1 import Alg1Result, run_alg1
 from .cost_models import alg1_cost_terms
 from .distributions import (
@@ -183,4 +184,7 @@ def run_alg1_chunked(
         phase_words=phase_words,
         peak_memory=machine.peak_memory_words(),
         machine=machine,
+        attainment=record_attainment(
+            machine, shape, P=grid.size, algorithm="alg1_limited_memory"
+        ),
     )

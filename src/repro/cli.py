@@ -6,9 +6,14 @@ Gives downstream users the paper's results without writing any code:
     Theorem 3 (and, with ``--memory``, the Section 6.2 comparison).
 ``grid N1 N2 N3 --procs P``
     The Section 5.2 optimal processor grid and expression (3) cost.
-``run N1 N2 N3 --procs P [--seed S]``
+``run N1 N2 N3 --procs P [--seed S] [--trace T.json] [--metrics M.jsonl]``
     Execute Algorithm 1 on the simulated machine and report measured
-    cost versus the bound.
+    cost versus the bound, with bound-attainment gauges; optionally
+    export a Chrome-trace timeline (``--trace``) and JSON-lines
+    span/metric records (``--metrics``).
+``inspect FILE.jsonl``
+    Pretty-print a recorded trace: span (phase) tree, per-rank counter
+    table, attainment summary, metrics digest.
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
@@ -52,6 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="execute Algorithm 1 on the simulator")
     add_shape(p_run)
     p_run.add_argument("--seed", type=int, default=0, help="operand RNG seed")
+    p_run.add_argument("--memory", "-m", type=float, default=None,
+                       help="per-processor memory limit M (words); also "
+                            "enables the memory-dependent attainment gauge")
+    p_run.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a chrome://tracing-compatible timeline JSON")
+    p_run.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write JSON-lines span/metric/per-rank records")
+
+    p_inspect = sub.add_parser(
+        "inspect", help="pretty-print a recorded JSON-lines trace"
+    )
+    p_inspect.add_argument(
+        "path", help=".jsonl file written by 'run --metrics'"
+    )
 
     for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
         sub.add_parser(name, help=f"print the {name} reproduction artifact")
@@ -111,13 +130,24 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .algorithms import run_alg1, select_grid
     from .core import ProblemShape, communication_lower_bound
+    from .exceptions import MemoryLimitExceededError
+    from .machine import Machine
 
     shape = ProblemShape(args.n1, args.n2, args.n3)
     choice = select_grid(shape, args.procs)
     rng = np.random.default_rng(args.seed)
     A = rng.random((shape.n1, shape.n2))
     B = rng.random((shape.n2, shape.n3))
-    res = run_alg1(A, B, choice.grid)
+    machine = None
+    if args.memory is not None:
+        machine = Machine(choice.grid.size, memory_limit=args.memory)
+    try:
+        res = run_alg1(A, B, choice.grid, machine=machine)
+    except MemoryLimitExceededError as exc:
+        print(f"run aborted: {exc}", file=sys.stderr)
+        print("(raise --memory; 'repro bounds ... -m M' shows the minimum)",
+              file=sys.stderr)
+        return 1
     ok = np.allclose(res.C, A @ B)
     bound = communication_lower_bound(shape, args.procs)
     print(f"problem {shape}, P = {args.procs}, grid {choice.grid}")
@@ -127,7 +157,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"lower bound:    {bound:g}  "
           f"(tight: {abs(res.cost.words - bound) < 1e-9 * max(1.0, bound)})")
     print(f"peak memory per processor: {res.peak_memory} words")
+    print(f"attainment: {res.attainment.summary()}")
+    try:
+        if args.trace:
+            from .obs import ChromeTraceExporter
+
+            n = ChromeTraceExporter().export(
+                res.machine, args.trace, attainment=res.attainment
+            )
+            print(f"wrote Chrome trace ({n} events) to {args.trace}")
+        if args.metrics:
+            from .obs import JSONLinesExporter
+
+            n = JSONLinesExporter().export(
+                res.machine, args.metrics, attainment=res.attainment
+            )
+            print(f"wrote {n} JSON-lines records to {args.metrics}")
+    except OSError as exc:
+        print(f"cannot write export: {exc}", file=sys.stderr)
+        return 2
     return 0 if ok else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .obs import inspect_report, read_jsonl
+
+    try:
+        records = read_jsonl(args.path)
+    except OSError as exc:
+        print(f"cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"not a JSON-lines trace (expected the 'run --metrics' "
+              f"format): {exc}", file=sys.stderr)
+        return 2
+    print(inspect_report(records))
+    return 0
 
 
 def _cmd_artifact(name: str) -> int:
@@ -175,6 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_grid(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command == "report":
         return _cmd_report()
     return _cmd_artifact(args.command)

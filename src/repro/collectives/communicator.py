@@ -104,11 +104,10 @@ class Communicator:
     # ------------------------------------------------------------------ #
 
     def _run(self, schedule: Schedule, kind: str, label: str) -> Any:
-        before = self.machine.cost
-        result = run_schedule(self.machine, schedule)
-        self.machine.trace.record(
-            kind, label, groups=(self.ranks,), cost=self.machine.cost - before
-        )
+        # A measured event span: cost and exact per-rank word/message deltas
+        # are captured from machine counter snapshots on entry/exit.
+        with self.machine.trace.measure(label, kind, groups=(self.ranks,)):
+            result = run_schedule(self.machine, schedule)
         return result
 
     def allgather(
@@ -229,14 +228,10 @@ def _run_parallel(
     kind: str,
     label: str,
 ) -> List[Any]:
-    before = machine.cost
-    results = run_schedules(machine, schedules)
-    machine.trace.record(
-        kind,
-        label,
-        groups=tuple(tuple(g) for g in groups),
-        cost=machine.cost - before,
-    )
+    with machine.trace.measure(
+        label, kind, groups=tuple(tuple(g) for g in groups)
+    ):
+        results = run_schedules(machine, schedules)
     return results
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .cost import Cost, CostModel
 from .message import Message
 from .network import FullyConnectedNetwork
@@ -34,6 +35,16 @@ from .processor import Processor
 from .trace import Trace
 
 __all__ = ["Machine", "CounterSnapshot"]
+
+
+def _pairwise_delta(name: str, before: tuple, after: tuple) -> tuple:
+    """``after - before`` element-wise; both sides must cover the same ranks."""
+    if len(before) != len(after):
+        raise ValueError(
+            f"cannot diff {name}: snapshots cover {len(before)} vs "
+            f"{len(after)} ranks (snapshots from different machines?)"
+        )
+    return tuple(b - a for a, b in zip(before, after))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,15 +56,30 @@ class CounterSnapshot:
     sent_words: tuple
     recv_words: tuple
     flops: tuple
+    sent_messages: tuple = ()
+    recv_messages: tuple = ()
 
     def delta(self, later: "CounterSnapshot") -> "CounterSnapshot":
-        """Per-counter difference ``later - self``."""
+        """Per-counter difference ``later - self``.
+
+        Raises
+        ------
+        ValueError
+            If the two snapshots cover different processor counts (the
+            per-rank tuples would otherwise be silently truncated).
+        """
         return CounterSnapshot(
             cost=later.cost - self.cost,
             total_words=later.total_words - self.total_words,
-            sent_words=tuple(b - a for a, b in zip(self.sent_words, later.sent_words)),
-            recv_words=tuple(b - a for a, b in zip(self.recv_words, later.recv_words)),
-            flops=tuple(b - a for a, b in zip(self.flops, later.flops)),
+            sent_words=_pairwise_delta("sent_words", self.sent_words, later.sent_words),
+            recv_words=_pairwise_delta("recv_words", self.recv_words, later.recv_words),
+            flops=_pairwise_delta("flops", self.flops, later.flops),
+            sent_messages=_pairwise_delta(
+                "sent_messages", self.sent_messages, later.sent_messages
+            ),
+            recv_messages=_pairwise_delta(
+                "recv_messages", self.recv_messages, later.recv_messages
+            ),
         )
 
 
@@ -95,7 +121,8 @@ class Machine:
             Processor(rank, memory_limit=memory_limit) for rank in range(n_procs)
         ]
         self.network = FullyConnectedNetwork(n_procs)
-        self.trace = Trace()
+        self.metrics = MetricsRegistry()
+        self.trace = Trace(machine=self)
 
     # ------------------------------------------------------------------ #
     # access                                                             #
@@ -130,6 +157,19 @@ class Machine:
         """Charge ``flops`` arithmetic operations to processor ``rank``."""
         self.proc(rank).compute(flops)
 
+    def span(self, name: str, kind: str = "phase", groups=()):
+        """Open a nested, auto-measured trace span (context manager).
+
+        Example
+        -------
+        >>> m = Machine(2)
+        >>> with m.span("allgather-A", kind="collective"):
+        ...     pass  # collectives run here attribute to this span
+        >>> m.trace.spans[0].name
+        'allgather-A'
+        """
+        return self.trace.span(name, kind=kind, groups=groups)
+
     # ------------------------------------------------------------------ #
     # counters                                                           #
     # ------------------------------------------------------------------ #
@@ -155,14 +195,17 @@ class Machine:
             sent_words=tuple(self.network.sent_words),
             recv_words=tuple(self.network.recv_words),
             flops=tuple(p.flops for p in self.processors),
+            sent_messages=tuple(self.network.sent_messages),
+            recv_messages=tuple(self.network.recv_messages),
         )
 
     def reset_counters(self) -> None:
-        """Zero all cost counters and the trace; stores keep their data."""
+        """Zero all cost counters, the trace and metrics; stores keep data."""
         self.network.reset()
         for p in self.processors:
             p.reset_counters()
         self.trace.clear()
+        self.metrics.reset()
 
     def reset(self) -> None:
         """Full reset: counters, trace, and every processor's store."""

@@ -242,9 +242,8 @@ def _execute_batch(
 
     schedules = [_build_schedule(machine, kind, reqs) for reqs in batches]
     groups = tuple(tuple(next(iter(reqs.values())).group) for reqs in batches)
-    before = machine.cost
-    results = run_schedules(machine, schedules)
-    machine.trace.record(kind, "spmd", groups=groups, cost=machine.cost - before)
+    with machine.trace.measure("spmd", kind, groups=groups):
+        results = run_schedules(machine, schedules)
     merged: Dict[int, Any] = {}
     for reqs, result in zip(batches, results):
         for r in reqs:

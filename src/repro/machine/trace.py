@@ -1,11 +1,20 @@
-"""Structured event trace of a simulated execution.
+"""Structured trace of a simulated execution, backed by nested spans.
 
-The trace records high-level events — collective operations, compute phases,
-distribution/assembly steps — each annotated with the communication cost
-delta it incurred.  Benchmarks use it to reproduce Figure 1 of the paper
-(which processors participate in which collectives, and how many words each
-collective moves), and tests use it to pin per-phase costs to the closed-form
-expressions of Section 5.1.
+Historically this module held a flat append-only event list.  The trace is
+now a *view* over the span tree recorded by
+:class:`~repro.obs.span.SpanRecorder` (see :mod:`repro.obs`): collectives
+and compute phases record **event spans** (the unit of cost accounting),
+and algorithm-level code groups them under structural spans with
+``machine.span("allgather-A")``.  The flat query API below — ``record``,
+``by_kind``, ``total_cost``, ``groups_involving`` — is unchanged and
+operates on the event spans in execution order, so all code written against
+the old flat trace keeps working; the span tree, timestamps, and per-rank
+attribution are available through :attr:`Trace.recorder` / :attr:`Trace.spans`.
+
+Benchmarks use the trace to reproduce Figure 1 of the paper (which
+processors participate in which collectives, and how many words each
+collective moves), and tests use it to pin per-phase costs to the
+closed-form expressions of Section 5.1.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+from ..obs.span import Span, SpanRecorder
 from .cost import Cost
 
 __all__ = ["TraceEvent", "Trace"]
@@ -20,7 +30,7 @@ __all__ = ["TraceEvent", "Trace"]
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event.
+    """Flat view of one recorded event span.
 
     Attributes
     ----------
@@ -39,35 +49,88 @@ class TraceEvent:
     kind: str
     label: str
     groups: Tuple[Tuple[int, ...], ...] = ()
-    cost: Cost = Cost()
+    cost: Cost = dataclasses.field(default_factory=Cost)
 
 
 class Trace:
-    """An append-only list of :class:`TraceEvent` with simple queries."""
+    """Span-backed trace with the legacy flat-event query API.
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    Parameters
+    ----------
+    machine:
+        Optional :class:`~repro.machine.machine.Machine`; when given,
+        spans opened through this trace measure cost and per-rank counter
+        deltas automatically and events land on the modelled timeline.
+    """
+
+    def __init__(self, machine=None) -> None:
+        self.recorder = SpanRecorder(machine)
+
+    # ------------------------------------------------------------------ #
+    # recording                                                          #
+    # ------------------------------------------------------------------ #
 
     def record(
         self,
         kind: str,
         label: str,
         groups: Tuple[Tuple[int, ...], ...] = (),
-        cost: Cost = Cost(),
+        cost: Optional[Cost] = None,
     ) -> TraceEvent:
-        event = TraceEvent(kind=kind, label=label, groups=groups, cost=cost)
-        self.events.append(event)
-        return event
+        """Record an event with an explicit cost delta (legacy API).
+
+        The event becomes a closed leaf span under the innermost open
+        span.  ``cost=None`` means zero cost.
+        """
+        span = self.recorder.record_event(kind, label, groups=groups, cost=cost)
+        return self._as_event(span)
+
+    def span(self, name: str, kind: str = "phase", groups=()):
+        """Open a nested structural span (context manager).
+
+        Structural spans measure *inclusive* cost but are not events: the
+        flat queries below do not see them, so wrapping existing code in
+        spans never changes legacy accounting.
+        """
+        return self.recorder.span(name, kind=kind, groups=groups)
+
+    def measure(self, name: str, kind: str, groups=()):
+        """Open an auto-measured *event* span (context manager).
+
+        This is how collectives attribute their exact cost and per-rank
+        word counts; see :class:`~repro.obs.span.SpanRecorder.measure`.
+        """
+        return self.recorder.measure(name, kind=kind, groups=groups)
 
     def clear(self) -> None:
-        self.events.clear()
+        self.recorder.clear()
+
+    # ------------------------------------------------------------------ #
+    # flat queries (legacy API)                                          #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _as_event(span: Span) -> TraceEvent:
+        return TraceEvent(
+            kind=span.kind, label=span.name, groups=span.groups, cost=span.cost
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All event spans as flat :class:`TraceEvent`, execution order."""
+        return [self._as_event(s) for s in self.recorder.events()]
+
+    @property
+    def spans(self) -> List[Span]:
+        """Root spans of the recorded span tree."""
+        return self.recorder.roots
 
     def by_kind(self, kind: str) -> List[TraceEvent]:
         """All events of the given category, in execution order."""
         return [e for e in self.events if e.kind == kind]
 
     def total_cost(self, kind: Optional[str] = None) -> Cost:
-        """Sum of cost deltas, optionally restricted to one event kind."""
+        """Sum of event cost deltas, optionally restricted to one kind."""
         total = Cost()
         for event in self.events:
             if kind is None or event.kind == kind:
@@ -86,7 +149,7 @@ class Trace:
         ]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.recorder.events())
 
     def __iter__(self):
         return iter(self.events)

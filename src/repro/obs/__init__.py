@@ -1,0 +1,67 @@
+"""Observability: span tracing, metrics, bound-attainment gauges, exporters.
+
+This subpackage makes the simulator's cost claims *inspectable*.  The
+reproduction's whole point is exact accounting — Theorem 3's tight
+constants (1/2/3 across the 1D/2D/3D regimes) only show up if every word
+moved by every collective is attributed to the right phase — so the
+instrumentation layer is structured around that invariant:
+
+* :mod:`repro.obs.span` — nested, auto-measured spans with per-rank
+  send/recv word counts, message counts and flop deltas.  The machine's
+  legacy flat :class:`~repro.machine.trace.Trace` API is a view over the
+  event spans, so existing callers are unaffected.
+* :mod:`repro.obs.metrics` — counters, gauges and histograms in a
+  per-machine :class:`~repro.obs.metrics.MetricsRegistry`, fed
+  automatically as event spans close.
+* :mod:`repro.obs.attainment` — ``measured cost / lower bound`` gauges,
+  published after every algorithm run: "Algorithm 1 attains the bound
+  exactly" becomes a first-class observable rather than a test assertion.
+* :mod:`repro.obs.exporters` — pluggable exporters: JSON-lines (with a
+  zero-drift guarantee against the machine counters) and Chrome
+  ``chrome://tracing`` timeline JSON.
+* :mod:`repro.obs.inspect` — the ``repro inspect`` pretty-printer (phase
+  tree, per-rank table, attainment summary).
+
+See ``docs/OBSERVABILITY.md`` for a guided tour.
+"""
+
+from .span import Span, SpanRecorder
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_imbalance,
+    update_machine_gauges,
+)
+from .attainment import Attainment, bound_attainment, record_attainment
+from .exporters import (
+    EXPORTERS,
+    ChromeTraceExporter,
+    JSONLinesExporter,
+    get_exporter,
+    read_jsonl,
+)
+from .inspect import inspect_report, render_rank_table, render_span_tree
+
+__all__ = [
+    "Attainment",
+    "ChromeTraceExporter",
+    "Counter",
+    "EXPORTERS",
+    "Gauge",
+    "Histogram",
+    "JSONLinesExporter",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "bound_attainment",
+    "get_exporter",
+    "inspect_report",
+    "load_imbalance",
+    "read_jsonl",
+    "record_attainment",
+    "render_rank_table",
+    "render_span_tree",
+    "update_machine_gauges",
+]

@@ -1,0 +1,257 @@
+"""Trace/metrics exporters: JSON-lines and Chrome-trace timeline formats.
+
+Two built-in exporters, both pluggable through :data:`EXPORTERS`:
+
+``jsonl`` — :class:`JSONLinesExporter`
+    One JSON object per line, self-describing via a ``type`` field:
+
+    * ``meta``     — machine parameters (P, cost model, modelled time);
+    * ``span``     — one line per span (tree encoded by ``id``/``parent``),
+      with cost deltas and per-rank sent/recv words, message counts and
+      flops (events carry the exact per-rank attribution);
+    * ``metric``   — one line per registry instrument
+      (counter/gauge/histogram snapshot);
+    * ``per_rank`` — one line per processor with its cumulative counters;
+    * ``summary``  — machine totals, written last.
+
+    The format satisfies a *zero-drift invariant*: summing ``sent_words``
+    / ``recv_words`` over the event spans reproduces the per-rank and
+    global machine counters exactly (tested in
+    ``tests/obs/test_exporters.py``).  :func:`read_jsonl` loads a file
+    back into records; ``repro inspect`` pretty-prints it.
+
+``chrome`` — :class:`ChromeTraceExporter`
+    The Chrome trace-event JSON object format (load in ``chrome://tracing``
+    or https://ui.perfetto.dev).  Spans become complete (``"ph": "X"``)
+    events on the modelled timeline: structural spans on a "span tree"
+    track per nesting depth, event spans additionally fanned out to one
+    lane per participating rank — the per-processor fiber view of the
+    paper's Figure 1, as a timeline.
+
+Modelled time (``CostModel.time`` of the cumulative cost, in abstract
+seconds) is exported as microseconds, the unit Chrome expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .attainment import Attainment
+from .metrics import update_machine_gauges
+
+__all__ = [
+    "JSONLinesExporter",
+    "ChromeTraceExporter",
+    "EXPORTERS",
+    "get_exporter",
+    "read_jsonl",
+]
+
+
+def _meta_record(machine) -> dict:
+    cm = machine.cost_model
+    return {
+        "type": "meta",
+        "format": "repro-obs-v1",
+        "n_procs": machine.n_procs,
+        "cost_model": {"alpha": cm.alpha, "beta": cm.beta, "gamma": cm.gamma},
+        "memory_limit": machine.memory_limit,
+        "time": machine.time,
+    }
+
+
+def _per_rank_records(machine) -> List[dict]:
+    net = machine.network
+    return [
+        {
+            "type": "per_rank",
+            "rank": rank,
+            "sent_words": net.sent_words[rank],
+            "recv_words": net.recv_words[rank],
+            "sent_messages": net.sent_messages[rank],
+            "recv_messages": net.recv_messages[rank],
+            "flops": machine.processors[rank].flops,
+        }
+        for rank in range(machine.n_procs)
+    ]
+
+
+def _summary_record(machine) -> dict:
+    net = machine.network
+    return {
+        "type": "summary",
+        "rounds": net.rounds,
+        "critical_words": net.critical_words,
+        "total_words": net.total_words,
+        "sent_words": list(net.sent_words),
+        "recv_words": list(net.recv_words),
+        "sent_messages": list(net.sent_messages),
+        "recv_messages": list(net.recv_messages),
+        "max_flops": max((p.flops for p in machine.processors), default=0.0),
+        "time": machine.time,
+        "peak_memory_words": machine.peak_memory_words(),
+    }
+
+
+class JSONLinesExporter:
+    """Write a machine's spans, metrics and counters as JSON lines."""
+
+    name = "jsonl"
+
+    def records(
+        self, machine, attainment: Optional[Attainment] = None
+    ) -> List[dict]:
+        """All records in file order (meta, spans, metrics, ranks, summary)."""
+        update_machine_gauges(machine)
+        out: List[dict] = [_meta_record(machine)]
+        out.extend(s.to_record() for s in machine.trace.recorder.iter_spans())
+        if attainment is not None:
+            out.append(attainment_record(attainment))
+        out.extend(
+            {**m, "type": "metric", "metric_type": m["type"]}
+            for m in machine.metrics.collect()
+        )
+        out.extend(_per_rank_records(machine))
+        out.append(_summary_record(machine))
+        return out
+
+    def export(
+        self, machine, path: str, attainment: Optional[Attainment] = None
+    ) -> int:
+        """Write one JSON object per line to ``path``; returns line count."""
+        records = self.records(machine, attainment)
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        return len(records)
+
+
+def attainment_record(attainment: Attainment) -> dict:
+    """Flatten an :class:`~repro.obs.attainment.Attainment` to a record."""
+    return {
+        "type": "attainment",
+        "shape": list(attainment.shape.dims),
+        "P": attainment.P,
+        "regime": attainment.regime.name,
+        "measured_words": attainment.measured_words,
+        "bound": attainment.bound,
+        "ratio": attainment.ratio,
+        "attains": attainment.attains,
+        "memory": attainment.memory,
+        "memory_bound": attainment.memory_bound,
+        "memory_ratio": attainment.memory_ratio,
+    }
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSON-lines export back into a list of record dicts."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class ChromeTraceExporter:
+    """Write the span tree in Chrome's trace-event JSON object format."""
+
+    name = "chrome"
+
+    #: Microseconds per modelled time unit.
+    SCALE = 1e6
+
+    def trace_events(self, machine) -> List[dict]:
+        """The ``traceEvents`` array (metadata + complete events)."""
+        events: List[dict] = []
+        pid = 0
+        rank_tids: Dict[int, int] = {
+            rank: rank + 1 for rank in range(machine.n_procs)
+        }
+        tree_tid_base = machine.n_procs + 1
+
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": f"repro machine (P={machine.n_procs})"},
+        })
+        for rank, tid in rank_tids.items():
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": f"rank {rank}"},
+            })
+
+        max_depth = 0
+        for span in machine.trace.recorder.iter_spans():
+            max_depth = max(max_depth, span.depth)
+            args = {
+                "kind": span.kind,
+                "rounds": span.cost.rounds,
+                "words": span.cost.words,
+                "flops": span.cost.flops,
+                "groups": [list(g) for g in span.groups],
+            }
+            common = {
+                "ph": "X",
+                "pid": pid,
+                "cat": span.kind,
+                "name": span.name or span.kind,
+                "ts": span.start_time * self.SCALE,
+                "dur": span.duration * self.SCALE,
+            }
+            # One lane per nesting depth for the span tree itself.
+            events.append({**common, "tid": tree_tid_base + span.depth, "args": args})
+            if span.event:
+                # Fan event spans out to every participating rank's lane —
+                # the per-processor fiber view of Figure 1 as a timeline.
+                for rank in sorted({r for g in span.groups for r in g}):
+                    rank_args = dict(args)
+                    if len(span.sent_words) == machine.n_procs:
+                        rank_args["sent_words"] = span.sent_words[rank]
+                        rank_args["recv_words"] = span.recv_words[rank]
+                    events.append({**common, "tid": rank_tids[rank], "args": rank_args})
+
+        for depth in range(max_depth + 1):
+            events.append({
+                "ph": "M", "pid": pid, "tid": tree_tid_base + depth,
+                "name": "thread_name", "args": {"name": f"span tree depth {depth}"},
+            })
+        return events
+
+    def export(
+        self, machine, path: str, attainment: Optional[Attainment] = None
+    ) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        events = self.trace_events(machine)
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "format": "repro-obs-v1",
+                "n_procs": machine.n_procs,
+                "modelled_time": machine.time,
+            },
+        }
+        if attainment is not None:
+            payload["otherData"]["attainment"] = attainment_record(attainment)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        return len(events)
+
+
+#: Pluggable exporter registry: name -> exporter factory.
+EXPORTERS = {
+    JSONLinesExporter.name: JSONLinesExporter,
+    ChromeTraceExporter.name: ChromeTraceExporter,
+}
+
+
+def get_exporter(name: str):
+    """Instantiate a registered exporter by name."""
+    try:
+        return EXPORTERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown exporter {name!r}; registered: {sorted(EXPORTERS)}"
+        ) from None

@@ -1,0 +1,190 @@
+"""Pretty-printing of recorded traces — the ``repro inspect`` backend.
+
+Takes the records of a JSON-lines export (see
+:class:`~repro.obs.exporters.JSONLinesExporter`) and renders, as plain
+text:
+
+* the **phase tree** — the span hierarchy with rounds/words/flops per
+  span, events marked distinctly from structural spans;
+* the **per-rank table** — words and messages sent/received plus flops
+  for every processor, with totals and the load-imbalance gauges;
+* the **attainment summary** — measured words against the Theorem 3 and
+  memory-dependent bounds (when recorded);
+* the **metrics digest** — counters and histogram summaries.
+
+Pure stdlib and purely functional: ``inspect_report(records) -> str``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["inspect_report", "render_span_tree", "render_rank_table"]
+
+
+def _fmt(value, width: int = 0) -> str:
+    if isinstance(value, float) and value == int(value):
+        text = f"{int(value):d}"
+    elif isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def _first(records: List[dict], kind: str) -> Optional[dict]:
+    for record in records:
+        if record.get("type") == kind:
+            return record
+    return None
+
+
+def render_span_tree(records: List[dict]) -> str:
+    """The span hierarchy with per-span costs, one line per span."""
+    spans = [r for r in records if r.get("type") == "span"]
+    if not spans:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+
+    lines = ["span tree (rounds | words | flops):"]
+
+    def visit(span: dict, prefix: str, is_last: bool) -> None:
+        connector = "└── " if is_last else "├── "
+        marker = "" if span.get("event") else " [span]"
+        name = span.get("name") or span.get("kind")
+        lines.append(
+            f"{prefix}{connector}{span['kind']}: {name}{marker}  "
+            f"({_fmt(span['rounds'])} | {_fmt(span['words'])} | "
+            f"{_fmt(span['flops'])})"
+        )
+        kids = children.get(span["id"], [])
+        child_prefix = prefix + ("    " if is_last else "│   ")
+        for i, kid in enumerate(kids):
+            visit(kid, child_prefix, i == len(kids) - 1)
+
+    roots = children.get(None, [])
+    for i, root in enumerate(roots):
+        visit(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def render_rank_table(records: List[dict]) -> str:
+    """Per-processor counter table with totals."""
+    ranks = [r for r in records if r.get("type") == "per_rank"]
+    if not ranks:
+        return "(no per-rank records)"
+    headers = ["rank", "sent words", "recv words", "sent msgs", "recv msgs", "flops"]
+    rows = [
+        [
+            str(r["rank"]),
+            _fmt(float(r["sent_words"])),
+            _fmt(float(r["recv_words"])),
+            _fmt(float(r["sent_messages"])),
+            _fmt(float(r["recv_messages"])),
+            _fmt(float(r["flops"])),
+        ]
+        for r in sorted(ranks, key=lambda r: r["rank"])
+    ]
+    rows.append([
+        "total",
+        _fmt(float(sum(r["sent_words"] for r in ranks))),
+        _fmt(float(sum(r["recv_words"] for r in ranks))),
+        _fmt(float(sum(r["sent_messages"] for r in ranks))),
+        _fmt(float(sum(r["recv_messages"] for r in ranks))),
+        _fmt(float(sum(r["flops"] for r in ranks))),
+    ])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in rows[:-1]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    lines.append(sep)
+    lines.append(" | ".join(c.rjust(w) for c, w in zip(rows[-1], widths)))
+    return "per-rank counters:\n" + "\n".join(lines)
+
+
+def _render_attainment(records: List[dict]) -> str:
+    att = _first(records, "attainment")
+    if att is None:
+        return "(no attainment record)"
+    lines = [
+        "bound attainment:",
+        f"  problem {tuple(att['shape'])} on P={att['P']} "
+        f"({att['regime']} regime)",
+        f"  measured words:            {_fmt(float(att['measured_words']))}",
+        f"  Theorem 3 bound:           {_fmt(float(att['bound']))}",
+        f"  ratio (measured/bound):    {att['ratio']:.9f}"
+        + ("  <- attains the bound" if att.get("attains") else ""),
+    ]
+    if att.get("memory_ratio") is not None:
+        lines.append(
+            f"  memory-dependent bound:    {_fmt(float(att['memory_bound']))} "
+            f"(M={_fmt(float(att['memory']))}); ratio {att['memory_ratio']:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _render_metrics(records: List[dict]) -> str:
+    metrics = [r for r in records if r.get("type") == "metric"]
+    if not metrics:
+        return "(no metrics recorded)"
+    lines = ["metrics:"]
+    for m in metrics:
+        labels = m.get("labels") or {}
+        label_text = (
+            "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        if m.get("metric_type") == "histogram":
+            lines.append(
+                f"  {m['name']}{label_text}: count={m['count']} "
+                f"sum={_fmt(float(m['sum']))} min={_fmt(float(m['min']))} "
+                f"max={_fmt(float(m['max']))}"
+            )
+        else:
+            lines.append(f"  {m['name']}{label_text} = {_fmt(float(m['value']))}")
+    return "\n".join(lines)
+
+
+def _render_summary(records: List[dict]) -> str:
+    meta = _first(records, "meta")
+    summary = _first(records, "summary")
+    lines = []
+    if meta is not None:
+        cm = meta.get("cost_model", {})
+        lines.append(
+            f"machine: P={meta['n_procs']}, alpha={cm.get('alpha')}, "
+            f"beta={cm.get('beta')}, gamma={cm.get('gamma')}, "
+            f"memory_limit={meta.get('memory_limit')}"
+        )
+    if summary is not None:
+        lines.append(
+            f"totals: rounds={summary['rounds']}, "
+            f"critical words={_fmt(float(summary['critical_words']))}, "
+            f"total words={_fmt(float(summary['total_words']))}, "
+            f"max flops={_fmt(float(summary['max_flops']))}, "
+            f"modelled time={_fmt(float(summary['time']))}, "
+            f"peak memory={_fmt(float(summary['peak_memory_words']))} words"
+        )
+    return "\n".join(lines) if lines else "(no summary records)"
+
+
+def inspect_report(records: List[dict]) -> str:
+    """The full ``repro inspect`` rendering of a JSON-lines export."""
+    sections = [
+        _render_summary(records),
+        render_span_tree(records),
+        render_rank_table(records),
+        _render_attainment(records),
+        _render_metrics(records),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,303 @@
+"""Span-based tracing: the nested replacement for the flat event trace.
+
+A :class:`Span` is one timed region of a simulated execution — a collective,
+a compute phase, or a user-defined block opened with
+``machine.span("allgather-A", kind="collective")``.  Spans nest: Algorithm 1
+produces a tree like ::
+
+    alg1
+    ├── allgather-A
+    │   └── allgather "A blocks"        (event, 48 words)
+    ├── allgather-B
+    │   └── allgather "B blocks"        (event, 36 words)
+    ├── compute
+    │   └── compute "local GEMM ..."    (event, 0 words)
+    └── reduce-scatter-C
+        └── reduce-scatter "C blocks"   (event, 40 words)
+
+Each span carries the *inclusive* cost delta it incurred (rounds, words,
+flops along the critical path) plus per-rank attribution: words and
+messages sent/received and flops performed by every processor while the
+span was open.  When the recorder is attached to a
+:class:`~repro.machine.machine.Machine` these are measured automatically
+from counter snapshots, so attribution is exact by construction — the same
+words the network counted are the words the spans report (the "zero drift"
+invariant tested in ``tests/obs/test_exporters.py``).
+
+Spans marked ``event=True`` are the unit-of-accounting leaves; the legacy
+:class:`~repro.machine.trace.Trace` API (``by_kind``, ``total_cost``,
+``groups_involving``) is a flat view over exactly those spans, so code
+written against the old flat trace keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.cost import Cost
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+def _zero_cost():
+    # Imported lazily: obs.span sits below the machine layer in the import
+    # graph (machine.trace imports it), so a module-level import of
+    # machine.cost would be circular for some import entry points.
+    from ..machine.cost import Cost
+
+    return Cost()
+
+
+def _tuple_delta(before: tuple, after: tuple) -> Tuple[float, ...]:
+    if len(before) != len(after):
+        raise ValueError(
+            f"per-rank counter length changed mid-span: {len(before)} != {len(after)}"
+        )
+    return tuple(b - a for a, b in zip(before, after))
+
+
+@dataclasses.dataclass
+class Span:
+    """One node of the span tree.
+
+    Attributes
+    ----------
+    index:
+        Creation sequence number (unique within a recorder, depth-first
+        creation order).
+    name:
+        Free-form label (e.g. ``"A blocks"`` or ``"allgather-A"``).
+    kind:
+        Category: ``"allgather"``, ``"reduce-scatter"``, ``"compute"``,
+        ``"phase"``, ...  Event spans reuse the legacy trace kinds.
+    groups:
+        Processor groups involved (tuple of rank tuples); empty for purely
+        local or structural spans.
+    event:
+        True for unit-of-accounting leaf spans — the spans the legacy
+        :class:`~repro.machine.trace.Trace` view exposes and the spans
+        whose per-rank counters must sum to the machine's cumulative
+        counters.  Structural (``event=False``) spans carry *inclusive*
+        costs and exist for grouping/timeline purposes only.
+    start_time, end_time:
+        Modelled machine time (``CostModel.time`` of the cumulative cost)
+        at open and close; zero when the recorder has no machine attached.
+    cost:
+        Inclusive :class:`~repro.machine.cost.Cost` delta.
+    sent_words, recv_words, sent_messages, recv_messages, flops:
+        Per-rank deltas over the span's lifetime (empty tuples when not
+        measured).
+    """
+
+    index: int
+    name: str
+    kind: str
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    event: bool = False
+    depth: int = 0
+    parent: Optional["Span"] = dataclasses.field(default=None, repr=False)
+    children: List["Span"] = dataclasses.field(default_factory=list, repr=False)
+    start_time: float = 0.0
+    end_time: float = 0.0
+    cost: "Cost" = dataclasses.field(default_factory=_zero_cost)
+    sent_words: Tuple[float, ...] = ()
+    recv_words: Tuple[float, ...] = ()
+    sent_messages: Tuple[int, ...] = ()
+    recv_messages: Tuple[int, ...] = ()
+    flops: Tuple[float, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Modelled duration (end minus start time)."""
+        return self.end_time - self.start_time
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def involves(self, rank: int) -> bool:
+        """Does any of this span's processor groups include ``rank``?"""
+        return any(rank in group for group in self.groups)
+
+    def to_record(self) -> dict:
+        """A JSON-serializable flat record (used by the exporters)."""
+        return {
+            "type": "span",
+            "id": self.index,
+            "parent": None if self.parent is None else self.parent.index,
+            "name": self.name,
+            "kind": self.kind,
+            "event": self.event,
+            "depth": self.depth,
+            "groups": [list(g) for g in self.groups],
+            "start": self.start_time,
+            "end": self.end_time,
+            "rounds": self.cost.rounds,
+            "words": self.cost.words,
+            "flops": self.cost.flops,
+            "sent_words": list(self.sent_words),
+            "recv_words": list(self.recv_words),
+            "sent_messages": list(self.sent_messages),
+            "recv_messages": list(self.recv_messages),
+            "rank_flops": list(self.flops),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "event" if self.event else "span"
+        return (
+            f"Span({tag} #{self.index} {self.kind}:{self.name!r}, "
+            f"{self.cost.words:g}w, {len(self.children)} children)"
+        )
+
+
+class SpanRecorder:
+    """Records a tree of :class:`Span` objects for one machine execution.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`~repro.machine.machine.Machine` to measure, or ``None``
+        for a standalone recorder (explicit costs only, zero timestamps).
+
+    The recorder owns the open-span stack; :meth:`span` nests, and both
+    :meth:`measure` (auto-measured event) and :meth:`record_event`
+    (explicit-cost event) attach leaves under the innermost open span.
+    """
+
+    def __init__(self, machine=None) -> None:
+        self.machine = machine
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _now(self) -> float:
+        return 0.0 if self.machine is None else self.machine.time
+
+    def _open(self, name: str, kind: str, groups, event: bool) -> Span:
+        span = Span(
+            index=self._counter,
+            name=name,
+            kind=kind,
+            groups=tuple(tuple(g) for g in groups),
+            event=event,
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+        )
+        self._counter += 1
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _attach_measurement(self, span: Span, before, after) -> None:
+        span.cost = after.cost - before.cost
+        span.sent_words = _tuple_delta(before.sent_words, after.sent_words)
+        span.recv_words = _tuple_delta(before.recv_words, after.recv_words)
+        span.sent_messages = _tuple_delta(before.sent_messages, after.sent_messages)
+        span.recv_messages = _tuple_delta(before.recv_messages, after.recv_messages)
+        span.flops = _tuple_delta(before.flops, after.flops)
+
+    @contextlib.contextmanager
+    def span(self, name: str, kind: str = "phase", groups=(), event: bool = False):
+        """Open a nested span; measures cost and per-rank deltas on close."""
+        span = self._open(name, kind, groups, event)
+        span.start_time = self._now()
+        before = None if self.machine is None else self.machine.snapshot()
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end_time = self._now()
+            if before is not None:
+                self._attach_measurement(span, before, self.machine.snapshot())
+            self._finalize(span)
+
+    def measure(self, name: str, kind: str, groups=()):
+        """An auto-measured *event* span (the unit of cost accounting).
+
+        Collectives use this: ``with recorder.measure("A blocks",
+        "allgather", groups): run_schedule(...)``.
+        """
+        return self.span(name, kind=kind, groups=groups, event=True)
+
+    def record_event(
+        self,
+        kind: str,
+        label: str,
+        groups=(),
+        cost: Optional[Cost] = None,
+    ) -> Span:
+        """Record an instantaneous event span with an explicit cost.
+
+        This is the legacy ``Trace.record`` path.  With a machine attached
+        the event is placed on the timeline ending *now* and spanning the
+        modelled time of ``cost``; per-rank attribution is not available
+        (the cost was measured by the caller).
+        """
+        span = self._open(label, kind, groups, event=True)
+        span.cost = _zero_cost() if cost is None else cost
+        span.end_time = self._now()
+        if self.machine is not None:
+            span.start_time = max(
+                0.0, span.end_time - self.machine.cost_model.time(span.cost)
+            )
+        self._finalize(span)
+        return span
+
+    def _finalize(self, span: Span) -> None:
+        """Post-close hook: feed the machine's metrics registry."""
+        if self.machine is None or not span.event:
+            return
+        metrics = getattr(self.machine, "metrics", None)
+        if metrics is None:
+            return
+        metrics.counter("events_total", kind=span.kind).inc()
+        metrics.counter("words_total", kind=span.kind).inc(span.cost.words)
+        metrics.counter("rounds_total", kind=span.kind).inc(span.cost.rounds)
+        metrics.histogram("event_words", kind=span.kind).observe(span.cost.words)
+
+    # ------------------------------------------------------------------ #
+    # queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All spans, depth-first pre-order (creation order)."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def events(self) -> List[Span]:
+        """Event spans only, in creation order — the legacy flat trace."""
+        return [s for s in self.iter_spans() if s.event]
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` at top level."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans are not allowed)."""
+        if self._stack:
+            raise RuntimeError(
+                f"cannot clear with {len(self._stack)} span(s) still open"
+            )
+        self.roots.clear()
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_spans())

@@ -61,6 +61,20 @@ class TestSnapshots:
         assert delta.recv_words == (0.0, 4.0)
         assert delta.flops == (0.0, 8.0)
 
+    def test_snapshot_delta_tracks_messages(self):
+        m = Machine(2)
+        before = m.snapshot()
+        m.exchange([Message(src=0, dest=1, payload=np.zeros(4))])
+        delta = before.delta(m.snapshot())
+        assert delta.sent_messages == (1, 0)
+        assert delta.recv_messages == (0, 1)
+
+    def test_delta_rejects_mismatched_rank_counts(self):
+        # Snapshots from machines of different sizes must not silently
+        # zip-truncate; the diff is meaningless and raises instead.
+        with pytest.raises(ValueError, match="2 vs 3"):
+            Machine(2).snapshot().delta(Machine(3).snapshot())
+
     def test_reset_counters_keeps_data(self):
         m = Machine(2)
         m.proc(0).store["x"] = np.zeros(4)

@@ -1,0 +1,97 @@
+"""Tests for bound-attainment gauges (repro.obs.attainment).
+
+The acceptance criterion for the observability layer: Algorithm 1 on the
+Section 5.2 optimal grid reports an attainment ratio of exactly 1.0
+(within 1e-9) in all three Theorem 3 regimes, and at least one suboptimal
+baseline reports a ratio strictly above 1.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import run_alg1, select_grid
+from repro.algorithms.registry import run_algorithm
+from repro.core.shapes import ProblemShape
+from repro.machine import Machine
+from repro.obs.attainment import ATTAINMENT_TOL, bound_attainment, record_attainment
+from repro.workloads.generators import random_pair
+
+# One (shape, P) per Theorem 3 regime — the Table 1 empirical cases.
+REGIME_CASES = [
+    (ProblemShape(96, 24, 6), 2, "ONE_D"),
+    (ProblemShape(96, 24, 6), 16, "TWO_D"),
+    (ProblemShape(48, 48, 48), 64, "THREE_D"),
+]
+
+
+class TestAlg1Attainment:
+    @pytest.mark.parametrize("shape,P,regime", REGIME_CASES)
+    def test_ratio_is_one_on_optimal_grid(self, shape, P, regime):
+        A, B = random_pair(shape, seed=P)
+        res = run_alg1(A, B, select_grid(shape, P).grid)
+        att = res.attainment
+        assert att.regime.name == regime
+        assert att.ratio == pytest.approx(1.0, abs=ATTAINMENT_TOL)
+        assert att.attains
+        assert att.measured_words == res.cost.words
+
+    def test_suboptimal_baseline_sits_above_one(self):
+        shape = ProblemShape(48, 48, 48)
+        A, B = random_pair(shape, seed=3)
+        run = run_algorithm("summa", A, B, 16)
+        assert run.attainment is not None
+        assert run.attainment.ratio > 1.0 + ATTAINMENT_TOL
+        assert not run.attainment.attains
+
+    def test_registry_fills_attainment_for_alg1(self):
+        shape = ProblemShape(48, 48, 48)
+        A, B = random_pair(shape, seed=1)
+        run = run_algorithm("alg1", A, B, 64)
+        assert run.attainment is not None and run.attainment.attains
+
+
+class TestBoundAttainment:
+    def test_zero_bound_zero_measured_is_neutral(self):
+        # P=1: the Theorem 3 bound is 0 and a serial run moves 0 words.
+        att = bound_attainment(ProblemShape(8, 8, 8), 1, 0.0)
+        assert att.bound == 0.0 and att.ratio == 1.0 and att.attains
+
+    def test_zero_bound_nonzero_measured_is_infinite(self):
+        att = bound_attainment(ProblemShape(8, 8, 8), 1, 5.0)
+        assert math.isinf(att.ratio)
+
+    def test_memory_ratio_uses_memory_dependent_bound(self):
+        from repro.core.memory_dependent import memory_dependent_bound
+
+        shape = ProblemShape(48, 48, 48)
+        att = bound_attainment(shape, 64, 324.0, memory=600.0)
+        expected = 324.0 / memory_dependent_bound(shape, 64, 600.0)
+        assert att.memory_ratio == pytest.approx(expected)
+        assert "memory-dependent" in att.summary()
+
+    def test_summary_mentions_regime(self):
+        att = bound_attainment(ProblemShape(48, 48, 48), 64, 324.0)
+        assert "THREE_D" in att.summary()
+        assert "attains" in att.summary()
+
+
+class TestRecordAttainment:
+    def test_publishes_gauges_to_machine_metrics(self):
+        shape = ProblemShape(48, 48, 48)
+        A, B = random_pair(shape, seed=2)
+        grid = select_grid(shape, 64).grid
+        machine = Machine(grid.size, memory_limit=600.0)
+        run_alg1(A, B, grid, machine=machine)
+        gauges = {
+            (s["labels"]["bound"], s["labels"].get("algorithm")): s["value"]
+            for s in machine.metrics.collect()
+            if s["name"] == "attainment_ratio"
+        }
+        assert gauges[("memory_independent", "alg1")] == pytest.approx(1.0)
+        assert gauges[("memory_dependent", "alg1")] > 1.0
+
+    def test_defaults_p_to_machine_size(self):
+        machine = Machine(4)
+        att = record_attainment(machine, ProblemShape(8, 8, 8))
+        assert att.P == 4

@@ -1,0 +1,153 @@
+"""Tests for the exporters (repro.obs.exporters).
+
+The load-bearing test here is the *zero-drift invariant*: summing the
+per-rank word counts over the exported event spans reproduces the
+machine's cumulative network counters exactly — no words are lost or
+double-counted between the accounting layer and the export.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms import run_alg1, select_grid
+from repro.core.shapes import ProblemShape
+from repro.obs.exporters import (
+    EXPORTERS,
+    ChromeTraceExporter,
+    JSONLinesExporter,
+    get_exporter,
+    read_jsonl,
+)
+from repro.workloads.generators import random_pair
+
+
+@pytest.fixture(scope="module")
+def alg1_run():
+    """One Algorithm 1 execution on the 2D-regime Table 1 case."""
+    shape = ProblemShape(96, 24, 6)
+    A, B = random_pair(shape, seed=0)
+    res = run_alg1(A, B, select_grid(shape, 16).grid)
+    return res
+
+
+class TestZeroDrift:
+    @pytest.mark.parametrize(
+        "shape,P",
+        [(ProblemShape(96, 24, 6), 2), (ProblemShape(96, 24, 6), 16),
+         (ProblemShape(48, 48, 48), 64)],
+    )
+    def test_event_span_sums_equal_machine_counters(self, shape, P):
+        A, B = random_pair(shape, seed=P)
+        res = run_alg1(A, B, select_grid(shape, P).grid)
+        machine = res.machine
+        records = JSONLinesExporter().records(machine)
+        events = [r for r in records if r["type"] == "span" and r["event"]]
+        n = machine.n_procs
+        for field, expected in (
+            ("sent_words", machine.network.sent_words),
+            ("recv_words", machine.network.recv_words),
+            ("sent_messages", machine.network.sent_messages),
+            ("recv_messages", machine.network.recv_messages),
+        ):
+            summed = [sum(e[field][r] for e in events if e[field]) for r in range(n)]
+            # Exact equality, not approx: the spans are counter deltas.
+            assert summed == list(expected), field
+        # Critical-path words partition across event spans exactly too.
+        assert sum(e["words"] for e in events) == machine.cost.words
+
+    def test_summary_record_matches_live_counters(self, alg1_run):
+        machine = alg1_run.machine
+        summary = JSONLinesExporter().records(machine)[-1]
+        assert summary["type"] == "summary"
+        assert summary["critical_words"] == machine.cost.words
+        assert summary["sent_words"] == list(machine.network.sent_words)
+        assert summary["total_words"] == machine.network.total_words
+
+
+class TestJSONLines:
+    def test_round_trip_preserves_records(self, alg1_run, tmp_path):
+        path = tmp_path / "out.jsonl"
+        exporter = JSONLinesExporter()
+        n = exporter.export(alg1_run.machine, str(path),
+                            attainment=alg1_run.attainment)
+        loaded = read_jsonl(str(path))
+        assert len(loaded) == n
+        # Loading the written lines reproduces the in-memory records.
+        records = exporter.records(alg1_run.machine, alg1_run.attainment)
+        assert loaded == json.loads(json.dumps(records))
+
+    def test_record_layout(self, alg1_run):
+        records = JSONLinesExporter().records(
+            alg1_run.machine, alg1_run.attainment
+        )
+        assert records[0]["type"] == "meta"
+        assert records[0]["format"] == "repro-obs-v1"
+        assert records[-1]["type"] == "summary"
+        types = {r["type"] for r in records}
+        assert types >= {"meta", "span", "metric", "per_rank", "summary",
+                         "attainment"}
+        [att] = [r for r in records if r["type"] == "attainment"]
+        assert att["regime"] == "TWO_D" and att["attains"] is True
+        per_rank = [r for r in records if r["type"] == "per_rank"]
+        assert [r["rank"] for r in per_rank] == list(range(16))
+
+    def test_metric_records_keep_instrument_type(self, alg1_run):
+        records = JSONLinesExporter().records(alg1_run.machine)
+        metrics = [r for r in records if r["type"] == "metric"]
+        assert metrics
+        assert {m["metric_type"] for m in metrics} <= {
+            "counter", "gauge", "histogram"
+        }
+
+    def test_span_tree_is_reconstructible(self, alg1_run):
+        records = JSONLinesExporter().records(alg1_run.machine)
+        spans = {r["id"]: r for r in records if r["type"] == "span"}
+        for span in spans.values():
+            if span["parent"] is not None:
+                parent = spans[span["parent"]]
+                assert parent["depth"] == span["depth"] - 1
+
+
+class TestChromeTrace:
+    def test_schema_sanity(self, alg1_run, tmp_path):
+        path = tmp_path / "trace.json"
+        n = ChromeTraceExporter().export(
+            alg1_run.machine, str(path), attainment=alg1_run.attainment
+        )
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == n
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["n_procs"] == 16
+        assert payload["otherData"]["attainment"]["ratio"] == pytest.approx(1.0)
+        assert {e["ph"] for e in events} == {"X", "M"}
+        for e in events:
+            assert {"ph", "pid", "tid", "name"} <= set(e)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+                assert "cat" in e and "args" in e
+
+    def test_event_spans_fan_out_to_rank_lanes(self, alg1_run):
+        machine = alg1_run.machine
+        events = ChromeTraceExporter().trace_events(machine)
+        rank_lane = [e for e in events
+                     if e["ph"] == "X" and 1 <= e["tid"] <= machine.n_procs]
+        assert rank_lane, "event spans must appear on per-rank lanes"
+        # Per-rank word attribution travels with the lane events.
+        assert any("sent_words" in e["args"] for e in rank_lane)
+        # Every rank lane is labelled.
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {f"rank {r}" for r in range(machine.n_procs)} <= names
+
+
+class TestRegistryLookup:
+    def test_get_exporter_by_name(self):
+        assert isinstance(get_exporter("jsonl"), JSONLinesExporter)
+        assert isinstance(get_exporter("chrome"), ChromeTraceExporter)
+        assert set(EXPORTERS) == {"jsonl", "chrome"}
+
+    def test_unknown_exporter_raises(self):
+        with pytest.raises(KeyError, match="unknown exporter"):
+            get_exporter("csv")

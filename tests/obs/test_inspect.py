@@ -1,0 +1,48 @@
+"""Tests for the trace pretty-printer (repro.obs.inspect)."""
+
+import pytest
+
+from repro.algorithms import run_alg1, select_grid
+from repro.core.shapes import ProblemShape
+from repro.obs.exporters import JSONLinesExporter
+from repro.obs.inspect import inspect_report, render_rank_table, render_span_tree
+from repro.workloads.generators import random_pair
+
+
+@pytest.fixture(scope="module")
+def records():
+    shape = ProblemShape(96, 24, 6)
+    A, B = random_pair(shape, seed=0)
+    res = run_alg1(A, B, select_grid(shape, 16).grid)
+    return JSONLinesExporter().records(res.machine, res.attainment)
+
+
+class TestInspectReport:
+    def test_all_sections_render(self, records):
+        text = inspect_report(records)
+        assert "P=16" in text
+        assert "allgather" in text
+        assert "rank" in text
+        assert "attainment" in text.lower()
+        assert "TWO_D" in text
+
+    def test_span_tree_marks_structure_and_costs(self, records):
+        spans = [r for r in records if r["type"] == "span"]
+        tree = render_span_tree(spans)
+        # Structural spans are tagged; the tree shows nesting connectors.
+        assert "[span]" in tree
+        assert "├──" in tree or "└──" in tree
+        assert "allgather-B" in tree
+        assert "reduce-scatter-C" in tree
+
+    def test_rank_table_totals_match_summary(self, records):
+        per_rank = [r for r in records if r["type"] == "per_rank"]
+        summary = [r for r in records if r["type"] == "summary"][0]
+        table = render_rank_table(per_rank)
+        lines = [ln for ln in table.splitlines() if ln.strip()]
+        assert len(lines) >= len(per_rank)  # header + one row per rank
+        total_sent = sum(summary["sent_words"])
+        assert f"{total_sent:g}" in table
+
+    def test_empty_records_do_not_crash(self):
+        assert isinstance(inspect_report([]), str)

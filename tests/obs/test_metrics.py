@@ -1,0 +1,123 @@
+"""Tests for the metrics layer (repro.obs.metrics)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.machine.message import Message
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    load_imbalance,
+    update_machine_gauges,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("words")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = MetricsRegistry().gauge("ratio")
+        g.set(2.0)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_bucket_upper_bounds_are_inclusive(self):
+        h = Histogram("words", {}, buckets=(1.0, 4.0, 16.0))
+        for v in (1.0, 2.0, 4.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 107.0
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        by_le = {b["le"]: b["count"] for b in snap["buckets"]}
+        assert by_le == {1.0: 1, 4.0: 2, float("inf"): 1}
+
+    def test_mean_and_empty_snapshot(self):
+        h = Histogram("words", {})
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["buckets"] == []
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("words", {}, buckets=(4.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("words_total", kind="allgather")
+        b = reg.counter("words_total", kind="allgather")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("x", p="1", q="2")
+        b = reg.gauge("x", q="2", p="1")
+        assert a is b
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_collect_is_sorted_and_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta").set(1)
+        reg.counter("alpha", kind="b").inc()
+        reg.counter("alpha", kind="a").inc()
+        reg.histogram("mid").observe(3)
+        snaps = reg.collect()
+        keys = [(s["name"], tuple(sorted(s["labels"].items()))) for s in snaps]
+        assert keys == sorted(keys)
+        json.dumps(snaps)  # must not raise
+
+    def test_reset_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert "x" in reg and "y" not in reg
+        reg.reset()
+        assert len(reg) == 0 and "x" not in reg
+
+
+class TestDerivedGauges:
+    def test_load_imbalance_corners(self):
+        assert load_imbalance([]) == 1.0
+        assert load_imbalance([0, 0]) == 1.0
+        assert load_imbalance([2, 0]) == 2.0
+        assert load_imbalance([3, 3, 3]) == 1.0
+
+    def test_update_machine_gauges(self):
+        machine = Machine(2)
+        machine.exchange([Message(0, 1, np.zeros(4))])
+        machine.compute(0, 10.0)
+        update_machine_gauges(machine)
+        snaps = {
+            (s["name"], s["labels"].get("counter")): s["value"]
+            for s in machine.metrics.collect()
+        }
+        # Only rank 0 sent and only rank 0 computed: max/mean = 2.
+        assert snaps[("load_imbalance", "sent_words")] == 2.0
+        assert snaps[("load_imbalance", "flops")] == 2.0
+        assert ("peak_memory_words", None) in snaps

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,6 +55,71 @@ class TestRun:
         out = capsys.readouterr().out
         assert "numerically correct: True" in out
         assert "tight: True" in out
+
+    def test_reports_attainment(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "attainment: TWO_D regime" in out
+        assert "1.000000000" in out
+
+    def test_memory_flag_adds_memory_dependent_gauge(self, capsys):
+        assert main(["run", "48", "48", "48", "-p", "64", "-m", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-dependent bound (M=600)" in out
+
+    def test_trace_and_metrics_exports(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "run", "96", "24", "6", "-p", "16",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        assert "JSON-lines records" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["attainment"]["attains"] is True
+        lines = [json.loads(ln) for ln in metrics.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[-1]["type"] == "summary"
+
+
+class TestInspect:
+    def test_round_trip_through_files(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["run", "96", "24", "6", "-p", "16",
+                     "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "per-rank counters" in out
+        assert "bound attainment" in out
+        assert "TWO_D" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["inspect", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_jsonl_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "trace.json"
+        bad.write_text("{\n 'not': 'jsonl'\n}\n")
+        assert main(["inspect", str(bad)]) == 2
+        assert "not a JSON-lines trace" in capsys.readouterr().err
+
+
+class TestRunErrors:
+    def test_memory_too_small_fails_cleanly(self, capsys):
+        assert main(["run", "48", "48", "48", "-p", "64", "-m", "100"]) == 1
+        err = capsys.readouterr().err
+        assert "run aborted" in err
+        assert "--memory" in err
+
+    def test_unwritable_export_path_exits_2(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16",
+                     "--trace", "/nonexistent-dir/t.json"]) == 2
+        assert "cannot write export" in capsys.readouterr().err
 
 
 class TestArtifacts:
