@@ -39,7 +39,10 @@ class AlgorithmRun:
     ``attainment`` (populated by :func:`run_algorithm`) carries the
     bound-attainment gauges: measured words over the Theorem 3 lower
     bound — 1.0 exactly for Algorithm 1 on an optimal grid, strictly
-    above 1.0 for suboptimal baselines.
+    above 1.0 for suboptimal baselines.  ``machine`` is the simulated
+    machine the run executed on (span trace, metrics registry and per-rank
+    counters included), so sweeps and the experiment ledger can derive
+    load-imbalance gauges without re-running anything.
     """
 
     name: str
@@ -49,6 +52,7 @@ class AlgorithmRun:
     cost: Cost
     config: str
     attainment: Optional[Attainment] = None
+    machine: Optional[object] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,7 +75,7 @@ def _run_alg1_optimal(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     res = run_alg1(A, B, choice.grid)
     return AlgorithmRun(
         name="alg1", C=res.C, shape=shape, P=P, cost=res.cost,
-        config=f"grid {choice.grid}",
+        config=f"grid {choice.grid}", machine=res.machine,
     )
 
 
@@ -89,7 +93,7 @@ def _run_cannon_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     res = run_cannon(A, B, q)
     return AlgorithmRun(
         name="cannon", C=res.C, shape=res.shape, P=P, cost=res.cost,
-        config=f"grid {q}x{q}",
+        config=f"grid {q}x{q}", machine=res.machine,
     )
 
 
@@ -98,7 +102,7 @@ def _run_fox_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     res = run_fox(A, B, q)
     return AlgorithmRun(
         name="fox", C=res.C, shape=res.shape, P=P, cost=res.cost,
-        config=f"grid {q}x{q}",
+        config=f"grid {q}x{q}", machine=res.machine,
     )
 
 
@@ -130,7 +134,7 @@ def _run_summa_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     res = run_summa(A, B, *grid)
     return AlgorithmRun(
         name="summa", C=res.C, shape=shape, P=P, cost=res.cost,
-        config=f"grid {grid[0]}x{grid[1]}",
+        config=f"grid {grid[0]}x{grid[1]}", machine=res.machine,
     )
 
 
@@ -151,7 +155,7 @@ def _run_25d_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     res = run_25d(A, B, best[0], best[1])
     return AlgorithmRun(
         name="c25d", C=res.C, shape=shape, P=P, cost=res.cost,
-        config=f"grid {best[0]}x{best[0]}x{best[1]}",
+        config=f"grid {best[0]}x{best[0]}x{best[1]}", machine=res.machine,
     )
 
 
@@ -235,14 +239,15 @@ def _carma_feasible(shape: ProblemShape, P: int) -> bool:
 
 def _wrap_1d(res, name: str) -> AlgorithmRun:
     return AlgorithmRun(
-        name=name, C=res.C, shape=res.shape, P=res.P, cost=res.cost, config=f"P={res.P}",
+        name=name, C=res.C, shape=res.shape, P=res.P, cost=res.cost,
+        config=f"P={res.P}", machine=res.machine,
     )
 
 
 def _wrap_carma(res) -> AlgorithmRun:
     return AlgorithmRun(
         name="carma", C=res.C, shape=res.shape, P=res.P, cost=res.cost,
-        config=f"{len(res.splits)} splits",
+        config=f"{len(res.splits)} splits", machine=res.machine,
     )
 
 

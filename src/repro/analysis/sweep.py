@@ -4,11 +4,21 @@ Runs every applicable algorithm from :mod:`repro.algorithms.registry` over
 a grid of ``(shape, P)`` combinations, verifying numerics against numpy and
 the Theorem 3 bound on the way, and returns tidy result records for the
 benchmark harnesses to print.
+
+Every record carries the wall-clock time of its run and the per-rank
+``sent_words`` skew derived from the machine's span attribution, and a
+sweep can stream its records into a persistent experiment ledger
+(:class:`repro.obs.ledger.Ledger`) so cross-run trajectories come for free:
+
+    >>> from repro.obs.ledger import Ledger                    # doctest: +SKIP
+    >>> sweep(shapes, counts, ledger=Ledger("repro_ledger.jsonl"),
+    ...       label="nightly")                                 # doctest: +SKIP
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -16,6 +26,8 @@ import numpy as np
 from ..algorithms.registry import REGISTRY, applicable_algorithms, run_algorithm
 from ..core.lower_bounds import communication_lower_bound
 from ..core.shapes import ProblemShape
+from ..exceptions import BoundViolationError, NumericalMismatchError
+from ..obs.metrics import RankSkew
 from .verification import check_cost_against_bound
 
 __all__ = ["SweepRecord", "sweep"]
@@ -23,7 +35,13 @@ __all__ = ["SweepRecord", "sweep"]
 
 @dataclasses.dataclass(frozen=True)
 class SweepRecord:
-    """One (algorithm, shape, P) measurement."""
+    """One (algorithm, shape, P) measurement.
+
+    ``wall_clock`` is the measured driver time of the run in seconds
+    (:func:`time.perf_counter`); ``skew`` summarizes the per-rank
+    ``sent_words`` imbalance of the execution (``None`` only when the
+    algorithm exposes no machine).
+    """
 
     algorithm: str
     config: str
@@ -34,6 +52,9 @@ class SweepRecord:
     bound: float
     gap_ratio: float
     correct: bool
+    wall_clock: float = 0.0
+    flops: float = 0.0
+    skew: Optional[RankSkew] = None
 
 
 def sweep(
@@ -41,13 +62,33 @@ def sweep(
     processor_counts: Sequence[int],
     algorithms: Optional[Sequence[str]] = None,
     seed: int = 0,
+    ledger=None,
+    label: str = "",
 ) -> List[SweepRecord]:
     """Run algorithms across shapes and processor counts.
 
-    Raises ``AssertionError`` if any run produces a numerically wrong
-    product or communicates less than the lower bound — either would mean
-    a simulator bug, and silently recording it would poison every
-    downstream comparison.
+    Parameters
+    ----------
+    shapes, processor_counts, algorithms, seed:
+        The sweep grid: every applicable registered algorithm (or the
+        named subset) runs on every ``(shape, P)`` combination, with
+        operands drawn from a seeded RNG.
+    ledger:
+        Optional :class:`repro.obs.ledger.Ledger`; every record is
+        appended to it as a persistent run record tagged with ``label``.
+
+    Raises
+    ------
+    NumericalMismatchError
+        If any run produces a numerically wrong product.
+    BoundViolationError
+        If any run communicates less than the Theorem 3 lower bound.
+
+    Either failure means a simulator bug, and silently recording it would
+    poison every downstream comparison — including any attached ledger, so
+    records are verified *before* they are appended.  The checks are real
+    control flow (typed exceptions from :mod:`repro.exceptions`), not
+    ``assert`` statements, so they survive ``python -O``.
     """
     rng = np.random.default_rng(seed)
     names = list(algorithms) if algorithms is not None else list(REGISTRY)
@@ -61,25 +102,37 @@ def sweep(
             for name in names:
                 if name not in runnable:
                     continue
+                start = time.perf_counter()
                 run = run_algorithm(name, A, B, P)
+                elapsed = time.perf_counter() - start
                 correct = bool(np.allclose(run.C, expected))
                 check = check_cost_against_bound(shape, P, run.cost)
-                assert correct, f"{name} produced a wrong product on {shape}, P={P}"
-                assert check.satisfied, (
-                    f"{name} beat the lower bound on {shape}, P={P}: "
-                    f"{run.cost.words} < {check.bound.communicated}"
-                )
-                records.append(
-                    SweepRecord(
-                        algorithm=name,
-                        config=run.config,
-                        shape=shape,
-                        P=P,
-                        words=run.cost.words,
-                        rounds=run.cost.rounds,
-                        bound=communication_lower_bound(shape, P),
-                        gap_ratio=check.gap_ratio,
-                        correct=correct,
+                if not correct:
+                    raise NumericalMismatchError(
+                        f"{name} produced a wrong product on {shape}, P={P}"
                     )
+                if not check.satisfied:
+                    raise BoundViolationError(
+                        f"{name} beat the lower bound on {shape}, P={P}: "
+                        f"{run.cost.words} < {check.bound.communicated}"
+                    )
+                record = SweepRecord(
+                    algorithm=name,
+                    config=run.config,
+                    shape=shape,
+                    P=P,
+                    words=run.cost.words,
+                    rounds=run.cost.rounds,
+                    bound=communication_lower_bound(shape, P),
+                    gap_ratio=check.gap_ratio,
+                    correct=correct,
+                    wall_clock=elapsed,
+                    flops=run.cost.flops,
+                    skew=None if run.machine is None else run.machine.rank_skew(),
                 )
+                records.append(record)
+                if ledger is not None:
+                    from ..obs.ledger import RunRecord
+
+                    ledger.append(RunRecord.from_sweep(record, label=label))
     return records

@@ -13,7 +13,16 @@ Gives downstream users the paper's results without writing any code:
     span/metric records (``--metrics``).
 ``inspect FILE.jsonl``
     Pretty-print a recorded trace: span (phase) tree, per-rank counter
-    table, attainment summary, metrics digest.
+    table (with the words-sent skew gauge), attainment summary, metrics
+    digest.
+``bench [--label L] [--compare] [--write-baseline] [--filter S]``
+    Run every ``benchmarks/bench_*.py`` harness plus the standard sweep
+    grid, write ``BENCH_<label>.json`` at the repository root, append run
+    records to the experiment ledger, and optionally gate against a
+    committed baseline (exact on model costs, ±20% on wall-clock).
+``ledger list | show N | diff N M``
+    Read the persistent experiment ledger back: the run history, one full
+    record, or a field-by-field comparison of two records.
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
@@ -71,6 +80,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument(
         "path", help=".jsonl file written by 'run --metrics'"
     )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite, write BENCH_<label>.json, "
+             "optionally gate against a baseline",
+    )
+    p_bench.add_argument("--label", default="local",
+                         help="run label; names the BENCH_<label>.json output")
+    p_bench.add_argument("--filter", default=None, metavar="SUBSTR",
+                         help="only run entries whose name contains SUBSTR")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="baseline file (default benchmarks/baseline.json)")
+    p_bench.add_argument("--compare", action="store_true",
+                         help="gate this run against the baseline; exit 1 on "
+                              "regression")
+    p_bench.add_argument("--write-baseline", action="store_true",
+                         help="save this run's report as the baseline")
+    p_bench.add_argument("--output", default=None, metavar="DIR",
+                         help="directory for BENCH_<label>.json "
+                              "(default: repository root)")
+    p_bench.add_argument("--ledger", default=None, metavar="PATH",
+                         help="experiment-ledger JSONL to append run records "
+                              "to (default: repro_ledger.jsonl next to the "
+                              "BENCH file)")
+    p_bench.add_argument("--no-ledger", action="store_true",
+                         help="do not append run records to the ledger")
+    p_bench.add_argument("--wallclock-tol", type=float, default=0.20,
+                         metavar="FRAC",
+                         help="relative wall-clock regression tolerance "
+                              "(default 0.20)")
+    p_bench.add_argument("--wallclock-advisory", action="store_true",
+                         help="report wall-clock regressions as warnings "
+                              "instead of failures (cross-machine baselines)")
+
+    p_ledger = sub.add_parser(
+        "ledger", help="read the persistent experiment ledger"
+    )
+    lsub = p_ledger.add_subparsers(dest="ledger_command", required=True)
+    common = {"default": None, "metavar": "PATH",
+              "help": "ledger file (default: repro_ledger.jsonl at the "
+                      "repository root)"}
+    l_list = lsub.add_parser("list", help="tabulate recorded runs")
+    l_list.add_argument("--path", **common)
+    l_list.add_argument("--algorithm", default=None,
+                        help="only records for this algorithm")
+    l_list.add_argument("--label", default=None,
+                        help="only records with this label")
+    l_list.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="show only the last N matching records")
+    l_show = lsub.add_parser("show", help="print one record in full")
+    l_show.add_argument("index", type=int,
+                        help="record index from 'ledger list' (negative "
+                             "counts from the end)")
+    l_show.add_argument("--path", **common)
+    l_diff = lsub.add_parser("diff", help="compare two records field by field")
+    l_diff.add_argument("index_a", type=int, help="first record index")
+    l_diff.add_argument("index_b", type=int, help="second record index")
+    l_diff.add_argument("--path", **common)
 
     for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
         sub.add_parser(name, help=f"print the {name} reproduction artifact")
@@ -195,6 +262,179 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .exceptions import BaselineError, VerificationError
+    from .obs.bench import load_bench_report, repo_root, run_bench_suite
+    from .obs.ledger import Ledger
+    from .obs.regress import compare_reports
+
+    out_dir = args.output if args.output else repo_root()
+    ledger = None
+    if not args.no_ledger:
+        ledger_path = args.ledger or os.path.join(out_dir, "repro_ledger.jsonl")
+        ledger = Ledger(ledger_path)
+    try:
+        report = run_bench_suite(args.label, filter=args.filter, ledger=ledger)
+    except VerificationError as exc:
+        print(f"bench aborted (reproduction claim violated): {exc}",
+              file=sys.stderr)
+        return 1
+    if not report.entries:
+        print(f"no bench entries matched filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        path = report.write(out_dir)
+    except OSError as exc:
+        print(f"cannot write BENCH file: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {len(report.entries)} entries to {path}")
+    if ledger is not None:
+        print(f"appended run records to {ledger.path}")
+
+    baseline_path = args.baseline or os.path.join(
+        repo_root(), "benchmarks", "baseline.json"
+    )
+    if args.write_baseline:
+        try:
+            with open(baseline_path, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write baseline: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote baseline to {baseline_path}")
+    if args.compare:
+        try:
+            baseline = load_bench_report(baseline_path)
+        except BaselineError as exc:
+            print(f"cannot compare: {exc}", file=sys.stderr)
+            return 2
+        gate = compare_reports(
+            report,
+            baseline,
+            wallclock_tol=args.wallclock_tol,
+            enforce_wallclock=not args.wallclock_advisory,
+            allow_missing=args.filter is not None,
+        )
+        print(gate.render())
+        return 0 if gate.passed else 1
+    return 0
+
+
+def _default_ledger_path() -> str:
+    import os
+
+    from .obs.bench import repo_root
+
+    return os.path.join(repo_root(), "repro_ledger.jsonl")
+
+
+def _ledger_records(path):
+    """Load ledger records for the CLI; returns (records, error_message)."""
+    from .exceptions import LedgerError
+    from .obs.ledger import Ledger
+
+    try:
+        return Ledger(path).records(), None
+    except LedgerError as exc:
+        return None, str(exc)
+
+
+def _format_ledger_row(index: int, rec) -> List[str]:
+    import datetime
+
+    when = (
+        datetime.datetime.fromtimestamp(rec.timestamp).strftime("%Y-%m-%d %H:%M")
+        if rec.timestamp
+        else "-"
+    )
+    shape = "x".join(str(d) for d in rec.shape)
+    return [
+        str(index), when, rec.label or "-", rec.kind, rec.algorithm,
+        shape, str(rec.P), f"{rec.words:g}", f"{rec.attainment:.6f}",
+        f"{rec.wall_clock:.4f}s",
+        (rec.git_sha or "")[:10] or "-",
+    ]
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    path = args.path or _default_ledger_path()
+    records, error = _ledger_records(path)
+    if error is not None:
+        print(f"cannot read ledger: {error}", file=sys.stderr)
+        return 2
+
+    if args.ledger_command == "list":
+        if args.algorithm is not None:
+            matching = [
+                (i, r) for i, r in enumerate(records)
+                if r.algorithm == args.algorithm
+            ]
+        else:
+            matching = list(enumerate(records))
+        if args.label is not None:
+            matching = [(i, r) for i, r in matching if r.label == args.label]
+        if args.limit is not None:
+            matching = matching[-args.limit:]
+        if not matching:
+            print(f"no matching records in {path}")
+            return 0
+        headers = ["#", "when", "label", "kind", "algorithm", "shape", "P",
+                   "words", "attainment", "wall", "git"]
+        rows = [_format_ledger_row(i, r) for i, r in matching]
+        widths = [max(len(headers[c]), *(len(row[c]) for row in rows))
+                  for c in range(len(headers))]
+        print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        print("-+-".join("-" * w for w in widths))
+        for row in rows:
+            print(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return 0
+
+    def fetch(index: int):
+        try:
+            return records[index]
+        except IndexError:
+            print(f"no record {index} in {path} ({len(records)} records)",
+                  file=sys.stderr)
+            return None
+
+    if args.ledger_command == "show":
+        rec = fetch(args.index)
+        if rec is None:
+            return 2
+        import json
+
+        print(json.dumps(rec.to_dict(), indent=2))
+        return 0
+
+    # diff
+    rec_a, rec_b = fetch(args.index_a), fetch(args.index_b)
+    if rec_a is None or rec_b is None:
+        return 2
+    print(f"ledger diff: record {args.index_a} vs record {args.index_b}")
+    fields = ["label", "kind", "algorithm", "config", "shape", "P",
+              "words", "rounds", "flops", "bound", "attainment",
+              "wall_clock", "git_sha"]
+    identical = True
+    for field in fields:
+        a, b = getattr(rec_a, field), getattr(rec_b, field)
+        if a != b:
+            identical = False
+            print(f"  {field}: {a} -> {b}")
+    skew_a = None if rec_a.skew is None else rec_a.skew.ratio
+    skew_b = None if rec_b.skew is None else rec_b.skew.ratio
+    if skew_a != skew_b:
+        identical = False
+        print(f"  skew ratio: {skew_a} -> {skew_b}")
+    if identical:
+        print("  (records agree on every compared field)")
+    return 0
+
+
 def _cmd_artifact(name: str) -> int:
     import importlib
     import os
@@ -242,6 +482,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     if args.command == "report":
         return _cmd_report()
     return _cmd_artifact(args.command)

@@ -18,6 +18,11 @@ __all__ = [
     "DistributionError",
     "CommunicatorError",
     "ShapeError",
+    "VerificationError",
+    "NumericalMismatchError",
+    "BoundViolationError",
+    "LedgerError",
+    "BaselineError",
 ]
 
 
@@ -62,3 +67,34 @@ class CommunicatorError(ReproError):
 
 class ShapeError(ReproError):
     """Invalid problem shape (non-positive dimensions, mismatched operands)."""
+
+
+class VerificationError(ReproError):
+    """An executed algorithm violated one of the paper's verifiable claims.
+
+    Unlike a plain ``assert``, these survive ``python -O``: the sweep and
+    bench drivers *must not* silently record a numerically wrong product or
+    a bound-beating cost, because every downstream comparison (ledger
+    records, regression baselines, EXPERIMENTS.md tables) would inherit the
+    poisoned measurement.
+    """
+
+
+class NumericalMismatchError(VerificationError):
+    """A simulated algorithm produced a product that differs from ``A @ B``."""
+
+
+class BoundViolationError(VerificationError):
+    """A measured communication cost fell below the Theorem 3 lower bound.
+
+    No correct execution can beat the bound, so this always indicates a
+    cost-accounting bug in the simulator or an algorithm implementation.
+    """
+
+
+class LedgerError(ReproError):
+    """An experiment-ledger file is missing, corrupt, or schema-incompatible."""
+
+
+class BaselineError(ReproError):
+    """A benchmark baseline file is missing, corrupt, or schema-incompatible."""

@@ -218,6 +218,41 @@ class Machine:
         """Largest peak store footprint over all processors."""
         return max(p.store.peak_words for p in self.processors)
 
+    def rank_skew(self, counter: str = "sent_words"):
+        """Load-imbalance summary of a per-rank counter vector.
+
+        ``counter`` is one of ``"sent_words"``, ``"recv_words"`` or
+        ``"flops"``.  The vector is derived from the recorded event spans'
+        per-rank attribution when it reconciles exactly with the network
+        counters (the zero-drift invariant), and falls back to the raw
+        cumulative counters when some events were recorded with explicit
+        costs only (the legacy ``trace.record`` path carries no per-rank
+        attribution).  Either way the statistics describe exactly the words
+        the machine moved.
+        """
+        from ..obs.metrics import rank_skew
+
+        if counter == "flops":
+            totals = [p.flops for p in self.processors]
+        elif counter in ("sent_words", "recv_words"):
+            totals = list(getattr(self.network, counter))
+        else:
+            raise ValueError(
+                f"unknown counter {counter!r}; expected 'sent_words', "
+                f"'recv_words' or 'flops'"
+            )
+        span_sums = [0.0] * self.n_procs
+        for event in self.trace.recorder.events():
+            per_rank = getattr(event, counter)
+            if len(per_rank) == self.n_procs:
+                for rank, value in enumerate(per_rank):
+                    span_sums[rank] += value
+        drift = any(
+            abs(a - b) > 1e-9 * max(1.0, abs(b))
+            for a, b in zip(span_sums, totals)
+        )
+        return rank_skew(totals if drift else span_sums)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Machine(P={self.n_procs}, rounds={self.network.rounds}, "

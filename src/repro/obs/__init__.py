@@ -22,6 +22,19 @@ instrumentation layer is structured around that invariant:
 * :mod:`repro.obs.inspect` — the ``repro inspect`` pretty-printer (phase
   tree, per-rank table, attainment summary).
 
+Cross-run observability (this layer's second half) persists what the
+in-run layer measures:
+
+* :mod:`repro.obs.ledger` — the experiment ledger: schema-versioned,
+  append-only JSONL run records (model costs, attainment, skew,
+  wall-clock, git SHA, environment fingerprint) with query/trajectory/
+  merge helpers; the backend of ``repro ledger``.
+* :mod:`repro.obs.bench` — the ``repro bench`` driver: times every
+  ``benchmarks/bench_*.py`` harness plus a standard sweep grid and writes
+  one ``BENCH_<label>.json`` trajectory file.
+* :mod:`repro.obs.regress` — the regression gate: exact on model-level
+  costs and attainment, thresholded (default ±20%) on wall-clock.
+
 See ``docs/OBSERVABILITY.md`` for a guided tour.
 """
 
@@ -31,7 +44,9 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RankSkew,
     load_imbalance,
+    rank_skew,
     update_machine_gauges,
 )
 from .attainment import Attainment, bound_attainment, record_attainment
@@ -43,25 +58,65 @@ from .exporters import (
     read_jsonl,
 )
 from .inspect import inspect_report, render_rank_table, render_span_tree
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    environment_fingerprint,
+    git_revision,
+    merge_ledgers,
+)
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchEntry,
+    BenchReport,
+    discover_bench_modules,
+    load_bench_report,
+    run_bench_suite,
+)
+from .regress import (
+    GateResult,
+    RegressionReport,
+    compare_entries,
+    compare_reports,
+)
 
 __all__ = [
     "Attainment",
+    "BENCH_SCHEMA_VERSION",
+    "BenchEntry",
+    "BenchReport",
     "ChromeTraceExporter",
     "Counter",
     "EXPORTERS",
     "Gauge",
+    "GateResult",
     "Histogram",
     "JSONLinesExporter",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
     "MetricsRegistry",
+    "RankSkew",
+    "RegressionReport",
+    "RunRecord",
     "Span",
     "SpanRecorder",
     "bound_attainment",
+    "compare_entries",
+    "compare_reports",
+    "discover_bench_modules",
+    "environment_fingerprint",
     "get_exporter",
+    "git_revision",
     "inspect_report",
+    "load_bench_report",
     "load_imbalance",
+    "merge_ledgers",
+    "rank_skew",
     "read_jsonl",
     "record_attainment",
     "render_rank_table",
     "render_span_tree",
+    "run_bench_suite",
     "update_machine_gauges",
 ]

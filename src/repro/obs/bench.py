@@ -1,0 +1,397 @@
+"""The ``repro bench`` driver: one reproducible performance trajectory file.
+
+Executes the repository's benchmark harnesses (every ``benchmarks/bench_*.py``
+module's standalone ``main()``) plus a standard :func:`repro.analysis.sweep`
+grid under ``time.perf_counter``, and condenses the result into a single
+schema-versioned ``BENCH_<label>.json`` written at the repository root:
+
+* **module entries** — one per benchmark harness: the wall-clock time of
+  regenerating its artifact, plus the model-level costs (words / rounds /
+  flops), Theorem-3 bound, attainment ratio and per-rank ``sent_words``
+  skew of that harness's *probe configuration* — a representative
+  Algorithm 1 execution pinned per module so the model numbers are exact
+  and comparable run-over-run;
+* **sweep entries** — one per (algorithm, shape, P) point of the standard
+  grid, with the same fields measured from the actual registry run.
+
+Model-level numbers are environment-independent (the simulator counts
+words; it does not time them), so the regression gate
+(:mod:`repro.obs.regress`) holds them to *exact* equality; wall-clock
+numbers are compared with a tolerance.  Every execution also appends its
+runs to the persistent experiment ledger (:mod:`repro.obs.ledger`), so the
+BENCH file is the per-invocation summary and the ledger is the history.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import importlib
+import io
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.shapes import ProblemShape
+from ..exceptions import BaselineError
+from .ledger import (
+    RunRecord,
+    environment_fingerprint,
+    git_revision,
+)
+from .metrics import RankSkew
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchEntry",
+    "BenchReport",
+    "DEFAULT_PROBE",
+    "MODULE_PROBES",
+    "SWEEP_GRID",
+    "bench_dir",
+    "repo_root",
+    "discover_bench_modules",
+    "load_bench_report",
+    "run_bench_suite",
+]
+
+#: Bump when the BENCH file layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Probe configuration used for modules without a dedicated entry: the 3D
+#: measure point where Algorithm 1 attains constant 3 on a perfect 4x4x4 grid.
+DEFAULT_PROBE: Tuple[ProblemShape, int] = (ProblemShape(48, 48, 48), 64)
+
+#: Per-module probe configurations — the (shape, P) point each harness is
+#: "about", so its model-cost row in the BENCH file tracks the regime the
+#: harness exercises.  Modules not listed use :data:`DEFAULT_PROBE`.
+MODULE_PROBES: Dict[str, Tuple[ProblemShape, int]] = {
+    "bench_table1": (ProblemShape(48, 48, 48), 64),
+    "bench_fig1": (ProblemShape(96, 24, 6), 2),
+    "bench_fig2": (ProblemShape(96, 24, 6), 16),
+    "bench_lemma2_cases": (ProblemShape(96, 24, 6), 2),
+    "bench_baselines": (ProblemShape(64, 16, 4), 16),
+    "bench_grid_ablation": (ProblemShape(96, 24, 6), 16),
+    "bench_memory_crossover": (ProblemShape(48, 48, 48), 64),
+    "bench_tradeoff_25d": (ProblemShape(32, 32, 32), 16),
+}
+
+#: The standard sweep grid: the bench_baselines regime points — one per
+#: Theorem 3 case plus a deeper 3D point with a perfect cubic grid.
+SWEEP_GRID: Tuple[Tuple[ProblemShape, int], ...] = (
+    (ProblemShape(64, 16, 4), 2),
+    (ProblemShape(64, 16, 4), 16),
+    (ProblemShape(32, 32, 32), 16),
+    (ProblemShape(32, 32, 32), 64),
+)
+
+
+def repo_root() -> str:
+    """The source-checkout root (parent of ``src/``), for BENCH outputs."""
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+
+
+def bench_dir() -> str:
+    """The ``benchmarks/`` directory of the source checkout."""
+    return os.path.join(repo_root(), "benchmarks")
+
+
+def discover_bench_modules(directory: Optional[str] = None) -> List[str]:
+    """Sorted ``bench_*`` module names found in the benchmarks directory."""
+    directory = bench_dir() if directory is None else directory
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        name[:-3]
+        for name in os.listdir(directory)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchEntry:
+    """One row of a BENCH file: a module harness or one sweep point."""
+
+    name: str
+    kind: str  # "module" | "sweep"
+    wall_clock: float
+    algorithm: str
+    config: str
+    shape: Tuple[int, ...]
+    P: int
+    words: float
+    rounds: int
+    flops: float
+    bound: float
+    attainment: float
+    skew: Optional[RankSkew] = None
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["shape"] = list(self.shape)
+        out["skew"] = None if self.skew is None else self.skew.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchEntry":
+        try:
+            return cls(
+                name=data["name"],
+                kind=data["kind"],
+                wall_clock=float(data["wall_clock"]),
+                algorithm=data["algorithm"],
+                config=data.get("config", ""),
+                shape=tuple(data["shape"]),
+                P=int(data["P"]),
+                words=float(data["words"]),
+                rounds=int(data["rounds"]),
+                flops=float(data["flops"]),
+                bound=float(data["bound"]),
+                attainment=float(data["attainment"]),
+                skew=(
+                    None if data.get("skew") is None
+                    else RankSkew.from_dict(data["skew"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed bench entry: {exc}") from exc
+
+
+@dataclasses.dataclass
+class BenchReport:
+    """A full ``repro bench`` result: metadata plus one entry per row."""
+
+    label: str
+    entries: List[BenchEntry]
+    timestamp: float = 0.0
+    git_sha: Optional[str] = None
+    env: Optional[dict] = None
+
+    def entry(self, name: str) -> Optional[BenchEntry]:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-bench",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "git_sha": self.git_sha,
+            "env": self.env,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def write(self, directory: Optional[str] = None) -> str:
+        """Write ``BENCH_<label>.json`` into ``directory`` (default: repo root)."""
+        directory = repo_root() if directory is None else directory
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.label}.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        version = data.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise BaselineError(
+                f"unsupported bench schema_version {version!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION})"
+            )
+        try:
+            entries = [BenchEntry.from_dict(e) for e in data["entries"]]
+            return cls(
+                label=data.get("label", ""),
+                entries=entries,
+                timestamp=float(data.get("timestamp", 0.0)),
+                git_sha=data.get("git_sha"),
+                env=data.get("env"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise BaselineError(f"malformed bench report: {exc}") from exc
+
+
+def load_bench_report(path: str) -> BenchReport:
+    """Load a BENCH/baseline JSON file.
+
+    Raises
+    ------
+    BaselineError
+        If the file is missing, not JSON, or not a supported bench schema —
+        with a message suitable for direct CLI display.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise BaselineError(
+            f"baseline file not found: {path} "
+            f"(create one with 'repro bench --write-baseline')"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BaselineError(
+            f"baseline {path} is not a bench report object "
+            f"(got {type(data).__name__})"
+        )
+    return BenchReport.from_dict(data)
+
+
+def _probe_entry(
+    module: str, wall_clock: float, cache: Dict[Tuple, dict]
+) -> BenchEntry:
+    """Build a module entry: timed harness + its probe's model costs."""
+    import numpy as np
+
+    from ..algorithms.registry import run_algorithm
+
+    shape, P = MODULE_PROBES.get(module, DEFAULT_PROBE)
+    key = (tuple(shape.dims), P)
+    probe = cache.get(key)
+    if probe is None:
+        rng = np.random.default_rng(0)
+        A = rng.random((shape.n1, shape.n2))
+        B = rng.random((shape.n2, shape.n3))
+        run = run_algorithm("alg1", A, B, P)
+        probe = {
+            "config": run.config,
+            "words": run.cost.words,
+            "rounds": run.cost.rounds,
+            "flops": run.cost.flops,
+            "bound": run.attainment.bound,
+            "attainment": run.attainment.ratio,
+            "skew": None if run.machine is None else run.machine.rank_skew(),
+        }
+        cache[key] = probe
+    return BenchEntry(
+        name=f"module:{module}",
+        kind="module",
+        wall_clock=wall_clock,
+        algorithm="alg1",
+        config=probe["config"],
+        shape=tuple(shape.dims),
+        P=P,
+        words=probe["words"],
+        rounds=probe["rounds"],
+        flops=probe["flops"],
+        bound=probe["bound"],
+        attainment=probe["attainment"],
+        skew=probe["skew"],
+    )
+
+
+def run_bench_suite(
+    label: str,
+    filter: Optional[str] = None,
+    directory: Optional[str] = None,
+    ledger=None,
+) -> BenchReport:
+    """Execute the benchmark suite and the standard sweep grid.
+
+    Parameters
+    ----------
+    label:
+        Name for this invocation; becomes the BENCH file suffix and the
+        ledger label.
+    filter:
+        Optional substring; only entries whose name contains it run
+        (``--filter table1`` runs one module, ``--filter sweep:`` only the
+        grid).
+    directory:
+        Benchmarks directory override (for tests); defaults to the
+        checkout's ``benchmarks/``.
+    ledger:
+        Optional :class:`repro.obs.ledger.Ledger`; sweep and probe runs are
+        appended to it.
+    """
+    directory = bench_dir() if directory is None else directory
+    entries: List[BenchEntry] = []
+    probe_cache: Dict[Tuple, dict] = {}
+
+    if os.path.isdir(directory) and directory not in sys.path:
+        sys.path.insert(0, directory)
+    for module_name in discover_bench_modules(directory):
+        entry_name = f"module:{module_name}"
+        if filter and filter not in entry_name:
+            continue
+        module = importlib.import_module(module_name)
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(io.StringIO()):
+            module.main()
+        elapsed = time.perf_counter() - start
+        entry = _probe_entry(module_name, elapsed, probe_cache)
+        entries.append(entry)
+        if ledger is not None:
+            ledger.append(
+                RunRecord(
+                    algorithm=entry.algorithm,
+                    config=f"{entry.config} (probe for {module_name})",
+                    shape=entry.shape,
+                    P=entry.P,
+                    words=entry.words,
+                    rounds=entry.rounds,
+                    flops=entry.flops,
+                    bound=entry.bound,
+                    attainment=entry.attainment,
+                    skew=entry.skew,
+                    wall_clock=entry.wall_clock,
+                    label=label,
+                    kind="bench",
+                    timestamp=time.time(),
+                    git_sha=git_revision(),
+                    env=environment_fingerprint(),
+                )
+            )
+
+    from ..algorithms.registry import applicable_algorithms
+    from ..analysis.sweep import sweep
+
+    def sweep_name(algorithm: str, shape: ProblemShape, P: int) -> str:
+        return f"sweep:{algorithm}:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+
+    for shape, P in SWEEP_GRID:
+        wanted = [
+            algorithm
+            for algorithm in applicable_algorithms(shape, P)
+            if not filter or filter in sweep_name(algorithm, shape, P)
+        ]
+        if not wanted:
+            continue
+        for record in sweep(
+            [shape], [P], algorithms=wanted, seed=0, ledger=ledger, label=label
+        ):
+            name = sweep_name(record.algorithm, shape, P)
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    kind="sweep",
+                    wall_clock=record.wall_clock,
+                    algorithm=record.algorithm,
+                    config=record.config,
+                    shape=tuple(shape.dims),
+                    P=P,
+                    words=record.words,
+                    rounds=record.rounds,
+                    flops=record.flops,
+                    bound=record.bound,
+                    attainment=record.gap_ratio,
+                    skew=record.skew,
+                )
+            )
+
+    return BenchReport(
+        label=label,
+        entries=entries,
+        timestamp=time.time(),
+        git_sha=git_revision(),
+        env=environment_fingerprint(),
+    )

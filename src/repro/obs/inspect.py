@@ -71,14 +71,24 @@ def render_span_tree(records: List[dict]) -> str:
 
 
 def render_rank_table(records: List[dict]) -> str:
-    """Per-processor counter table with totals."""
+    """Per-processor counter table with totals and the words-sent skew gauge.
+
+    The straggler rank (largest ``sent_words``) is marked with ``*`` and the
+    table is followed by the skew summary (max / mean / ratio), mirroring
+    the ``words_sent_skew`` gauges in the metrics registry.
+    """
+    from .metrics import rank_skew
+
     ranks = [r for r in records if r.get("type") == "per_rank"]
     if not ranks:
         return "(no per-rank records)"
+    skew = rank_skew(
+        [float(r["sent_words"]) for r in sorted(ranks, key=lambda r: r["rank"])]
+    )
     headers = ["rank", "sent words", "recv words", "sent msgs", "recv msgs", "flops"]
     rows = [
         [
-            str(r["rank"]),
+            str(r["rank"]) + (" *" if r["rank"] == skew.straggler else ""),
             _fmt(float(r["sent_words"])),
             _fmt(float(r["recv_words"])),
             _fmt(float(r["sent_messages"])),
@@ -108,6 +118,11 @@ def render_rank_table(records: List[dict]) -> str:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
     lines.append(sep)
     lines.append(" | ".join(c.rjust(w) for c, w in zip(rows[-1], widths)))
+    lines.append(
+        f"words_sent skew: max={_fmt(skew.max_value)} "
+        f"mean={_fmt(skew.mean_value)} ratio={skew.ratio:.4f} "
+        f"(straggler rank {skew.straggler}, marked *)"
+    )
     return "per-rank counters:\n" + "\n".join(lines)
 
 

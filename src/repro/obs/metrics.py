@@ -18,14 +18,17 @@ load-imbalance gauges from the machine's cumulative counters.  Exporters
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RankSkew",
+    "rank_skew",
     "update_machine_gauges",
     "load_imbalance",
 ]
@@ -193,6 +196,59 @@ def load_imbalance(values) -> float:
     return max(values) / mean
 
 
+@dataclasses.dataclass(frozen=True)
+class RankSkew:
+    """Load-imbalance summary of one per-rank counter vector.
+
+    The critical-path view of a counter: the straggler (the rank with the
+    largest value) sets the pace, ``ratio = max / mean`` quantifies how far
+    the machine is from perfect balance (1.0 exactly for the shard-even
+    executions where Algorithm 1 attains the Theorem 3 constant).
+    """
+
+    max_value: float
+    mean_value: float
+    straggler: int
+    ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "max": self.max_value,
+            "mean": self.mean_value,
+            "straggler": self.straggler,
+            "ratio": self.ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RankSkew":
+        return cls(
+            max_value=float(data["max"]),
+            mean_value=float(data["mean"]),
+            straggler=int(data["straggler"]),
+            ratio=float(data["ratio"]),
+        )
+
+
+def rank_skew(values: Sequence[float]) -> RankSkew:
+    """Skew statistics of a per-rank counter vector.
+
+    Mirrors :func:`load_imbalance`'s conventions: an empty or all-zero
+    vector is reported as perfectly balanced (ratio 1.0, straggler rank 0)
+    so the gauge stays neutral before any communication happens.
+    """
+    values = list(values)
+    if not values:
+        return RankSkew(0.0, 0.0, 0, 1.0)
+    mean = sum(values) / len(values)
+    straggler = max(range(len(values)), key=lambda r: values[r])
+    peak = values[straggler]
+    ratio = 1.0 if mean == 0 else peak / mean
+    return RankSkew(
+        max_value=float(peak), mean_value=float(mean),
+        straggler=straggler, ratio=float(ratio),
+    )
+
+
 def update_machine_gauges(machine) -> None:
     """Refresh the derived per-rank gauges from the machine's counters.
 
@@ -211,4 +267,9 @@ def update_machine_gauges(machine) -> None:
     metrics.gauge("load_imbalance", counter="recv_words").set(
         load_imbalance(net.recv_words)
     )
+    skew = rank_skew(net.sent_words)
+    metrics.gauge("words_sent_skew", stat="max").set(skew.max_value)
+    metrics.gauge("words_sent_skew", stat="mean").set(skew.mean_value)
+    metrics.gauge("words_sent_skew", stat="ratio").set(skew.ratio)
+    metrics.gauge("words_sent_skew", stat="straggler_rank").set(float(skew.straggler))
     metrics.gauge("peak_memory_words").set(machine.peak_memory_words())

@@ -1,0 +1,217 @@
+"""Regression gates: compare a fresh bench report against a baseline.
+
+Two gates, matched to what each number *means*:
+
+* the **model gate** is exact.  Words, rounds, flops, the Theorem 3 bound,
+  the attainment ratio and the ``sent_words`` skew ratio are model-level
+  quantities of a deterministic simulator — the paper's constants are
+  1/2/3 and Algorithm 1's attainment is 1.0, so *any* drift in these is a
+  correctness regression, not noise.
+* the **wall-clock gate** is thresholded.  Timings are environment-bound,
+  so an entry only fails when it slows down by more than ``tolerance``
+  (default ±20%) *and* by more than an absolute floor (default 0.25 s, so
+  micro-benchmarks can't trip the gate on scheduler jitter).  The gate can
+  be demoted to advisory (warnings only) for cross-machine comparisons,
+  e.g. a CI baseline recorded on different hardware.
+
+A third **coverage** check flags entries that appear in only one of the two
+reports: an entry that silently disappears is exactly the kind of drift the
+ledger exists to catch, so missing entries fail the gate unless explicitly
+allowed (the CLI allows them when ``--filter`` ran a subset).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from .bench import BenchEntry, BenchReport
+
+__all__ = [
+    "MODEL_FIELDS",
+    "GateResult",
+    "RegressionReport",
+    "compare_entries",
+    "compare_reports",
+]
+
+#: Entry fields held to exact equality by the model gate.
+MODEL_FIELDS = ("words", "rounds", "flops", "bound", "attainment")
+
+#: Default relative wall-clock tolerance (fraction of the baseline).
+DEFAULT_WALLCLOCK_TOL = 0.20
+
+#: Absolute wall-clock slack in seconds; differences below this never fail.
+DEFAULT_WALLCLOCK_FLOOR = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class GateResult:
+    """One gate decision for one entry."""
+
+    name: str
+    gate: str  # "model" | "wall_clock" | "coverage"
+    status: str  # "pass" | "fail" | "warn" | "info"
+    detail: str = ""
+
+    def render(self) -> str:
+        return f"[{self.status.upper():4s}] {self.gate:10s} {self.name}" + (
+            f": {self.detail}" if self.detail else ""
+        )
+
+
+@dataclasses.dataclass
+class RegressionReport:
+    """All gate decisions from one baseline comparison."""
+
+    results: List[GateResult]
+    baseline_label: str = ""
+    current_label: str = ""
+
+    @property
+    def failures(self) -> List[GateResult]:
+        return [r for r in self.results if r.status == "fail"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        counts = {"pass": 0, "fail": 0, "warn": 0, "info": 0}
+        for r in self.results:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        lines = [
+            f"regression gate: {self.current_label or '(current)'} vs "
+            f"baseline {self.baseline_label or '(unlabeled)'}"
+        ]
+        lines.extend(
+            r.render() for r in self.results if r.status != "pass"
+        )
+        lines.append(
+            f"{counts['pass']} passed, {counts['fail']} failed, "
+            f"{counts['warn']} warnings, {counts['info']} informational"
+        )
+        lines.append("GATE " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def compare_entries(
+    current: BenchEntry,
+    baseline: BenchEntry,
+    wallclock_tol: float = DEFAULT_WALLCLOCK_TOL,
+    wallclock_floor: float = DEFAULT_WALLCLOCK_FLOOR,
+    enforce_wallclock: bool = True,
+) -> List[GateResult]:
+    """Gate one entry pair; returns one result per gate."""
+    results: List[GateResult] = []
+
+    drifts = []
+    for field in MODEL_FIELDS:
+        cur, base = getattr(current, field), getattr(baseline, field)
+        if cur != base:
+            drifts.append(f"{field} {base:g} -> {cur:g}")
+    if current.skew is not None and baseline.skew is not None:
+        if current.skew.ratio != baseline.skew.ratio:
+            drifts.append(
+                f"skew ratio {baseline.skew.ratio:g} -> {current.skew.ratio:g}"
+            )
+    if drifts:
+        results.append(
+            GateResult(
+                name=current.name,
+                gate="model",
+                status="fail",
+                detail="model-level drift: " + "; ".join(drifts),
+            )
+        )
+    else:
+        results.append(GateResult(name=current.name, gate="model", status="pass"))
+
+    cur_t, base_t = current.wall_clock, baseline.wall_clock
+    delta = cur_t - base_t
+    limit = max(base_t * wallclock_tol, 0.0)
+    if delta > limit and delta > wallclock_floor:
+        results.append(
+            GateResult(
+                name=current.name,
+                gate="wall_clock",
+                status="fail" if enforce_wallclock else "warn",
+                detail=(
+                    f"{base_t:.3f}s -> {cur_t:.3f}s "
+                    f"(+{delta / base_t:.0%}, tolerance {wallclock_tol:.0%})"
+                    if base_t > 0
+                    else f"{base_t:.3f}s -> {cur_t:.3f}s"
+                ),
+            )
+        )
+    elif -delta > limit and -delta > wallclock_floor:
+        results.append(
+            GateResult(
+                name=current.name,
+                gate="wall_clock",
+                status="info",
+                detail=f"faster: {base_t:.3f}s -> {cur_t:.3f}s",
+            )
+        )
+    else:
+        results.append(
+            GateResult(name=current.name, gate="wall_clock", status="pass")
+        )
+    return results
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    wallclock_tol: float = DEFAULT_WALLCLOCK_TOL,
+    wallclock_floor: float = DEFAULT_WALLCLOCK_FLOOR,
+    enforce_wallclock: bool = True,
+    allow_missing: bool = False,
+) -> RegressionReport:
+    """Run both gates over every shared entry, plus the coverage check.
+
+    ``allow_missing`` downgrades "entry in baseline but not in the current
+    report" from a failure to an informational note — the CLI sets it when
+    the current run used ``--filter``, i.e. intentionally ran a subset.
+    """
+    results: List[GateResult] = []
+    baseline_by_name = {e.name: e for e in baseline.entries}
+    current_names = {e.name for e in current.entries}
+
+    for entry in current.entries:
+        base = baseline_by_name.get(entry.name)
+        if base is None:
+            results.append(
+                GateResult(
+                    name=entry.name,
+                    gate="coverage",
+                    status="info",
+                    detail="new entry (not in baseline)",
+                )
+            )
+            continue
+        results.extend(
+            compare_entries(
+                entry,
+                base,
+                wallclock_tol=wallclock_tol,
+                wallclock_floor=wallclock_floor,
+                enforce_wallclock=enforce_wallclock,
+            )
+        )
+
+    for name in sorted(baseline_by_name.keys() - current_names):
+        results.append(
+            GateResult(
+                name=name,
+                gate="coverage",
+                status="info" if allow_missing else "fail",
+                detail="entry present in baseline but missing from this run",
+            )
+        )
+
+    return RegressionReport(
+        results=results,
+        baseline_label=baseline.label,
+        current_label=current.label,
+    )

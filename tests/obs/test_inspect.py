@@ -46,3 +46,26 @@ class TestInspectReport:
 
     def test_empty_records_do_not_crash(self):
         assert isinstance(inspect_report([]), str)
+
+
+class TestRankTableSkew:
+    def test_skew_summary_line_rendered(self, records):
+        per_rank = [r for r in records if r["type"] == "per_rank"]
+        table = render_rank_table(per_rank)
+        assert "words_sent skew:" in table
+        assert "ratio=" in table
+        assert "straggler rank" in table
+
+    def test_straggler_rank_marked(self):
+        per_rank = [
+            {"type": "per_rank", "rank": 0, "sent_words": 1.0,
+             "recv_words": 0.0, "sent_messages": 1, "recv_messages": 0,
+             "flops": 0.0},
+            {"type": "per_rank", "rank": 1, "sent_words": 9.0,
+             "recv_words": 0.0, "sent_messages": 1, "recv_messages": 0,
+             "flops": 0.0},
+        ]
+        table = render_rank_table(per_rank)
+        assert "1 *" in table
+        assert "ratio=1.8000" in table
+        assert "straggler rank 1" in table

@@ -121,3 +121,67 @@ class TestDerivedGauges:
         assert snaps[("load_imbalance", "sent_words")] == 2.0
         assert snaps[("load_imbalance", "flops")] == 2.0
         assert ("peak_memory_words", None) in snaps
+
+
+class TestRankSkew:
+    def test_corners_match_load_imbalance_conventions(self):
+        from repro.obs.metrics import RankSkew, rank_skew
+
+        assert rank_skew([]) == RankSkew(0.0, 0.0, 0, 1.0)
+        assert rank_skew([0, 0]).ratio == 1.0
+        skew = rank_skew([2.0, 6.0, 4.0])
+        assert skew.max_value == 6.0
+        assert skew.mean_value == 4.0
+        assert skew.straggler == 1
+        assert skew.ratio == 1.5
+
+    def test_round_trips_through_dict(self):
+        from repro.obs.metrics import RankSkew, rank_skew
+
+        skew = rank_skew([1.0, 3.0])
+        assert RankSkew.from_dict(skew.to_dict()) == skew
+
+    def test_words_sent_skew_gauges_published(self):
+        from repro.obs.metrics import rank_skew
+
+        machine = Machine(2)
+        machine.exchange([Message(0, 1, np.zeros(4))])
+        update_machine_gauges(machine)
+        snaps = {
+            (s["name"], s["labels"].get("stat")): s["value"]
+            for s in machine.metrics.collect()
+        }
+        assert snaps[("words_sent_skew", "max")] == 4.0
+        assert snaps[("words_sent_skew", "mean")] == 2.0
+        assert snaps[("words_sent_skew", "ratio")] == 2.0
+        assert snaps[("words_sent_skew", "straggler_rank")] == 0.0
+
+    def test_machine_rank_skew_matches_counters(self):
+        machine = Machine(2)
+        machine.exchange([Message(0, 1, np.zeros(4))])
+        skew = machine.rank_skew()
+        assert skew.max_value == 4.0
+        assert skew.straggler == 0
+        recv = machine.rank_skew("recv_words")
+        assert recv.straggler == 1
+        with pytest.raises(ValueError, match="unknown counter"):
+            machine.rank_skew("nope")
+
+    def test_machine_rank_skew_from_span_attribution(self):
+        # A real collective records event spans with per-rank attribution;
+        # the span-derived skew must agree with the network counters
+        # (zero-drift) even when structural spans nest around it.
+        from repro.algorithms import run_alg1, select_grid
+        from repro.core.shapes import ProblemShape
+        from repro.workloads.generators import random_pair
+
+        shape = ProblemShape(96, 24, 6)
+        A, B = random_pair(shape, seed=0)
+        res = run_alg1(A, B, select_grid(shape, 16).grid)
+        machine = res.machine
+        skew = machine.rank_skew()
+        assert skew.max_value == max(machine.network.sent_words)
+        assert skew.mean_value == pytest.approx(
+            sum(machine.network.sent_words) / machine.n_procs
+        )
+        assert skew.ratio >= 1.0

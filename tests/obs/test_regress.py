@@ -1,0 +1,149 @@
+"""Tests for the regression gates (repro.obs.regress)."""
+
+import dataclasses
+
+from repro.obs.bench import BenchEntry, BenchReport
+from repro.obs.metrics import RankSkew
+from repro.obs.regress import (
+    MODEL_FIELDS,
+    compare_entries,
+    compare_reports,
+)
+
+
+def entry(name="e", wall_clock=1.0, **overrides) -> BenchEntry:
+    base = dict(
+        name=name,
+        kind="sweep",
+        wall_clock=wall_clock,
+        algorithm="alg1",
+        config="grid 4x4x4",
+        shape=(48, 48, 48),
+        P=64,
+        words=324.0,
+        rounds=9,
+        flops=1728.0,
+        bound=324.0,
+        attainment=1.0,
+        skew=RankSkew(324.0, 324.0, 0, 1.0),
+    )
+    base.update(overrides)
+    return BenchEntry(**base)
+
+
+def report(*entries, label="r") -> BenchReport:
+    return BenchReport(label=label, entries=list(entries))
+
+
+def statuses(results, gate):
+    return [r.status for r in results if r.gate == gate]
+
+
+class TestModelGate:
+    def test_identical_entries_pass_both_gates(self):
+        results = compare_entries(entry(), entry())
+        assert statuses(results, "model") == ["pass"]
+        assert statuses(results, "wall_clock") == ["pass"]
+
+    def test_any_model_field_drift_fails_exactly(self):
+        for field in MODEL_FIELDS:
+            current = dataclasses.replace(
+                entry(), **{field: getattr(entry(), field) + 1}
+            )
+            results = compare_entries(current, entry())
+            assert statuses(results, "model") == ["fail"], field
+            [fail] = [r for r in results if r.gate == "model"]
+            assert field in fail.detail
+
+    def test_tiny_model_drift_still_fails(self):
+        # The gate is exact: 1e-9 words of drift is a correctness bug.
+        current = entry(words=324.0 + 1e-9)
+        results = compare_entries(current, entry())
+        assert statuses(results, "model") == ["fail"]
+
+    def test_skew_ratio_drift_fails(self):
+        current = entry(skew=RankSkew(400.0, 324.0, 3, 400.0 / 324.0))
+        results = compare_entries(current, entry())
+        assert statuses(results, "model") == ["fail"]
+
+    def test_absent_skew_on_either_side_is_not_compared(self):
+        assert statuses(
+            compare_entries(entry(skew=None), entry()), "model"
+        ) == ["pass"]
+        assert statuses(
+            compare_entries(entry(), entry(skew=None)), "model"
+        ) == ["pass"]
+
+
+class TestWallClockGate:
+    def test_small_slowdown_within_tolerance_passes(self):
+        results = compare_entries(entry(wall_clock=1.1), entry(wall_clock=1.0))
+        assert statuses(results, "wall_clock") == ["pass"]
+
+    def test_large_slowdown_fails(self):
+        results = compare_entries(entry(wall_clock=2.0), entry(wall_clock=1.0))
+        assert statuses(results, "wall_clock") == ["fail"]
+
+    def test_advisory_mode_demotes_to_warning(self):
+        results = compare_entries(
+            entry(wall_clock=2.0), entry(wall_clock=1.0),
+            enforce_wallclock=False,
+        )
+        assert statuses(results, "wall_clock") == ["warn"]
+
+    def test_micro_benchmarks_never_fail_on_jitter(self):
+        # 10x slower but under the absolute floor: scheduler noise, not
+        # a regression.
+        results = compare_entries(
+            entry(wall_clock=0.010), entry(wall_clock=0.001)
+        )
+        assert statuses(results, "wall_clock") == ["pass"]
+
+    def test_speedup_is_informational(self):
+        results = compare_entries(entry(wall_clock=1.0), entry(wall_clock=2.0))
+        assert statuses(results, "wall_clock") == ["info"]
+
+    def test_custom_tolerance_respected(self):
+        results = compare_entries(
+            entry(wall_clock=1.3), entry(wall_clock=1.0),
+            wallclock_tol=0.5,
+        )
+        assert statuses(results, "wall_clock") == ["pass"]
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        gate = compare_reports(report(entry("a"), entry("b")),
+                               report(entry("a"), entry("b")))
+        assert gate.passed
+        assert not gate.failures
+
+    def test_single_perturbed_entry_fails_whole_gate(self):
+        current = report(entry("a"), entry("b", words=999.0))
+        gate = compare_reports(current, report(entry("a"), entry("b")))
+        assert not gate.passed
+        assert [f.name for f in gate.failures] == ["b"]
+
+    def test_missing_entry_fails_unless_allowed(self):
+        current = report(entry("a"))
+        baseline = report(entry("a"), entry("gone"))
+        assert not compare_reports(current, baseline).passed
+        assert compare_reports(current, baseline, allow_missing=True).passed
+
+    def test_new_entry_is_informational(self):
+        gate = compare_reports(report(entry("a"), entry("new")),
+                               report(entry("a")))
+        assert gate.passed
+        assert any(
+            r.gate == "coverage" and r.status == "info" for r in gate.results
+        )
+
+    def test_render_names_verdict_and_counts(self):
+        gate = compare_reports(report(entry("a", words=1.0)),
+                               report(entry("a")))
+        text = gate.render()
+        assert "GATE FAILED" in text
+        assert "model" in text
+        assert "1 failed" in text
+        passing = compare_reports(report(entry("a")), report(entry("a")))
+        assert "GATE PASSED" in passing.render()

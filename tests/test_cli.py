@@ -147,3 +147,152 @@ class TestArtifacts:
         assert main(["crossover"]) == 0
         out = capsys.readouterr().out
         assert "binding" in out
+
+
+class TestBenchCommand:
+    FILTER = "sweep:alg1:64x16x4:P2"
+
+    def run_bench(self, tmp_path, *extra):
+        return main([
+            "bench", "--label", "t", "--output", str(tmp_path),
+            "--filter", self.FILTER, *extra,
+        ])
+
+    def test_writes_schema_versioned_bench_file(self, tmp_path, capsys):
+        assert self.run_bench(tmp_path) == 0
+        out = capsys.readouterr().out
+        bench_path = tmp_path / "BENCH_t.json"
+        assert str(bench_path) in out
+        data = json.loads(bench_path.read_text())
+        assert data["schema"] == "repro-bench"
+        assert data["schema_version"] == 1
+        assert data["label"] == "t"
+        [entry] = data["entries"]
+        assert entry["name"] == self.FILTER
+        for field in ("wall_clock", "words", "rounds", "flops", "bound",
+                      "attainment", "skew"):
+            assert field in entry
+        assert entry["skew"]["ratio"] >= 1.0
+
+    def test_appends_to_ledger_by_default(self, tmp_path, capsys):
+        assert self.run_bench(tmp_path) == 0
+        assert self.run_bench(tmp_path) == 0
+        lines = (tmp_path / "repro_ledger.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["algorithm"] == "alg1"
+
+    def test_no_ledger_flag(self, tmp_path, capsys):
+        assert self.run_bench(tmp_path, "--no-ledger") == 0
+        assert not (tmp_path / "repro_ledger.jsonl").exists()
+
+    def test_second_identical_run_passes_the_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert self.run_bench(tmp_path, "--write-baseline",
+                              "--baseline", str(baseline)) == 0
+        capsys.readouterr()
+        assert self.run_bench(tmp_path, "--compare",
+                              "--baseline", str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "GATE PASSED" in out
+
+    def test_perturbed_word_count_trips_the_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert self.run_bench(tmp_path, "--write-baseline",
+                              "--baseline", str(baseline)) == 0
+        data = json.loads(baseline.read_text())
+        data["entries"][0]["words"] += 1.0
+        baseline.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert self.run_bench(tmp_path, "--compare",
+                              "--baseline", str(baseline)) == 1
+        out = capsys.readouterr().out
+        assert "GATE FAILED" in out
+        assert "model-level drift" in out
+
+    def test_missing_baseline_fails_cleanly(self, tmp_path, capsys):
+        assert self.run_bench(tmp_path, "--compare",
+                              "--baseline", str(tmp_path / "none.json")) == 2
+        err = capsys.readouterr().err
+        assert "cannot compare" in err
+        assert "not found" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_baseline_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert self.run_bench(tmp_path, "--compare",
+                              "--baseline", str(bad)) == 2
+        err = capsys.readouterr().err
+        assert "cannot compare" in err
+        assert "Traceback" not in err
+
+    def test_filter_matching_nothing_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--label", "t", "--output", str(tmp_path),
+                     "--filter", "no-such-entry"]) == 2
+        assert "no bench entries matched" in capsys.readouterr().err
+
+
+class TestLedgerCommand:
+    def populate(self, tmp_path):
+        """Two bench runs -> two ledger records; returns the ledger path."""
+        for label in ("one", "two"):
+            assert main([
+                "bench", "--label", label, "--output", str(tmp_path),
+                "--filter", "sweep:alg1:64x16x4:P2",
+            ]) == 0
+        return tmp_path / "repro_ledger.jsonl"
+
+    def test_list_tabulates_records(self, tmp_path, capsys):
+        path = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "list", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "alg1" in out
+        assert "one" in out and "two" in out
+
+    def test_list_filters_by_label_and_limit(self, tmp_path, capsys):
+        path = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "list", "--path", str(path),
+                     "--label", "two", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "two" in out
+        assert " one " not in out
+
+    def test_show_prints_full_record(self, tmp_path, capsys):
+        path = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "show", "0", "--path", str(path)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema_version"] == 1
+        assert record["algorithm"] == "alg1"
+        assert record["label"] == "one"
+
+    def test_diff_reports_agreement_on_model_fields(self, tmp_path, capsys):
+        path = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Model costs agree between identical runs; label/wall differ.
+        assert "words" not in out
+        assert "label: one -> two" in out
+
+    def test_missing_ledger_lists_as_empty(self, tmp_path, capsys):
+        assert main(["ledger", "list",
+                     "--path", str(tmp_path / "none.jsonl")]) == 0
+        assert "no matching records" in capsys.readouterr().out
+
+    def test_corrupt_ledger_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["ledger", "list", "--path", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read ledger" in err
+        assert "Traceback" not in err
+
+    def test_show_out_of_range_index_exits_2(self, tmp_path, capsys):
+        path = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "show", "99", "--path", str(path)]) == 2
+        assert "no record 99" in capsys.readouterr().err
