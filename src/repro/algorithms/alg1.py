@@ -31,6 +31,7 @@ from ..collectives.communicator import (
     parallel_reduce_scatter,
 )
 from ..core.shapes import ProblemShape
+from ..machine.backend import SymbolicBlock, as_block, backend_for
 from ..machine.cost import Cost, CostModel
 from ..machine.machine import Machine
 from ..obs.attainment import Attainment, record_attainment
@@ -53,7 +54,8 @@ class Alg1Result:
     Attributes
     ----------
     C:
-        The assembled product, numerically equal to ``A @ B``.
+        The assembled product, numerically equal to ``A @ B`` under the
+        data backend (a shape-only descriptor under the symbolic one).
     shape, grid:
         Problem and grid actually run.
     cost:
@@ -114,7 +116,11 @@ def run_alg1(
     collective_algorithm:
         Forwarded to the All-Gather / Reduce-Scatter dispatchers
         (``"auto"``, ``"ring"``, ``"recursive_doubling"`` /
-        ``"recursive_halving"``).
+        ``"recursive_halving"``, or ``"bruck"`` — logarithmic-latency
+        All-Gather for *any* fiber length, with the Reduce-Scatter falling
+        back to its ``"auto"`` choice since no Bruck dual exists).  The
+        ``"bruck"`` option is what makes non-power-of-two fibers feasible
+        at very large ``P`` under the symbolic backend.
     keep_blocks:
         Keep the gathered ``A``/``B`` blocks in the stores after the local
         multiply instead of freeing them (affects only peak-memory
@@ -136,10 +142,10 @@ def run_alg1(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     if machine is None:
-        machine = Machine(grid.size, cost_model=cost_model)
+        machine = Machine(grid.size, cost_model=cost_model, backend=backend_for(A, B))
     else:
         machine.reset()
 
@@ -162,7 +168,7 @@ def run_alg1(
             c1, c2, _ = grid.coord(rank)
             r0, r1 = block_bounds(n1, p1, c1)
             c0, c1b = block_bounds(n2, p2, c2)
-            flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
+            flat = np.concatenate([as_block(ch).reshape(-1) for ch in gathered[rank]])
             machine.proc(rank).store["A_block"] = flat.reshape(r1 - r0, c1b - c0)
     phase_words["allgather_a"] = span_a.cost.words
 
@@ -179,7 +185,7 @@ def run_alg1(
             _, c2, c3 = grid.coord(rank)
             r0, r1 = block_bounds(n2, p2, c2)
             c0, c1b = block_bounds(n3, p3, c3)
-            flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
+            flat = np.concatenate([as_block(ch).reshape(-1) for ch in gathered[rank]])
             machine.proc(rank).store["B_block"] = flat.reshape(r1 - r0, c1b - c0)
     phase_words["allgather_b"] = span_b.cost.words
 
@@ -198,21 +204,33 @@ def run_alg1(
                 store.free("B_block")
 
     # ---- Line 8: Reduce-Scatter D along p2-fibers ---------------------- #
-    # The gather-phase algorithm names map onto their reduce-phase duals.
-    rs_alg = {"recursive_doubling": "recursive_halving"}.get(
+    # The gather-phase algorithm names map onto their reduce-phase duals;
+    # Bruck has no Reduce-Scatter dual, so it falls back to "auto".
+    rs_alg = {"recursive_doubling": "recursive_halving", "bruck": "auto"}.get(
         collective_algorithm, collective_algorithm
     )
     with machine.span("reduce-scatter-C", kind="collective") as span_c:
         if p2 > 1:
             blocks = {}
+            bounds_cache = {}
+            shard_cache = {}
             for rank in range(grid.size):
                 d_flat = machine.proc(rank).store["D"].reshape(-1)
-                blocks[rank] = [
-                    d_flat[lo:hi]
-                    for lo, hi in (
-                        shard_bounds(d_flat.size, p2, j) for j in range(p2)
-                    )
-                ]
+                bounds = bounds_cache.get(d_flat.size)
+                if bounds is None:
+                    bounds = [shard_bounds(d_flat.size, p2, j) for j in range(p2)]
+                    bounds_cache[d_flat.size] = bounds
+                if type(d_flat) is SymbolicBlock:
+                    # Symbolic blocks are immutable value objects: every
+                    # rank with the same flat size shards into the same
+                    # descriptors, so slice once per size, not per rank.
+                    shards = shard_cache.get(d_flat.size)
+                    if shards is None:
+                        shards = [d_flat[lo:hi] for lo, hi in bounds]
+                        shard_cache[d_flat.size] = shards
+                    blocks[rank] = list(shards)
+                else:
+                    blocks[rank] = [d_flat[lo:hi] for lo, hi in bounds]
             if final_phase == "reduce_scatter":
                 reduced = parallel_reduce_scatter(
                     machine, grid.fibers(2), blocks, algorithm=rs_alg, label="C blocks",
@@ -224,9 +242,9 @@ def run_alg1(
                 reduced = {}
                 for rank in range(grid.size):
                     partials = exchanged[rank]
-                    total = np.zeros_like(np.asarray(partials[0], dtype=float))
+                    total = np.zeros_like(as_block(partials[0], dtype=float))
                     for part in partials:
-                        total = total + np.asarray(part, dtype=float)
+                        total = total + as_block(part, dtype=float)
                     # Local summation of p2 partials, charged as flops.
                     machine.compute(rank, float(total.size * (len(partials) - 1)))
                     reduced[rank] = total
@@ -241,7 +259,7 @@ def run_alg1(
             }
         for rank in range(grid.size):
             store = machine.proc(rank).store
-            store["C_shard"] = np.asarray(reduced[rank]).reshape(-1)
+            store["C_shard"] = as_block(reduced[rank]).reshape(-1)
             store.free("D")
     phase_words["reduce_scatter_c"] = span_c.cost.words
 

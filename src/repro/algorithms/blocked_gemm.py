@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.shapes import ProblemShape
 from ..exceptions import ShapeError
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.sequential import FastMemory, IOStats
 
 __all__ = [
@@ -78,12 +79,12 @@ def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResu
     working set; the point is the *shape* of its cost (proportional to
     ``n1 n2 n3 / block``), not cleverness.
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
-    fm = FastMemory(M)
+    fm = FastMemory(M, backend=backend_for(A, B))
 
     # Choose a row-block height h and a B column-panel width w such that
     # h*n2 (A rows) + n2*w (B panel) + h*w (C block) <= M.
@@ -94,7 +95,7 @@ def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResu
             f"M={M} too small for even one row/column of the {shape} problem"
         )
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i0 in range(0, n1, h):
         i1 = min(i0 + h, n1)
         fm.load("A_rows", A[i0:i1, :])
@@ -118,8 +119,8 @@ def run_blocked_gemm(
     tile: Optional[int] = None,
 ) -> SequentialGemmResult:
     """Square-tiled GEMM with tile side ``tile`` (default ``sqrt(M/3)``)."""
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -127,9 +128,9 @@ def run_blocked_gemm(
         tile = max(1, int(math.isqrt(int(M // 3))))
     if 3 * tile * tile > M:
         raise ShapeError(f"tile {tile} needs 3*{tile}^2 = {3*tile*tile} > M = {M}")
-    fm = FastMemory(M)
+    fm = FastMemory(M, backend=backend_for(A, B))
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i0 in range(0, n1, tile):
         i1 = min(i0 + tile, n1)
         for j0 in range(0, n3, tile):
@@ -162,8 +163,8 @@ def run_optimal_gemm(
     ``2 n1 n2 n3 / b + n1 n3`` plus lower-order terms — the constant-2
     bound attained (up to the choice of ``b`` vs ``sqrt(M)``).
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -172,9 +173,9 @@ def run_optimal_gemm(
     b = max(1, min(b, n1, n3))
     if b * b + 2 * b * panel > M:
         raise ShapeError(f"M={M} too small for a C tile with panel={panel}")
-    fm = FastMemory(M)
+    fm = FastMemory(M, backend=backend_for(A, B))
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i0 in range(0, n1, b):
         i1 = min(i0 + b, n1)
         for j0 in range(0, n3, b):

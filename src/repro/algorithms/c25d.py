@@ -32,6 +32,7 @@ from ..collectives.reduce import reduce_schedule
 from ..collectives.schedules import run_schedules
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
@@ -65,14 +66,14 @@ def _reduce_scatter_gather(group, root, values, machine):
 
     group = tuple(group)
     p = len(group)
-    shape = _np.asarray(values[group[0]]).shape
+    shape = as_block(values[group[0]]).shape
     splits = {
-        r: _np.array_split(_np.asarray(values[r], dtype=float).reshape(-1), p)
+        r: _np.array_split(as_block(values[r], dtype=float).reshape(-1), p)
         for r in group
     }
     reduced = yield from reduce_scatter_ring(group, splits, machine=machine)
     gathered = yield from gather_binomial(group, root, {r: reduced[r] for r in group})
-    flat = _np.concatenate([_np.asarray(chunk).reshape(-1) for chunk in gathered[root]])
+    flat = _np.concatenate([as_block(chunk).reshape(-1) for chunk in gathered[root]])
     out = {r: None for r in group}
     out[root] = flat.reshape(shape)
     return out
@@ -109,8 +110,8 @@ def run_25d(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -120,7 +121,7 @@ def run_25d(
         raise GridError(f"q={q} exceeds the smallest dimension of {shape}")
     P = q * q * c
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
         if machine.n_procs != P:
@@ -214,10 +215,10 @@ def run_25d(
         b_recv = parallel_broadcast(machine, b_groups, b_roots, b_values, label="replicate B")
         for grp in a_groups:
             for r in grp:
-                machine.proc(r).store["A"] = np.asarray(a_recv[r])
+                machine.proc(r).store["A"] = as_block(a_recv[r])
         for grp in b_groups:
             for r in grp:
-                machine.proc(r).store["B"] = np.asarray(b_recv[r])
+                machine.proc(r).store["B"] = as_block(b_recv[r])
     else:
         for i in range(q):
             for j in range(q):
@@ -303,7 +304,7 @@ def run_25d(
     else:
         summed = {(i, j): partials[(i, j, 0)] for i in range(q) for j in range(q)}
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i in range(q):
         for j in range(q):
             machine.proc(rank(i, j, 0)).store["C"] = summed[(i, j)]

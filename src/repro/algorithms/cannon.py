@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
@@ -119,8 +120,8 @@ def run_cannon(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -130,7 +131,7 @@ def run_cannon(
         raise GridError(f"q={q} exceeds the smallest dimension of {shape}")
     P = q * q
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
         if machine.n_procs != P:
@@ -174,7 +175,7 @@ def run_cannon(
             _rotate(machine, grid_rank, q, "B", axis=0, amounts=ones)
     machine.trace.record("compute", f"{q} Cannon stages")
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for (i, j), r in grid_rank.items():
         machine.proc(r).store["C"] = partials[(i, j)]
         r0, r1 = block_bounds(n1, q, i)

@@ -41,6 +41,7 @@ import numpy as np
 from ..collectives.schedules import Schedule, is_power_of_two, merge_schedules, run_schedule
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import SymbolicBlock, as_block, backend_for, is_symbolic, zeros_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
@@ -80,7 +81,8 @@ def _pack(pieces: Sequence[Piece]):
     piece are a negligible, honest header cost.
     """
     return tuple(
-        (np.array([r0, r1, c0, c1]), np.ascontiguousarray(arr))
+        (np.array([r0, r1, c0, c1]),
+         arr if is_symbolic(arr) else np.ascontiguousarray(arr))
         for (r0, r1, c0, c1, arr) in pieces
     )
 
@@ -95,6 +97,21 @@ def _unpack(payload) -> List[Piece]:
 def _assemble(pieces: Sequence[Piece], region: Region) -> np.ndarray:
     """Tile ``pieces`` into a dense array covering ``region`` exactly."""
     r0, r1, c0, c1 = region
+    if any(is_symbolic(arr) for (_, _, _, _, arr) in pieces):
+        # Symbolic mode: the NaN-sentinel check needs elements, so verify
+        # the tiling geometrically instead (containment + exact area).
+        covered = 0
+        for (pr0, pr1, pc0, pc1, arr) in pieces:
+            if pr0 < r0 or pr1 > r1 or pc0 < c0 or pc1 > c1:
+                raise GridError(
+                    f"CARMA invariant violated: piece outside region {region}"
+                )
+            covered += (pr1 - pr0) * (pc1 - pc0)
+        if covered != (r1 - r0) * (c1 - c0):
+            raise GridError(
+                f"CARMA invariant violated: pieces do not tile region {region}"
+            )
+        return SymbolicBlock((r1 - r0, c1 - c0))
     out = np.full((r1 - r0, c1 - c0), np.nan)
     for (pr0, pr1, pc0, pc1, arr) in pieces:
         out[pr0 - r0:pr1 - r0, pc0 - c0:pc1 - c0] = arr
@@ -150,8 +167,8 @@ def run_carma(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -162,7 +179,7 @@ def run_carma(
             f"initial slab distribution needs n1 >= P and n2 >= P, got {shape}, P={P}"
         )
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
         if machine.n_procs != P:
@@ -346,7 +363,7 @@ def run_carma(
     run_schedule(machine, recurse(tuple(range(P)), (0, n1), (0, n2), (0, n3)))
     machine.trace.record("compute", f"CARMA recursion, splits: {splits}")
 
-    C = np.zeros((n1, n3))
+    C = zeros_block((n1, n3), like=A)
     for r in range(P):
         for (r0, r1, c0, c1, arr) in holdings_c[r]:
             C[r0:r1, c0:c1] += arr

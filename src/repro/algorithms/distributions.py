@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.shapes import ProblemShape
 from ..exceptions import DistributionError
+from ..machine.backend import as_block, empty_block
 from ..machine.machine import Machine
 from .grid import ProcessorGrid
 
@@ -181,13 +182,14 @@ def assemble_c(
     ``C`` distributed, exactly as the lower bound's "one copy of the output"
     accounting assumes).
     """
-    C = np.empty((shape.n1, shape.n3))
+    sample = machine.proc(0).store[key]
+    C = empty_block((shape.n1, shape.n3), like=sample)
     for c1 in range(grid.p1):
         for c3 in range(grid.p3):
             r0, r1 = block_bounds(shape.n1, grid.p1, c1)
             k0, k1 = block_bounds(shape.n3, grid.p3, c3)
             block_words = (r1 - r0) * (k1 - k0)
-            flat = np.empty(block_words)
+            flat = empty_block((block_words,), like=sample)
             for c2 in range(grid.p2):
                 lo, hi = shard_bounds(block_words, grid.p2, c2)
                 shard = machine.proc(grid.rank((c1, c2, c3))).store[key]
@@ -203,4 +205,4 @@ def assemble_c(
 
 def reference_product(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     """The numpy reference ``A @ B`` all algorithms are checked against."""
-    return np.asarray(A) @ np.asarray(B)
+    return as_block(A) @ as_block(B)

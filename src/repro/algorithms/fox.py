@@ -26,6 +26,7 @@ import numpy as np
 from ..collectives.communicator import parallel_broadcast
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
@@ -63,8 +64,8 @@ def run_fox(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -74,7 +75,7 @@ def run_fox(
         raise GridError(f"q={q} exceeds the smallest dimension of {shape}")
     P = q * q
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
         if machine.n_procs != P:
@@ -111,7 +112,7 @@ def run_fox(
         for i in range(q):
             for j in range(q):
                 r = rank(i, j)
-                a_blk = np.asarray(a_recv[r])
+                a_blk = as_block(a_recv[r])
                 b_blk = machine.proc(r).store["B"]
                 prod = a_blk @ b_blk
                 machine.compute(r, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
@@ -131,7 +132,7 @@ def run_fox(
                 machine.proc(dest).store["B"] = payload
     machine.trace.record("compute", f"{q} Fox stages")
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i in range(q):
         for j in range(q):
             machine.proc(rank(i, j)).store["C"] = partials[(i, j)]

@@ -35,6 +35,7 @@ import numpy as np
 from ..collectives.communicator import parallel_allgather, parallel_reduce_scatter
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import as_block, backend_for, zeros_block
 from ..machine.machine import Machine
 from ..obs.attainment import record_attainment
 from .alg1 import Alg1Result, run_alg1
@@ -76,8 +77,8 @@ def run_alg1_chunked(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     if chunks == 1:
         return run_alg1(A, B, grid, machine=machine)
     if grid.p3 != 1:
@@ -98,7 +99,7 @@ def run_alg1_chunked(
         )
 
     if machine is None:
-        machine = Machine(grid.size)
+        machine = Machine(grid.size, backend=backend_for(A, B))
     else:
         machine.reset()
 
@@ -113,7 +114,7 @@ def run_alg1_chunked(
         k0, k1 = block_bounds(n2, p2, c2)
         store = machine.proc(rank).store
         store["A_block"] = store["A_shard"].reshape(r1 - r0, k1 - k0)
-        store["D"] = np.zeros((r1 - r0, n3))
+        store["D"] = zeros_block((r1 - r0, n3), like=A)
 
     # The B block (local_k x n3) is gathered slice by slice.  The variant
     # picks a *chunk-aligned* initial distribution (the lower bound lets the
@@ -140,7 +141,7 @@ def run_alg1_chunked(
             gathered = {r: [chunk_shards[r]] for r in range(grid.size)}
         for rank in range(grid.size):
             store = machine.proc(rank).store
-            flat = np.concatenate([np.asarray(ch).reshape(-1) for ch in gathered[rank]])
+            flat = np.concatenate([as_block(ch).reshape(-1) for ch in gathered[rank]])
             b_slice = flat.reshape(step, n3)
             store["B_slice"] = b_slice
             a_block = store["A_block"]
@@ -169,7 +170,7 @@ def run_alg1_chunked(
                    for r in range(grid.size)}
     for rank in range(grid.size):
         store = machine.proc(rank).store
-        store["C_shard"] = np.asarray(reduced[rank]).reshape(-1)
+        store["C_shard"] = as_block(reduced[rank]).reshape(-1)
         store.free("D")
         store.free("A_block")
     phase_words["reduce_scatter_c"] = (machine.cost - before).words

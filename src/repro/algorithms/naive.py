@@ -29,6 +29,7 @@ import numpy as np
 
 from ..collectives.communicator import Communicator
 from ..core.shapes import ProblemShape
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from .distributions import block_bounds, shard_bounds
@@ -66,13 +67,13 @@ def run_row_1d(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
     comm = Communicator(machine, tuple(range(P)))
@@ -90,7 +91,7 @@ def run_row_1d(
         algorithm=collective_algorithm,
         label="replicate B",
     )
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for r in range(P):
         full_b = np.concatenate([c.reshape(-1) for c in gathered[r]]).reshape(n2, n3)
         machine.proc(r).store["B_full"] = full_b
@@ -122,13 +123,13 @@ def run_outer_1d(
     by its ``(n2/P) x n3`` row block of ``B`` and the ``n1 x n3`` partial
     products are Reduce-Scattered (leaving ``C`` evenly sharded).
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
     comm = Communicator(machine, tuple(range(P)))
@@ -156,9 +157,9 @@ def run_outer_1d(
     }
     reduced = comm.reduce_scatter(blocks, algorithm=rs_alg, label="sum C contributions")
 
-    flat = np.empty(n1 * n3)
+    flat = empty_block((n1 * n3,), like=A)
     for r in range(P):
-        machine.proc(r).store["C_shard"] = np.asarray(reduced[r]).reshape(-1)
+        machine.proc(r).store["C_shard"] = as_block(reduced[r]).reshape(-1)
         machine.proc(r).store.free("D")
         lo, hi = shard_bounds(n1 * n3, P, r)
         flat[lo:hi] = reduced[r].reshape(-1)

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..collectives.schedules import is_power_of_two
 from ..core.shapes import ProblemShape
+from ..machine.backend import SymbolicBlock, is_symbolic, resolve_backend
 from ..machine.cost import Cost
 from ..obs.attainment import Attainment, bound_attainment
 from .alg1 import run_alg1
@@ -69,13 +70,18 @@ def _shape_of(A: np.ndarray, B: np.ndarray) -> ProblemShape:
     return ProblemShape(A.shape[0], A.shape[1], B.shape[1])
 
 
-def _run_alg1_optimal(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def _run_alg1_optimal(
+    A: np.ndarray, B: np.ndarray, P: int, collective_algorithm: str = "auto",
+) -> AlgorithmRun:
     shape = _shape_of(A, B)
     choice = select_grid(shape, P)
-    res = run_alg1(A, B, choice.grid)
+    res = run_alg1(A, B, choice.grid, collective_algorithm=collective_algorithm)
+    config = f"grid {choice.grid}"
+    if collective_algorithm != "auto":
+        config += f", collectives {collective_algorithm}"
     return AlgorithmRun(
         name="alg1", C=res.C, shape=shape, P=P, cost=res.cost,
-        config=f"grid {choice.grid}", machine=res.machine,
+        config=config, machine=res.machine,
     )
 
 
@@ -251,14 +257,42 @@ def _wrap_carma(res) -> AlgorithmRun:
     )
 
 
-def run_algorithm(name: str, A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def run_algorithm(
+    name: str,
+    A: np.ndarray,
+    B: np.ndarray,
+    P: int,
+    backend=None,
+    collective_algorithm: Optional[str] = None,
+) -> AlgorithmRun:
     """Run a registered algorithm by name.
 
     Every run comes back with its bound-attainment gauge filled in, so
     sweeps and the report can surface ``measured / Theorem-3-bound``
     ratios uniformly across algorithms.
+
+    ``backend`` (a name or :class:`~repro.machine.backend.Backend`)
+    selects the execution mode: under ``"symbolic"`` real operands are
+    demoted to shape descriptors before the run, so no elements are
+    allocated or moved while every counter is accounted identically.
+    ``collective_algorithm`` forces a specific collective implementation
+    where the algorithm exposes the choice (currently Algorithm 1; other
+    entries use their fixed defaults).
     """
-    run = REGISTRY[name].run(A, B, P)
+    if backend is not None:
+        backend = resolve_backend(backend)
+        if not backend.verifies and not is_symbolic(A):
+            A = SymbolicBlock(np.shape(A))
+            B = SymbolicBlock(np.shape(B))
+        elif backend.verifies and is_symbolic(A):
+            raise ValueError(
+                "data backend requested but the operands are symbolic; "
+                "pass real arrays or backend='symbolic'"
+            )
+    if name == "alg1" and collective_algorithm is not None:
+        run = _run_alg1_optimal(A, B, P, collective_algorithm=collective_algorithm)
+    else:
+        run = REGISTRY[name].run(A, B, P)
     run.attainment = bound_attainment(run.shape, run.P, run.cost.words)
     return run
 

@@ -29,6 +29,7 @@ import numpy as np
 from ..collectives.communicator import parallel_broadcast
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
+from ..machine.backend import as_block, backend_for, empty_block, zeros_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from .distributions import block_bounds
@@ -71,8 +72,8 @@ def run_summa(
     >>> bool(np.allclose(res.C, A @ B))
     True
     """
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    A = as_block(A, dtype=float)
+    B = as_block(B, dtype=float)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -83,7 +84,7 @@ def run_summa(
         )
     P = pr * pc
     if machine is None:
-        machine = Machine(P)
+        machine = Machine(P, backend=backend_for(A, B))
     else:
         machine.reset()
         if machine.n_procs != P:
@@ -102,9 +103,10 @@ def run_summa(
             r0, r1 = block_bounds(n2, pr, i)
             c0, c1 = block_bounds(n3, pc, j)
             machine.proc(r).store["B"] = B[r0:r1, c0:c1].copy()
-            machine.proc(r).store["C"] = np.zeros(
+            machine.proc(r).store["C"] = zeros_block(
                 (block_bounds(n1, pr, i)[1] - block_bounds(n1, pr, i)[0],
-                 block_bounds(n3, pc, j)[1] - block_bounds(n3, pc, j)[0])
+                 block_bounds(n3, pc, j)[1] - block_bounds(n3, pc, j)[0]),
+                like=A,
             )
     machine.trace.record("distribute", f"SUMMA blocks on {pr}x{pc} grid")
 
@@ -149,13 +151,13 @@ def run_summa(
         for i in range(pr):
             for j in range(pc):
                 r = rank(i, j)
-                a_p = np.asarray(a_recv[r])
-                b_p = np.asarray(b_recv[r])
+                a_p = as_block(a_recv[r])
+                b_p = as_block(b_recv[r])
                 machine.proc(r).store["C"] = machine.proc(r).store["C"] + a_p @ b_p
                 machine.compute(r, float(a_p.shape[0] * panel * b_p.shape[1]))
     machine.trace.record("compute", f"{stages} SUMMA stages of width {panel}")
 
-    C = np.empty((n1, n3))
+    C = empty_block((n1, n3), like=A)
     for i in range(pr):
         for j in range(pc):
             r0, r1 = block_bounds(n1, pr, i)

@@ -2,6 +2,7 @@
 
 from .constants import MeasuredConstant, case_remainder, constant_series, measure_constant
 from .integrality import GapPoint, GapProfile, gap_profile, integrality_gap
+from .large_p import LARGE_P_POINTS, LargePPoint, LargePResult, run_large_p_sweep
 from .report import CheckResult, ReproductionReport, reproduction_report
 from .scaling_laws import (
     FittedLaw,
@@ -22,18 +23,24 @@ from .sweep import SweepRecord, sweep
 from .tables import format_number, format_series, format_table
 from .traffic import TrafficSummary, communication_graph, traffic_summary
 from .verification import (
+    BackendCrossCheck,
     BoundCheck,
     check_cost_against_bound,
     check_grid_projections,
+    cross_check_backends,
     relative_gap,
 )
 
 __all__ = [
+    "BackendCrossCheck",
     "BoundCheck",
     "CheckResult",
     "FittedLaw",
     "GapPoint",
     "GapProfile",
+    "LARGE_P_POINTS",
+    "LargePPoint",
+    "LargePResult",
     "ReproductionReport",
     "MeasuredConstant",
     "ScalingPoint",
@@ -56,9 +63,11 @@ __all__ = [
     "grid_assignment_brick",
     "grid_projection_sizes",
     "is_computation_balanced",
+    "cross_check_backends",
     "measure_constant",
     "relative_gap",
     "reproduction_report",
+    "run_large_p_sweep",
     "regime_exponents",
     "scaling_sweep",
     "sweep",

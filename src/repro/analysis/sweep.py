@@ -27,6 +27,7 @@ from ..algorithms.registry import REGISTRY, applicable_algorithms, run_algorithm
 from ..core.lower_bounds import communication_lower_bound
 from ..core.shapes import ProblemShape
 from ..exceptions import BoundViolationError, NumericalMismatchError
+from ..machine.backend import resolve_backend
 from ..obs.metrics import RankSkew
 from .verification import check_cost_against_bound
 
@@ -40,7 +41,11 @@ class SweepRecord:
     ``wall_clock`` is the measured driver time of the run in seconds
     (:func:`time.perf_counter`); ``skew`` summarizes the per-rank
     ``sent_words`` imbalance of the execution (``None`` only when the
-    algorithm exposes no machine).
+    algorithm exposes no machine).  ``backend`` names the execution
+    backend the run used; ``correct`` is ``None`` under the symbolic
+    backend (no elements exist to verify — the cost counters are
+    identical to the data backend's by construction, which
+    :func:`repro.analysis.verification.cross_check_backends` asserts).
     """
 
     algorithm: str
@@ -51,10 +56,11 @@ class SweepRecord:
     rounds: int
     bound: float
     gap_ratio: float
-    correct: bool
+    correct: Optional[bool]
     wall_clock: float = 0.0
     flops: float = 0.0
     skew: Optional[RankSkew] = None
+    backend: str = "data"
 
 
 def sweep(
@@ -64,6 +70,8 @@ def sweep(
     seed: int = 0,
     ledger=None,
     label: str = "",
+    backend: str = "data",
+    collective_algorithm: Optional[str] = None,
 ) -> List[SweepRecord]:
     """Run algorithms across shapes and processor counts.
 
@@ -76,6 +84,16 @@ def sweep(
     ledger:
         Optional :class:`repro.obs.ledger.Ledger`; every record is
         appended to it as a persistent run record tagged with ``label``.
+    backend:
+        Execution backend name (``"data"`` or ``"symbolic"``).  Under
+        ``"symbolic"`` no operand elements are ever allocated, so the
+        sweep scales to production-sized ``P`` (``10^5`` and beyond);
+        numerical verification is skipped (``correct=None``) while the
+        bound check still runs on the identically-accounted counters.
+    collective_algorithm:
+        Optional override threaded to algorithms that expose the choice
+        (Algorithm 1); e.g. ``"bruck"`` keeps all-gather fibers feasible
+        at non-power-of-two sizes.
 
     Raises
     ------
@@ -90,24 +108,34 @@ def sweep(
     control flow (typed exceptions from :mod:`repro.exceptions`), not
     ``assert`` statements, so they survive ``python -O``.
     """
+    backend_obj = resolve_backend(backend)
     rng = np.random.default_rng(seed)
     names = list(algorithms) if algorithms is not None else list(REGISTRY)
     records: List[SweepRecord] = []
     for shape in shapes:
-        A = rng.random((shape.n1, shape.n2))
-        B = rng.random((shape.n2, shape.n3))
-        expected = A @ B
+        if backend_obj.verifies:
+            A = rng.random((shape.n1, shape.n2))
+            B = rng.random((shape.n2, shape.n3))
+            expected = A @ B
+        else:
+            A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+            expected = None
         for P in processor_counts:
             runnable = set(applicable_algorithms(shape, P))
             for name in names:
                 if name not in runnable:
                     continue
                 start = time.perf_counter()
-                run = run_algorithm(name, A, B, P)
+                run = run_algorithm(
+                    name, A, B, P, collective_algorithm=collective_algorithm,
+                )
                 elapsed = time.perf_counter() - start
-                correct = bool(np.allclose(run.C, expected))
+                correct = (
+                    bool(np.allclose(run.C, expected))
+                    if backend_obj.verifies else None
+                )
                 check = check_cost_against_bound(shape, P, run.cost)
-                if not correct:
+                if correct is False:
                     raise NumericalMismatchError(
                         f"{name} produced a wrong product on {shape}, P={P}"
                     )
@@ -129,6 +157,7 @@ def sweep(
                     wall_clock=elapsed,
                     flops=run.cost.flops,
                     skew=None if run.machine is None else run.machine.rank_skew(),
+                    backend=backend_obj.name,
                 )
                 records.append(record)
                 if ledger is not None:

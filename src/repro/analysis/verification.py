@@ -16,19 +16,24 @@ main result on the simulated machine.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from ..algorithms.grid import ProcessorGrid
 from ..core.array_access import access_lower_bounds
 from ..core.lower_bounds import LowerBound, memory_independent_bound
 from ..core.shapes import ProblemShape
+from ..exceptions import BackendMismatchError
 from ..machine.cost import Cost
 from .projections import grid_projection_sizes, total_projection_words
 
 __all__ = [
+    "BackendCrossCheck",
     "BoundCheck",
     "check_cost_against_bound",
     "check_grid_projections",
+    "cross_check_backends",
     "relative_gap",
 ]
 
@@ -78,6 +83,107 @@ def check_cost_against_bound(
         satisfied=satisfied,
         tight=tight,
         gap_ratio=relative_gap(measured, target) if target > 0 else float("nan"),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendCrossCheck:
+    """Exact agreement report between a data run and a symbolic run.
+
+    Every field was compared for *exact* equality — not approximate — by
+    :func:`cross_check_backends` before this record was constructed, so
+    holding one of these is proof the symbolic backend accounted the run
+    identically to the data backend.
+    """
+
+    algorithm: str
+    shape: ProblemShape
+    P: int
+    cost: Cost
+    sent_words: Tuple[float, ...]
+    recv_words: Tuple[float, ...]
+    flops: Tuple[float, ...]
+    attainment_ratio: float
+    peak_memory: int
+    verified_numerics: bool
+
+
+def cross_check_backends(
+    algorithm: str,
+    shape: ProblemShape,
+    P: int,
+    seed: int = 0,
+    collective_algorithm: Optional[str] = None,
+) -> BackendCrossCheck:
+    """Run ``algorithm`` under both backends and assert exact agreement.
+
+    The data run uses real seeded operands (and its product is verified
+    against numpy); the symbolic run uses shape descriptors only.  The
+    two executions share every schedule, so their Cost, per-rank
+    ``sent_words`` / ``recv_words`` / ``flops`` vectors, bound-attainment
+    ratio and peak memory must be *exactly* equal — word-for-word, not
+    approximately.
+
+    Raises
+    ------
+    BackendMismatchError
+        On any divergence; the message names the first differing counter.
+    """
+    from ..algorithms.registry import run_algorithm
+    from ..obs.attainment import bound_attainment
+
+    rng = np.random.default_rng(seed)
+    A = rng.random((shape.n1, shape.n2))
+    B = rng.random((shape.n2, shape.n3))
+
+    data = run_algorithm(
+        algorithm, A, B, P, collective_algorithm=collective_algorithm,
+    )
+    if not np.allclose(data.C, A @ B):
+        raise BackendMismatchError(
+            f"{algorithm} data-backend product is numerically wrong on "
+            f"{shape}, P={P}; cannot anchor a cross-check to it"
+        )
+    symbolic = run_algorithm(
+        algorithm, A, B, P, backend="symbolic",
+        collective_algorithm=collective_algorithm,
+    )
+
+    def counters(run):
+        m = run.machine
+        return {
+            "cost": run.cost,
+            "sent_words": tuple(m.network.sent_words),
+            "recv_words": tuple(m.network.recv_words),
+            "flops": tuple(p.flops for p in m.processors),
+            "attainment_ratio": run.attainment.ratio,
+            "peak_memory": m.peak_memory_words(),
+        }
+
+    d, s = counters(data), counters(symbolic)
+    for key in d:
+        if d[key] != s[key]:
+            raise BackendMismatchError(
+                f"{algorithm} on {shape}, P={P}: {key} diverged between "
+                f"backends — data={d[key]!r}, symbolic={s[key]!r}"
+            )
+    if symbolic.C.shape != data.C.shape:
+        raise BackendMismatchError(
+            f"{algorithm} on {shape}, P={P}: output shape diverged — "
+            f"data={data.C.shape}, symbolic={symbolic.C.shape}"
+        )
+
+    return BackendCrossCheck(
+        algorithm=algorithm,
+        shape=shape,
+        P=P,
+        cost=d["cost"],
+        sent_words=d["sent_words"],
+        recv_words=d["recv_words"],
+        flops=d["flops"],
+        attainment_ratio=d["attainment_ratio"],
+        peak_memory=d["peak_memory"],
+        verified_numerics=True,
     )
 
 

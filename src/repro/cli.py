@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="execute Algorithm 1 on the simulator")
     add_shape(p_run)
     p_run.add_argument("--seed", type=int, default=0, help="operand RNG seed")
+    p_run.add_argument("--backend", choices=["data", "symbolic"], default="data",
+                       help="execution backend: 'data' moves real numpy "
+                            "blocks and verifies C = A @ B; 'symbolic' moves "
+                            "shape descriptors only (identical cost "
+                            "accounting, no numerical check) and scales to "
+                            "production-sized P")
     p_run.add_argument("--memory", "-m", type=float, default=None,
                        help="per-processor memory limit M (words); also "
                             "enables the memory-dependent attainment gauge")
@@ -138,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
     l_diff.add_argument("index_a", type=int, help="first record index")
     l_diff.add_argument("index_b", type=int, help="second record index")
     l_diff.add_argument("--path", **common)
+    l_diff.add_argument("--allow-mixed", action="store_true",
+                        help="permit comparing records from different "
+                             "execution backends (wall-clock and numerical "
+                             "verification are not comparable across "
+                             "backends; model costs are)")
 
     for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
         sub.add_parser(name, help=f"print the {name} reproduction artifact")
@@ -198,16 +209,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .algorithms import run_alg1, select_grid
     from .core import ProblemShape, communication_lower_bound
     from .exceptions import MemoryLimitExceededError
-    from .machine import Machine
+    from .machine import Machine, resolve_backend
 
     shape = ProblemShape(args.n1, args.n2, args.n3)
     choice = select_grid(shape, args.procs)
-    rng = np.random.default_rng(args.seed)
-    A = rng.random((shape.n1, shape.n2))
-    B = rng.random((shape.n2, shape.n3))
+    backend = resolve_backend(args.backend)
+    if backend.verifies:
+        rng = np.random.default_rng(args.seed)
+        A = rng.random((shape.n1, shape.n2))
+        B = rng.random((shape.n2, shape.n3))
+    else:
+        A, B = backend.operands((shape.n1, shape.n2, shape.n3))
     machine = None
     if args.memory is not None:
-        machine = Machine(choice.grid.size, memory_limit=args.memory)
+        machine = Machine(
+            choice.grid.size, memory_limit=args.memory, backend=backend
+        )
     try:
         res = run_alg1(A, B, choice.grid, machine=machine)
     except MemoryLimitExceededError as exc:
@@ -215,10 +232,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("(raise --memory; 'repro bounds ... -m M' shows the minimum)",
               file=sys.stderr)
         return 1
-    ok = np.allclose(res.C, A @ B)
+    ok = bool(np.allclose(res.C, A @ B)) if backend.verifies else None
     bound = communication_lower_bound(shape, args.procs)
-    print(f"problem {shape}, P = {args.procs}, grid {choice.grid}")
-    print(f"numerically correct: {ok}")
+    print(f"problem {shape}, P = {args.procs}, grid {choice.grid}, "
+          f"backend {backend.name}")
+    if ok is None:
+        print("numerically correct: skipped (symbolic backend moves shape "
+              "descriptors, not elements)")
+    else:
+        print(f"numerically correct: {ok}")
     print(f"measured words: {res.cost.words:g}  rounds: {res.cost.rounds}  "
           f"flops/proc: {res.cost.flops:g}")
     print(f"lower bound:    {bound:g}  "
@@ -243,7 +265,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"cannot write export: {exc}", file=sys.stderr)
         return 2
-    return 0 if ok else 1
+    return 0 if ok is not False else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -415,9 +437,19 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     rec_a, rec_b = fetch(args.index_a), fetch(args.index_b)
     if rec_a is None or rec_b is None:
         return 2
+    if rec_a.backend != rec_b.backend and not args.allow_mixed:
+        print(
+            f"refusing to diff records from different backends "
+            f"({rec_a.backend!r} vs {rec_b.backend!r}): wall-clock and "
+            f"numerical verification are not comparable across backends. "
+            f"Model costs are identical by construction — pass "
+            f"--allow-mixed to compare them anyway.",
+            file=sys.stderr,
+        )
+        return 2
     print(f"ledger diff: record {args.index_a} vs record {args.index_b}")
     fields = ["label", "kind", "algorithm", "config", "shape", "P",
-              "words", "rounds", "flops", "bound", "attainment",
+              "backend", "words", "rounds", "flops", "bound", "attainment",
               "wall_clock", "git_sha"]
     identical = True
     for field in fields:

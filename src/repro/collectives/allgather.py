@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.message import Message
 from .schedules import Schedule, is_power_of_two
 
@@ -61,7 +62,7 @@ def allgather_ring(
     group = tuple(group)
     p = len(group)
     _check_chunks(group, chunks)
-    held: List[Dict[int, np.ndarray]] = [{i: np.asarray(chunks[group[i]])} for i in range(p)]
+    held: List[Dict[int, np.ndarray]] = [{i: as_block(chunks[group[i]])} for i in range(p)]
 
     for t in range(p - 1):
         msgs = []
@@ -102,7 +103,7 @@ def allgather_recursive_doubling(
             f"recursive-doubling allgather requires a power-of-two group, got p={p}"
         )
     _check_chunks(group, chunks)
-    held: List[Dict[int, np.ndarray]] = [{i: np.asarray(chunks[group[i]])} for i in range(p)]
+    held: List[Dict[int, np.ndarray]] = [{i: as_block(chunks[group[i]])} for i in range(p)]
 
     dist = 1
     while dist < p:
@@ -144,7 +145,7 @@ def allgather_bruck(
     group = tuple(group)
     p = len(group)
     _check_chunks(group, chunks)
-    held: List[List[np.ndarray]] = [[np.asarray(chunks[group[i]])] for i in range(p)]
+    held: List[List[np.ndarray]] = [[as_block(chunks[group[i]])] for i in range(p)]
 
     d = 1
     while d < p:

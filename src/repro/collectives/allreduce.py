@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.machine import Machine
 from ..machine.message import Message
 from .allgather import allgather_ring
@@ -35,12 +36,12 @@ def _check_values(group: Sequence[int], values: Mapping[int, np.ndarray]) -> np.
     missing = [r for r in group if r not in values]
     if missing:
         raise CommunicatorError(f"allreduce: no value for ranks {missing}")
-    shape = np.asarray(values[group[0]]).shape
+    shape = as_block(values[group[0]]).shape
     for r in group[1:]:
-        if np.asarray(values[r]).shape != shape:
+        if as_block(values[r]).shape != shape:
             raise CommunicatorError(
                 f"allreduce: shape mismatch between rank {group[0]} {shape} "
-                f"and rank {r} {np.asarray(values[r]).shape}"
+                f"and rank {r} {as_block(values[r]).shape}"
             )
     return shape
 
@@ -61,10 +62,10 @@ def allreduce_rsag(
     p = len(group)
     shape = _check_values(group, values)
     if p == 1:
-        return {group[0]: np.asarray(values[group[0]], dtype=float).copy()}
+        return {group[0]: as_block(values[group[0]], dtype=float).copy()}
 
     splits = {
-        r: np.array_split(np.asarray(values[r], dtype=float).reshape(-1), p) for r in group
+        r: np.array_split(as_block(values[r], dtype=float).reshape(-1), p) for r in group
     }
     reduced = yield from reduce_scatter_ring(
         group, splits, machine=machine, tag=tag + "/rs", op=op
@@ -73,7 +74,7 @@ def allreduce_rsag(
         group, {r: reduced[r] for r in group}, tag=tag + "/ag"
     )
     return {
-        r: np.concatenate([np.asarray(c).reshape(-1) for c in gathered[r]]).reshape(shape)
+        r: np.concatenate([as_block(c).reshape(-1) for c in gathered[r]]).reshape(shape)
         for r in group
     }
 
@@ -98,7 +99,7 @@ def allreduce_recursive_doubling(
         )
     _check_values(group, values)
     combine = resolve_op(op)
-    partial = [np.asarray(values[group[i]], dtype=float).copy() for i in range(p)]
+    partial = [as_block(values[group[i]], dtype=float).copy() for i in range(p)]
 
     dist = 1
     while dist < p:

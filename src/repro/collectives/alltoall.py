@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.message import Message
 from .schedules import Schedule
 
@@ -47,7 +48,7 @@ def alltoall_pairwise(
 
     received = [[None] * p for _ in range(p)]
     for i in range(p):
-        received[i][i] = np.asarray(blocks[group[i]][i]).copy()
+        received[i][i] = as_block(blocks[group[i]][i]).copy()
 
     for t in range(1, p):
         msgs = []
@@ -57,7 +58,7 @@ def alltoall_pairwise(
                 Message(
                     src=group[i],
                     dest=group[dest],
-                    payload=np.asarray(blocks[group[i]][dest]),
+                    payload=as_block(blocks[group[i]][dest]),
                     tag=tag,
                 )
             )
@@ -99,7 +100,7 @@ def alltoall_bruck(
     # destined to j travels total distance (i - j) mod p.
     held = [
         {
-            (i - j) % p: [(i, np.asarray(blocks[group[i]][j]).copy())]
+            (i - j) % p: [(i, as_block(blocks[group[i]][j]).copy())]
             for j in range(p)
         }
         for i in range(p)

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.message import Message
 from .allgather import allgather_ring
 from .schedules import Schedule, group_index
@@ -41,7 +42,7 @@ def broadcast_binomial(
     group = tuple(group)
     p = len(group)
     root_index = group_index(group, root)
-    value = np.asarray(value)
+    value = as_block(value)
 
     # Work in a rotated index space where the root is index 0.
     held = {0: value}
@@ -78,7 +79,7 @@ def broadcast_scatter_allgather(
 
     group = tuple(group)
     p = len(group)
-    value = np.asarray(value)
+    value = as_block(value)
     flat = value.reshape(-1)
     pieces = np.array_split(flat, p)
 
@@ -89,7 +90,7 @@ def broadcast_scatter_allgather(
         group, {r: scattered[r] for r in group}, tag=tag + "/allgather"
     )
     return {
-        r: np.concatenate([np.asarray(c).reshape(-1) for c in gathered[r]]).reshape(value.shape)
+        r: np.concatenate([as_block(c).reshape(-1) for c in gathered[r]]).reshape(value.shape)
         for r in group
     }
 

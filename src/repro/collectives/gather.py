@@ -12,6 +12,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.message import Message
 from .schedules import Schedule, group_index
 
@@ -41,7 +42,7 @@ def gather_binomial(
 
     # Rotated index i holds a list of (original group position, chunk).
     holding: Dict[int, List[Tuple[int, np.ndarray]]] = {
-        i: [((i + root_index) % p, np.asarray(chunks[rot(i)]))] for i in range(p)
+        i: [((i + root_index) % p, as_block(chunks[rot(i)]))] for i in range(p)
     }
 
     dist = 1

@@ -12,6 +12,7 @@ from typing import Dict, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.machine import Machine
 from ..machine.message import Message
 from .ops import resolve_op
@@ -42,19 +43,19 @@ def reduce_binomial(
     missing = [r for r in group if r not in values]
     if missing:
         raise CommunicatorError(f"reduce: no value for ranks {missing}")
-    shape = np.asarray(values[group[0]]).shape
+    shape = as_block(values[group[0]]).shape
     for r in group[1:]:
-        if np.asarray(values[r]).shape != shape:
+        if as_block(values[r]).shape != shape:
             raise CommunicatorError(
                 f"reduce: shape mismatch between rank {group[0]} {shape} and "
-                f"rank {r} {np.asarray(values[r]).shape}"
+                f"rank {r} {as_block(values[r]).shape}"
             )
 
     def rot(i: int) -> int:
         return group[(i + root_index) % p]
 
     partial: Dict[int, np.ndarray] = {
-        i: np.asarray(values[rot(i)], dtype=float).copy() for i in range(p)
+        i: as_block(values[rot(i)], dtype=float).copy() for i in range(p)
     }
 
     dist = 1

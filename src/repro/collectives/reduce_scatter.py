@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.machine import Machine
 from ..machine.message import Message
 from .ops import resolve_op
@@ -47,9 +48,9 @@ def _check_blocks(group: Sequence[int], blocks: Mapping[int, Sequence[np.ndarray
                 f"reduce_scatter: rank {rank} supplied {len(blocks[rank])} blocks, "
                 f"expected one per group member (p={p})"
             )
-    shapes = [tuple(np.asarray(b).shape) for b in blocks[group[0]]]
+    shapes = [tuple(as_block(b).shape) for b in blocks[group[0]]]
     for rank in group[1:]:
-        other = [tuple(np.asarray(b).shape) for b in blocks[rank]]
+        other = [tuple(as_block(b).shape) for b in blocks[rank]]
         if other != shapes:
             raise CommunicatorError(
                 f"reduce_scatter: block shapes differ between ranks "
@@ -80,7 +81,7 @@ def reduce_scatter_ring(
     _check_blocks(group, blocks)
     combine = resolve_op(op)
     own: List[List[np.ndarray]] = [
-        [np.asarray(b, dtype=float) for b in blocks[group[i]]] for i in range(p)
+        [as_block(b, dtype=float) for b in blocks[group[i]]] for i in range(p)
     ]
     if p == 1:
         return {group[0]: own[0][0].copy()}
@@ -129,7 +130,7 @@ def reduce_scatter_recursive_halving(
     _check_blocks(group, blocks)
     combine = resolve_op(op)
     partial: List[Dict[int, np.ndarray]] = [
-        {j: np.asarray(blocks[group[i]][j], dtype=float).copy() for j in range(p)}
+        {j: as_block(blocks[group[i]][j], dtype=float).copy() for j in range(p)}
         for i in range(p)
     ]
     if p == 1:

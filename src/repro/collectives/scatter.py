@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import CommunicatorError
+from ..machine.backend import as_block
 from ..machine.message import Message
 from .schedules import Schedule, ceil_log2, group_index
 
@@ -44,7 +45,7 @@ def scatter_binomial(
 
     # holder state: rotated index -> list of (rotated dest index, block)
     holding: Dict[int, List[Tuple[int, np.ndarray]]] = {
-        0: [(i, np.asarray(blocks[rot(i)])) for i in range(p)]
+        0: [(i, as_block(blocks[rot(i)])) for i in range(p)]
     }
 
     # Walk distances p_ceil/2, p_ceil/4, ..., 1 where p_ceil = 2**ceil(log2 p).

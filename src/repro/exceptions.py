@@ -21,6 +21,7 @@ __all__ = [
     "VerificationError",
     "NumericalMismatchError",
     "BoundViolationError",
+    "BackendMismatchError",
     "LedgerError",
     "BaselineError",
 ]
@@ -89,6 +90,15 @@ class BoundViolationError(VerificationError):
 
     No correct execution can beat the bound, so this always indicates a
     cost-accounting bug in the simulator or an algorithm implementation.
+    """
+
+
+class BackendMismatchError(VerificationError):
+    """Symbolic- and data-backend runs of the same algorithm disagreed.
+
+    The symbolic backend must charge exactly the counters the data backend
+    does — the schedules are shared and every cost is derived from shapes.
+    Any divergence means a backend leaked element-dependent accounting.
     """
 
 

@@ -8,6 +8,22 @@ validated communication rounds, and exact critical-path cost accounting
 See the paper's Section 3.1 for the model being simulated.
 """
 
+from .backend import (
+    BACKENDS,
+    Backend,
+    DATA_BACKEND,
+    DataBackend,
+    SYMBOLIC_BACKEND,
+    SymbolicBackend,
+    SymbolicBlock,
+    as_block,
+    backend_for,
+    empty_block,
+    is_symbolic,
+    resolve_backend,
+    symbolic_operands,
+    zeros_block,
+)
 from .cost import BANDWIDTH_ONLY, Cost, CostModel, ZERO_COST
 from .machine import CounterSnapshot, Machine
 from .message import Message, payload_words
@@ -19,10 +35,14 @@ from .store import LocalStore
 from .trace import Trace, TraceEvent
 
 __all__ = [
+    "BACKENDS",
     "BANDWIDTH_ONLY",
+    "Backend",
     "Cost",
     "CostModel",
     "CounterSnapshot",
+    "DATA_BACKEND",
+    "DataBackend",
     "FullyConnectedNetwork",
     "LocalStore",
     "Machine",
@@ -33,9 +53,19 @@ __all__ = [
     "RankContext",
     "CollectiveRequest",
     "RoundSummary",
+    "SYMBOLIC_BACKEND",
+    "SymbolicBackend",
+    "SymbolicBlock",
     "spmd_run",
     "Trace",
     "TraceEvent",
     "ZERO_COST",
+    "as_block",
+    "backend_for",
+    "empty_block",
+    "is_symbolic",
     "payload_words",
+    "resolve_backend",
+    "symbolic_operands",
+    "zeros_block",
 ]

@@ -28,6 +28,7 @@ import dataclasses
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..obs.metrics import MetricsRegistry
+from .backend import Backend, resolve_backend
 from .cost import Cost, CostModel
 from .message import Message
 from .network import FullyConnectedNetwork
@@ -95,6 +96,13 @@ class Machine:
     memory_limit:
         Per-processor local memory ``M`` in words, or ``None`` (default)
         for the paper's memory-independent setting.
+    backend:
+        Execution backend (name or :class:`~repro.machine.backend.Backend`);
+        ``None`` (default) selects the data backend.  The machine itself is
+        backend-agnostic — blocks of either kind flow through the same
+        stores, messages and counters — so this attribute is provenance:
+        it records which mode the run was built for, and is surfaced in
+        exporters and ledger records.
 
     Examples
     --------
@@ -111,12 +119,14 @@ class Machine:
         n_procs: int,
         cost_model: Optional[CostModel] = None,
         memory_limit: Optional[float] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         if n_procs < 1:
             raise ValueError(f"need at least one processor, got {n_procs}")
         self.n_procs = n_procs
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.memory_limit = memory_limit
+        self.backend = resolve_backend(backend)
         self.processors: List[Processor] = [
             Processor(rank, memory_limit=memory_limit) for rank in range(n_procs)
         ]

@@ -1,18 +1,29 @@
 """Point-to-point messages exchanged on the simulated network.
 
-A :class:`Message` carries a *real* numpy payload from a source processor to
-a destination processor.  The payload is copied at send time so that the
-receiver can never alias the sender's memory — exactly as on a real
-distributed-memory machine, and important for catching algorithmic bugs that
-a shared-memory shortcut would hide.
+A :class:`Message` carries a payload from a source processor to a
+destination processor.  Under the data backend the payload is real numpy
+data, copied at send time so that the receiver can never alias the sender's
+memory — exactly as on a real distributed-memory machine, and important for
+catching algorithmic bugs that a shared-memory shortcut would hide.  Under
+the symbolic backend (:mod:`repro.machine.backend`) payloads are
+shape-only :class:`~repro.machine.backend.SymbolicBlock` descriptors;
+"copying" one is the identity, but the word count charged to the network is
+the same by construction.
+
+Copying and word-counting share a single payload traversal performed once
+at construction (``Message.words`` is the cached count); earlier revisions
+walked nested tuple/list payloads once per hop, which dominated schedule
+build time for the recursive-doubling collectives.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Tuple
 
 import numpy as np
+
+from .backend import SymbolicBlock
 
 __all__ = ["Message", "payload_words"]
 
@@ -21,30 +32,60 @@ def payload_words(payload: Any) -> int:
     """Number of words in a message payload.
 
     A "word" is one matrix element, matching the paper's unit of
-    communication.  Payloads are numpy arrays or (possibly nested) tuples /
-    lists of numpy arrays; anything else is rejected to keep the accounting
-    honest.
+    communication.  Payloads are blocks (numpy arrays or symbolic
+    descriptors) or (possibly nested) tuples / lists of blocks; anything
+    else is rejected to keep the accounting honest.
     """
-    if isinstance(payload, np.ndarray):
+    if isinstance(payload, (np.ndarray, SymbolicBlock)):
         return int(payload.size)
     if isinstance(payload, (tuple, list)):
         return sum(payload_words(item) for item in payload)
     raise TypeError(
-        f"message payloads must be numpy arrays or tuples/lists of them, "
+        f"message payloads must be blocks or tuples/lists of them, "
         f"got {type(payload).__name__}"
     )
 
 
 def _copy_payload(payload: Any) -> Any:
     """Deep-copy a payload so sender and receiver never share memory."""
+    return _prepare_payload(payload)[0]
+
+
+def _prepare_payload(payload: Any) -> Tuple[Any, int]:
+    """Copy a payload and count its words in one traversal.
+
+    Symbolic blocks are immutable, so their "copy" is the block itself —
+    with its precomputed ``size``, preparing a symbolic payload allocates
+    nothing at all.
+    """
+    if type(payload) is SymbolicBlock:
+        return payload, payload.size
+    if type(payload) is tuple:
+        # All-symbolic tuples (the collectives' common payload shape) need
+        # no copy at all: count words and pass the tuple through as-is.
+        words = 0
+        for item in payload:
+            if type(item) is not SymbolicBlock:
+                break
+            words += item.size
+        else:
+            return payload, words
     if isinstance(payload, np.ndarray):
-        return payload.copy()
-    if isinstance(payload, tuple):
-        return tuple(_copy_payload(item) for item in payload)
-    if isinstance(payload, list):
-        return [_copy_payload(item) for item in payload]
+        return payload.copy(), int(payload.size)
+    if isinstance(payload, SymbolicBlock):
+        return payload, payload.size
+    if isinstance(payload, (tuple, list)):
+        items = []
+        words = 0
+        for item in payload:
+            copied, w = _prepare_payload(item)
+            items.append(copied)
+            words += w
+        if isinstance(payload, tuple):
+            return tuple(items), words
+        return items, words
     raise TypeError(
-        f"message payloads must be numpy arrays or tuples/lists of them, "
+        f"message payloads must be blocks or tuples/lists of them, "
         f"got {type(payload).__name__}"
     )
 
@@ -60,7 +101,7 @@ class Message:
     dest:
         Global rank of the receiving processor (must differ from ``src``).
     payload:
-        Numpy array or tuple/list of numpy arrays; copied on construction.
+        Block or tuple/list of blocks; copied on construction.
     tag:
         Optional label recorded in the machine trace (useful for debugging
         collective schedules).
@@ -79,8 +120,7 @@ class Message:
             raise ValueError(f"processor {self.src} cannot send a message to itself")
         if self.src < 0 or self.dest < 0:
             raise ValueError(f"ranks must be non-negative, got src={self.src} dest={self.dest}")
-        self.payload = _copy_payload(self.payload)
-        self.words = payload_words(self.payload)
+        self.payload, self.words = _prepare_payload(self.payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Message({self.src}->{self.dest}, {self.words} words, tag={self.tag!r})"

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..exceptions import MemoryLimitExceededError
+from .backend import Backend, is_symbolic, resolve_backend
 
 __all__ = ["FastMemory", "IOStats"]
 
@@ -54,12 +55,18 @@ class FastMemory:
     ----------
     M:
         Capacity in words, or ``None`` for unlimited (useful in tests).
+    backend:
+        Execution backend (name or :class:`~repro.machine.backend.Backend`)
+        governing how ``alloc`` materializes regions; defaults to the data
+        backend.  Word counting is identical across backends.
     """
 
-    def __init__(self, M: Optional[float] = None) -> None:
+    def __init__(self, M: Optional[float] = None,
+                 backend: Optional[Backend] = None) -> None:
         if M is not None and M <= 0:
             raise ValueError(f"fast memory size must be positive or None, got {M}")
         self.M = M
+        self.backend = resolve_backend(backend)
         self.stats = IOStats()
         self._regions: Dict[str, np.ndarray] = {}
         self.current_words: int = 0
@@ -81,7 +88,7 @@ class FastMemory:
         """Bring ``data`` into fast memory under ``name`` (counts reads)."""
         if name in self._regions:
             raise KeyError(f"region {name!r} is already resident")
-        array = np.array(data, dtype=float)
+        array = data if is_symbolic(data) else np.array(data, dtype=float)
         self._charge_capacity(int(array.size), name)
         self.stats.loads += array.size
         self._regions[name] = array
@@ -91,7 +98,7 @@ class FastMemory:
         """Create an output region (no slow-memory traffic)."""
         if name in self._regions:
             raise KeyError(f"region {name!r} is already resident")
-        array = np.zeros(shape)
+        array = self.backend.zeros(shape)
         self._charge_capacity(int(array.size), name)
         self._regions[name] = array
         return array

@@ -1,7 +1,8 @@
 """Per-processor local memory with word-level accounting.
 
 Each simulated processor owns a :class:`LocalStore`: a mapping from names to
-numpy arrays that tracks the *current* and *peak* number of resident words.
+blocks (numpy arrays, or shape-only symbolic descriptors under the symbolic
+backend) that tracks the *current* and *peak* number of resident words.
 The peak counter is what Section 6.2 of the paper reasons about — e.g. that
 Algorithm 1 on a 3D grid needs temporary memory asymptotically larger than
 the minimum ``(mn + mk + nk) / P`` needed to hold the problem, while 1D and
@@ -20,6 +21,7 @@ from typing import Dict, Iterator, Optional
 import numpy as np
 
 from ..exceptions import MemoryLimitExceededError
+from .backend import SymbolicBlock
 
 __all__ = ["LocalStore"]
 
@@ -82,9 +84,10 @@ class LocalStore:
         The footprint change is charged atomically: replacing an array of
         equal size never trips the memory limit.
         """
-        if not isinstance(array, np.ndarray):
+        if not isinstance(array, (np.ndarray, SymbolicBlock)):
             raise TypeError(
-                f"stores hold numpy arrays, got {type(array).__name__} for {name!r}"
+                f"stores hold blocks (numpy arrays or symbolic descriptors), "
+                f"got {type(array).__name__} for {name!r}"
             )
         old_words = self._arrays[name].size if name in self._arrays else 0
         new_current = self.current_words - old_words + int(array.size)

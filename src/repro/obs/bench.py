@@ -12,7 +12,13 @@ schema-versioned ``BENCH_<label>.json`` written at the repository root:
   Algorithm 1 execution pinned per module so the model numbers are exact
   and comparable run-over-run;
 * **sweep entries** — one per (algorithm, shape, P) point of the standard
-  grid, with the same fields measured from the actual registry run.
+  grid, with the same fields measured from the actual registry run;
+* **symbolic entries** — one per :data:`SYMBOLIC_PROBES` point: a
+  production-scale (shape, P) per Theorem 3 case, run under the symbolic
+  backend (shape descriptors, no element allocation).  The model numbers
+  are identical to what the data backend would report by construction
+  (:func:`repro.analysis.verification.cross_check_backends` proves it),
+  so the exact model gate applies to them unchanged.
 
 Model-level numbers are environment-independent (the simulator counts
 words; it does not time them), so the regression gate
@@ -50,6 +56,7 @@ __all__ = [
     "DEFAULT_PROBE",
     "MODULE_PROBES",
     "SWEEP_GRID",
+    "SYMBOLIC_PROBES",
     "bench_dir",
     "repo_root",
     "discover_bench_modules",
@@ -87,6 +94,17 @@ SWEEP_GRID: Tuple[Tuple[ProblemShape, int], ...] = (
     (ProblemShape(32, 32, 32), 64),
 )
 
+#: Symbolic-backend probes: one production-scale point per Theorem 3 case,
+#: each with a grid that divides the dimensions exactly so Algorithm 1
+#: attains the bound with the case constant (1 / 2 / 3).  These processor
+#: counts are far beyond what the data backend can simulate in a bench run;
+#: the symbolic backend finishes each in well under a second.
+SYMBOLIC_PROBES: Tuple[Tuple[int, ProblemShape, int], ...] = (
+    (1, ProblemShape(16384, 32, 32), 512),
+    (2, ProblemShape(1024, 1024, 2), 1024),
+    (3, ProblemShape(2000, 800, 500), 800),
+)
+
 
 def repo_root() -> str:
     """The source-checkout root (parent of ``src/``), for BENCH outputs."""
@@ -117,7 +135,7 @@ class BenchEntry:
     """One row of a BENCH file: a module harness or one sweep point."""
 
     name: str
-    kind: str  # "module" | "sweep"
+    kind: str  # "module" | "sweep" | "symbolic"
     wall_clock: float
     algorithm: str
     config: str
@@ -128,6 +146,7 @@ class BenchEntry:
     flops: float
     bound: float
     attainment: float
+    backend: str = "data"
     skew: Optional[RankSkew] = None
 
     def to_dict(self) -> dict:
@@ -152,6 +171,7 @@ class BenchEntry:
                 flops=float(data["flops"]),
                 bound=float(data["bound"]),
                 attainment=float(data["attainment"]),
+                backend=data.get("backend", "data"),
                 skew=(
                     None if data.get("skew") is None
                     else RankSkew.from_dict(data["skew"])
@@ -384,6 +404,39 @@ def run_bench_suite(
                     flops=record.flops,
                     bound=record.bound,
                     attainment=record.gap_ratio,
+                    backend=record.backend,
+                    skew=record.skew,
+                )
+            )
+
+    for case, shape, P in SYMBOLIC_PROBES:
+        name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+        if filter and filter not in name:
+            continue
+        for record in sweep(
+            [shape],
+            [P],
+            algorithms=["alg1"],
+            backend="symbolic",
+            collective_algorithm="bruck",
+            ledger=ledger,
+            label=label,
+        ):
+            entries.append(
+                BenchEntry(
+                    name=name,
+                    kind="symbolic",
+                    wall_clock=record.wall_clock,
+                    algorithm=record.algorithm,
+                    config=record.config,
+                    shape=tuple(shape.dims),
+                    P=P,
+                    words=record.words,
+                    rounds=record.rounds,
+                    flops=record.flops,
+                    bound=record.bound,
+                    attainment=record.gap_ratio,
+                    backend=record.backend,
                     skew=record.skew,
                 )
             )

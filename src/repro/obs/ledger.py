@@ -102,6 +102,12 @@ class RunRecord:
         Model-level measured costs — exact, environment-independent.
     bound, attainment:
         The Theorem 3 memory-independent bound and ``words / bound``.
+    backend:
+        Execution backend the run used (``"data"`` or ``"symbolic"``).
+        Model costs are identical across backends by construction, but
+        wall-clock is not, and only data-backend records carry numerical
+        verification — so cross-backend comparisons must be explicit
+        (``repro ledger diff --allow-mixed``).
     skew:
         Per-rank ``sent_words`` imbalance (:class:`~repro.obs.metrics.RankSkew`),
         or ``None`` when the run exposed no per-rank counters.
@@ -125,6 +131,7 @@ class RunRecord:
     config: str = ""
     label: str = ""
     kind: str = "run"
+    backend: str = "data"
     skew: Optional[RankSkew] = None
     timestamp: float = 0.0
     git_sha: Optional[str] = None
@@ -145,6 +152,7 @@ class RunRecord:
             "flops": self.flops,
             "bound": self.bound,
             "attainment": self.attainment,
+            "backend": self.backend,
             "skew": None if self.skew is None else self.skew.to_dict(),
             "wall_clock": self.wall_clock,
             "git_sha": self.git_sha,
@@ -177,6 +185,7 @@ class RunRecord:
                 wall_clock=float(data["wall_clock"]),
                 label=data.get("label", ""),
                 kind=data.get("kind", "run"),
+                backend=data.get("backend", "data"),
                 timestamp=float(data.get("timestamp", 0.0)),
                 git_sha=data.get("git_sha"),
                 env=data.get("env"),
@@ -201,6 +210,7 @@ class RunRecord:
             wall_clock=record.wall_clock,
             label=label,
             kind=kind,
+            backend=getattr(record, "backend", "data"),
             timestamp=time.time(),
             git_sha=git_revision(),
             env=environment_fingerprint(),

@@ -87,8 +87,8 @@ class TestVerificationFailures:
     def _patched_run(self, monkeypatch, words=None, corrupt=False):
         real = sweep_module.run_algorithm
 
-        def fake(name, A, B, P):
-            run = real(name, A, B, P)
+        def fake(name, A, B, P, **kwargs):
+            run = real(name, A, B, P, **kwargs)
             if corrupt:
                 run.C = run.C + 1.0
             if words is not None:

@@ -1,0 +1,198 @@
+"""Tests for the execution-backend seam (repro.machine.backend)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.backend import (
+    BACKENDS,
+    DATA_BACKEND,
+    SYMBOLIC_BACKEND,
+    DataBackend,
+    SymbolicBackend,
+    SymbolicBlock,
+    as_block,
+    backend_for,
+    empty_block,
+    is_symbolic,
+    resolve_backend,
+    symbolic_operands,
+    zeros_block,
+)
+
+
+class TestSymbolicBlockBasics:
+    def test_shape_and_size(self):
+        b = SymbolicBlock((4, 6))
+        assert b.shape == (4, 6)
+        assert b.size == 24
+        assert b.ndim == 2
+        assert b.dtype == np.dtype(float)
+        assert len(b) == 4
+
+    def test_int_shape_becomes_1d(self):
+        assert SymbolicBlock(7).shape == (7,)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolicBlock((4, -1))
+
+    def test_copy_and_astype_are_identity(self):
+        b = SymbolicBlock((3, 3))
+        assert b.copy() is b
+        assert b.astype(np.float32) is b
+
+    def test_transpose(self):
+        assert SymbolicBlock((2, 5)).T.shape == (5, 2)
+        assert np.transpose(SymbolicBlock((2, 5))).shape == (5, 2)
+
+
+class TestSymbolicBlockReshape:
+    def test_flatten(self):
+        assert SymbolicBlock((4, 6)).reshape(-1).shape == (24,)
+
+    def test_flatten_1d_is_identity(self):
+        b = SymbolicBlock((24,))
+        assert b.reshape(-1) is b
+
+    def test_explicit_and_inferred_dims(self):
+        assert SymbolicBlock((4, 6)).reshape(8, 3).shape == (8, 3)
+        assert SymbolicBlock((4, 6)).reshape((2, -1)).shape == (2, 12)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SymbolicBlock((4, 6)).reshape(5, 5)
+
+    def test_indivisible_inferred_dim_raises(self):
+        with pytest.raises(ValueError):
+            SymbolicBlock((4, 6)).reshape(7, -1)
+
+
+class TestSymbolicBlockIndexing:
+    def test_slice_matches_numpy(self):
+        real = np.zeros((10, 6))
+        sym = SymbolicBlock((10, 6))
+        for ix in [slice(2, 7), slice(None), slice(0, 0),
+                   (slice(1, 4), slice(2, 5)), (3,), (slice(2, 9, 3), 0)]:
+            assert sym[ix].shape == real[ix].shape
+
+    def test_out_of_bounds_int_raises(self):
+        with pytest.raises(IndexError):
+            SymbolicBlock((4,))[7]
+
+    def test_too_many_indices_raises(self):
+        with pytest.raises(IndexError):
+            SymbolicBlock((4,))[0, 0]
+
+    def test_fancy_indexing_rejected(self):
+        with pytest.raises(TypeError):
+            SymbolicBlock((4,))[[0, 1]]
+
+    def test_setitem_validates_broadcast(self):
+        b = SymbolicBlock((4, 6))
+        b[0:2, 0:3] = SymbolicBlock((2, 3))  # fits
+        with pytest.raises(ValueError):
+            b[0:2, 0:3] = SymbolicBlock((3, 3))
+
+
+class TestSymbolicBlockArithmetic:
+    def test_same_shape_binary_ops_share_self(self):
+        a, b = SymbolicBlock((3, 4)), SymbolicBlock((3, 4))
+        assert (a + b) is a
+        assert (a * 2.0) is a
+
+    def test_broadcasting(self):
+        a, row = SymbolicBlock((3, 4)), SymbolicBlock((1, 4))
+        assert (a + row).shape == (3, 4)
+        with pytest.raises(ValueError):
+            a + SymbolicBlock((5, 4))
+
+    def test_matmul_shapes(self):
+        c = SymbolicBlock((3, 4)) @ SymbolicBlock((4, 7))
+        assert c.shape == (3, 7)
+        with pytest.raises(ValueError):
+            SymbolicBlock((3, 4)) @ SymbolicBlock((5, 7))
+
+    def test_rmatmul_with_ndarray(self):
+        c = np.zeros((3, 4)) @ SymbolicBlock((4, 7))
+        assert isinstance(c, SymbolicBlock)
+        assert c.shape == (3, 7)
+
+    def test_ufunc_dispatch(self):
+        a, b = SymbolicBlock((3, 4)), SymbolicBlock((3, 4))
+        assert np.add(a, b) is a
+        assert np.multiply(a, np.zeros((1, 4))).shape == (3, 4)
+
+
+class TestSymbolicBlockNumpyFunctions:
+    def test_concatenate_1d_fast_path(self):
+        parts = [SymbolicBlock((5,)), SymbolicBlock((3,)), SymbolicBlock((0,))]
+        out = np.concatenate(parts)
+        assert out.shape == (8,)
+
+    def test_concatenate_2d_axis1(self):
+        out = np.concatenate([SymbolicBlock((4, 2)), SymbolicBlock((4, 3))], axis=1)
+        assert out.shape == (4, 5)
+        with pytest.raises(ValueError):
+            np.concatenate([SymbolicBlock((4, 2)), SymbolicBlock((5, 3))], axis=1)
+
+    def test_array_split_matches_numpy(self):
+        sym = np.array_split(SymbolicBlock((10,)), 3)
+        real = np.array_split(np.zeros(10), 3)
+        assert [s.shape for s in sym] == [r.shape for r in real]
+
+    def test_like_factories(self):
+        b = SymbolicBlock((4, 6))
+        for fn in (np.zeros_like, np.empty_like, np.ones_like):
+            out = fn(b)
+            assert isinstance(out, SymbolicBlock)
+            assert out.shape == (4, 6)
+        assert np.full_like(b, 3.0).shape == (4, 6)
+
+    def test_coercion_to_ndarray_refused(self):
+        with pytest.raises(TypeError):
+            np.asarray(SymbolicBlock((3, 3)))
+
+    def test_unsupported_numpy_function_raises(self):
+        with pytest.raises(TypeError):
+            np.linalg.norm(SymbolicBlock((3, 3)))
+
+
+class TestBackendObjects:
+    def test_registry(self):
+        assert set(BACKENDS) == {"data", "symbolic"}
+        assert isinstance(BACKENDS["data"], DataBackend)
+        assert isinstance(BACKENDS["symbolic"], SymbolicBackend)
+        assert DATA_BACKEND.verifies and not SYMBOLIC_BACKEND.verifies
+
+    def test_resolve(self):
+        assert resolve_backend(None) is DATA_BACKEND
+        assert resolve_backend("data") is DATA_BACKEND
+        assert resolve_backend("symbolic") is SYMBOLIC_BACKEND
+        assert resolve_backend(SYMBOLIC_BACKEND) is SYMBOLIC_BACKEND
+        with pytest.raises(ValueError):
+            resolve_backend("quantum")
+
+    def test_factories_follow_like_operand(self):
+        sym = SymbolicBlock((2, 2))
+        real = np.zeros((2, 2))
+        assert isinstance(empty_block((3, 3), like=sym), SymbolicBlock)
+        assert isinstance(zeros_block((3, 3), like=sym), SymbolicBlock)
+        assert isinstance(empty_block((3, 3), like=real), np.ndarray)
+        assert isinstance(zeros_block((3, 3), like=real), np.ndarray)
+
+    def test_as_block_and_backend_for(self):
+        sym = SymbolicBlock((2, 2))
+        assert as_block(sym) is sym
+        assert isinstance(as_block([[1.0, 2.0]]), np.ndarray)
+        assert not is_symbolic(np.zeros(2))
+        assert is_symbolic(sym)
+        assert backend_for(np.zeros(2), sym) is SYMBOLIC_BACKEND
+        assert backend_for(np.zeros(2)) is DATA_BACKEND
+
+    def test_operand_pairs(self):
+        A, B = SYMBOLIC_BACKEND.operands((4, 5, 6))
+        assert A.shape == (4, 5) and B.shape == (5, 6)
+        A, B = symbolic_operands((4, 5, 6))
+        assert A.shape == (4, 5) and B.shape == (5, 6)
+        A, B = DATA_BACKEND.operands((4, 5, 6), seed=0)
+        assert isinstance(A, np.ndarray) and A.shape == (4, 5)

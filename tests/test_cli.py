@@ -296,3 +296,76 @@ class TestLedgerCommand:
         capsys.readouterr()
         assert main(["ledger", "show", "99", "--path", str(path)]) == 2
         assert "no record 99" in capsys.readouterr().err
+
+
+class TestRunBackendFlag:
+    def test_symbolic_run_skips_numeric_check(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16",
+                     "--backend", "symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "backend symbolic" in out
+        assert "numerically correct: skipped" in out
+        assert "tight: True" in out
+
+    def test_symbolic_matches_data_words(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16"]) == 0
+        data_out = capsys.readouterr().out
+        assert main(["run", "96", "24", "6", "-p", "16",
+                     "--backend", "symbolic"]) == 0
+        sym_out = capsys.readouterr().out
+        pick = lambda text: next(
+            line for line in text.splitlines()
+            if line.startswith("measured words")
+        )
+        assert pick(sym_out) == pick(data_out)
+
+
+class TestLedgerMixedBackendDiff:
+    def populate_mixed(self, tmp_path):
+        """One data record and one symbolic record of the same point."""
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        shape = ProblemShape(48, 48, 48)
+        sweep([shape], [64], algorithms=["alg1"], ledger=ledger, label="d")
+        sweep([shape], [64], algorithms=["alg1"], backend="symbolic",
+              ledger=ledger, label="s")
+        return path
+
+    def test_refuses_cross_backend_diff(self, tmp_path, capsys):
+        path = self.populate_mixed(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "different backends" in err
+        assert "--allow-mixed" in err
+
+    def test_allow_mixed_compares_and_agrees_on_model_costs(
+        self, tmp_path, capsys
+    ):
+        path = self.populate_mixed(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path),
+                     "--allow-mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: data -> symbolic" in out
+        # Model costs are identical across backends by construction.
+        assert "words" not in out
+        assert "flops" not in out
+
+    def test_same_backend_diff_needs_no_flag(self, tmp_path, capsys):
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        shape = ProblemShape(48, 48, 48)
+        for label in ("a", "b"):
+            sweep([shape], [64], algorithms=["alg1"], backend="symbolic",
+                  ledger=ledger, label=label)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 0
