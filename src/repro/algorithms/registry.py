@@ -18,6 +18,7 @@ import numpy as np
 
 from ..collectives.schedules import is_power_of_two
 from ..core.shapes import ProblemShape
+from ..exceptions import InvalidProblemError, ShapeError
 from ..machine.backend import SymbolicBlock, is_symbolic, resolve_backend
 from ..machine.cost import Cost
 from ..obs.attainment import Attainment, bound_attainment
@@ -30,7 +31,14 @@ from .grid_selection import select_grid
 from .naive import run_outer_1d, run_row_1d
 from .summa import run_summa
 
-__all__ = ["AlgorithmRun", "AlgorithmEntry", "REGISTRY", "run_algorithm", "applicable_algorithms"]
+__all__ = [
+    "AlgorithmRun",
+    "AlgorithmEntry",
+    "REGISTRY",
+    "run_algorithm",
+    "validate_problem",
+    "applicable_algorithms",
+]
 
 
 @dataclasses.dataclass
@@ -257,6 +265,80 @@ def _wrap_carma(res) -> AlgorithmRun:
     )
 
 
+#: Why each algorithm's applicability predicate can say no — surfaced in
+#: the :class:`~repro.exceptions.InvalidProblemError` message so the caller
+#: knows what to change.
+_APPLICABILITY_HINTS: Dict[str, str] = {
+    "alg1": "needs an optimal grid with every p_i <= n_i "
+            "(P may exceed the problem's parallelism)",
+    "row_1d": "needs P <= n1 (one row block per processor)",
+    "outer_1d": "needs P <= n2 (one contraction slice per processor)",
+    "cannon": "needs P = q^2 a perfect square with q <= min(n1, n2, n3)",
+    "fox": "needs P = q^2 a perfect square with q <= min(n1, n2, n3)",
+    "summa": "needs a pr x pc factorization of P with pr | n1, pr | n2, "
+             "pc | n2 and pc | n3",
+    "c25d": "needs P = q^2 c with the replication factor c dividing q and "
+            "q <= min(n1, n2, n3)",
+    "carma": "needs P a power of two with n1 >= P, n2 >= P and every "
+             "recursive split landing on an even dimension",
+}
+
+
+def validate_problem(name: str, A, B, P) -> ProblemShape:
+    """Validate a ``(name, A, B, P)`` request before any machine is built.
+
+    Raises
+    ------
+    InvalidProblemError
+        For an unknown algorithm name, non-2-D or non-positive operand
+        shapes, mismatched inner dimensions, a non-positive processor
+        count, or a combination the named algorithm's applicability
+        predicate rejects.  The message states the reason and which
+        registered algorithms *could* run the problem.
+    """
+    if name not in REGISTRY:
+        raise InvalidProblemError(
+            f"unknown algorithm {name!r}; registered algorithms: "
+            f"{', '.join(sorted(REGISTRY))}"
+        )
+    # SymbolicBlock rejects __array_function__ protocols by design, so read
+    # the ``shape`` attribute directly; fall back to np.shape for lists etc.
+    a_shape = tuple(A.shape) if hasattr(A, "shape") else tuple(np.shape(A))
+    b_shape = tuple(B.shape) if hasattr(B, "shape") else tuple(np.shape(B))
+    if len(a_shape) != 2 or len(b_shape) != 2:
+        raise InvalidProblemError(
+            f"operands must be 2-D matrices, got A with shape {a_shape} "
+            f"and B with shape {b_shape}"
+        )
+    if a_shape[1] != b_shape[0]:
+        raise InvalidProblemError(
+            f"inner dimensions do not match: A is {a_shape[0]}x{a_shape[1]} "
+            f"but B is {b_shape[0]}x{b_shape[1]}"
+        )
+    try:
+        shape = ProblemShape(a_shape[0], a_shape[1], b_shape[1])
+    except ShapeError as exc:
+        raise InvalidProblemError(
+            f"invalid problem shape {a_shape[0]}x{a_shape[1]}x{b_shape[1]}: {exc}"
+        ) from exc
+    if isinstance(P, bool) or not isinstance(P, (int, np.integer)) or P < 1:
+        raise InvalidProblemError(
+            f"processor count must be a positive integer, got {P!r}"
+        )
+    P = int(P)
+    if not REGISTRY[name].applicable(shape, P):
+        others = applicable_algorithms(shape, P)
+        alternatives = (
+            f" Applicable here: {', '.join(others)}." if others
+            else " No registered algorithm can run this combination."
+        )
+        raise InvalidProblemError(
+            f"{name} cannot run {shape} on P={P}: "
+            f"{_APPLICABILITY_HINTS[name]}.{alternatives}"
+        )
+    return shape
+
+
 def run_algorithm(
     name: str,
     A: np.ndarray,
@@ -271,6 +353,11 @@ def run_algorithm(
     sweeps and the report can surface ``measured / Theorem-3-bound``
     ratios uniformly across algorithms.
 
+    The ``(name, A, B, P)`` combination is validated up front
+    (:func:`validate_problem`): infeasible requests raise
+    :class:`~repro.exceptions.InvalidProblemError` with an actionable
+    message instead of failing deep inside grid construction.
+
     ``backend`` (a name or :class:`~repro.machine.backend.Backend`)
     selects the execution mode: under ``"symbolic"`` real operands are
     demoted to shape descriptors before the run, so no elements are
@@ -279,6 +366,7 @@ def run_algorithm(
     where the algorithm exposes the choice (currently Algorithm 1; other
     entries use their fixed defaults).
     """
+    validate_problem(name, A, B, P)
     if backend is not None:
         backend = resolve_backend(backend)
         if not backend.verifies and not is_symbolic(A):

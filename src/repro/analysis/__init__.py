@@ -1,5 +1,6 @@
 """Analysis utilities: verification, empirical constants, scaling sweeps."""
 
+from .chaos import REGIME_POINTS, SCHEDULES, ChaosOutcome, ChaosReport, run_chaos
 from .constants import MeasuredConstant, case_remainder, constant_series, measure_constant
 from .integrality import GapPoint, GapProfile, gap_profile, integrality_gap
 from .large_p import LARGE_P_POINTS, LargePPoint, LargePResult, run_large_p_sweep
@@ -34,6 +35,8 @@ from .verification import (
 __all__ = [
     "BackendCrossCheck",
     "BoundCheck",
+    "ChaosOutcome",
+    "ChaosReport",
     "CheckResult",
     "FittedLaw",
     "GapPoint",
@@ -41,6 +44,8 @@ __all__ = [
     "LARGE_P_POINTS",
     "LargePPoint",
     "LargePResult",
+    "REGIME_POINTS",
+    "SCHEDULES",
     "ReproductionReport",
     "MeasuredConstant",
     "ScalingPoint",
@@ -67,6 +72,7 @@ __all__ = [
     "measure_constant",
     "relative_gap",
     "reproduction_report",
+    "run_chaos",
     "run_large_p_sweep",
     "regime_exponents",
     "scaling_sweep",

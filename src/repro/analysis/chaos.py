@@ -1,0 +1,420 @@
+"""Chaos harness: every registry algorithm under seeded fault schedules.
+
+The fault layer (:mod:`repro.machine.faults`) promises a *trichotomy* for
+any execution under injected faults — exactly one of:
+
+1. **recovered** — the run completes; its numerics are untouched and its
+   critical-path words equal the fault-free words **plus** the injector's
+   ``words_resent`` (attainment degrades by exactly the resent words);
+2. **detected** — the run aborts with a typed
+   :class:`~repro.exceptions.FaultDetectedError` (no retry policy, or the
+   retry budget is exhausted);
+3. **rank-failed** — a fail-stop rank death surfaces as
+   :class:`~repro.exceptions.RankFailedError`.
+
+What must *never* happen is silent corruption: a run that completes with
+wrong numerics, unaccounted words, or a broken conservation invariant.
+This module turns that promise into an executable experiment:
+:func:`run_chaos` crosses every registered algorithm with one
+``(shape, P)`` point per Theorem 3 case (:data:`REGIME_POINTS`) and a set
+of named, seed-parameterized fault schedules (:data:`SCHEDULES`), checks
+each outcome against the trichotomy, and reports any violation.  The CLI
+front-end is ``repro chaos``; ``tests/chaos/`` asserts the trichotomy on
+every run of the matrix.
+
+A completed run is re-verified from first principles, not trusted:
+
+* numerics (data backend only): the faulty run's product must equal the
+  fault-free product bit-for-bit — delivered payloads are pristine by
+  construction, so even ``allclose`` slack is not conceded;
+* cost accounting: ``words == clean_words + words_resent`` exactly;
+* conservation: ``sum(sent_words) == sum(recv_words)`` over the machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.registry import REGISTRY, applicable_algorithms, run_algorithm
+from ..core.cases import Regime
+from ..core.lower_bounds import communication_lower_bound
+from ..core.shapes import ProblemShape
+from ..exceptions import FaultDetectedError, FaultError, RankFailedError
+from ..machine.backend import resolve_backend
+from ..machine.faults import FaultModel, RetryPolicy, inject
+from .tables import format_table
+
+__all__ = [
+    "REGIME_POINTS",
+    "SCHEDULES",
+    "ChaosOutcome",
+    "ChaosReport",
+    "run_chaos",
+    "schedule_model",
+]
+
+#: One (shape, P) point per Theorem 3 case, chosen so that *every*
+#: registered algorithm is applicable on at least one point (verified by
+#: ``tests/chaos/test_trichotomy.py::test_points_cover_every_algorithm``).
+REGIME_POINTS: Dict[Regime, Tuple[ProblemShape, int]] = {
+    Regime.ONE_D: (ProblemShape(64, 4, 4), 4),
+    Regime.TWO_D: (ProblemShape(32, 32, 4), 16),
+    Regime.THREE_D: (ProblemShape(16, 16, 16), 4),
+}
+
+#: Named fault schedules.  Each value is a factory ``seed -> FaultModel``;
+#: the name states the fault mix and the expected trichotomy arm.
+SCHEDULES: Dict[str, "ScheduleFactory"] = {}
+
+
+class ScheduleFactory:
+    """A named ``seed -> FaultModel`` factory (picklable, reprable)."""
+
+    def __init__(self, name: str, **params) -> None:
+        self.name = name
+        self.params = params
+
+    def __call__(self, seed: int) -> FaultModel:
+        params = dict(self.params)
+        retry = params.pop("retry", None)
+        if retry:
+            params["retry"] = RetryPolicy(max_attempts=5)
+        return FaultModel(seed=seed, **params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScheduleFactory({self.name!r}, {self.params})"
+
+
+def _register(name: str, **params) -> None:
+    SCHEDULES[name] = ScheduleFactory(name, **params)
+
+
+# Recovery schedules: a retry policy is present, so any drop/corrupt either
+# recovers accountably or exhausts the budget into a typed error.
+_register("drop-retry", drop=0.10, retry=True)
+_register("corrupt-retry", corrupt=0.10, retry=True)
+_register("mixed-retry", drop=0.04, corrupt=0.04, duplicate=0.04,
+          stall=0.04, retry=True)
+# Charge-only schedules: duplicates and stalls never need recovery.
+_register("duplicate", duplicate=0.15)
+_register("stall", stall=0.15, stall_rounds=2)
+# Detection schedules: no retry policy, so the first materialized loss or
+# corruption must surface as FaultDetectedError.
+_register("drop-detect", drop=0.15)
+_register("corrupt-detect", corrupt=0.15, corrupt_mode="nan")
+# Fail-stop: rank 1 dies after the first round; unrecoverable.
+_register("rank-failure", rank_failures=((1, 1),))
+
+
+def schedule_model(name: str, seed: int) -> FaultModel:
+    """The :class:`FaultModel` of named schedule ``name`` at ``seed``."""
+    try:
+        factory = SCHEDULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos schedule {name!r}; known: {', '.join(SCHEDULES)}"
+        ) from None
+    return factory(seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosOutcome:
+    """One cell of the chaos matrix: (algorithm, regime point, schedule, seed).
+
+    ``outcome`` is one of ``"recovered"`` (completed with materialized
+    faults, all invariants verified), ``"clean"`` (completed, the seeded
+    schedule happened to materialize nothing), ``"detected"``
+    (:class:`~repro.exceptions.FaultDetectedError`), ``"rank-failed"``
+    (:class:`~repro.exceptions.RankFailedError`) or ``"violation"`` — the
+    trichotomy was broken (wrong numerics, unaccounted words, broken
+    conservation, or an untyped crash).  ``error`` carries the diagnostic
+    for the non-completed outcomes.
+    """
+
+    algorithm: str
+    regime: str
+    shape: Tuple[int, ...]
+    P: int
+    schedule: str
+    seed: int
+    backend: str
+    outcome: str
+    injected: int = 0
+    retries: int = 0
+    words_resent: float = 0.0
+    clean_words: float = 0.0
+    words: Optional[float] = None
+    error: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome in ("recovered", "clean")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """All outcomes of one :func:`run_chaos` invocation."""
+
+    rows: List[ChaosOutcome]
+    backend: str
+    seeds: Tuple[int, ...]
+
+    @property
+    def violations(self) -> List[ChaosOutcome]:
+        return [row for row in self.rows if row.outcome == "violation"]
+
+    @property
+    def ok(self) -> bool:
+        """Did every cell land on a trichotomy arm (no violations)?"""
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for row in self.rows:
+            out[row.outcome] = out.get(row.outcome, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "seeds": list(self.seeds),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+    def render(self) -> str:
+        headers = ["algorithm", "case", "shape", "P", "schedule", "seed",
+                   "outcome", "faults", "retries", "resent", "note"]
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.algorithm, r.regime,
+                "x".join(str(d) for d in r.shape), str(r.P),
+                r.schedule, str(r.seed), r.outcome,
+                str(r.injected), str(r.retries), f"{r.words_resent:g}",
+                (r.error[:48] + "...") if len(r.error) > 51 else r.error,
+            ])
+        counts = self.counts()
+        summary = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        verdict = (
+            "every outcome on a trichotomy arm" if self.ok
+            else f"{len(self.violations)} VIOLATION(S) — fault layer bug"
+        )
+        return (
+            format_table(headers, rows)
+            + f"\n{len(self.rows)} runs ({summary}); {verdict}\n"
+        )
+
+
+def _clean_reference(name: str, A, B, P: int, cache: dict):
+    """Fault-free reference run for one (algorithm, operands, P) cell."""
+    key = name
+    if key not in cache:
+        run = run_algorithm(name, A, B, P)
+        cache[key] = run
+    return cache[key]
+
+
+def _verify_completed(run, clean, injector, verifies: bool) -> Optional[str]:
+    """Check a completed faulty run against the accountability contract.
+
+    Returns a violation message, or ``None`` when every invariant holds.
+    """
+    expected = clean.cost.words + injector.words_resent
+    if abs(run.cost.words - expected) > 1e-9 * max(1.0, expected):
+        return (
+            f"unaccounted words: measured {run.cost.words:g}, expected "
+            f"clean {clean.cost.words:g} + resent {injector.words_resent:g}"
+        )
+    if verifies and not np.array_equal(
+        np.asarray(run.C), np.asarray(clean.C)
+    ):
+        return "silent corruption: completed run's product differs from clean run"
+    if run.machine is not None:
+        try:
+            run.machine.check_conservation()
+        except FaultDetectedError as exc:
+            return f"conservation broken after completion: {exc}"
+    return None
+
+
+def run_chaos(
+    algorithms: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    schedules: Optional[Sequence[str]] = None,
+    backend: str = "data",
+    points: Optional[Dict[Regime, Tuple[ProblemShape, int]]] = None,
+    operand_seed: int = 0,
+    ledger=None,
+    label: str = "chaos",
+) -> ChaosReport:
+    """Cross algorithms x regime points x fault schedules x seeds.
+
+    Parameters
+    ----------
+    algorithms:
+        Registry names to exercise (default: every registered algorithm).
+        Each algorithm runs on every :data:`REGIME_POINTS` point whose
+        applicability predicate accepts it.
+    seeds, schedules:
+        The fault dimension: every named schedule (default: all of
+        :data:`SCHEDULES`) instantiated at every seed.
+    backend:
+        ``"data"`` (numerics verified bit-for-bit against the fault-free
+        run) or ``"symbolic"`` (cost accounting only; same decisions by
+        construction — the decision RNG stream is backend-independent).
+    points:
+        Override the regime points (mainly for tests).
+    ledger:
+        Optional :class:`repro.obs.ledger.Ledger`: every *completed* run
+        appends a ``kind="chaos"`` record whose ``faults`` field carries
+        the schedule name, seed, injector summary and outcome.
+    label:
+        Ledger record label.
+
+    Returns a :class:`ChaosReport`; ``report.ok`` is the trichotomy
+    verdict for the whole matrix.
+    """
+    backend_obj = resolve_backend(backend)
+    names = list(algorithms) if algorithms is not None else list(REGISTRY)
+    schedule_names = list(schedules) if schedules is not None else list(SCHEDULES)
+    for sched in schedule_names:
+        if sched not in SCHEDULES:
+            raise KeyError(
+                f"unknown chaos schedule {sched!r}; known: {', '.join(SCHEDULES)}"
+            )
+    grid = points if points is not None else REGIME_POINTS
+    rng = np.random.default_rng(operand_seed)
+    rows: List[ChaosOutcome] = []
+
+    for regime, (shape, P) in grid.items():
+        if backend_obj.verifies:
+            A = rng.random((shape.n1, shape.n2))
+            B = rng.random((shape.n2, shape.n3))
+        else:
+            A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+        runnable = set(applicable_algorithms(shape, P))
+        clean_cache: dict = {}
+        for name in names:
+            if name not in runnable:
+                continue
+            clean = _clean_reference(name, A, B, P, clean_cache)
+            for sched in schedule_names:
+                for seed in seeds:
+                    model = SCHEDULES[sched](seed)
+                    start = time.perf_counter()
+                    outcome, words, error, run = _one_cell(
+                        name, A, B, P, model, clean, backend_obj.verifies
+                    )
+                    elapsed = time.perf_counter() - start
+                    injector_summary = outcome.pop("faults")
+                    row = ChaosOutcome(
+                        algorithm=name,
+                        regime=regime.name,
+                        shape=tuple(shape.dims),
+                        P=P,
+                        schedule=sched,
+                        seed=seed,
+                        backend=backend_obj.name,
+                        outcome=outcome["outcome"],
+                        injected=injector_summary["injected"],
+                        retries=injector_summary["retries"],
+                        words_resent=injector_summary["words_resent"],
+                        clean_words=clean.cost.words,
+                        words=words,
+                        error=error,
+                    )
+                    rows.append(row)
+                    if ledger is not None and row.completed:
+                        _append_chaos_record(
+                            ledger, label, row, run, shape, P,
+                            injector_summary, elapsed,
+                        )
+    return ChaosReport(rows=rows, backend=backend_obj.name, seeds=tuple(seeds))
+
+
+def _one_cell(name, A, B, P, model, clean, verifies):
+    """Run one chaos cell; returns (outcome-dict, words, error, run)."""
+    injector = None
+    try:
+        with inject(model) as injector:
+            run = run_algorithm(name, A, B, P)
+    except RankFailedError as exc:
+        return (
+            {"outcome": "rank-failed", "faults": injector.summary()},
+            None, str(exc), None,
+        )
+    except FaultDetectedError as exc:
+        return (
+            {"outcome": "detected", "faults": injector.summary()},
+            None, str(exc), None,
+        )
+    except FaultError as exc:  # pragma: no cover - future fault subtypes
+        return (
+            {"outcome": "detected", "faults": injector.summary()},
+            None, str(exc), None,
+        )
+    except Exception as exc:  # untyped crash = trichotomy violation
+        summary = injector.summary() if injector is not None else {
+            "injected": 0, "retries": 0, "words_resent": 0.0,
+        }
+        return (
+            {"outcome": "violation", "faults": summary},
+            None, f"{type(exc).__name__}: {exc}", None,
+        )
+    problem = _verify_completed(run, clean, injector, verifies)
+    if problem is not None:
+        return (
+            {"outcome": "violation", "faults": injector.summary()},
+            run.cost.words, problem, run,
+        )
+    outcome = "recovered" if injector.faults_injected else "clean"
+    return (
+        {"outcome": outcome, "faults": injector.summary()},
+        run.cost.words, "", run,
+    )
+
+
+def _append_chaos_record(
+    ledger, label, row, run, shape, P, injector_summary, elapsed
+) -> None:
+    from ..obs.ledger import RunRecord, environment_fingerprint, git_revision
+
+    bound = communication_lower_bound(shape, P)
+    faults = dict(injector_summary)
+    faults["schedule"] = row.schedule
+    faults["seed"] = row.seed
+    faults["outcome"] = row.outcome
+    ledger.append(RunRecord(
+        algorithm=row.algorithm,
+        config=run.config,
+        shape=tuple(shape.dims),
+        P=P,
+        words=run.cost.words,
+        rounds=run.cost.rounds,
+        flops=run.cost.flops,
+        bound=bound,
+        attainment=run.cost.words / bound if bound else float("nan"),
+        wall_clock=elapsed,
+        label=label,
+        kind="chaos",
+        backend=row.backend,
+        timestamp=time.time(),
+        git_sha=git_revision(),
+        env=environment_fingerprint(),
+        faults=faults,
+    ))

@@ -20,9 +20,16 @@ Gives downstream users the paper's results without writing any code:
     grid, write ``BENCH_<label>.json`` at the repository root, append run
     records to the experiment ledger, and optionally gate against a
     committed baseline (exact on model costs, ±20% on wall-clock).
+``chaos [--algorithms A,B] [--schedules S,T] [--seeds N] [--json PATH]``
+    Chaos-test registered algorithms under seeded fault schedules across
+    one (shape, P) point per Theorem 3 case, asserting the fault-layer
+    trichotomy: recovered with accounted cost, typed detection, or
+    fail-stop — never silent corruption.  Exit 1 on any violation.
 ``ledger list | show N | diff N M``
     Read the persistent experiment ledger back: the run history, one full
-    record, or a field-by-field comparison of two records.
+    record, or a field-by-field comparison of two records.  ``diff``
+    warns (stderr, exit 0) when exactly one side measured a fault-injected
+    execution; ``--allow-faulty`` silences the warning.
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
@@ -120,6 +127,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="report wall-clock regressions as warnings "
                               "instead of failures (cross-machine baselines)")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test registered algorithms under seeded fault "
+             "schedules; exit 1 on any trichotomy violation",
+    )
+    p_chaos.add_argument("--algorithms", default=None, metavar="A,B,...",
+                         help="comma-separated registry names "
+                              "(default: every registered algorithm)")
+    p_chaos.add_argument("--schedules", default=None, metavar="S,T,...",
+                         help="comma-separated fault schedule names "
+                              "(default: all; see docs/ROBUSTNESS.md)")
+    p_chaos.add_argument("--seeds", type=int, default=4, metavar="N",
+                         help="fault seeds 0..N-1 per schedule (default 4)")
+    p_chaos.add_argument("--backend", choices=["data", "symbolic"],
+                         default="data",
+                         help="execution backend; 'data' additionally "
+                              "verifies recovered numerics bit-for-bit")
+    p_chaos.add_argument("--json", metavar="PATH", default=None,
+                         help="write the full chaos report as JSON")
+    p_chaos.add_argument("--ledger", metavar="PATH", default=None,
+                         help="append completed runs as kind='chaos' "
+                              "records to this experiment ledger")
+    p_chaos.add_argument("--label", default="chaos",
+                         help="ledger record label (default 'chaos')")
+
     p_ledger = sub.add_parser(
         "ledger", help="read the persistent experiment ledger"
     )
@@ -149,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "execution backends (wall-clock and numerical "
                              "verification are not comparable across "
                              "backends; model costs are)")
+    l_diff.add_argument("--allow-faulty", action="store_true",
+                        help="silence the warning when comparing a "
+                             "fault-injected record against a fault-free "
+                             "one (fault-injected costs include recovery "
+                             "resends, so model costs are expected to "
+                             "differ)")
 
     for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
         sub.add_parser(name, help=f"print the {name} reproduction artifact")
@@ -347,6 +385,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .analysis.chaos import SCHEDULES, run_chaos
+    from .obs.ledger import Ledger
+
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms else None
+    )
+    schedules = (
+        [s.strip() for s in args.schedules.split(",") if s.strip()]
+        if args.schedules else None
+    )
+    if schedules:
+        unknown = [s for s in schedules if s not in SCHEDULES]
+        if unknown:
+            print(f"unknown schedule(s) {', '.join(unknown)}; known: "
+                  f"{', '.join(SCHEDULES)}", file=sys.stderr)
+            return 2
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    ledger = Ledger(args.ledger) if args.ledger else None
+    report = run_chaos(
+        algorithms=algorithms,
+        seeds=tuple(range(args.seeds)),
+        schedules=schedules,
+        backend=args.backend,
+        ledger=ledger,
+        label=args.label,
+    )
+    print(report.render())
+    if args.json:
+        try:
+            report.write_json(args.json)
+        except OSError as exc:
+            print(f"cannot write chaos report: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote chaos report to {args.json}")
+    if ledger is not None:
+        print(f"appended completed runs to {ledger.path}")
+    return 0 if report.ok else 1
+
+
 def _default_ledger_path() -> str:
     import os
 
@@ -447,6 +528,15 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if rec_a.fault_injected != rec_b.fault_injected and not args.allow_faulty:
+        faulty = args.index_a if rec_a.fault_injected else args.index_b
+        print(
+            f"warning: record {faulty} measured a fault-injected execution "
+            f"(recovery resends are charged to its model costs), the other "
+            f"record did not — cost differences below are expected. "
+            f"Pass --allow-faulty to silence this warning.",
+            file=sys.stderr,
+        )
     print(f"ledger diff: record {args.index_a} vs record {args.index_b}")
     fields = ["label", "kind", "algorithm", "config", "shape", "P",
               "backend", "words", "rounds", "flops", "bound", "attainment",
@@ -516,6 +606,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_inspect(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
     if args.command == "report":

@@ -74,6 +74,7 @@ def allgather_ring(
                     dest=group[(i + 1) % p],
                     payload=held[i][origin],
                     tag=tag,
+                    empty_ok=True,
                 )
             )
         deliveries = yield msgs
@@ -111,7 +112,7 @@ def allgather_recursive_doubling(
         for i in range(p):
             partner = i ^ dist
             payload = tuple(held[i][j] for j in sorted(held[i]))
-            msgs.append(Message(src=group[i], dest=group[partner], payload=payload, tag=tag))
+            msgs.append(Message(src=group[i], dest=group[partner], payload=payload, tag=tag, empty_ok=True))
         deliveries = yield msgs
         # Snapshot pre-round index sets: held[] mutates as deliveries are
         # applied, and partner pairs are processed in both directions.
@@ -154,7 +155,7 @@ def allgather_bruck(
         for i in range(p):
             payload = tuple(held[i][:count])
             msgs.append(
-                Message(src=group[i], dest=group[(i - d) % p], payload=payload, tag=tag)
+                Message(src=group[i], dest=group[(i - d) % p], payload=payload, tag=tag, empty_ok=True)
             )
         deliveries = yield msgs
         for i in range(p):

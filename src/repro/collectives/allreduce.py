@@ -104,7 +104,7 @@ def allreduce_recursive_doubling(
     dist = 1
     while dist < p:
         msgs = [
-            Message(src=group[i], dest=group[i ^ dist], payload=partial[i], tag=tag)
+            Message(src=group[i], dest=group[i ^ dist], payload=partial[i], tag=tag, empty_ok=True)
             for i in range(p)
         ]
         deliveries = yield msgs

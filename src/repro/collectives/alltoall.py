@@ -60,6 +60,7 @@ def alltoall_pairwise(
                     dest=group[dest],
                     payload=as_block(blocks[group[i]][dest]),
                     tag=tag,
+                    empty_ok=True,
                 )
             )
         deliveries = yield msgs
@@ -120,7 +121,7 @@ def alltoall_bruck(
             send_keys.append(keys)
             payload = tuple(arr for k in keys for (_, arr) in held[i][k])
             msgs.append(
-                Message(src=group[i], dest=group[(i - d) % p], payload=payload, tag=tag)
+                Message(src=group[i], dest=group[(i - d) % p], payload=payload, tag=tag, empty_ok=True)
             )
         deliveries = yield msgs
         for i in range(p):

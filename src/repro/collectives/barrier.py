@@ -27,7 +27,8 @@ def barrier_dissemination(group: Sequence[int], tag: str = "barrier") -> Schedul
     dist = 1
     while dist < p:
         msgs = [
-            Message(src=group[i], dest=group[(i + dist) % p], payload=empty, tag=tag)
+            Message(src=group[i], dest=group[(i + dist) % p], payload=empty,
+                    tag=tag, empty_ok=True)
             for i in range(p)
         ]
         yield msgs

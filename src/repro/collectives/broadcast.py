@@ -53,7 +53,7 @@ def broadcast_binomial(
         for i in senders:
             src = group[(i + root_index) % p]
             dest = group[(i + dist + root_index) % p]
-            msgs.append(Message(src=src, dest=dest, payload=held[i], tag=tag))
+            msgs.append(Message(src=src, dest=dest, payload=held[i], tag=tag, empty_ok=True))
         deliveries = yield msgs
         for i in senders:
             dest = group[(i + dist + root_index) % p]

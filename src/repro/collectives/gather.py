@@ -56,6 +56,7 @@ def gather_binomial(
                     dest=rot(i - dist),
                     payload=tuple(b for (_, b) in holding[i]),
                     tag=tag,
+                    empty_ok=True,
                 )
             )
         if msgs:

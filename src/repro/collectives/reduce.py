@@ -62,7 +62,7 @@ def reduce_binomial(
     while dist < p:
         senders = [i for i in sorted(partial) if i % (2 * dist) == dist]
         msgs = [
-            Message(src=rot(i), dest=rot(i - dist), payload=partial[i], tag=tag)
+            Message(src=rot(i), dest=rot(i - dist), payload=partial[i], tag=tag, empty_ok=True)
             for i in senders
         ]
         if msgs:

@@ -91,7 +91,7 @@ def reduce_scatter_ring(
 
     for t in range(p - 1):
         msgs = [
-            Message(src=group[i], dest=group[(i + 1) % p], payload=carry[i], tag=tag)
+            Message(src=group[i], dest=group[(i + 1) % p], payload=carry[i], tag=tag, empty_ok=True)
             for i in range(p)
         ]
         deliveries = yield msgs
@@ -146,7 +146,7 @@ def reduce_scatter_recursive_halving(
             to_send = sorted(j for j in partial[i] if (j & dist) != (i & dist))
             send_sets.append(to_send)
             payload = tuple(partial[i][j] for j in to_send)
-            msgs.append(Message(src=group[i], dest=group[i ^ dist], payload=payload, tag=tag))
+            msgs.append(Message(src=group[i], dest=group[i ^ dist], payload=payload, tag=tag, empty_ok=True))
         deliveries = yield msgs
         for i in range(p):
             partner = i ^ dist

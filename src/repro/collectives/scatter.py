@@ -64,6 +64,7 @@ def scatter_binomial(
                     dest=rot(i + dist),
                     payload=tuple(b for (_, b) in upper),
                     tag=tag,
+                    empty_ok=True,
                 )
             )
         if msgs:

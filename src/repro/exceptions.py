@@ -13,15 +13,20 @@ __all__ = [
     "ReproError",
     "ModelViolationError",
     "NetworkContentionError",
+    "InvalidMessageError",
     "MemoryLimitExceededError",
     "GridError",
     "DistributionError",
     "CommunicatorError",
     "ShapeError",
+    "InvalidProblemError",
     "VerificationError",
     "NumericalMismatchError",
     "BoundViolationError",
     "BackendMismatchError",
+    "FaultError",
+    "FaultDetectedError",
+    "RankFailedError",
     "LedgerError",
     "BaselineError",
 ]
@@ -43,6 +48,18 @@ class ModelViolationError(ReproError):
 
 class NetworkContentionError(ModelViolationError):
     """Two messages in a single round contend for the same send or receive port."""
+
+
+class InvalidMessageError(ModelViolationError, ValueError):
+    """A message that could never be transmitted on the modelled network.
+
+    Raised at :class:`~repro.machine.message.Message` construction for
+    self-sends, negative ranks, and empty payloads (which would silently
+    count zero words — schedules that legitimately send pure latency
+    signals, like the dissemination barrier, must say so explicitly with
+    ``empty_ok=True``).  Subclasses :class:`ValueError` for backward
+    compatibility with callers that caught the previous untyped error.
+    """
 
 
 class MemoryLimitExceededError(ReproError):
@@ -68,6 +85,20 @@ class CommunicatorError(ReproError):
 
 class ShapeError(ReproError):
     """Invalid problem shape (non-positive dimensions, mismatched operands)."""
+
+
+class InvalidProblemError(ShapeError):
+    """An algorithm was asked to run a problem it cannot run.
+
+    Raised by :func:`repro.algorithms.registry.run_algorithm` before any
+    machine is built: non-positive or mismatched dimensions, a processor
+    count the algorithm cannot factor into its grid, or a grid that does
+    not divide the matrix dimensions.  The message always says *why* the
+    combination is infeasible and which registered algorithms could run
+    it instead — sweeps filter with
+    :func:`~repro.algorithms.registry.applicable_algorithms` and never see
+    this error.
+    """
 
 
 class VerificationError(ReproError):
@@ -99,6 +130,35 @@ class BackendMismatchError(VerificationError):
     The symbolic backend must charge exactly the counters the data backend
     does — the schedules are shared and every cost is derived from shapes.
     Any divergence means a backend leaked element-dependent accounting.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault outcomes the run could not absorb.
+
+    The fault-injection layer (:mod:`repro.machine.faults`) guarantees a
+    trichotomy: a faulted run either recovers with the extra communication
+    charged to the cost model, raises a :class:`FaultError` subclass, or —
+    never — corrupts results silently.  Catching this class covers both
+    loud legs.
+    """
+
+
+class FaultDetectedError(FaultError):
+    """The detection layer caught an unrecoverable message fault.
+
+    Raised when a dropped or checksum-mismatched message has no retry
+    policy to fall back on, when the configured retries are exhausted, or
+    when the machine-level conservation invariant
+    ``sum(sent_words) == sum(recv_words)`` fails at span close.
+    """
+
+
+class RankFailedError(FaultError):
+    """A processor failed permanently; messages involving it cannot complete.
+
+    Rank failures are fail-stop: no retry policy can recover them, so this
+    is always the detected-and-raised leg of the trichotomy.
     """
 
 

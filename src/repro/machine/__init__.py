@@ -25,6 +25,15 @@ from .backend import (
     zeros_block,
 )
 from .cost import BANDWIDTH_ONLY, Cost, CostModel, ZERO_COST
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultModel,
+    RetryPolicy,
+    active_injector,
+    inject,
+    payload_fingerprint,
+)
 from .machine import CounterSnapshot, Machine
 from .message import Message, payload_words
 from .network import FullyConnectedNetwork, RoundSummary
@@ -43,6 +52,9 @@ __all__ = [
     "CounterSnapshot",
     "DATA_BACKEND",
     "DataBackend",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultModel",
     "FullyConnectedNetwork",
     "LocalStore",
     "Machine",
@@ -52,6 +64,7 @@ __all__ = [
     "Processor",
     "RankContext",
     "CollectiveRequest",
+    "RetryPolicy",
     "RoundSummary",
     "SYMBOLIC_BACKEND",
     "SymbolicBackend",
@@ -60,10 +73,13 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "ZERO_COST",
+    "active_injector",
     "as_block",
     "backend_for",
     "empty_block",
+    "inject",
     "is_symbolic",
+    "payload_fingerprint",
     "payload_words",
     "resolve_backend",
     "symbolic_operands",

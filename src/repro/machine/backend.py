@@ -55,6 +55,7 @@ __all__ = [
     "zeros_block",
     "is_symbolic",
     "backend_for",
+    "corrupt_block",
     "resolve_backend",
     "symbolic_operands",
 ]
@@ -443,6 +444,16 @@ class Backend:
         """An ``(A, B)`` operand pair for ``shape = (n1, n2, n3)``."""
         raise NotImplementedError
 
+    def corrupt_block(self, block: Any, rng, mode: str = "bitflip") -> Any:
+        """A damaged copy of ``block``, as in-transit corruption would leave it.
+
+        Used only by the fault-injection layer (:mod:`repro.machine.faults`);
+        the damage must always change the block's
+        :func:`~repro.machine.faults.payload_fingerprint` so the detection
+        layer can prove it catches every injected corruption.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -470,6 +481,24 @@ class DataBackend(Backend):
             shape = ProblemShape(*tuple(shape))
         return operand_pair(shape, kind=kind, seed=seed)
 
+    def corrupt_block(self, block: Any, rng, mode: str = "bitflip") -> np.ndarray:
+        """Flip one bit of (or write NaN into) one element of a copy of ``block``.
+
+        ``mode="nan"`` falls back to a bit flip on non-float dtypes, where
+        NaN does not exist.  Either damage changes the payload bytes, so the
+        CRC32 fingerprint always catches it.
+        """
+        out = np.array(block, copy=True)
+        if out.size == 0:
+            raise ValueError("cannot corrupt an empty block")
+        if mode == "nan" and np.issubdtype(out.dtype, np.floating):
+            out.reshape(-1)[rng.randrange(out.size)] = np.nan
+            return out
+        raw = out.reshape(-1).view(np.uint8)
+        bit = rng.randrange(raw.size * 8)
+        raw[bit // 8] ^= np.uint8(1 << (bit % 8))
+        return out
+
 
 class SymbolicBackend(Backend):
     """Shape-descriptor payloads; exact cost accounting, no elements."""
@@ -488,6 +517,21 @@ class SymbolicBackend(Backend):
 
     def operands(self, shape, seed: int = 0, kind: str = "random"):
         return symbolic_operands(shape)
+
+    def corrupt_block(self, block: Any, rng, mode: str = "bitflip") -> SymbolicBlock:
+        """Perturb the block's shape — the symbolic analogue of bit damage.
+
+        A shape descriptor has no bits to flip; what corruption *can* do to
+        it is make the receiver see a block of the wrong extent, which is
+        exactly what a length-prefix error would do on a real wire.  One
+        dimension grows by one element, so the shape fingerprint always
+        changes.  ``mode`` is accepted for signature compatibility.
+        """
+        shape = tuple(block.shape)
+        if not shape or block.size == 0:
+            return SymbolicBlock((int(block.size) + 1,))
+        dim = rng.randrange(len(shape))
+        return SymbolicBlock(shape[:dim] + (shape[dim] + 1,) + shape[dim + 1:])
 
 
 DATA_BACKEND = DataBackend()
@@ -549,6 +593,11 @@ def backend_for(*blocks: Any) -> Backend:
         if isinstance(b, SymbolicBlock):
             return SYMBOLIC_BACKEND
     return DATA_BACKEND
+
+
+def corrupt_block(block: Any, rng, mode: str = "bitflip") -> Any:
+    """Backend-polymorphic block corruption (see ``Backend.corrupt_block``)."""
+    return backend_for(block).corrupt_block(block, rng, mode=mode)
 
 
 def symbolic_operands(shape) -> Tuple[SymbolicBlock, SymbolicBlock]:

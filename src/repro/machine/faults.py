@@ -1,0 +1,396 @@
+"""Seeded, deterministic fault injection for the simulated network.
+
+The paper's model assumes a perfect network; this module deliberately
+breaks that assumption so the rest of the stack can prove it fails *loudly*
+or recovers *accountably* — never silently.  A :class:`FaultModel` describes
+what can go wrong on the wire:
+
+* **drop** — a message is lost in transit (detected by the modelled
+  receive timeout: in god view, the round said a message was coming);
+* **corrupt** — the payload is damaged in transit (data backend: a bit
+  flip or a NaN write; symbolic backend: a shape perturbation), detected
+  by the per-message checksum (:func:`payload_fingerprint`);
+* **duplicate** — the network spuriously retransmits a delivered message;
+  the receiver discards the second copy, but the wasted transmission is
+  charged to the cost model;
+* **stall** — the sender hiccups, delaying the round by extra
+  latency-only rounds;
+* **rank failure** — fail-stop death of a processor at a given round;
+  unrecoverable by construction
+  (:class:`~repro.exceptions.RankFailedError`).
+
+A :class:`FaultInjector` turns the model into a deterministic event stream.
+Two independent :class:`random.Random` generators keep runs reproducible
+*across backends*: the **decision stream** (one draw per transmission
+attempt) determines *which* messages fault, and is consumed identically
+under the data and symbolic backends because schedules and message orders
+are shared; the **detail stream** (which block, which element, which bit)
+is only consumed when a corruption materializes and never influences
+decisions, so backend-specific detail costs cannot desynchronize the two.
+
+Cost-charging rules (see ``docs/ROBUSTNESS.md`` for the full contract):
+every transmission attempt — original, faulted or not — charges the cost
+model exactly as a clean transmission would (round, critical-path words,
+per-rank sent/recv words).  Every *extra* transmission (a retry resend or
+a spurious duplicate) additionally accrues ``words_resent``; backoff and
+stalls add latency-only rounds.  Consequences, both exact:
+
+* a recovered run's critical-path words equal the fault-free run's words
+  **plus** ``words_resent`` (attainment degrades by exactly the resent
+  words over the bound);
+* the conservation invariant ``sum(sent_words) == sum(recv_words)`` holds
+  at every span close.
+
+Attach an injector to one machine with ``Machine(P, faults=model)``, or
+ambiently with :func:`inject` so that machines constructed *inside*
+library code (e.g. by :func:`repro.algorithms.registry.run_algorithm`)
+pick it up::
+
+    with inject(FaultModel(seed=7, drop=0.05, retry=RetryPolicy())) as inj:
+        run = run_algorithm("alg1", A, B, P=8)
+    assert run.cost.words == clean_words + inj.words_resent
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import random
+import zlib
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import FaultDetectedError
+from .backend import SymbolicBlock, corrupt_block
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModel",
+    "RetryPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "payload_fingerprint",
+    "inject",
+    "active_injector",
+    "coerce_injector",
+]
+
+#: Fault kinds a :class:`FaultModel` can draw, in decision-stream order.
+FAULT_KINDS: Tuple[str, ...] = ("drop", "corrupt", "duplicate", "stall")
+
+#: Seed perturbation separating the detail stream from the decision stream.
+_DETAIL_SALT = 0x5DEECE66D
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for resending failed messages.
+
+    Attempt ``k`` (1-based) first waits ``min(backoff_base * 2**(k-1),
+    backoff_cap)`` latency-only rounds, then resends the message in a round
+    of its own — fully charged to the cost model and accrued in
+    ``words_resent``.  A resend is itself subject to fault injection; after
+    ``max_attempts`` failed resends the fault is promoted to
+    :class:`~repro.exceptions.FaultDetectedError`.
+    """
+
+    max_attempts: int = 3
+    backoff_base: int = 1
+    backoff_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError(
+                f"backoff must be non-negative, got base={self.backoff_base} "
+                f"cap={self.backoff_cap}"
+            )
+
+    def backoff_rounds(self, attempt: int) -> int:
+        """Latency-only rounds to wait before resend attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempts are 1-based, got {attempt}")
+        return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """A seeded description of what can go wrong on the network.
+
+    Parameters
+    ----------
+    seed:
+        Seeds both RNG streams; same seed + same schedule of rounds =
+        byte-identical fault sequence (on either backend).
+    drop, corrupt, duplicate, stall:
+        Per-transmission probabilities of each fault kind; their sum must
+        not exceed 1.  Zero-word messages (barrier signals) are never
+        faulted — there is nothing to lose or damage.
+    corrupt_mode:
+        ``"bitflip"`` (flip one bit of one element) or ``"nan"`` (overwrite
+        one element with NaN).  Data backend only; the symbolic backend
+        perturbs the block's shape instead.
+    stall_rounds:
+        Latency-only rounds a stalled transmission adds.
+    rank_failures:
+        ``((rank, round), ...)`` — rank dies permanently once the network
+        has executed ``round`` rounds; any later transmission involving it
+        raises :class:`~repro.exceptions.RankFailedError`.
+    retry:
+        Recovery policy for dropped/corrupted messages, or ``None`` to
+        fail fast with :class:`~repro.exceptions.FaultDetectedError`.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    stall: float = 0.0
+    corrupt_mode: str = "bitflip"
+    stall_rounds: int = 1
+    rank_failures: Tuple[Tuple[int, int], ...] = ()
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        probs = {k: getattr(self, k) for k in FAULT_KINDS}
+        for kind, p in probs.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{kind} probability must be in [0, 1], got {p}")
+        if sum(probs.values()) > 1.0 + 1e-12:
+            raise ValueError(
+                f"fault probabilities sum to {sum(probs.values())} > 1"
+            )
+        if self.corrupt_mode not in ("bitflip", "nan"):
+            raise ValueError(
+                f"corrupt_mode must be 'bitflip' or 'nan', got {self.corrupt_mode!r}"
+            )
+        if self.stall_rounds < 1:
+            raise ValueError(f"stall_rounds must be >= 1, got {self.stall_rounds}")
+        object.__setattr__(
+            self,
+            "rank_failures",
+            tuple((int(r), int(at)) for r, at in self.rank_failures),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "drop": self.drop,
+            "corrupt": self.corrupt,
+            "duplicate": self.duplicate,
+            "stall": self.stall,
+            "corrupt_mode": self.corrupt_mode,
+            "stall_rounds": self.stall_rounds,
+            "rank_failures": [list(rf) for rf in self.rank_failures],
+            "retry": None if self.retry is None else self.retry.to_dict(),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what happened, to which transmission."""
+
+    kind: str
+    src: int
+    dest: int
+    words: int
+    round: int
+    resend: bool = False
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def payload_fingerprint(payload: Any) -> Tuple:
+    """A checksum of a message payload, used to detect in-transit corruption.
+
+    Data blocks fingerprint as ``(shape, dtype, crc32 of the raw bytes)``
+    — CRC32 detects every single-bit error, so a bit flip or NaN write
+    always changes the fingerprint.  Symbolic blocks carry no elements;
+    their fingerprint is the shape, so the symbolic corruption mode (shape
+    perturbation) is equally detectable.  Nested tuple/list payloads
+    fingerprint structurally.
+    """
+    if isinstance(payload, SymbolicBlock):
+        return ("sym", payload.shape)
+    if isinstance(payload, np.ndarray):
+        data = payload if payload.flags["C_CONTIGUOUS"] else np.ascontiguousarray(payload)
+        return ("arr", payload.shape, str(payload.dtype), zlib.crc32(data.tobytes()))
+    if isinstance(payload, (tuple, list)):
+        return ("seq", tuple(payload_fingerprint(item) for item in payload))
+    raise TypeError(
+        f"cannot fingerprint payload of type {type(payload).__name__}"
+    )
+
+
+def _count_blocks(payload: Any) -> int:
+    """Number of non-empty blocks in a (possibly nested) payload."""
+    if isinstance(payload, (np.ndarray, SymbolicBlock)):
+        return 1 if payload.size else 0
+    if isinstance(payload, (tuple, list)):
+        return sum(_count_blocks(item) for item in payload)
+    return 0
+
+
+def _corrupt_nth(payload: Any, target: int, state: List[int], rng, mode: str) -> Any:
+    """Rebuild ``payload`` with its ``target``-th non-empty block corrupted."""
+    if isinstance(payload, (np.ndarray, SymbolicBlock)):
+        if not payload.size:
+            return payload
+        index = state[0]
+        state[0] += 1
+        return corrupt_block(payload, rng, mode) if index == target else payload
+    if isinstance(payload, (tuple, list)):
+        items = [_corrupt_nth(item, target, state, rng, mode) for item in payload]
+        return tuple(items) if isinstance(payload, tuple) else items
+    return payload
+
+
+class FaultInjector:
+    """Deterministic fault event source attached to one network.
+
+    All statistics accumulate over the injector's lifetime (they are *not*
+    zeroed by ``Machine.reset()`` — build a fresh injector per experiment);
+    spans attribute faults by snapshot deltas, so per-phase numbers are
+    exact either way.
+
+    Attributes
+    ----------
+    faults_injected:
+        Total faults materialized (all kinds).
+    retries:
+        Resend attempts made by the recovery layer.
+    words_resent:
+        Words of every extra transmission (retry resends and spurious
+        duplicates) — exactly the amount by which a recovered run's
+        critical-path words exceed the fault-free run's.
+    events:
+        Chronological :class:`FaultEvent` log.
+    """
+
+    def __init__(self, model: FaultModel) -> None:
+        self.model = model
+        self._decide_rng = random.Random(model.seed)
+        self._detail_rng = random.Random(model.seed ^ _DETAIL_SALT)
+        self.events: List[FaultEvent] = []
+        self.counts = {kind: 0 for kind in FAULT_KINDS}
+        self.faults_injected = 0
+        self.retries = 0
+        self.words_resent = 0.0
+
+    def decide(self) -> str:
+        """Draw the fate of one transmission: a fault kind or ``"none"``.
+
+        Exactly one decision-stream draw per call, so decision alignment
+        between backends only depends on the (shared) transmission order.
+        """
+        u = self._decide_rng.random()
+        acc = 0.0
+        for kind in FAULT_KINDS:
+            acc += getattr(self.model, kind)
+            if u < acc:
+                return kind
+        return "none"
+
+    def record(self, kind: str, msg, round_index: int, resend: bool = False) -> None:
+        """Log one materialized fault."""
+        self.events.append(
+            FaultEvent(
+                kind=kind, src=msg.src, dest=msg.dest, words=msg.words,
+                round=round_index, resend=resend,
+            )
+        )
+        self.counts[kind] += 1
+        self.faults_injected += 1
+
+    def failed_rank(self, msg, round_index: int) -> Optional[int]:
+        """The failed rank this message involves, or ``None``.
+
+        ``round_index`` is the number of rounds the network has completed;
+        a rank with failure round ``r`` is dead for every transmission at
+        or after round index ``r``.
+        """
+        for rank, at_round in self.model.rank_failures:
+            if round_index >= at_round and rank in (msg.src, msg.dest):
+                return rank
+        return None
+
+    def corrupt_payload(self, payload: Any) -> Any:
+        """A corrupted copy of ``payload`` (the original stays pristine for resends)."""
+        n_blocks = _count_blocks(payload)
+        if n_blocks == 0:
+            raise FaultDetectedError(
+                "cannot corrupt an empty payload (zero-word messages are "
+                "exempt from fault injection)"
+            )
+        target = self._detail_rng.randrange(n_blocks)
+        return _corrupt_nth(payload, target, [0], self._detail_rng, self.model.corrupt_mode)
+
+    def summary(self) -> dict:
+        """JSON-serializable statistics (ledger ``faults`` field material)."""
+        return {
+            "model": self.model.to_dict(),
+            "injected": self.faults_injected,
+            "counts": dict(self.counts),
+            "retries": self.retries,
+            "words_resent": self.words_resent,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(seed={self.model.seed}, injected={self.faults_injected}, "
+            f"retries={self.retries}, words_resent={self.words_resent:g})"
+        )
+
+
+def coerce_injector(faults) -> Optional["FaultInjector"]:
+    """Accept a :class:`FaultModel`, a :class:`FaultInjector`, or ``None``."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultModel):
+        return FaultInjector(faults)
+    raise TypeError(
+        f"faults must be a FaultModel or FaultInjector, got {type(faults).__name__}"
+    )
+
+
+#: Stack of ambiently active injectors (innermost last).
+_ACTIVE: List[FaultInjector] = []
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The innermost ambient injector opened with :func:`inject`, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def inject(faults):
+    """Ambient fault injection: machines built inside pick up the injector.
+
+    This is how faults reach machines the library constructs internally
+    (every registry algorithm builds its own
+    :class:`~repro.machine.machine.Machine`).  Passing an explicit
+    ``Machine(..., faults=...)`` overrides the ambient injector.
+
+    Yields the :class:`FaultInjector`, whose statistics remain readable
+    after the block exits.
+    """
+    injector = coerce_injector(faults)
+    if injector is None:
+        raise TypeError("inject() needs a FaultModel or FaultInjector")
+    _ACTIVE.append(injector)
+    try:
+        yield injector
+    finally:
+        _ACTIVE.pop()

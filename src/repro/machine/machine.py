@@ -27,9 +27,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..exceptions import FaultDetectedError
 from ..obs.metrics import MetricsRegistry
 from .backend import Backend, resolve_backend
 from .cost import Cost, CostModel
+from .faults import active_injector, coerce_injector
 from .message import Message
 from .network import FullyConnectedNetwork
 from .processor import Processor
@@ -50,7 +52,13 @@ def _pairwise_delta(name: str, before: tuple, after: tuple) -> tuple:
 
 @dataclasses.dataclass(frozen=True)
 class CounterSnapshot:
-    """Immutable snapshot of a machine's cumulative counters."""
+    """Immutable snapshot of a machine's cumulative counters.
+
+    The fault counters (``faults_injected``, ``retries``, ``words_resent``)
+    come from the attached fault injector and stay zero on fault-free
+    machines, so snapshots and their deltas are unchanged by the fault
+    layer unless faults actually happen.
+    """
 
     cost: Cost
     total_words: float
@@ -59,6 +67,9 @@ class CounterSnapshot:
     flops: tuple
     sent_messages: tuple = ()
     recv_messages: tuple = ()
+    faults_injected: int = 0
+    retries: int = 0
+    words_resent: float = 0.0
 
     def delta(self, later: "CounterSnapshot") -> "CounterSnapshot":
         """Per-counter difference ``later - self``.
@@ -81,6 +92,9 @@ class CounterSnapshot:
             recv_messages=_pairwise_delta(
                 "recv_messages", self.recv_messages, later.recv_messages
             ),
+            faults_injected=later.faults_injected - self.faults_injected,
+            retries=later.retries - self.retries,
+            words_resent=later.words_resent - self.words_resent,
         )
 
 
@@ -103,6 +117,13 @@ class Machine:
         stores, messages and counters — so this attribute is provenance:
         it records which mode the run was built for, and is surfaced in
         exporters and ledger records.
+    faults:
+        A :class:`~repro.machine.faults.FaultModel` or
+        :class:`~repro.machine.faults.FaultInjector` attached to the
+        network, or ``None`` (default) — in which case an ambient injector
+        opened with :func:`repro.machine.faults.inject` is picked up, if
+        one is active.  With no injector the network takes its unmodified
+        fast path and costs are bit-identical to a fault-layer-free build.
 
     Examples
     --------
@@ -120,6 +141,7 @@ class Machine:
         cost_model: Optional[CostModel] = None,
         memory_limit: Optional[float] = None,
         backend: Optional[Backend] = None,
+        faults=None,
     ) -> None:
         if n_procs < 1:
             raise ValueError(f"need at least one processor, got {n_procs}")
@@ -131,6 +153,10 @@ class Machine:
             Processor(rank, memory_limit=memory_limit) for rank in range(n_procs)
         ]
         self.network = FullyConnectedNetwork(n_procs)
+        if faults is not None:
+            self.network.fault_injector = coerce_injector(faults)
+        else:
+            self.network.fault_injector = active_injector()
         self.metrics = MetricsRegistry()
         self.trace = Trace(machine=self)
 
@@ -197,8 +223,38 @@ class Machine:
         """Modelled execution time of everything run so far."""
         return self.cost_model.time(self.cost)
 
+    @property
+    def fault_injector(self):
+        """The attached fault injector, or ``None`` on a clean machine."""
+        return self.network.fault_injector
+
+    def check_conservation(self) -> None:
+        """Enforce the conservation invariant ``sum(sent) == sum(recv)``.
+
+        Every transmission the network charges is symmetric — the words a
+        sender pays are the words some receiver pays, faulted or not — so
+        any imbalance means words leaked out of (or appeared in) the
+        accounting: a fault-layer bug that would poison every measured
+        cost downstream.  Checked automatically at span close whenever a
+        fault injector is attached (zero overhead on clean machines).
+
+        Raises
+        ------
+        FaultDetectedError
+            On imbalance, reporting both sums and the drift.
+        """
+        sent = sum(self.network.sent_words)
+        recv = sum(self.network.recv_words)
+        if abs(sent - recv) > 1e-9 * max(1.0, abs(sent)):
+            raise FaultDetectedError(
+                f"conservation violated: sum(sent_words)={sent:g} but "
+                f"sum(recv_words)={recv:g} (drift {sent - recv:+g}); some "
+                f"transmission was charged asymmetrically"
+            )
+
     def snapshot(self) -> CounterSnapshot:
         """Snapshot all cumulative counters (for delta measurements)."""
+        injector = self.network.fault_injector
         return CounterSnapshot(
             cost=self.cost,
             total_words=self.network.total_words,
@@ -207,6 +263,9 @@ class Machine:
             flops=tuple(p.flops for p in self.processors),
             sent_messages=tuple(self.network.sent_messages),
             recv_messages=tuple(self.network.recv_messages),
+            faults_injected=0 if injector is None else injector.faults_injected,
+            retries=0 if injector is None else injector.retries,
+            words_resent=0.0 if injector is None else injector.words_resent,
         )
 
     def reset_counters(self) -> None:

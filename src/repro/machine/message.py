@@ -23,6 +23,7 @@ from typing import Any, Tuple
 
 import numpy as np
 
+from ..exceptions import InvalidMessageError
 from .backend import SymbolicBlock
 
 __all__ = ["Message", "payload_words"]
@@ -105,22 +106,46 @@ class Message:
     tag:
         Optional label recorded in the machine trace (useful for debugging
         collective schedules).
+    empty_ok:
+        Zero-word payloads are rejected by default — a message that moves
+        no data almost always means a bug upstream (an empty shard sent by
+        mistake) that would otherwise *silently count zero words*.
+        Schedules whose messages are pure latency signals by design (the
+        dissemination barrier) opt in explicitly.
+
+    Raises
+    ------
+    InvalidMessageError
+        On a self-send, a negative rank, or an empty payload without
+        ``empty_ok`` (a :class:`ValueError` subclass, so legacy callers
+        keep working).
     """
 
     src: int
     dest: int
     payload: Any
     tag: str = ""
+    empty_ok: bool = False
 
     #: Cached number of words in the payload, computed at construction.
     words: int = dataclasses.field(init=False)
 
     def __post_init__(self) -> None:
         if self.src == self.dest:
-            raise ValueError(f"processor {self.src} cannot send a message to itself")
+            raise InvalidMessageError(
+                f"processor {self.src} cannot send a message to itself"
+            )
         if self.src < 0 or self.dest < 0:
-            raise ValueError(f"ranks must be non-negative, got src={self.src} dest={self.dest}")
+            raise InvalidMessageError(
+                f"ranks must be non-negative, got src={self.src} dest={self.dest}"
+            )
         self.payload, self.words = _prepare_payload(self.payload)
+        if self.words == 0 and not self.empty_ok:
+            raise InvalidMessageError(
+                f"message {self.src}->{self.dest} carries an empty payload, "
+                f"which would silently count zero words; pass empty_ok=True "
+                f"if a pure latency signal is intended"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Message({self.src}->{self.dest}, {self.words} words, tag={self.tag!r})"

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence
 
-from ..exceptions import NetworkContentionError
+from ..exceptions import FaultDetectedError, NetworkContentionError, RankFailedError
 from .cost import Cost
 from .message import Message
 
@@ -67,6 +67,11 @@ class FullyConnectedNetwork:
         if n_procs < 1:
             raise ValueError(f"need at least one processor, got {n_procs}")
         self.n_procs = n_procs
+        #: Attached :class:`~repro.machine.faults.FaultInjector`, or ``None``
+        #: (the default — the clean fast path is then byte-identical to a
+        #: build without the fault layer).  Survives :meth:`reset` so a
+        #: machine reused across runs keeps its fault regime.
+        self.fault_injector = None
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -148,6 +153,8 @@ class FullyConnectedNetwork:
         if not msgs:
             return {}
         self._validate_round(msgs)
+        if self.fault_injector is not None:
+            return self._execute_round_faulty(msgs, self.fault_injector)
 
         max_words = max(m.words for m in msgs)
         self.rounds += 1
@@ -164,4 +171,157 @@ class FullyConnectedNetwork:
             key = (msg.src, msg.dest)
             self.edge_words[key] = self.edge_words.get(key, 0.0) + msg.words
             deliveries[msg.dest] = msg.payload
+        return deliveries
+
+    # ------------------------------------------------------------------ #
+    # fault injection (see repro.machine.faults)                         #
+    # ------------------------------------------------------------------ #
+    #
+    # Cost-charging contract: every transmission attempt — faulted or not
+    # — charges exactly what a clean transmission would (round, critical
+    # words, symmetric per-rank sent/recv).  Extra transmissions (retry
+    # resends, spurious duplicates) additionally accrue ``words_resent``;
+    # backoff and stalls add latency-only rounds.  Hence, exactly:
+    #
+    #   recovered_critical_words == clean_critical_words + words_resent
+    #   sum(sent_words) == sum(recv_words)            (conservation)
+
+    def _charge_message(self, msg: Message) -> None:
+        """Per-rank accounting of one transmission (clean or faulted)."""
+        self.sent_words[msg.src] += msg.words
+        self.recv_words[msg.dest] += msg.words
+        self.sent_messages[msg.src] += 1
+        self.recv_messages[msg.dest] += 1
+        key = (msg.src, msg.dest)
+        self.edge_words[key] = self.edge_words.get(key, 0.0) + msg.words
+
+    def _latency_rounds(self, count: int) -> None:
+        """Charge ``count`` rounds of pure latency (backoff / stall)."""
+        for _ in range(count):
+            self.rounds += 1
+            self.round_log.append(RoundSummary(self.rounds, ()))
+
+    def _transmit_extra(self, msg: Message, injector) -> None:
+        """One extra transmission of ``msg`` in a round of its own.
+
+        Used for retry resends and spurious duplicates; fully charged and
+        accrued in ``words_resent``.
+        """
+        self.rounds += 1
+        self.critical_words += msg.words
+        self.total_words += msg.words
+        self.round_log.append(RoundSummary(self.rounds, (msg,)))
+        self._charge_message(msg)
+        injector.words_resent += msg.words
+
+    def _check_rank_failures(self, msgs: Sequence[Message], injector) -> None:
+        for msg in msgs:
+            rank = injector.failed_rank(msg, self.rounds)
+            if rank is not None:
+                verb = "send" if rank == msg.src else "receive"
+                raise RankFailedError(
+                    f"processor {rank} has failed (fail-stop) and cannot "
+                    f"{verb} {msg!r} at round {self.rounds}; rank failures "
+                    f"are unrecoverable"
+                )
+
+    def _verify_delivery(self, msg: Message, delivered, injector) -> None:
+        """Checksum the delivered payload against the sent one."""
+        from .faults import payload_fingerprint
+
+        if payload_fingerprint(delivered) == payload_fingerprint(msg.payload):
+            raise FaultDetectedError(
+                f"injected corruption of {msg!r} did not change its "
+                f"fingerprint — the detection layer would have been blind "
+                f"to it (corruption model bug)"
+            )
+
+    def _recover(self, msg: Message, reason: str, injector) -> Any:
+        """Resend ``msg`` under the retry policy; return the delivered payload.
+
+        Raises
+        ------
+        FaultDetectedError
+            When no retry policy is configured or all attempts fault too.
+        """
+        policy = injector.model.retry
+        if policy is None:
+            raise FaultDetectedError(
+                f"{msg!r} {reason} and no retry policy is configured; "
+                f"pass FaultModel(retry=RetryPolicy(...)) to recover instead"
+            )
+        for attempt in range(1, policy.max_attempts + 1):
+            self._latency_rounds(policy.backoff_rounds(attempt))
+            injector.retries += 1
+            self._transmit_extra(msg, injector)
+            outcome = injector.decide()
+            if outcome == "drop":
+                injector.record("drop", msg, self.rounds, resend=True)
+                continue
+            if outcome == "corrupt":
+                injector.record("corrupt", msg, self.rounds, resend=True)
+                self._verify_delivery(msg, injector.corrupt_payload(msg.payload), injector)
+                continue
+            if outcome == "stall":
+                injector.record("stall", msg, self.rounds, resend=True)
+                self._latency_rounds(injector.model.stall_rounds)
+            elif outcome == "duplicate":
+                injector.record("duplicate", msg, self.rounds, resend=True)
+                self._transmit_extra(msg, injector)
+            return msg.payload
+        raise FaultDetectedError(
+            f"{msg!r} {reason}; recovery exhausted {policy.max_attempts} "
+            f"resend attempts (every resend faulted too)"
+        )
+
+    def _execute_round_faulty(self, msgs: List[Message], injector) -> Dict[int, Any]:
+        """The fault-injected variant of :meth:`execute_round`.
+
+        The original round is charged exactly like the clean path (a lost
+        transmission still occupied the channel), so fault-free draws stay
+        bit-identical to an injector-less run.
+        """
+        self._check_rank_failures(msgs, injector)
+        # Zero-word messages (barrier signals) carry nothing to lose,
+        # damage or duplicate: they are exempt and draw no decision, so
+        # decision streams align across payload-bearing schedules only.
+        plan = [
+            (msg, injector.decide() if msg.words else "none") for msg in msgs
+        ]
+
+        self.rounds += 1
+        self.critical_words += max(m.words for m in msgs)
+        self.total_words += sum(m.words for m in msgs)
+        self.round_log.append(RoundSummary(self.rounds, msgs))
+        for msg in msgs:
+            self._charge_message(msg)
+
+        deliveries: Dict[int, Any] = {}
+        failed: List[tuple] = []
+        for msg, outcome in plan:
+            if outcome == "none":
+                deliveries[msg.dest] = msg.payload
+            elif outcome == "stall":
+                injector.record("stall", msg, self.rounds)
+                self._latency_rounds(injector.model.stall_rounds)
+                deliveries[msg.dest] = msg.payload
+            elif outcome == "duplicate":
+                # Delivered fine, then spuriously retransmitted; the
+                # receiver recognizes and discards the second copy (in god
+                # view the network simply does not deliver it twice), but
+                # the wasted transmission is charged.
+                injector.record("duplicate", msg, self.rounds)
+                deliveries[msg.dest] = msg.payload
+                self._transmit_extra(msg, injector)
+            elif outcome == "drop":
+                injector.record("drop", msg, self.rounds)
+                failed.append((msg, "was dropped in transit (receive timed out)"))
+            else:  # corrupt
+                injector.record("corrupt", msg, self.rounds)
+                self._verify_delivery(msg, injector.corrupt_payload(msg.payload), injector)
+                failed.append((msg, "arrived with a checksum mismatch"))
+        # Recoveries run after the round completes, one resend round each:
+        # sequential, so each resend's words land on the critical path.
+        for msg, reason in failed:
+            deliveries[msg.dest] = self._recover(msg, reason, injector)
         return deliveries

@@ -117,6 +117,14 @@ class RunRecord:
         Unix time at record creation.
     git_sha, env:
         Provenance: the repository revision and environment fingerprint.
+    faults:
+        Fault-injection provenance, or ``None`` (the default) for a
+        fault-free run.  Additive schema field: legacy records read back
+        with ``faults=None``.  When present it carries at least the
+        injector summary (``injected``, ``retries``, ``words_resent`` and
+        the fault model) — a record with ``injected > 0`` measured a
+        degraded execution, and ``repro ledger diff`` warns before
+        comparing it against a fault-free one.
     """
 
     algorithm: str
@@ -136,6 +144,12 @@ class RunRecord:
     timestamp: float = 0.0
     git_sha: Optional[str] = None
     env: Optional[dict] = None
+    faults: Optional[dict] = None
+
+    @property
+    def fault_injected(self) -> bool:
+        """Did this run execute with materialized faults?"""
+        return bool(self.faults) and bool(self.faults.get("injected", 0))
 
     def to_dict(self) -> dict:
         return {
@@ -157,6 +171,7 @@ class RunRecord:
             "wall_clock": self.wall_clock,
             "git_sha": self.git_sha,
             "env": self.env,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -189,6 +204,7 @@ class RunRecord:
                 timestamp=float(data.get("timestamp", 0.0)),
                 git_sha=data.get("git_sha"),
                 env=data.get("env"),
+                faults=data.get("faults"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger record: {exc}") from exc

@@ -273,3 +273,10 @@ def update_machine_gauges(machine) -> None:
     metrics.gauge("words_sent_skew", stat="ratio").set(skew.ratio)
     metrics.gauge("words_sent_skew", stat="straggler_rank").set(float(skew.straggler))
     metrics.gauge("peak_memory_words").set(machine.peak_memory_words())
+    injector = getattr(net, "fault_injector", None)
+    if injector is not None:
+        # Cumulative fault-layer gauges; absent entirely on clean machines
+        # so fault-free exports stay byte-identical to pre-fault-layer runs.
+        metrics.gauge("faults_injected").set(float(injector.faults_injected))
+        metrics.gauge("fault_retries").set(float(injector.retries))
+        metrics.gauge("words_resent").set(float(injector.words_resent))

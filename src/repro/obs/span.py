@@ -90,6 +90,9 @@ class Span:
     sent_words, recv_words, sent_messages, recv_messages, flops:
         Per-rank deltas over the span's lifetime (empty tuples when not
         measured).
+    faults_injected, retries, words_resent:
+        Fault-layer deltas over the span's lifetime (always zero without a
+        fault injector attached; see :mod:`repro.machine.faults`).
     """
 
     index: int
@@ -108,6 +111,9 @@ class Span:
     sent_messages: Tuple[int, ...] = ()
     recv_messages: Tuple[int, ...] = ()
     flops: Tuple[float, ...] = ()
+    faults_injected: int = 0
+    retries: int = 0
+    words_resent: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -145,6 +151,9 @@ class Span:
             "sent_messages": list(self.sent_messages),
             "recv_messages": list(self.recv_messages),
             "rank_flops": list(self.flops),
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "words_resent": self.words_resent,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -206,22 +215,40 @@ class SpanRecorder:
         span.sent_messages = _tuple_delta(before.sent_messages, after.sent_messages)
         span.recv_messages = _tuple_delta(before.recv_messages, after.recv_messages)
         span.flops = _tuple_delta(before.flops, after.flops)
+        span.faults_injected = after.faults_injected - before.faults_injected
+        span.retries = after.retries - before.retries
+        span.words_resent = after.words_resent - before.words_resent
 
     @contextlib.contextmanager
     def span(self, name: str, kind: str = "phase", groups=(), event: bool = False):
-        """Open a nested span; measures cost and per-rank deltas on close."""
+        """Open a nested span; measures cost and per-rank deltas on close.
+
+        When the machine carries a fault injector, every *successful* span
+        close additionally enforces the conservation invariant
+        ``sum(sent_words) == sum(recv_words)`` (fault-free machines skip
+        the check entirely; an exception already unwinding is left alone so
+        the original fault error is the one that propagates).
+        """
         span = self._open(name, kind, groups, event)
         span.start_time = self._now()
         before = None if self.machine is None else self.machine.snapshot()
         self._stack.append(span)
+        ok = False
         try:
             yield span
+            ok = True
         finally:
             self._stack.pop()
             span.end_time = self._now()
             if before is not None:
                 self._attach_measurement(span, before, self.machine.snapshot())
             self._finalize(span)
+            if (
+                ok
+                and self.machine is not None
+                and getattr(self.machine, "fault_injector", None) is not None
+            ):
+                self.machine.check_conservation()
 
     def measure(self, name: str, kind: str, groups=()):
         """An auto-measured *event* span (the unit of cost accounting).
@@ -266,6 +293,16 @@ class SpanRecorder:
         metrics.counter("words_total", kind=span.kind).inc(span.cost.words)
         metrics.counter("rounds_total", kind=span.kind).inc(span.cost.rounds)
         metrics.histogram("event_words", kind=span.kind).observe(span.cost.words)
+        # Fault counters appear only when faults actually happened, so
+        # fault-free runs export byte-identical metric sets.
+        if span.faults_injected or span.retries or span.words_resent:
+            metrics.counter("faults_injected_total", kind=span.kind).inc(
+                span.faults_injected
+            )
+            metrics.counter("retries_total", kind=span.kind).inc(span.retries)
+            metrics.counter("words_resent_total", kind=span.kind).inc(
+                span.words_resent
+            )
 
     # ------------------------------------------------------------------ #
     # queries                                                            #

@@ -1,0 +1,120 @@
+"""Shape/feasibility validation at the registry boundary.
+
+``run_algorithm`` used to hand malformed requests straight to grid
+construction, which failed deep inside with whatever error happened to
+surface first.  :func:`repro.algorithms.registry.validate_problem` now
+front-loads the check and raises
+:class:`~repro.exceptions.InvalidProblemError` with a message that states
+*why* the combination is infeasible and which registered algorithms could
+run it instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import REGISTRY, run_algorithm, validate_problem
+from repro.core.shapes import ProblemShape
+from repro.exceptions import InvalidProblemError, ShapeError
+from repro.machine.backend import SymbolicBlock
+
+ALL_ALGORITHMS = sorted(REGISTRY)
+
+#: A (shape, P) each algorithm is known to accept (small, fast, data-backend).
+FEASIBLE = {
+    "alg1": ((16, 16, 16), 4),
+    "row_1d": ((64, 4, 4), 4),
+    "outer_1d": ((64, 4, 4), 4),
+    "cannon": ((16, 16, 16), 4),
+    "fox": ((16, 16, 16), 4),
+    "summa": ((16, 16, 16), 4),
+    "c25d": ((16, 16, 16), 4),
+    "carma": ((16, 16, 16), 4),
+}
+
+
+def operands(n1, n2, n3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n1, n2)), rng.random((n2, n3))
+
+
+class TestTypedRejections:
+    def test_unknown_algorithm_lists_the_registry(self):
+        A, B = operands(4, 4, 4)
+        with pytest.raises(InvalidProblemError, match="alg1.*summa|unknown"):
+            validate_problem("strassen", A, B, 4)
+
+    def test_non_2d_operands_rejected(self):
+        with pytest.raises(InvalidProblemError, match="2-D"):
+            validate_problem("alg1", np.ones((2, 2, 2)), np.ones((2, 2)), 2)
+
+    def test_inner_dimension_mismatch_names_both_shapes(self):
+        with pytest.raises(InvalidProblemError, match="4x3.*5x4|inner"):
+            validate_problem("alg1", np.ones((4, 3)), np.ones((5, 4)), 2)
+
+    def test_nonpositive_processor_count_rejected(self):
+        A, B = operands(4, 4, 4)
+        with pytest.raises(InvalidProblemError, match="positive"):
+            validate_problem("alg1", A, B, 0)
+
+    def test_bool_processor_count_rejected(self):
+        A, B = operands(4, 4, 4)
+        with pytest.raises(InvalidProblemError, match="positive"):
+            validate_problem("alg1", A, B, True)
+
+    def test_numpy_integer_processor_count_accepted(self):
+        A, B = operands(16, 16, 16)
+        shape = validate_problem("alg1", A, B, np.int64(4))
+        assert shape == ProblemShape(16, 16, 16)
+
+    def test_error_is_a_shape_error(self):
+        assert issubclass(InvalidProblemError, ShapeError)
+
+    def test_run_algorithm_validates_before_running(self):
+        with pytest.raises(InvalidProblemError):
+            run_algorithm("alg1", np.ones((4, 3)), np.ones((5, 4)), 2)
+
+    def test_symbolic_operands_validate_identically(self):
+        A = SymbolicBlock((16, 16))
+        B = SymbolicBlock((16, 16))
+        assert validate_problem("alg1", A, B, 4) == ProblemShape(16, 16, 16)
+        with pytest.raises(InvalidProblemError, match="inner"):
+            validate_problem("alg1", SymbolicBlock((4, 3)), SymbolicBlock((5, 4)), 2)
+
+
+class TestEveryAlgorithm:
+    """One parametrized contract over all registered algorithms."""
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_feasible_combination_validates_and_runs(self, name):
+        (n1, n2, n3), P = FEASIBLE[name]
+        A, B = operands(n1, n2, n3)
+        assert validate_problem(name, A, B, P) == ProblemShape(n1, n2, n3)
+        run = run_algorithm(name, A, B, P)
+        assert np.allclose(run.C, A @ B)
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_infeasible_combination_raises_actionably(self, name):
+        # P=7 on a 5x5x5 problem: no registered algorithm accepts it, so
+        # every entry must reject it with its own applicability hint.
+        A, B = operands(5, 5, 5)
+        with pytest.raises(InvalidProblemError) as excinfo:
+            validate_problem(name, A, B, 7)
+        message = str(excinfo.value)
+        assert name in message
+        assert "needs" in message  # the hint says what the algorithm requires
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_rejection_suggests_alternatives_when_any_exist(self, name):
+        # 16x16x16 at P=6: alg1 accepts any P, so rejections from the
+        # stricter entries must point at the applicable alternatives.
+        A, B = operands(16, 16, 16)
+        try:
+            validate_problem(name, A, B, 6)
+        except InvalidProblemError as exc:
+            assert "Applicable here:" in str(exc)
+            assert "alg1" in str(exc)
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_mismatched_operands_rejected_for_every_entry(self, name):
+        with pytest.raises(InvalidProblemError):
+            run_algorithm(name, np.ones((6, 4)), np.ones((5, 6)), 2)

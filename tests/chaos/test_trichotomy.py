@@ -1,0 +1,200 @@
+"""The fault-layer trichotomy, asserted over the full chaos matrix.
+
+Every cell of (algorithm x Theorem 3 case x fault schedule x seed) must
+land on exactly one trichotomy arm:
+
+* **recovered / clean** — the run completed; its numerics are bit-identical
+  to the fault-free run and its words equal ``clean + words_resent``;
+* **detected** — a typed :class:`~repro.exceptions.FaultDetectedError`;
+* **rank-failed** — a typed :class:`~repro.exceptions.RankFailedError`.
+
+``outcome == "violation"`` means silent corruption, unaccounted words, a
+broken conservation invariant, or an untyped crash — any of which is a
+fault-layer bug.  :func:`repro.analysis.chaos.run_chaos` performs the
+per-cell verification; these tests run the whole matrix and assert that
+the verification never fires, on both execution backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chaos import REGIME_POINTS, SCHEDULES, run_chaos
+from repro.algorithms.registry import REGISTRY, applicable_algorithms
+from repro.core.cases import Regime, classify
+
+TRICHOTOMY = {"recovered", "clean", "detected", "rank-failed"}
+SEEDS = (0, 1, 2, 3)
+
+
+def test_points_cover_every_algorithm():
+    """Every registered algorithm runs on at least one regime point."""
+    covered = set()
+    for shape, P in REGIME_POINTS.values():
+        covered.update(applicable_algorithms(shape, P))
+    assert covered == set(REGISTRY)
+
+
+def test_points_hit_their_regimes():
+    """Each point classifies into the Theorem 3 case it claims to cover."""
+    for regime, (shape, P) in REGIME_POINTS.items():
+        assert classify(shape, P) is regime
+    assert set(REGIME_POINTS) == set(Regime)
+
+
+class TestDataBackendMatrix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(seeds=SEEDS, backend="data")
+
+    def test_no_violations(self, report):
+        assert report.ok, "\n" + report.render()
+
+    def test_every_outcome_on_a_trichotomy_arm(self, report):
+        assert {row.outcome for row in report.rows} <= TRICHOTOMY
+
+    def test_every_algorithm_case_and_schedule_exercised(self, report):
+        seen_algorithms = {row.algorithm for row in report.rows}
+        seen_cases = {row.regime for row in report.rows}
+        seen_schedules = {row.schedule for row in report.rows}
+        assert seen_algorithms == set(REGISTRY)
+        assert seen_cases == {r.name for r in Regime}
+        assert seen_schedules == set(SCHEDULES)
+        assert len(SCHEDULES) >= 4  # the acceptance floor on seeded schedules
+
+    def test_each_algorithm_sees_at_least_four_seeded_schedules(self, report):
+        from collections import defaultdict
+
+        cells = defaultdict(set)
+        for row in report.rows:
+            cells[row.algorithm].add((row.schedule, row.seed))
+        for name in REGISTRY:
+            assert len(cells[name]) >= 4 * len(SEEDS)
+
+    def test_all_three_arms_materialize(self, report):
+        counts = report.counts()
+        assert counts.get("recovered", 0) > 0
+        assert counts.get("detected", 0) > 0
+        assert counts.get("rank-failed", 0) > 0
+
+    def test_recovered_cost_is_exactly_clean_plus_resent(self, report):
+        for row in report.rows:
+            if not row.completed:
+                continue
+            expected = row.clean_words + row.words_resent
+            assert row.words == pytest.approx(expected, abs=1e-9), row
+
+    def test_detection_schedules_never_recover(self, report):
+        # Without a retry policy, materialized drops/corruptions must
+        # surface as typed detection — recovery has nothing to retry with.
+        for row in report.rows:
+            if row.schedule in ("drop-detect", "corrupt-detect"):
+                assert row.outcome in ("clean", "detected"), row
+
+    def test_rank_failure_schedule_always_fails_stop(self, report):
+        for row in report.rows:
+            if row.schedule == "rank-failure":
+                assert row.outcome == "rank-failed", row
+
+    def test_charge_only_schedules_always_complete(self, report):
+        # Duplicates and stalls need no recovery: delivery still happens.
+        for row in report.rows:
+            if row.schedule in ("duplicate", "stall"):
+                assert row.completed, row
+
+    def test_stalls_never_resend_words(self, report):
+        for row in report.rows:
+            if row.schedule == "stall":
+                assert row.words_resent == 0.0, row
+
+
+class TestSymbolicBackendMatrix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(seeds=SEEDS, backend="symbolic")
+
+    def test_no_violations(self, report):
+        assert report.ok, "\n" + report.render()
+
+    def test_every_outcome_on_a_trichotomy_arm(self, report):
+        assert {row.outcome for row in report.rows} <= TRICHOTOMY
+
+    def test_accounting_invariant_holds_without_data(self, report):
+        for row in report.rows:
+            if row.completed:
+                assert row.words == pytest.approx(
+                    row.clean_words + row.words_resent, abs=1e-9
+                ), row
+
+
+class TestReportSurface:
+    def test_render_names_the_verdict(self):
+        report = run_chaos(
+            algorithms=["alg1"], seeds=(0,), schedules=["drop-retry"],
+        )
+        text = report.render()
+        assert "trichotomy" in text
+        assert "alg1" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        import json
+
+        report = run_chaos(
+            algorithms=["alg1"], seeds=(0,), schedules=["drop-retry"],
+        )
+        path = tmp_path / "chaos.json"
+        report.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert len(data["rows"]) == len(report.rows)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(KeyError, match="unknown chaos schedule"):
+            run_chaos(schedules=["lightning"])
+
+    def test_silent_corruption_would_be_caught(self):
+        """A completed run with wrong numerics must be flagged as violation.
+
+        We simulate the catastrophe directly: hand ``_verify_completed`` a
+        run whose product differs from the clean reference.
+        """
+        from repro.analysis.chaos import _verify_completed
+
+        class FakeCost:
+            words = 10.0
+
+        class FakeRun:
+            cost = FakeCost()
+            C = np.ones((2, 2))
+            machine = None
+
+        class CleanRun:
+            cost = FakeCost()
+            C = np.zeros((2, 2))
+
+        class FakeInjector:
+            words_resent = 0.0
+
+        problem = _verify_completed(FakeRun(), CleanRun(), FakeInjector(), True)
+        assert problem is not None and "silent corruption" in problem
+
+    def test_unaccounted_words_would_be_caught(self):
+        from repro.analysis.chaos import _verify_completed
+
+        class Cost:
+            def __init__(self, words):
+                self.words = words
+
+        class Run:
+            cost = Cost(99.0)
+            C = np.ones(1)
+            machine = None
+
+        class Clean:
+            cost = Cost(10.0)
+            C = np.ones(1)
+
+        class Injector:
+            words_resent = 4.0
+
+        problem = _verify_completed(Run(), Clean(), Injector(), True)
+        assert problem is not None and "unaccounted words" in problem

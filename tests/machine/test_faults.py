@@ -1,0 +1,343 @@
+"""Tests for repro.machine.faults: injection, detection, recovery, accounting."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultDetectedError, FaultError, RankFailedError
+from repro.machine import Machine
+from repro.machine.backend import SymbolicBackend, SymbolicBlock, corrupt_block
+from repro.machine.faults import (
+    FaultInjector,
+    FaultModel,
+    RetryPolicy,
+    active_injector,
+    coerce_injector,
+    inject,
+    payload_fingerprint,
+)
+from repro.machine.message import Message
+
+
+def msg(words=4, src=0, dest=1):
+    return Message(src=src, dest=dest, payload=np.ones(words))
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=1, backoff_cap=4)
+        assert [policy.backoff_rounds(k) for k in (1, 2, 3, 4, 5)] == [1, 2, 4, 4, 4]
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1)
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_rounds(0)
+
+    def test_to_dict_roundtrips_fields(self):
+        d = RetryPolicy(max_attempts=2, backoff_base=3, backoff_cap=7).to_dict()
+        assert d == {"max_attempts": 2, "backoff_base": 3, "backoff_cap": 7}
+
+
+class TestFaultModel:
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(corrupt=-0.1)
+
+    def test_rejects_probabilities_summing_past_one(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop=0.5, corrupt=0.5, duplicate=0.5)
+
+    def test_rejects_unknown_corrupt_mode(self):
+        with pytest.raises(ValueError):
+            FaultModel(corrupt_mode="zero")
+
+    def test_rejects_nonpositive_stall_rounds(self):
+        with pytest.raises(ValueError):
+            FaultModel(stall_rounds=0)
+
+    def test_to_dict_is_json_material(self):
+        import json
+
+        model = FaultModel(seed=3, drop=0.1, retry=RetryPolicy(),
+                           rank_failures=((1, 2),))
+        assert json.loads(json.dumps(model.to_dict())) == model.to_dict()
+
+
+class TestFingerprint:
+    def test_bit_flip_changes_fingerprint(self):
+        arr = np.ones(8)
+        flipped = corrupt_block(arr, random.Random(0), "bitflip")
+        assert payload_fingerprint(arr) != payload_fingerprint(flipped)
+
+    def test_nan_write_changes_fingerprint(self):
+        arr = np.ones(8)
+        damaged = corrupt_block(arr, random.Random(0), "nan")
+        assert np.isnan(damaged).sum() == 1
+        assert payload_fingerprint(arr) != payload_fingerprint(damaged)
+
+    def test_symbolic_corruption_changes_fingerprint(self):
+        block = SymbolicBlock((4, 4))
+        damaged = corrupt_block(block, random.Random(0), "bitflip")
+        assert damaged.shape != block.shape
+        assert payload_fingerprint(block) != payload_fingerprint(damaged)
+
+    def test_nested_payloads_fingerprint_structurally(self):
+        a, b = np.ones(3), np.ones(4)
+        assert payload_fingerprint((a, b)) != payload_fingerprint((b, a))
+
+    def test_equal_payloads_agree(self):
+        assert payload_fingerprint(np.ones(5)) == payload_fingerprint(np.ones(5))
+
+    def test_rejects_unsupported_payloads(self):
+        with pytest.raises(TypeError):
+            payload_fingerprint(3.0)
+
+    def test_corruption_copies_never_mutates(self):
+        arr = np.ones(8)
+        corrupt_block(arr, random.Random(0), "nan")
+        assert not np.isnan(arr).any()
+
+
+class TestInjectorDecisions:
+    def test_same_seed_same_decisions(self):
+        a = FaultInjector(FaultModel(seed=7, drop=0.3, corrupt=0.3))
+        b = FaultInjector(FaultModel(seed=7, drop=0.3, corrupt=0.3))
+        assert [a.decide() for _ in range(50)] == [b.decide() for _ in range(50)]
+
+    def test_zero_model_never_faults(self):
+        inj = FaultInjector(FaultModel(seed=0))
+        assert all(inj.decide() == "none" for _ in range(100))
+
+    def test_certain_drop_always_drops(self):
+        inj = FaultInjector(FaultModel(seed=0, drop=1.0))
+        assert all(inj.decide() == "drop" for _ in range(20))
+
+    def test_detail_stream_does_not_move_decisions(self):
+        # Corrupting a payload consumes only the detail stream; the
+        # decision sequence must be identical with and without it.
+        a = FaultInjector(FaultModel(seed=5, corrupt=0.5))
+        b = FaultInjector(FaultModel(seed=5, corrupt=0.5))
+        seq_a = []
+        for _ in range(20):
+            kind = a.decide()
+            seq_a.append(kind)
+            if kind == "corrupt":
+                a.corrupt_payload(np.ones(4))
+        assert seq_a == [b.decide() for _ in range(20)]
+
+
+class TestCoercionAndAmbient:
+    def test_coerce_none_passthrough(self):
+        assert coerce_injector(None) is None
+
+    def test_coerce_model_wraps(self):
+        inj = coerce_injector(FaultModel(seed=1))
+        assert isinstance(inj, FaultInjector)
+
+    def test_coerce_injector_passthrough(self):
+        inj = FaultInjector(FaultModel(seed=1))
+        assert coerce_injector(inj) is inj
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_injector(0.5)
+
+    def test_inject_scopes_the_ambient_injector(self):
+        assert active_injector() is None
+        with inject(FaultModel(seed=0)) as inj:
+            assert active_injector() is inj
+            machine = Machine(2)
+            assert machine.fault_injector is inj
+        assert active_injector() is None
+
+    def test_explicit_faults_override_ambient(self):
+        mine = FaultInjector(FaultModel(seed=9))
+        with inject(FaultModel(seed=0)):
+            machine = Machine(2, faults=mine)
+        assert machine.fault_injector is mine
+
+    def test_inject_rejects_none(self):
+        with pytest.raises(TypeError):
+            with inject(None):
+                pass  # pragma: no cover
+
+    def test_machine_without_faults_has_no_injector(self):
+        assert Machine(2).fault_injector is None
+
+
+class TestDropAndRecovery:
+    def test_certain_drop_without_retry_is_detected(self):
+        machine = Machine(2, faults=FaultModel(seed=0, drop=1.0))
+        with pytest.raises(FaultDetectedError, match="dropped"):
+            machine.exchange([msg()])
+
+    def test_certain_drop_exhausts_retry_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        machine = Machine(
+            2, faults=FaultModel(seed=0, drop=1.0, retry=policy)
+        )
+        with pytest.raises(FaultDetectedError, match="attempts"):
+            machine.exchange([msg(words=4)])
+        inj = machine.fault_injector
+        assert inj.retries == 3
+        assert inj.words_resent == 3 * 4
+
+    def test_drop_then_clean_resend_recovers(self):
+        # seed 1 decision draws: 0.1344 (< 0.5: drop), 0.8474 (clean).
+        machine = Machine(
+            2, faults=FaultModel(seed=1, drop=0.5, retry=RetryPolicy())
+        )
+        out = machine.exchange([msg(words=4)])
+        assert np.array_equal(out[1], np.ones(4))
+        inj = machine.fault_injector
+        assert inj.counts["drop"] == 1
+        assert inj.retries == 1
+        assert inj.words_resent == 4
+        machine.check_conservation()
+
+    def test_recovery_charges_words_symmetrically(self):
+        machine = Machine(
+            2, faults=FaultModel(seed=1, drop=0.5, retry=RetryPolicy())
+        )
+        machine.exchange([msg(words=4)])
+        # Original attempt + one resend, both fully charged to both ends.
+        assert machine.network.sent_words[0] == 8
+        assert machine.network.recv_words[1] == 8
+
+    def test_backoff_is_latency_only(self):
+        clean = Machine(2)
+        clean.exchange([msg(words=4)])
+        faulty = Machine(
+            2, faults=FaultModel(seed=1, drop=0.5, retry=RetryPolicy())
+        )
+        faulty.exchange([msg(words=4)])
+        # words grow by exactly the resend; rounds additionally include
+        # the backoff wait and the resend round.
+        assert faulty.cost.words == clean.cost.words + 4
+        assert faulty.cost.rounds > clean.cost.rounds
+
+
+class TestCorruption:
+    def test_certain_corruption_without_retry_is_detected(self):
+        machine = Machine(2, faults=FaultModel(seed=0, corrupt=1.0))
+        with pytest.raises(FaultDetectedError, match="checksum"):
+            machine.exchange([msg()])
+
+    def test_delivered_payloads_are_pristine_after_recovery(self):
+        machine = Machine(
+            2, faults=FaultModel(seed=1, corrupt=0.5, retry=RetryPolicy())
+        )
+        out = machine.exchange([msg(words=4)])
+        assert np.array_equal(out[1], np.ones(4))
+
+    def test_symbolic_corruption_detected_identically(self):
+        machine = Machine(
+            2, backend=SymbolicBackend(), faults=FaultModel(seed=0, corrupt=1.0)
+        )
+        payload = SymbolicBlock((2, 2))
+        with pytest.raises(FaultDetectedError, match="checksum"):
+            machine.exchange(
+                [Message(src=0, dest=1, payload=payload)]
+            )
+
+
+class TestDuplicateAndStall:
+    def test_duplicate_delivers_once_and_charges_twice(self):
+        machine = Machine(2, faults=FaultModel(seed=0, duplicate=1.0))
+        out = machine.exchange([msg(words=4)])
+        assert np.array_equal(out[1], np.ones(4))
+        inj = machine.fault_injector
+        assert inj.counts["duplicate"] == 1
+        assert inj.words_resent == 4
+        assert machine.network.sent_words[0] == 8
+        machine.check_conservation()
+
+    def test_stall_adds_latency_only(self):
+        clean = Machine(2)
+        clean.exchange([msg(words=4)])
+        stalled = Machine(
+            2, faults=FaultModel(seed=0, stall=1.0, stall_rounds=3)
+        )
+        stalled.exchange([msg(words=4)])
+        assert stalled.cost.words == clean.cost.words
+        assert stalled.cost.rounds == clean.cost.rounds + 3
+
+
+class TestRankFailure:
+    def test_failed_sender_raises(self):
+        machine = Machine(2, faults=FaultModel(rank_failures=((0, 0),)))
+        with pytest.raises(RankFailedError, match="processor 0"):
+            machine.exchange([msg(src=0, dest=1)])
+
+    def test_failure_waits_for_its_round(self):
+        machine = Machine(2, faults=FaultModel(rank_failures=((0, 1),)))
+        machine.exchange([msg(src=0, dest=1)])  # round 0: still alive
+        with pytest.raises(RankFailedError):
+            machine.exchange([msg(src=0, dest=1)])
+
+    def test_rank_failure_is_a_fault_error(self):
+        assert issubclass(RankFailedError, FaultError)
+        assert issubclass(FaultDetectedError, FaultError)
+
+
+class TestExemptionsAndLifecycle:
+    def test_zero_word_messages_are_never_faulted(self):
+        machine = Machine(2, faults=FaultModel(seed=0, drop=1.0))
+        empty = Message(src=0, dest=1, payload=np.empty(0), empty_ok=True)
+        machine.exchange([empty])  # would raise if the barrier signal faulted
+        assert machine.fault_injector.faults_injected == 0
+
+    def test_injector_survives_machine_reset(self):
+        machine = Machine(2, faults=FaultModel(seed=0, duplicate=1.0))
+        machine.exchange([msg()])
+        before = machine.fault_injector.faults_injected
+        machine.reset()
+        assert machine.network.fault_injector is not None
+        assert machine.fault_injector.faults_injected == before
+
+    def test_event_log_is_chronological(self):
+        machine = Machine(2, faults=FaultModel(seed=0, duplicate=1.0))
+        machine.exchange([msg()])
+        machine.exchange([msg(src=1, dest=0)])
+        events = machine.fault_injector.events
+        assert len(events) == 2
+        assert [e.kind for e in events] == ["duplicate", "duplicate"]
+        assert events[0].round <= events[1].round
+
+    def test_summary_is_json_material(self):
+        import json
+
+        machine = Machine(
+            2, faults=FaultModel(seed=1, drop=0.5, retry=RetryPolicy())
+        )
+        machine.exchange([msg()])
+        summary = machine.fault_injector.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["injected"] == 1
+        assert summary["model"]["drop"] == 0.5
+
+    def test_snapshot_carries_fault_counters(self):
+        machine = Machine(2, faults=FaultModel(seed=0, duplicate=1.0))
+        before = machine.snapshot()
+        machine.exchange([msg(words=4)])
+        after = machine.snapshot()
+        assert after.faults_injected - before.faults_injected == 1
+        assert after.words_resent - before.words_resent == 4
+
+    def test_clean_machine_fast_path_counters_are_zero(self):
+        machine = Machine(2)
+        machine.exchange([msg()])
+        snap = machine.snapshot()
+        assert snap.faults_injected == 0
+        assert snap.retries == 0
+        assert snap.words_resent == 0.0

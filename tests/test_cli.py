@@ -369,3 +369,99 @@ class TestLedgerMixedBackendDiff:
                   ledger=ledger, label=label)
         capsys.readouterr()
         assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 0
+
+
+class TestChaosCommand:
+    ARGS = ["chaos", "--algorithms", "alg1", "--seeds", "2",
+            "--schedules", "drop-retry,rank-failure"]
+
+    def test_trichotomy_matrix_passes(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "trichotomy" in out
+        assert "rank-failed" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "chaos.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert all(row["algorithm"] == "alg1" for row in data["rows"])
+
+    def test_unknown_schedule_rejected(self, capsys):
+        capsys.readouterr()
+        assert main(["chaos", "--schedules", "lightning"]) == 2
+        assert "unknown schedule" in capsys.readouterr().err
+
+    def test_nonpositive_seed_count_rejected(self, capsys):
+        capsys.readouterr()
+        assert main(["chaos", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_ledger_records_appended(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        assert main(self.ARGS + ["--ledger", str(path)]) == 0
+        records = Ledger(str(path)).records()
+        assert records
+        assert all(rec.kind == "chaos" for rec in records)
+
+    def test_symbolic_backend_matrix_passes(self, capsys):
+        assert main(self.ARGS + ["--backend", "symbolic"]) == 0
+
+
+class TestLedgerFaultyDiff:
+    def populate(self, tmp_path):
+        """Record 0: fault-free; record 1: fault-injected, same point."""
+        from repro.analysis.chaos import run_chaos
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        sweep([ProblemShape(32, 32, 4)], [16], algorithms=["alg1"],
+              ledger=ledger, label="clean")
+        run_chaos(algorithms=["alg1"], seeds=(0,), schedules=["drop-retry"],
+                  ledger=ledger, label="faulty")
+        records = ledger.records()
+        faulty = next(
+            i for i, rec in enumerate(records)
+            if rec.fault_injected and tuple(rec.shape) == (32, 32, 4)
+        )
+        return path, 0, faulty
+
+    def test_faulty_vs_clean_warns_but_exits_zero(self, tmp_path, capsys):
+        path, clean, faulty = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", str(clean), str(faulty),
+                     "--path", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "fault-injected" in captured.err
+        assert "--allow-faulty" in captured.err
+
+    def test_allow_faulty_silences_the_warning(self, tmp_path, capsys):
+        path, clean, faulty = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", str(clean), str(faulty),
+                     "--path", str(path), "--allow-faulty"]) == 0
+        assert "fault-injected" not in capsys.readouterr().err
+
+    def test_two_faulty_records_do_not_warn(self, tmp_path, capsys):
+        from repro.analysis.chaos import run_chaos
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        for label in ("a", "b"):
+            run_chaos(algorithms=["alg1"], seeds=(0,),
+                      schedules=["drop-retry"], ledger=ledger, label=label)
+        records = ledger.records()
+        pair = [i for i, rec in enumerate(records) if rec.fault_injected][:2]
+        capsys.readouterr()
+        assert main(["ledger", "diff", str(pair[0]), str(pair[1]),
+                     "--path", str(path)]) == 0
+        assert "fault-injected" not in capsys.readouterr().err
