@@ -38,6 +38,8 @@ __all__ = [
     "run_algorithm",
     "validate_problem",
     "applicable_algorithms",
+    "summa_grid",
+    "c25d_grid",
 ]
 
 
@@ -125,8 +127,12 @@ def _cannon_applicable(shape: ProblemShape, P: int) -> bool:
     return q * q == P and q <= min(shape.dims)
 
 
-def _summa_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
-    """Most balanced pr x pc factorization satisfying SUMMA's divisibility."""
+def summa_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
+    """Most balanced pr x pc factorization satisfying SUMMA's divisibility.
+
+    Public because the analytic oracle (:mod:`repro.analysis.oracle`) must
+    predict costs for *exactly* the grid the registry run would use.
+    """
     best = None
     for pr in range(1, P + 1):
         if P % pr:
@@ -140,9 +146,31 @@ def _summa_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
     return None if best is None else (best[1], best[2])
 
 
+#: Backward-compatible alias (the picker predates its public exposure).
+_summa_grid = summa_grid
+
+
+def c25d_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
+    """The ``(q, c)`` the 2.5D auto-runner picks: largest ``c`` with
+    ``P = q^2 c``, ``c | q`` and ``q <= min(dims)``; ``None`` if infeasible.
+
+    Shared with the analytic oracle so both sides agree on the grid.
+    """
+    best = None
+    for c in range(1, P + 1):
+        if P % c:
+            continue
+        q = math.isqrt(P // c)
+        if q * q * c != P or q % c or q > min(shape.dims):
+            continue
+        if best is None or c > best[1]:
+            best = (q, c)
+    return best
+
+
 def _run_summa_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     shape = _shape_of(A, B)
-    grid = _summa_grid(shape, P)
+    grid = summa_grid(shape, P)
     if grid is None:
         raise ValueError(f"no SUMMA grid for {shape} on P={P}")
     res = run_summa(A, B, *grid)
@@ -154,16 +182,7 @@ def _run_summa_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
 
 def _run_25d_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
     shape = _shape_of(A, B)
-    # Pick the largest c with P = q^2 c, c | q.
-    best = None
-    for c in range(1, P + 1):
-        if P % c:
-            continue
-        q = math.isqrt(P // c)
-        if q * q * c != P or q % c or q > min(shape.dims):
-            continue
-        if best is None or c > best[1]:
-            best = (q, c)
+    best = c25d_grid(shape, P)
     if best is None:
         raise ValueError(f"no 2.5D grid for {shape} on P={P}")
     res = run_25d(A, B, best[0], best[1])
@@ -174,13 +193,7 @@ def _run_25d_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
 
 
 def _c25d_applicable(shape: ProblemShape, P: int) -> bool:
-    for c in range(1, P + 1):
-        if P % c:
-            continue
-        q = math.isqrt(P // c)
-        if q * q * c == P and q % c == 0 and q <= min(shape.dims):
-            return True
-    return False
+    return c25d_grid(shape, P) is not None
 
 
 REGISTRY: Dict[str, AlgorithmEntry] = {

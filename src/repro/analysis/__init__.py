@@ -4,6 +4,13 @@ from .chaos import REGIME_POINTS, SCHEDULES, ChaosOutcome, ChaosReport, run_chao
 from .constants import MeasuredConstant, case_remainder, constant_series, measure_constant
 from .integrality import GapPoint, GapProfile, gap_profile, integrality_gap
 from .large_p import LARGE_P_POINTS, LargePPoint, LargePResult, run_large_p_sweep
+from .oracle import (
+    ORACLE_ALGORITHMS,
+    OraclePrediction,
+    collective_rounds,
+    oracle_supported,
+    predict_cost,
+)
 from .report import CheckResult, ReproductionReport, reproduction_report
 from .scaling_laws import (
     FittedLaw,
@@ -26,15 +33,20 @@ from .traffic import TrafficSummary, communication_graph, traffic_summary
 from .verification import (
     BackendCrossCheck,
     BoundCheck,
+    OracleCrossCheck,
     check_cost_against_bound,
     check_grid_projections,
     cross_check_backends,
+    cross_check_oracle,
     relative_gap,
 )
 
 __all__ = [
     "BackendCrossCheck",
     "BoundCheck",
+    "ORACLE_ALGORITHMS",
+    "OracleCrossCheck",
+    "OraclePrediction",
     "ChaosOutcome",
     "ChaosReport",
     "CheckResult",
@@ -68,8 +80,12 @@ __all__ = [
     "grid_assignment_brick",
     "grid_projection_sizes",
     "is_computation_balanced",
+    "collective_rounds",
     "cross_check_backends",
+    "cross_check_oracle",
     "measure_constant",
+    "oracle_supported",
+    "predict_cost",
     "relative_gap",
     "reproduction_report",
     "run_chaos",

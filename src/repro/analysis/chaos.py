@@ -47,6 +47,7 @@ from ..core.shapes import ProblemShape
 from ..exceptions import FaultDetectedError, FaultError, RankFailedError
 from ..machine.backend import resolve_backend
 from ..machine.faults import FaultModel, RetryPolicy, inject
+from ..parallel import parallel_map, task_seed
 from .tables import format_table
 
 __all__ = [
@@ -220,15 +221,6 @@ class ChaosReport:
         )
 
 
-def _clean_reference(name: str, A, B, P: int, cache: dict):
-    """Fault-free reference run for one (algorithm, operands, P) cell."""
-    key = name
-    if key not in cache:
-        run = run_algorithm(name, A, B, P)
-        cache[key] = run
-    return cache[key]
-
-
 def _verify_completed(run, clean, injector, verifies: bool) -> Optional[str]:
     """Check a completed faulty run against the accountability contract.
 
@@ -252,6 +244,63 @@ def _verify_completed(run, clean, injector, verifies: bool) -> Optional[str]:
     return None
 
 
+def _chaos_task(
+    task: Tuple[str, Regime, int, ProblemShape, int, Tuple[str, ...],
+                Tuple[int, ...], str, int, bool, str],
+) -> Tuple[List[ChaosOutcome], list]:
+    """One (regime point, algorithm) column of the chaos matrix.
+
+    Module-level and plain-data so it can cross a process boundary; the
+    operand RNG is seeded from ``(operand_seed, regime_index)`` so every
+    task of a regime builds identical operands regardless of worker
+    scheduling.  Returns the outcome rows plus the ledger records for the
+    completed runs (appended by the parent, in order).
+    """
+    (name, regime, regime_index, shape, P, schedule_names, seeds,
+     backend, operand_seed, want_ledger, label) = task
+    backend_obj = resolve_backend(backend)
+    rng = np.random.default_rng(task_seed(operand_seed, regime_index))
+    if backend_obj.verifies:
+        A = rng.random((shape.n1, shape.n2))
+        B = rng.random((shape.n2, shape.n3))
+    else:
+        A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+    clean = run_algorithm(name, A, B, P)
+    rows: List[ChaosOutcome] = []
+    ledger_records: list = []
+    for sched in schedule_names:
+        for seed in seeds:
+            model = SCHEDULES[sched](seed)
+            start = time.perf_counter()
+            outcome, words, error, run = _one_cell(
+                name, A, B, P, model, clean, backend_obj.verifies
+            )
+            elapsed = time.perf_counter() - start
+            injector_summary = outcome.pop("faults")
+            row = ChaosOutcome(
+                algorithm=name,
+                regime=regime.name,
+                shape=tuple(shape.dims),
+                P=P,
+                schedule=sched,
+                seed=seed,
+                backend=backend_obj.name,
+                outcome=outcome["outcome"],
+                injected=injector_summary["injected"],
+                retries=injector_summary["retries"],
+                words_resent=injector_summary["words_resent"],
+                clean_words=clean.cost.words,
+                words=words,
+                error=error,
+            )
+            rows.append(row)
+            if want_ledger and row.completed:
+                ledger_records.append(_chaos_record(
+                    label, row, run, shape, P, injector_summary, elapsed,
+                ))
+    return rows, ledger_records
+
+
 def run_chaos(
     algorithms: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (0, 1, 2, 3),
@@ -261,6 +310,7 @@ def run_chaos(
     operand_seed: int = 0,
     ledger=None,
     label: str = "chaos",
+    workers: int = 1,
 ) -> ChaosReport:
     """Cross algorithms x regime points x fault schedules x seeds.
 
@@ -282,68 +332,49 @@ def run_chaos(
     ledger:
         Optional :class:`repro.obs.ledger.Ledger`: every *completed* run
         appends a ``kind="chaos"`` record whose ``faults`` field carries
-        the schedule name, seed, injector summary and outcome.
+        the schedule name, seed, injector summary and outcome.  Appends
+        happen in the parent process after all cells complete, in
+        deterministic order, for any ``workers`` value.
     label:
         Ledger record label.
+    workers:
+        Process-pool width (``1`` = serial in-process loop).  One task is
+        a full (regime point, algorithm) column of the matrix; outcomes
+        are identical to the serial run because fault decisions draw from
+        per-cell seeded models and operands from per-regime seeds.
 
     Returns a :class:`ChaosReport`; ``report.ok`` is the trichotomy
     verdict for the whole matrix.
     """
     backend_obj = resolve_backend(backend)
     names = list(algorithms) if algorithms is not None else list(REGISTRY)
-    schedule_names = list(schedules) if schedules is not None else list(SCHEDULES)
+    schedule_names = tuple(schedules) if schedules is not None else tuple(SCHEDULES)
     for sched in schedule_names:
         if sched not in SCHEDULES:
             raise KeyError(
                 f"unknown chaos schedule {sched!r}; known: {', '.join(SCHEDULES)}"
             )
     grid = points if points is not None else REGIME_POINTS
-    rng = np.random.default_rng(operand_seed)
-    rows: List[ChaosOutcome] = []
 
-    for regime, (shape, P) in grid.items():
-        if backend_obj.verifies:
-            A = rng.random((shape.n1, shape.n2))
-            B = rng.random((shape.n2, shape.n3))
-        else:
-            A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+    tasks = []
+    for regime_index, (regime, (shape, P)) in enumerate(grid.items()):
         runnable = set(applicable_algorithms(shape, P))
-        clean_cache: dict = {}
         for name in names:
             if name not in runnable:
                 continue
-            clean = _clean_reference(name, A, B, P, clean_cache)
-            for sched in schedule_names:
-                for seed in seeds:
-                    model = SCHEDULES[sched](seed)
-                    start = time.perf_counter()
-                    outcome, words, error, run = _one_cell(
-                        name, A, B, P, model, clean, backend_obj.verifies
-                    )
-                    elapsed = time.perf_counter() - start
-                    injector_summary = outcome.pop("faults")
-                    row = ChaosOutcome(
-                        algorithm=name,
-                        regime=regime.name,
-                        shape=tuple(shape.dims),
-                        P=P,
-                        schedule=sched,
-                        seed=seed,
-                        backend=backend_obj.name,
-                        outcome=outcome["outcome"],
-                        injected=injector_summary["injected"],
-                        retries=injector_summary["retries"],
-                        words_resent=injector_summary["words_resent"],
-                        clean_words=clean.cost.words,
-                        words=words,
-                        error=error,
-                    )
-                    rows.append(row)
-                    if ledger is not None and row.completed:
-                        _append_chaos_record(
-                            ledger, label, row, run, shape, P,
-                            injector_summary, elapsed,
-                        )
+            tasks.append((
+                name, regime, regime_index, shape, P, schedule_names,
+                tuple(seeds), backend, operand_seed, ledger is not None,
+                label,
+            ))
+    results = parallel_map(_chaos_task, tasks, workers=workers)
+
+    rows: List[ChaosOutcome] = []
+    for task_rows, task_records in results:
+        rows.extend(task_rows)
+        if ledger is not None:
+            for record in task_records:
+                ledger.append(record)
     return ChaosReport(rows=rows, backend=backend_obj.name, seeds=tuple(seeds))
 
 
@@ -389,9 +420,8 @@ def _one_cell(name, A, B, P, model, clean, verifies):
     )
 
 
-def _append_chaos_record(
-    ledger, label, row, run, shape, P, injector_summary, elapsed
-) -> None:
+def _chaos_record(label, row, run, shape, P, injector_summary, elapsed):
+    """Build the ledger record for one completed chaos cell (plain data)."""
     from ..obs.ledger import RunRecord, environment_fingerprint, git_revision
 
     bound = communication_lower_bound(shape, P)
@@ -399,7 +429,7 @@ def _append_chaos_record(
     faults["schedule"] = row.schedule
     faults["seed"] = row.seed
     faults["outcome"] = row.outcome
-    ledger.append(RunRecord(
+    return RunRecord(
         algorithm=row.algorithm,
         config=run.config,
         shape=tuple(shape.dims),
@@ -417,4 +447,4 @@ def _append_chaos_record(
         git_sha=git_revision(),
         env=environment_fingerprint(),
         faults=faults,
-    ))
+    )

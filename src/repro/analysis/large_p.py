@@ -39,6 +39,7 @@ from ..core.cases import Regime, classify
 from ..core.lower_bounds import leading_term_constant
 from ..core.shapes import ProblemShape
 from ..exceptions import BoundViolationError
+from ..parallel import parallel_map
 from .sweep import SweepRecord, sweep
 
 __all__ = ["LargePPoint", "LargePResult", "LARGE_P_POINTS", "run_large_p_sweep"]
@@ -74,66 +75,93 @@ LARGE_P_POINTS: Sequence[LargePPoint] = (
 _REGIME_CASE = {Regime.ONE_D: 1, Regime.TWO_D: 2, Regime.THREE_D: 3}
 
 
+def _large_p_task(task) -> LargePResult:
+    """Run one large-P point; one process-pool task (module-level, picklable).
+
+    The ledger is never passed in: the parent appends the returned
+    record itself so the file is written once, in point order, for any
+    worker count.
+    """
+    point, tight_tol = task
+    regime = classify(point.shape, point.P)
+    if _REGIME_CASE[regime] != point.case:
+        raise BoundViolationError(
+            f"large-P point {point.shape}, P={point.P} declared case "
+            f"{point.case} but classifies as {regime}"
+        )
+    start = time.perf_counter()
+    records = sweep(
+        [point.shape],
+        [point.P],
+        algorithms=["alg1"],
+        backend="symbolic",
+        collective_algorithm="bruck",
+    )
+    elapsed = time.perf_counter() - start
+    record = records[0]
+    ratio = record.words / record.bound
+    tight = abs(ratio - 1.0) <= tight_tol * max(1.0, ratio)
+    if not tight:
+        raise BoundViolationError(
+            f"large-P case {point.case} ({point.shape}, P={point.P}): "
+            f"measured {record.words:g} words vs bound {record.bound:g} "
+            f"(ratio {ratio:.6f}) — Algorithm 1 should attain the bound "
+            f"exactly on this grid"
+        )
+    return LargePResult(
+        point=point,
+        record=record,
+        constant=leading_term_constant(regime),
+        ratio=ratio,
+        tight=tight,
+        wall_clock=elapsed,
+    )
+
+
 def run_large_p_sweep(
     points: Optional[Sequence[LargePPoint]] = None,
     tight_tol: float = 1e-9,
     ledger=None,
     label: str = "large-p",
+    workers: int = 1,
 ) -> List[LargePResult]:
     """Run Algorithm 1 symbolically on each large-P point and check tightness.
 
     Every point must land in its declared Theorem 3 case and attain the
     bound to relative tolerance ``tight_tol`` — with the case's tight
     constant (1, 2 or 3), since the bound itself carries the constant.
+    With ``workers > 1`` the points run in a process pool (one point per
+    task); results and ledger records keep point order either way.
 
     Raises
     ------
     BoundViolationError
         If a point is misclassified or the measured words miss the bound.
     """
-    results: List[LargePResult] = []
-    for point in points if points is not None else LARGE_P_POINTS:
-        regime = classify(point.shape, point.P)
-        if _REGIME_CASE[regime] != point.case:
-            raise BoundViolationError(
-                f"large-P point {point.shape}, P={point.P} declared case "
-                f"{point.case} but classifies as {regime}"
-            )
-        start = time.perf_counter()
-        records = sweep(
-            [point.shape],
-            [point.P],
-            algorithms=["alg1"],
-            backend="symbolic",
-            collective_algorithm="bruck",
-            ledger=ledger,
-            label=label,
-        )
-        elapsed = time.perf_counter() - start
-        record = records[0]
-        ratio = record.words / record.bound
-        tight = abs(ratio - 1.0) <= tight_tol * max(1.0, ratio)
-        if not tight:
-            raise BoundViolationError(
-                f"large-P case {point.case} ({point.shape}, P={point.P}): "
-                f"measured {record.words:g} words vs bound {record.bound:g} "
-                f"(ratio {ratio:.6f}) — Algorithm 1 should attain the bound "
-                f"exactly on this grid"
-            )
-        results.append(LargePResult(
-            point=point,
-            record=record,
-            constant=leading_term_constant(regime),
-            ratio=ratio,
-            tight=tight,
-            wall_clock=elapsed,
-        ))
+    tasks = [
+        (point, tight_tol)
+        for point in (points if points is not None else LARGE_P_POINTS)
+    ]
+    results = parallel_map(_large_p_task, tasks, workers=workers)
+    if ledger is not None:
+        from ..obs.ledger import RunRecord
+
+        for result in results:
+            ledger.append(RunRecord.from_sweep(result.record, label=label))
     return results
 
 
-def main() -> int:  # pragma: no cover - exercised by the symbolic-smoke CI job
-    """Print the large-P attainment table (used by the CI smoke job)."""
-    results = run_large_p_sweep()
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    """Print the large-P attainment table (used by the CI smoke job).
+
+    Accepts ``--workers N`` to fan the points out over a process pool.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.analysis.large_p")
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+    results = run_large_p_sweep(workers=args.workers)
     print("case  shape                 P       grid              "
           "constant  words/bound   wall")
     for r in results:

@@ -1,0 +1,718 @@
+"""Analytic cost oracle: closed-form per-algorithm cost predictions.
+
+Every registered algorithm's simulated cost is a deterministic function of
+``(shape, P)`` alone — the simulator counts words and rounds, it never
+times elements — so each has a closed form.  This module computes those
+forms and returns the same :class:`~repro.machine.cost.Cost` structure the
+simulator produces, making the oracle
+
+* a **fast path**: ``sweep(engine="oracle")`` and ``repro run --oracle``
+  evaluate points in microseconds instead of simulating data movement
+  (the ROADMAP's scaling lever — parameter spaces at ``P = 10^6+``), and
+* an **independent correctness witness**: the formulas below are derived
+  from the paper (expression (3), Section 5.1) and the classic literature
+  (Cannon 1969, Fox & Otto 1987, van de Geijn & Watts 1997, Solomonik &
+  Demmel 2011, Demmel et al. 2013), *not* from the simulator's code, so
+  :func:`repro.analysis.verification.cross_check_oracle` asserting exact
+  equality checks both sides at once.
+
+The contract is **bit-exact equality or refusal**: configurations whose
+simulated critical path charges ragged pieces (uneven blocks or shards)
+are rejected with :class:`~repro.exceptions.OracleUnsupportedError`
+instead of approximated.  In the supported domain every quantity is an
+integer computed with integer arithmetic, so float representation cannot
+introduce drift.
+
+Per-algorithm cost shapes (divisible configurations, ``a/b/d`` block words):
+
+=========  ================================================================
+alg1       expression (3) words; rounds from the collective dispatch
+           (``log2 p`` for power-of-two fibers, ``p - 1`` ring, Bruck
+           ``ceil log2 p``); flops ``n1 n2 n3 / P`` + reduce-scatter adds.
+row_1d     ``(1 - 1/P) n2 n3`` words (All-Gather of ``B``).
+outer_1d   ``(1 - 1/P) n1 n3`` words (Reduce-Scatter of ``C`` partials).
+cannon     ``q (a + b)`` words in ``2q`` rounds (2 skews + ``2(q-1)`` shifts).
+fox        per stage: scatter+allgather broadcast of the pivot ``A`` block
+           along rows (replayed exactly, max over the ``q`` root rotations)
+           plus a one-round roll of ``B``.
+summa      per panel stage: scatter+allgather broadcasts of the ``A``
+           column panel (rows) and ``B`` row panel (columns).
+c25d       Cannon skews + ``ceil(log2 c)`` depth broadcasts + ``q/c - 1``
+           shifts + ``ceil(log2 c)`` binomial depth reductions.
+carma      exact geometric replay of the recursive splits (regions only,
+           no elements) with merged-round accounting.
+=========  ================================================================
+
+The Fox/SUMMA broadcast and the CARMA recursion are *replayed over integer
+geometry* — identical round structure and piece sizes as the executable
+schedules, but no arrays, no machine, no data movement; evaluation cost is
+``O(P)``-ish integer work independent of matrix dimensions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..algorithms.distributions import shards_divide_evenly
+from ..algorithms.grid_selection import select_grid
+from ..algorithms.registry import REGISTRY, c25d_grid, summa_grid
+from ..collectives.schedules import ceil_log2, is_power_of_two
+from ..core.shapes import ProblemShape
+from ..exceptions import GridError, OracleUnsupportedError
+from ..machine.cost import Cost
+from ..obs.attainment import bound_attainment
+
+__all__ = [
+    "ORACLE_ALGORITHMS",
+    "OraclePrediction",
+    "collective_rounds",
+    "oracle_supported",
+    "predict_cost",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class OraclePrediction:
+    """A closed-form prediction mirroring a registry run's observables.
+
+    ``cost`` matches ``run_algorithm(...).cost`` exactly (rounds, words,
+    flops); ``config`` matches the registry's config string; ``bound`` and
+    ``attainment`` mirror the run's bound-attainment gauge.
+    """
+
+    algorithm: str
+    shape: ProblemShape
+    P: int
+    cost: Cost
+    config: str
+    bound: float
+    attainment: float
+
+
+def collective_rounds(p: int, algorithm: str = "auto") -> int:
+    """Communication rounds of one bandwidth-optimal collective over ``p`` ranks.
+
+    Matches the executable schedules: ``ring`` takes ``p - 1`` rounds,
+    ``recursive_doubling``/``recursive_halving`` take ``log2 p`` (powers of
+    two only), ``bruck`` takes ``ceil(log2 p)``, and ``auto`` dispatches to
+    doubling/halving when ``p`` is a power of two, else ring.
+    """
+    if p <= 1:
+        return 0
+    if algorithm == "auto":
+        return p.bit_length() - 1 if is_power_of_two(p) else p - 1
+    if algorithm == "ring":
+        return p - 1
+    if algorithm in ("recursive_doubling", "recursive_halving"):
+        if not is_power_of_two(p):
+            raise OracleUnsupportedError(
+                f"{algorithm} requires a power-of-two group, got p={p}"
+            )
+        return p.bit_length() - 1
+    if algorithm == "bruck":
+        return ceil_log2(p)
+    raise OracleUnsupportedError(f"unknown collective algorithm {algorithm!r}")
+
+
+# --------------------------------------------------------------------- #
+# Algorithm 1 and the 1D baselines                                      #
+# --------------------------------------------------------------------- #
+
+
+def _predict_alg1(
+    shape: ProblemShape, P: int, collective_algorithm: Optional[str]
+) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    try:
+        choice = select_grid(shape, P)
+    except GridError as exc:
+        raise OracleUnsupportedError(f"alg1: no grid for P={P}: {exc}") from exc
+    grid = choice.grid
+    p1, p2, p3 = grid.dims
+    if p1 > n1 or p2 > n2 or p3 > n3:
+        raise OracleUnsupportedError(
+            f"alg1: selected grid {grid} exceeds dimensions {shape.dims}"
+        )
+    if not shards_divide_evenly(shape, grid):
+        raise OracleUnsupportedError(
+            f"alg1: grid {grid} does not shard {shape} evenly; the simulated "
+            f"critical path charges the largest ragged shard"
+        )
+    ag = "auto" if collective_algorithm is None else collective_algorithm
+    # The executable maps gather algorithms to their reduce-phase duals;
+    # Bruck has no Reduce-Scatter dual and falls back to "auto".
+    rs = {"recursive_doubling": "recursive_halving", "bruck": "auto"}.get(ag, ag)
+
+    a_block = (n1 // p1) * (n2 // p2)
+    b_block = (n2 // p2) * (n3 // p3)
+    c_block = (n1 // p1) * (n3 // p3)
+    words = 0
+    rounds = 0
+    if p3 > 1:  # All-Gather A along p3-fibers
+        words += (p3 - 1) * (a_block // p3)
+        rounds += collective_rounds(p3, ag)
+    if p1 > 1:  # All-Gather B along p1-fibers
+        words += (p1 - 1) * (b_block // p1)
+        rounds += collective_rounds(p1, ag)
+    flops = (n1 // p1) * (n2 // p2) * (n3 // p3)
+    if p2 > 1:  # Reduce-Scatter C along p2-fibers (+ the reduction adds)
+        words += (p2 - 1) * (c_block // p2)
+        rounds += collective_rounds(p2, rs)
+        flops += (p2 - 1) * (c_block // p2)
+
+    config = f"grid {grid}"
+    if ag != "auto":
+        config += f", collectives {ag}"
+    return _finish("alg1", shape, P, rounds, words, flops, config)
+
+
+def _predict_row_1d(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    if P > n1:
+        raise OracleUnsupportedError(f"row_1d needs P <= n1, got P={P}, n1={n1}")
+    if (n2 * n3) % P:
+        raise OracleUnsupportedError(
+            f"row_1d: P={P} does not divide |B| = {n2 * n3}; shards are ragged"
+        )
+    words = (P - 1) * ((n2 * n3) // P)
+    rounds = collective_rounds(P, "auto")
+    flops = -(-n1 // P) * n2 * n3  # largest row block does the most work
+    return _finish("row_1d", shape, P, rounds, words, flops, f"P={P}")
+
+
+def _predict_outer_1d(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    if P > n2:
+        raise OracleUnsupportedError(f"outer_1d needs P <= n2, got P={P}, n2={n2}")
+    if (n1 * n3) % P:
+        raise OracleUnsupportedError(
+            f"outer_1d: P={P} does not divide |C| = {n1 * n3}; shards are ragged"
+        )
+    shard = (n1 * n3) // P
+    words = (P - 1) * shard
+    rounds = collective_rounds(P, "auto")
+    flops = n1 * (-(-n2 // P)) * n3 + (P - 1) * shard if P > 1 else n1 * n2 * n3
+    return _finish("outer_1d", shape, P, rounds, words, flops, f"P={P}")
+
+
+# --------------------------------------------------------------------- #
+# 2D and 2.5D baselines                                                 #
+# --------------------------------------------------------------------- #
+
+
+def _square_grid_side(name: str, shape: ProblemShape, P: int) -> int:
+    q = math.isqrt(P)
+    if q * q != P:
+        raise OracleUnsupportedError(f"{name} needs a square P, got {P}")
+    if q > min(shape.dims):
+        raise OracleUnsupportedError(
+            f"{name}: q={q} exceeds the smallest dimension of {shape}"
+        )
+    if any(n % q for n in shape.dims):
+        raise OracleUnsupportedError(
+            f"{name}: q={q} does not divide {shape.dims}; blocks are ragged"
+        )
+    return q
+
+
+def _predict_cannon(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    q = _square_grid_side("cannon", shape, P)
+    config = f"grid {q}x{q}"
+    if q == 1:
+        return _finish("cannon", shape, P, 0, 0, n1 * n2 * n3, config)
+    a_block = (n1 // q) * (n2 // q)
+    b_block = (n2 // q) * (n3 // q)
+    # 1 skew + (q - 1) shift rounds per matrix, each moving one full block.
+    rounds = 2 * q
+    words = q * (a_block + b_block)
+    flops = q * (n1 // q) * (n2 // q) * (n3 // q)
+    return _finish("cannon", shape, P, rounds, words, flops, config)
+
+
+def _scatter_allgather_broadcast(
+    p: int, w: int, root_positions: Sequence[int]
+) -> Tuple[int, int]:
+    """Exact (rounds, critical words) of the van de Geijn broadcast.
+
+    Replays the binomial scatter's round structure over ``p`` pieces of
+    ``numpy.array_split`` sizes, taking the per-round maximum message
+    across the merged groups' root rotations (``root_positions``), then
+    adds the ring All-Gather (``p - 1`` rounds charging the largest piece).
+    """
+    base, extra = divmod(w, p)
+    psize = [base + (1 if j < extra else 0) for j in range(p)]
+    if psize[-1] == 0:
+        raise OracleUnsupportedError(
+            f"scatter_allgather broadcast of {w} words over {p} ranks has "
+            f"empty pieces; the executable schedule cannot send them"
+        )
+    rounds = 0
+    words = 0
+    # Binomial scatter: holders forward the upper half of their index range.
+    holding: Dict[int, List[int]] = {0: list(range(p))}
+    dist = 1 << max(ceil_log2(p) - 1, 0) if p > 1 else 0
+    while dist >= 1:
+        moves = []
+        for i in sorted(holding):
+            upper = [j for j in holding[i] if j >= i + dist]
+            if upper:
+                moves.append((i, upper))
+        if moves:
+            rounds += 1
+            crit = 0
+            for rho in root_positions:
+                for _, upper in moves:
+                    sent = sum(psize[(j + rho) % p] for j in upper)
+                    if sent > crit:
+                        crit = sent
+            words += crit
+            for i, upper in moves:
+                holding[i] = [j for j in holding[i] if j < i + dist]
+                holding[i + dist] = upper
+        dist //= 2
+    # Ring All-Gather: every piece is in flight each round.
+    rounds += p - 1
+    words += (p - 1) * max(psize)
+    return rounds, words
+
+
+def _predict_fox(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    q = _square_grid_side("fox", shape, P)
+    config = f"grid {q}x{q}"
+    if q == 1:
+        return _finish("fox", shape, P, 0, 0, n1 * n2 * n3, config)
+    a_block = (n1 // q) * (n2 // q)
+    b_block = (n2 // q) * (n3 // q)
+    # Stage t broadcasts the pivot A block along every grid row; row i's
+    # root sits at column (i + t) % q, so all q rotations are always
+    # present among the merged groups.
+    bcast_rounds, bcast_words = _scatter_allgather_broadcast(
+        q, a_block, range(q)
+    )
+    rounds = q * bcast_rounds + (q - 1)  # + one roll of B per early stage
+    words = q * bcast_words + (q - 1) * b_block
+    flops = q * (n1 // q) * (n2 // q) * (n3 // q)
+    return _finish("fox", shape, P, rounds, words, flops, config)
+
+
+def _predict_summa(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    grid = summa_grid(shape, P)
+    if grid is None:
+        raise OracleUnsupportedError(f"summa: no divisible grid for {shape}, P={P}")
+    pr, pc = grid
+    panel = math.gcd(n2 // pr, n2 // pc)
+    stages = n2 // panel
+    rounds = 0
+    words = 0
+    for t in range(stages):
+        k0 = t * panel
+        if pc > 1:
+            jt = k0 // (n2 // pc)  # the root's position in every row group
+            r, w = _scatter_allgather_broadcast(pc, (n1 // pr) * panel, (jt,))
+            rounds += r
+            words += w
+        if pr > 1:
+            it = k0 // (n2 // pr)
+            r, w = _scatter_allgather_broadcast(pr, panel * (n3 // pc), (it,))
+            rounds += r
+            words += w
+    flops = (n1 // pr) * n2 * (n3 // pc)
+    return _finish("summa", shape, P, rounds, words, flops, f"grid {pr}x{pc}")
+
+
+def _predict_c25d(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    best = c25d_grid(shape, P)
+    if best is None:
+        raise OracleUnsupportedError(f"c25d: no q^2 c grid for {shape}, P={P}")
+    q, c = best
+    if any(n % q for n in shape.dims):
+        raise OracleUnsupportedError(
+            f"c25d: q={q} does not divide {shape.dims}; blocks are ragged"
+        )
+    config = f"grid {q}x{q}x{c}"
+    a_block = (n1 // q) * (n2 // q)
+    b_block = (n2 // q) * (n3 // q)
+    d_block = (n1 // q) * (n3 // q)
+    stride = q // c
+    rounds = 0
+    words = 0
+    if q > 1:  # layer-0 Cannon pre-skews, one round per matrix
+        rounds += 2
+        words += a_block + b_block
+    if c > 1:  # binomial depth broadcasts of the skewed A and B blocks
+        depth_rounds = ceil_log2(c)
+        rounds += 2 * depth_rounds
+        words += depth_rounds * (a_block + b_block)
+    if stride > 1:  # per-layer Cannon shift stages
+        rounds += 2 * (stride - 1)
+        words += (stride - 1) * (a_block + b_block)
+    flops = stride * (n1 // q) * (n2 // q) * (n3 // q)
+    if c > 1:  # binomial depth reduction of C; roots sum one block per round
+        depth_rounds = ceil_log2(c)
+        rounds += depth_rounds
+        words += depth_rounds * d_block
+        flops += depth_rounds * d_block
+    return _finish("c25d", shape, P, rounds, words, flops, config)
+
+
+# --------------------------------------------------------------------- #
+# CARMA: exact geometric replay                                         #
+# --------------------------------------------------------------------- #
+
+_Region = Tuple[int, int, int, int]  # (r0, r1, c0, c1)
+_Msg = Tuple[int, int, object, int]  # (src, dest, payload, words)
+_Replay = Generator[List[_Msg], Dict[int, object], object]
+
+
+def _clip_region(piece: _Region, region: _Region) -> Optional[_Region]:
+    pr0, pr1, pc0, pc1 = piece
+    rr0, rr1, rc0, rc1 = region
+    r0, r1 = max(pr0, rr0), min(pr1, rr1)
+    c0, c1 = max(pc0, rc0), min(pc1, rc1)
+    if r0 >= r1 or c0 >= c1:
+        return None
+    return (r0, r1, c0, c1)
+
+
+def _clip_regions(pieces: Sequence[_Region], region: _Region) -> List[_Region]:
+    out = []
+    for p in pieces:
+        clipped = _clip_region(p, region)
+        if clipped is not None:
+            out.append(clipped)
+    return out
+
+
+def _pack_words(pieces: Sequence[_Region]) -> int:
+    """Words of a packed piece list: 4 metadata words + area per piece."""
+    return sum(4 + (r1 - r0) * (c1 - c0) for (r0, r1, c0, c1) in pieces)
+
+
+def _split_region_for_combine(piece: _Region) -> Tuple[_Region, Optional[_Region]]:
+    r0, r1, c0, c1 = piece
+    if r1 - r0 > 1:
+        mid = (r0 + r1) // 2
+        return (r0, mid, c0, c1), (mid, r1, c0, c1)
+    if c1 - c0 > 1:
+        mid = (c0 + c1) // 2
+        return (r0, r1, c0, mid), (r0, r1, mid, c1)
+    return piece, None
+
+
+def _merge_replays(schedules: Sequence[_Replay]) -> _Replay:
+    """Mirror of :func:`repro.collectives.schedules.merge_schedules`."""
+    scheds = list(schedules)
+    results: List[object] = [None] * len(scheds)
+    active: Dict[int, _Replay] = dict(enumerate(scheds))
+    inbox: Dict[int, object] = {i: None for i in active}
+    while active:
+        round_msgs: List[_Msg] = []
+        dest_owner: Dict[int, int] = {}
+        for i in list(active):
+            try:
+                msgs = active[i].send(inbox[i])
+            except StopIteration as stop:
+                results[i] = stop.value
+                del active[i]
+                continue
+            for msg in msgs:
+                dest_owner[msg[1]] = i
+            round_msgs.extend(msgs)
+        if not active:
+            break
+        deliveries = yield round_msgs
+        inbox = {i: {} for i in active}
+        for dest, payload in (deliveries or {}).items():
+            if dest in dest_owner:
+                inbox[dest_owner[dest]][dest] = payload  # type: ignore[index]
+    return results
+
+
+def _carma_replay(shape: ProblemShape, P: int) -> Tuple[int, int, int, int]:
+    """Replay CARMA's recursion over regions: (rounds, words, flops, splits).
+
+    Identical control flow, message geometry and flop charges as
+    :func:`repro.algorithms.carma.run_carma`, with rectangle coordinates in
+    place of arrays; the merged-round driver mirrors ``run_schedule`` +
+    ``merge_schedules`` so the critical-path accounting is the same.
+    """
+    n1, n2, n3 = shape.dims
+    if not is_power_of_two(P):
+        raise OracleUnsupportedError(f"carma requires a power-of-two P, got {P}")
+    if n1 < P or n2 < P:
+        raise OracleUnsupportedError(
+            f"carma needs n1 >= P and n2 >= P for the slab distribution, "
+            f"got {shape}, P={P}"
+        )
+
+    holdings_a: Dict[int, List[_Region]] = {}
+    holdings_b: Dict[int, List[_Region]] = {}
+    holdings_c: Dict[int, List[_Region]] = {}
+    flops = [0] * P
+    for r in range(P):
+        base, extra = divmod(n1, P)
+        lo = r * base + min(r, extra)
+        holdings_a[r] = [(lo, lo + base + (1 if r < extra else 0), 0, n2)]
+        base, extra = divmod(n2, P)
+        lo = r * base + min(r, extra)
+        holdings_b[r] = [(lo, lo + base + (1 if r < extra else 0), 0, n3)]
+        holdings_c[r] = []
+    splits: List[str] = []
+
+    def recurse(
+        group: Tuple[int, ...],
+        i_rng: Tuple[int, int],
+        k_rng: Tuple[int, int],
+        j_rng: Tuple[int, int],
+    ) -> _Replay:
+        a_region: _Region = (i_rng[0], i_rng[1], k_rng[0], k_rng[1])
+        b_region: _Region = (k_rng[0], k_rng[1], j_rng[0], j_rng[1])
+        c_region: _Region = (i_rng[0], i_rng[1], j_rng[0], j_rng[1])
+
+        if len(group) == 1:
+            rank = group[0]
+            d1 = i_rng[1] - i_rng[0]
+            d2 = k_rng[1] - k_rng[0]
+            d3 = j_rng[1] - j_rng[0]
+            flops[rank] += d1 * d2 * d3
+            holdings_c[rank].append(c_region)
+            return
+            yield  # pragma: no cover - marks this function as a generator
+
+        d1 = i_rng[1] - i_rng[0]
+        d2 = k_rng[1] - k_rng[0]
+        d3 = j_rng[1] - j_rng[0]
+        largest = max(d1, d2, d3)
+        half = len(group) // 2
+        G0, G1 = group[:half], group[half:]
+        if largest % 2:
+            raise OracleUnsupportedError(
+                f"carma would halve an odd dimension of size {largest} at "
+                f"subproblem {d1}x{d2}x{d3}"
+            )
+
+        if d1 == largest:  # split i; B is shared
+            axis = "n1"
+            mid = (i_rng[0] + i_rng[1]) // 2
+            sub0 = ((i_rng[0], mid), k_rng, j_rng)
+            sub1 = ((mid, i_rng[1]), k_rng, j_rng)
+            a_reg0: _Region = (i_rng[0], mid, k_rng[0], k_rng[1])
+            a_reg1: _Region = (mid, i_rng[1], k_rng[0], k_rng[1])
+            msgs: List[_Msg] = []
+            for g0, g1 in zip(G0, G1):
+                pa01 = _clip_regions(holdings_a[g0], a_reg1)
+                pb01 = _clip_regions(holdings_b[g0], b_region)
+                pa10 = _clip_regions(holdings_a[g1], a_reg0)
+                pb10 = _clip_regions(holdings_b[g1], b_region)
+                msgs.append((g0, g1, (pa01, pb01), _pack_words(pa01) + _pack_words(pb01)))
+                msgs.append((g1, g0, (pa10, pb10), _pack_words(pa10) + _pack_words(pb10)))
+            deliveries = yield msgs
+            for g0, g1 in zip(G0, G1):
+                for rank, keep_a in ((g0, a_reg0), (g1, a_reg1)):
+                    in_a, in_b = deliveries[rank]
+                    holdings_a[rank] = _clip_regions(holdings_a[rank] + in_a, keep_a)
+                    holdings_b[rank] = _clip_regions(holdings_b[rank] + in_b, b_region)
+        elif d3 == largest:  # split j; A is shared
+            axis = "n3"
+            mid = (j_rng[0] + j_rng[1]) // 2
+            sub0 = (i_rng, k_rng, (j_rng[0], mid))
+            sub1 = (i_rng, k_rng, (mid, j_rng[1]))
+            b_reg0 = (k_rng[0], k_rng[1], j_rng[0], mid)
+            b_reg1 = (k_rng[0], k_rng[1], mid, j_rng[1])
+            msgs = []
+            for g0, g1 in zip(G0, G1):
+                pa01 = _clip_regions(holdings_a[g0], a_region)
+                pb01 = _clip_regions(holdings_b[g0], b_reg1)
+                pa10 = _clip_regions(holdings_a[g1], a_region)
+                pb10 = _clip_regions(holdings_b[g1], b_reg0)
+                msgs.append((g0, g1, (pa01, pb01), _pack_words(pa01) + _pack_words(pb01)))
+                msgs.append((g1, g0, (pa10, pb10), _pack_words(pa10) + _pack_words(pb10)))
+            deliveries = yield msgs
+            for rank, keep_b in [(g, b_reg0) for g in G0] + [(g, b_reg1) for g in G1]:
+                in_a, in_b = deliveries[rank]
+                holdings_b[rank] = _clip_regions(holdings_b[rank] + in_b, keep_b)
+                holdings_a[rank] = _clip_regions(holdings_a[rank] + in_a, a_region)
+        else:  # split the contraction; C contributions combine afterwards
+            axis = "n2"
+            mid = (k_rng[0] + k_rng[1]) // 2
+            sub0 = (i_rng, (k_rng[0], mid), j_rng)
+            sub1 = (i_rng, (mid, k_rng[1]), j_rng)
+            a_reg0 = (i_rng[0], i_rng[1], k_rng[0], mid)
+            a_reg1 = (i_rng[0], i_rng[1], mid, k_rng[1])
+            b_reg0 = (k_rng[0], mid, j_rng[0], j_rng[1])
+            b_reg1 = (mid, k_rng[1], j_rng[0], j_rng[1])
+            msgs = []
+            for g0, g1 in zip(G0, G1):
+                pa01 = _clip_regions(holdings_a[g0], a_reg1)
+                pb01 = _clip_regions(holdings_b[g0], b_reg1)
+                pa10 = _clip_regions(holdings_a[g1], a_reg0)
+                pb10 = _clip_regions(holdings_b[g1], b_reg0)
+                msgs.append((g0, g1, (pa01, pb01), _pack_words(pa01) + _pack_words(pb01)))
+                msgs.append((g1, g0, (pa10, pb10), _pack_words(pa10) + _pack_words(pb10)))
+            deliveries = yield msgs
+            for rank, keep_a, keep_b in (
+                [(g, a_reg0, b_reg0) for g in G0] + [(g, a_reg1, b_reg1) for g in G1]
+            ):
+                in_a, in_b = deliveries[rank]
+                holdings_a[rank] = _clip_regions(holdings_a[rank] + in_a, keep_a)
+                holdings_b[rank] = _clip_regions(holdings_b[rank] + in_b, keep_b)
+
+        splits.append(axis)
+        yield from _merge_replays([recurse(G0, *sub0), recurse(G1, *sub1)])
+
+        if axis == "n2":
+            firsts: Dict[int, List[_Region]] = {}
+            seconds: Dict[int, List[_Region]] = {}
+            for rank in group:
+                f: List[_Region] = []
+                s: List[_Region] = []
+                for piece in holdings_c[rank]:
+                    if _clip_region(piece, c_region) is None:
+                        continue
+                    p0, p1 = _split_region_for_combine(piece)
+                    f.append(p0)
+                    if p1 is not None:
+                        s.append(p1)
+                firsts[rank], seconds[rank] = f, s
+            msgs = []
+            for g0, g1 in zip(G0, G1):
+                msgs.append((g0, g1, seconds[g0], _pack_words(seconds[g0])))
+                msgs.append((g1, g0, firsts[g1], _pack_words(firsts[g1])))
+            deliveries = yield msgs
+            for g0, g1 in zip(G0, G1):
+                for rank, keep in ((g0, firsts[g0]), (g1, seconds[g1])):
+                    incoming = deliveries[rank]
+                    outer = [
+                        p for p in holdings_c[rank]
+                        if _clip_region(p, c_region) is None
+                    ]
+                    holdings_c[rank] = outer + list(keep)
+                    flops[rank] += sum(
+                        (r1 - r0) * (c1 - c0) for (r0, r1, c0, c1) in incoming
+                    )
+
+    # Drive the replay exactly like run_schedule + machine.exchange: a
+    # non-empty yielded round charges one round and its largest message.
+    rounds = 0
+    words = 0
+    sched = recurse(tuple(range(P)), (0, n1), (0, n2), (0, n3))
+    inbox: Optional[Dict[int, object]] = None
+    while True:
+        try:
+            msgs = sched.send(inbox)
+        except StopIteration:
+            break
+        if msgs:
+            for m in msgs:
+                if m[3] == 0:
+                    raise OracleUnsupportedError(
+                        "carma replay produced an empty message; the "
+                        "executable run would reject this configuration"
+                    )
+            rounds += 1
+            words += max(m[3] for m in msgs)
+            inbox = {m[1]: m[2] for m in msgs}
+        else:
+            inbox = {}
+    return rounds, words, max(flops), len(splits)
+
+
+def _predict_carma(shape: ProblemShape, P: int) -> OraclePrediction:
+    rounds, words, flops, n_splits = _carma_replay(shape, P)
+    return _finish(
+        "carma", shape, P, rounds, words, flops, f"{n_splits} splits"
+    )
+
+
+# --------------------------------------------------------------------- #
+# dispatch                                                              #
+# --------------------------------------------------------------------- #
+
+
+def _finish(
+    name: str,
+    shape: ProblemShape,
+    P: int,
+    rounds: int,
+    words: int,
+    flops: int,
+    config: str,
+) -> OraclePrediction:
+    cost = Cost(rounds=rounds, words=float(words), flops=float(flops))
+    gauge = bound_attainment(shape, P, cost.words)
+    return OraclePrediction(
+        algorithm=name,
+        shape=shape,
+        P=P,
+        cost=cost,
+        config=config,
+        bound=gauge.bound,
+        attainment=gauge.ratio,
+    )
+
+
+#: Algorithms the oracle predicts (all registry entries).
+ORACLE_ALGORITHMS: Tuple[str, ...] = tuple(REGISTRY)
+
+
+def predict_cost(
+    name: str,
+    shape: ProblemShape,
+    P: int,
+    collective_algorithm: Optional[str] = None,
+) -> OraclePrediction:
+    """Closed-form prediction of ``run_algorithm(name, A, B, P)``'s cost.
+
+    Exact by contract: wherever this returns, the prediction equals the
+    simulated :class:`~repro.machine.cost.Cost` bit for bit on both
+    backends (:func:`repro.analysis.verification.cross_check_oracle`
+    enforces it).  ``collective_algorithm`` is honoured for ``alg1`` only,
+    mirroring :func:`repro.algorithms.registry.run_algorithm`.
+
+    Raises
+    ------
+    OracleUnsupportedError
+        Unknown algorithm, infeasible ``(shape, P)``, or a configuration
+        whose simulated cost depends on ragged pieces.
+    """
+    if P < 1:
+        raise OracleUnsupportedError(f"P must be positive, got {P}")
+    if name == "alg1":
+        return _predict_alg1(shape, P, collective_algorithm)
+    if name == "row_1d":
+        return _predict_row_1d(shape, P)
+    if name == "outer_1d":
+        return _predict_outer_1d(shape, P)
+    if name == "cannon":
+        return _predict_cannon(shape, P)
+    if name == "fox":
+        return _predict_fox(shape, P)
+    if name == "summa":
+        return _predict_summa(shape, P)
+    if name == "c25d":
+        return _predict_c25d(shape, P)
+    if name == "carma":
+        return _predict_carma(shape, P)
+    raise OracleUnsupportedError(
+        f"unknown algorithm {name!r}; oracle covers {sorted(ORACLE_ALGORITHMS)}"
+    )
+
+
+def oracle_supported(
+    name: str,
+    shape: ProblemShape,
+    P: int,
+    collective_algorithm: Optional[str] = None,
+) -> bool:
+    """True when :func:`predict_cost` accepts this configuration."""
+    try:
+        predict_cost(name, shape, P, collective_algorithm=collective_algorithm)
+    except OracleUnsupportedError:
+        return False
+    return True

@@ -13,22 +13,36 @@ sweep can stream its records into a persistent experiment ledger
     >>> from repro.obs.ledger import Ledger                    # doctest: +SKIP
     >>> sweep(shapes, counts, ledger=Ledger("repro_ledger.jsonl"),
     ...       label="nightly")                                 # doctest: +SKIP
+
+Sweeps parallelize across shapes with ``workers=N`` (each shape's grid of
+``(P, algorithm)`` runs is one process-pool task) and the records come back
+in the same order as the serial loop — model costs are bit-identical for
+any worker count because every task derives its operand seed from
+``(seed, shape_index)``, never from a shared sequential stream.  With
+``engine="oracle"`` the sweep skips simulation entirely and evaluates the
+closed-form cost oracle (:mod:`repro.analysis.oracle`), which is exact
+wherever it is defined and fast enough for ``P = 10^6`` parameter spaces.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..algorithms.registry import REGISTRY, applicable_algorithms, run_algorithm
 from ..core.lower_bounds import communication_lower_bound
 from ..core.shapes import ProblemShape
-from ..exceptions import BoundViolationError, NumericalMismatchError
+from ..exceptions import (
+    BoundViolationError,
+    NumericalMismatchError,
+    OracleUnsupportedError,
+)
 from ..machine.backend import resolve_backend
 from ..obs.metrics import RankSkew
+from ..parallel import parallel_map, task_seed
 from .verification import check_cost_against_bound
 
 __all__ = ["SweepRecord", "sweep"]
@@ -42,10 +56,12 @@ class SweepRecord:
     (:func:`time.perf_counter`); ``skew`` summarizes the per-rank
     ``sent_words`` imbalance of the execution (``None`` only when the
     algorithm exposes no machine).  ``backend`` names the execution
-    backend the run used; ``correct`` is ``None`` under the symbolic
-    backend (no elements exist to verify — the cost counters are
-    identical to the data backend's by construction, which
-    :func:`repro.analysis.verification.cross_check_backends` asserts).
+    backend the run used (``"oracle"`` for closed-form records, which
+    never touch a machine); ``correct`` is ``None`` under the symbolic
+    backend and the oracle engine (no elements exist to verify — the cost
+    counters are identical to the data backend's by construction, which
+    :func:`repro.analysis.verification.cross_check_backends` and
+    :func:`repro.analysis.verification.cross_check_oracle` assert).
     """
 
     algorithm: str
@@ -63,6 +79,113 @@ class SweepRecord:
     backend: str = "data"
 
 
+def _sweep_shape(
+    task: Tuple[ProblemShape, int, Tuple[int, ...], Tuple[str, ...], int,
+                str, Optional[str], str],
+) -> List[SweepRecord]:
+    """Run one shape's full ``(P, algorithm)`` grid; one process-pool task.
+
+    Module-level (picklable) with a plain-data argument tuple so it can
+    cross the process boundary; the operand RNG is seeded from
+    ``(seed, shape_index)`` so results are identical no matter which
+    worker runs the task or in what order.
+    """
+    (shape, shape_index, processor_counts, names, seed,
+     backend, collective_algorithm, engine) = task
+
+    records: List[SweepRecord] = []
+    if engine == "oracle":
+        from .oracle import predict_cost
+
+        for P in processor_counts:
+            runnable = set(applicable_algorithms(shape, P))
+            for name in names:
+                if name not in runnable:
+                    continue
+                start = time.perf_counter()
+                try:
+                    pred = predict_cost(
+                        name, shape, P,
+                        collective_algorithm=collective_algorithm,
+                    )
+                except OracleUnsupportedError:
+                    continue
+                elapsed = time.perf_counter() - start
+                check = check_cost_against_bound(shape, P, pred.cost)
+                if not check.satisfied:
+                    raise BoundViolationError(
+                        f"oracle predicted {name} below the lower bound on "
+                        f"{shape}, P={P}: {pred.cost.words} < "
+                        f"{check.bound.communicated}"
+                    )
+                records.append(SweepRecord(
+                    algorithm=name,
+                    config=pred.config,
+                    shape=shape,
+                    P=P,
+                    words=pred.cost.words,
+                    rounds=pred.cost.rounds,
+                    bound=communication_lower_bound(shape, P),
+                    gap_ratio=check.gap_ratio,
+                    correct=None,
+                    wall_clock=elapsed,
+                    flops=pred.cost.flops,
+                    skew=None,
+                    backend="oracle",
+                ))
+        return records
+
+    backend_obj = resolve_backend(backend)
+    rng = np.random.default_rng(task_seed(seed, shape_index))
+    if backend_obj.verifies:
+        A = rng.random((shape.n1, shape.n2))
+        B = rng.random((shape.n2, shape.n3))
+        expected = A @ B
+    else:
+        A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+        expected = None
+    for P in processor_counts:
+        runnable = set(applicable_algorithms(shape, P))
+        for name in names:
+            if name not in runnable:
+                continue
+            start = time.perf_counter()
+            run = run_algorithm(
+                name, A, B, P, collective_algorithm=collective_algorithm,
+            )
+            elapsed = time.perf_counter() - start
+            correct = (
+                bool(np.allclose(run.C, expected))
+                if backend_obj.verifies else None
+            )
+            check = check_cost_against_bound(shape, P, run.cost)
+            if correct is False:
+                raise NumericalMismatchError(
+                    f"{name} produced a wrong product on {shape}, P={P}"
+                )
+            if not check.satisfied:
+                raise BoundViolationError(
+                    f"{name} beat the lower bound on {shape}, P={P}: "
+                    f"{run.cost.words} < {check.bound.communicated}"
+                )
+            records.append(SweepRecord(
+                algorithm=name,
+                config=run.config,
+                shape=shape,
+                P=P,
+                words=run.cost.words,
+                rounds=run.cost.rounds,
+                bound=communication_lower_bound(shape, P),
+                gap_ratio=check.gap_ratio,
+                correct=correct,
+                wall_clock=elapsed,
+                flops=run.cost.flops,
+                skew=None if run.machine is None else run.machine.rank_skew(),
+                backend=backend_obj.name,
+            ))
+    return records
+
+
 def sweep(
     shapes: Iterable[ProblemShape],
     processor_counts: Sequence[int],
@@ -72,6 +195,8 @@ def sweep(
     label: str = "",
     backend: str = "data",
     collective_algorithm: Optional[str] = None,
+    workers: int = 1,
+    engine: str = "simulate",
 ) -> List[SweepRecord]:
     """Run algorithms across shapes and processor counts.
 
@@ -80,10 +205,14 @@ def sweep(
     shapes, processor_counts, algorithms, seed:
         The sweep grid: every applicable registered algorithm (or the
         named subset) runs on every ``(shape, P)`` combination, with
-        operands drawn from a seeded RNG.
+        operands drawn from an RNG seeded per shape with
+        ``(seed, shape_index)``.
     ledger:
         Optional :class:`repro.obs.ledger.Ledger`; every record is
         appended to it as a persistent run record tagged with ``label``.
+        Appends happen in the parent process after all tasks complete, in
+        deterministic record order, so the ledger file is identical for
+        any ``workers`` value.
     backend:
         Execution backend name (``"data"`` or ``"symbolic"``).  Under
         ``"symbolic"`` no operand elements are ever allocated, so the
@@ -94,6 +223,17 @@ def sweep(
         Optional override threaded to algorithms that expose the choice
         (Algorithm 1); e.g. ``"bruck"`` keeps all-gather fibers feasible
         at non-power-of-two sizes.
+    workers:
+        Process-pool width; ``1`` (default) runs the serial in-process
+        loop.  Tasks are whole shapes, results merge in input order, and
+        model costs are bit-identical to the serial run by construction.
+    engine:
+        ``"simulate"`` (default) executes the algorithms on the machine
+        model; ``"oracle"`` evaluates the closed-form cost oracle instead
+        — exact where defined (configurations the oracle refuses are
+        silently skipped, mirroring ``applicable_algorithms`` filtering),
+        with ``backend="oracle"``, ``correct=None`` and no skew on every
+        record.
 
     Raises
     ------
@@ -108,60 +248,22 @@ def sweep(
     control flow (typed exceptions from :mod:`repro.exceptions`), not
     ``assert`` statements, so they survive ``python -O``.
     """
-    backend_obj = resolve_backend(backend)
-    rng = np.random.default_rng(seed)
-    names = list(algorithms) if algorithms is not None else list(REGISTRY)
-    records: List[SweepRecord] = []
-    for shape in shapes:
-        if backend_obj.verifies:
-            A = rng.random((shape.n1, shape.n2))
-            B = rng.random((shape.n2, shape.n3))
-            expected = A @ B
-        else:
-            A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
-            expected = None
-        for P in processor_counts:
-            runnable = set(applicable_algorithms(shape, P))
-            for name in names:
-                if name not in runnable:
-                    continue
-                start = time.perf_counter()
-                run = run_algorithm(
-                    name, A, B, P, collective_algorithm=collective_algorithm,
-                )
-                elapsed = time.perf_counter() - start
-                correct = (
-                    bool(np.allclose(run.C, expected))
-                    if backend_obj.verifies else None
-                )
-                check = check_cost_against_bound(shape, P, run.cost)
-                if correct is False:
-                    raise NumericalMismatchError(
-                        f"{name} produced a wrong product on {shape}, P={P}"
-                    )
-                if not check.satisfied:
-                    raise BoundViolationError(
-                        f"{name} beat the lower bound on {shape}, P={P}: "
-                        f"{run.cost.words} < {check.bound.communicated}"
-                    )
-                record = SweepRecord(
-                    algorithm=name,
-                    config=run.config,
-                    shape=shape,
-                    P=P,
-                    words=run.cost.words,
-                    rounds=run.cost.rounds,
-                    bound=communication_lower_bound(shape, P),
-                    gap_ratio=check.gap_ratio,
-                    correct=correct,
-                    wall_clock=elapsed,
-                    flops=run.cost.flops,
-                    skew=None if run.machine is None else run.machine.rank_skew(),
-                    backend=backend_obj.name,
-                )
-                records.append(record)
-                if ledger is not None:
-                    from ..obs.ledger import RunRecord
+    if engine not in ("simulate", "oracle"):
+        raise ValueError(f"unknown sweep engine {engine!r}")
+    if engine == "simulate":
+        resolve_backend(backend)  # validate the name before forking tasks
+    names = tuple(algorithms) if algorithms is not None else tuple(REGISTRY)
+    counts = tuple(processor_counts)
+    tasks = [
+        (shape, index, counts, names, seed, backend, collective_algorithm,
+         engine)
+        for index, shape in enumerate(shapes)
+    ]
+    per_shape = parallel_map(_sweep_shape, tasks, workers=workers)
+    records: List[SweepRecord] = [rec for batch in per_shape for rec in batch]
+    if ledger is not None:
+        from ..obs.ledger import RunRecord
 
-                    ledger.append(RunRecord.from_sweep(record, label=label))
+        for record in records:
+            ledger.append(RunRecord.from_sweep(record, label=label))
     return records

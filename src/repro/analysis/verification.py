@@ -24,16 +24,18 @@ from ..algorithms.grid import ProcessorGrid
 from ..core.array_access import access_lower_bounds
 from ..core.lower_bounds import LowerBound, memory_independent_bound
 from ..core.shapes import ProblemShape
-from ..exceptions import BackendMismatchError
+from ..exceptions import BackendMismatchError, OracleMismatchError
 from ..machine.cost import Cost
 from .projections import grid_projection_sizes, total_projection_words
 
 __all__ = [
     "BackendCrossCheck",
     "BoundCheck",
+    "OracleCrossCheck",
     "check_cost_against_bound",
     "check_grid_projections",
     "cross_check_backends",
+    "cross_check_oracle",
     "relative_gap",
 ]
 
@@ -184,6 +186,101 @@ def cross_check_backends(
         attainment_ratio=d["attainment_ratio"],
         peak_memory=d["peak_memory"],
         verified_numerics=True,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleCrossCheck:
+    """Exact agreement report between the analytic oracle and a simulation.
+
+    Constructed only after :func:`cross_check_oracle` compared every field
+    for *exact* equality — words, rounds (messages), flops, config string
+    and bound attainment — so holding one of these is proof the closed-form
+    prediction reproduces the simulated run bit for bit.
+    """
+
+    algorithm: str
+    shape: ProblemShape
+    P: int
+    backend: str
+    cost: Cost
+    config: str
+    attainment_ratio: float
+
+
+def cross_check_oracle(
+    algorithm: str,
+    shape: ProblemShape,
+    P: int,
+    seed: int = 0,
+    backend: str = "data",
+    collective_algorithm: Optional[str] = None,
+) -> OracleCrossCheck:
+    """Simulate ``algorithm`` and assert the oracle predicted it exactly.
+
+    The oracle (:mod:`repro.analysis.oracle`) derives its formulas from
+    the paper and the classic algorithm literature, the simulator counts
+    what its schedules actually move — so exact agreement checks both
+    sides at once.  The tolerance is zero: words, rounds, flops, the
+    config string and the bound-attainment ratio must all match bit for
+    bit, on either backend.
+
+    Raises
+    ------
+    OracleUnsupportedError
+        When the oracle refuses the configuration (ragged blocks or
+        shards).  Callers that only want coverage should pre-filter with
+        :func:`repro.analysis.oracle.oracle_supported`.
+    OracleMismatchError
+        On any divergence; the message names the first differing counter.
+    """
+    from ..algorithms.registry import run_algorithm
+    from .oracle import predict_cost
+
+    prediction = predict_cost(
+        algorithm, shape, P, collective_algorithm=collective_algorithm
+    )
+
+    rng = np.random.default_rng(seed)
+    A = rng.random((shape.n1, shape.n2))
+    B = rng.random((shape.n2, shape.n3))
+    run = run_algorithm(
+        algorithm, A, B, P, backend=backend,
+        collective_algorithm=collective_algorithm,
+    )
+
+    observed = {
+        "words": run.cost.words,
+        "rounds": run.cost.rounds,
+        "flops": run.cost.flops,
+        "config": run.config,
+        "attainment": run.attainment.ratio,
+        "bound": run.attainment.bound,
+    }
+    predicted = {
+        "words": prediction.cost.words,
+        "rounds": prediction.cost.rounds,
+        "flops": prediction.cost.flops,
+        "config": prediction.config,
+        "attainment": prediction.attainment,
+        "bound": prediction.bound,
+    }
+    for key in observed:
+        if observed[key] != predicted[key]:
+            raise OracleMismatchError(
+                f"{algorithm} on {shape}, P={P} ({backend} backend): {key} "
+                f"diverged — simulated={observed[key]!r}, "
+                f"oracle={predicted[key]!r}"
+            )
+
+    return OracleCrossCheck(
+        algorithm=algorithm,
+        shape=shape,
+        P=P,
+        backend=backend,
+        cost=run.cost,
+        config=run.config,
+        attainment_ratio=run.attainment.ratio,
     )
 
 

@@ -10,7 +10,10 @@ Gives downstream users the paper's results without writing any code:
     Execute Algorithm 1 on the simulated machine and report measured
     cost versus the bound, with bound-attainment gauges; optionally
     export a Chrome-trace timeline (``--trace``) and JSON-lines
-    span/metric records (``--metrics``).
+    span/metric records (``--metrics``).  With ``--oracle`` the cost is
+    evaluated from the closed-form analytic oracle instead of simulating
+    — same numbers (:func:`repro.analysis.verification.cross_check_oracle`
+    proves exact equality), milliseconds at any P.
 ``inspect FILE.jsonl``
     Pretty-print a recorded trace: span (phase) tree, per-rank counter
     table (with the words-sent skew gauge), attainment summary, metrics
@@ -30,6 +33,15 @@ Gives downstream users the paper's results without writing any code:
     record, or a field-by-field comparison of two records.  ``diff``
     warns (stderr, exit 0) when exactly one side measured a fault-injected
     execution; ``--allow-faulty`` silences the warning.
+
+    Exit codes follow the usual Unix split — 0 for success, 1 for a
+    detected failure, 2 for usage errors — and ``ledger diff``
+    specifically exits **0** when the comparison ran (differing fields
+    and the fault warning are still success: a diff that finds
+    differences did its job) and **2** on usage errors (unreadable
+    ledger, out-of-range index, mixed backends without
+    ``--allow-mixed``).  It never exits 1: a diff has no "failure"
+    verdict of its own.  ``tests/test_cli.py`` pins this contract.
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
@@ -86,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a chrome://tracing-compatible timeline JSON")
     p_run.add_argument("--metrics", metavar="PATH", default=None,
                        help="write JSON-lines span/metric/per-rank records")
+    p_run.add_argument("--oracle", action="store_true",
+                       help="evaluate the closed-form analytic cost oracle "
+                            "instead of simulating: identical cost numbers "
+                            "(cross-checked exactly in the test suite) in "
+                            "milliseconds at any P; incompatible with "
+                            "--trace/--metrics/--memory (no machine exists)")
 
     p_inspect = sub.add_parser(
         "inspect", help="pretty-print a recorded JSON-lines trace"
@@ -126,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--wallclock-advisory", action="store_true",
                          help="report wall-clock regressions as warnings "
                               "instead of failures (cross-machine baselines)")
+    p_bench.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="process-pool width for harnesses and sweep "
+                              "points (default 1 = serial; model costs are "
+                              "bit-identical for any N)")
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -151,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "records to this experiment ledger")
     p_chaos.add_argument("--label", default="chaos",
                          help="ledger record label (default 'chaos')")
+    p_chaos.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="process-pool width for the chaos matrix "
+                              "(default 1 = serial; outcomes are identical "
+                              "for any N)")
 
     p_ledger = sub.add_parser(
         "ledger", help="read the persistent experiment ledger"
@@ -243,12 +269,43 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_oracle(args: argparse.Namespace) -> int:
+    from .analysis.oracle import predict_cost
+    from .core import ProblemShape
+    from .exceptions import OracleUnsupportedError
+
+    if args.trace or args.metrics or args.memory is not None:
+        print("--oracle evaluates a closed form; no machine exists to "
+              "trace, export metrics from, or bound memory on",
+              file=sys.stderr)
+        return 2
+    shape = ProblemShape(args.n1, args.n2, args.n3)
+    try:
+        pred = predict_cost("alg1", shape, args.procs)
+    except OracleUnsupportedError as exc:
+        print(f"oracle cannot predict this configuration exactly: {exc}",
+              file=sys.stderr)
+        print("(drop --oracle to simulate it instead)", file=sys.stderr)
+        return 1
+    print(f"problem {shape}, P = {args.procs}, {pred.config}, "
+          f"engine oracle (closed form; no simulation)")
+    print(f"predicted words: {pred.cost.words:g}  rounds: {pred.cost.rounds}  "
+          f"flops/proc: {pred.cost.flops:g}")
+    bound = pred.bound
+    print(f"lower bound:     {bound:g}  "
+          f"(tight: {abs(pred.cost.words - bound) < 1e-9 * max(1.0, bound)})")
+    print(f"attainment: {pred.attainment:.6f}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .algorithms import run_alg1, select_grid
     from .core import ProblemShape, communication_lower_bound
     from .exceptions import MemoryLimitExceededError
     from .machine import Machine, resolve_backend
 
+    if args.oracle:
+        return _cmd_run_oracle(args)
     shape = ProblemShape(args.n1, args.n2, args.n3)
     choice = select_grid(shape, args.procs)
     backend = resolve_backend(args.backend)
@@ -336,8 +393,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_ledger:
         ledger_path = args.ledger or os.path.join(out_dir, "repro_ledger.jsonl")
         ledger = Ledger(ledger_path)
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
     try:
-        report = run_bench_suite(args.label, filter=args.filter, ledger=ledger)
+        report = run_bench_suite(
+            args.label, filter=args.filter, ledger=ledger,
+            workers=args.workers,
+        )
     except VerificationError as exc:
         print(f"bench aborted (reproduction claim violated): {exc}",
               file=sys.stderr)
@@ -406,6 +469,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
     ledger = Ledger(args.ledger) if args.ledger else None
     report = run_chaos(
         algorithms=algorithms,
@@ -414,6 +480,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         backend=args.backend,
         ledger=ledger,
         label=args.label,
+        workers=args.workers,
     )
     print(report.render())
     if args.json:
@@ -465,6 +532,20 @@ def _format_ledger_row(index: int, rec) -> List[str]:
 
 
 def _cmd_ledger(args: argparse.Namespace) -> int:
+    """Ledger subcommands: list / show / diff.
+
+    Exit-code contract (pinned by ``tests/test_cli.py``):
+
+    * **0** — the requested read or comparison completed.  For ``diff``
+      this includes records that differ and the one-sided fault-injection
+      warning path (the warning goes to stderr; finding differences *is*
+      the success case for a diff).
+    * **2** — usage errors: unreadable or missing ledger file,
+      out-of-range record index, or ``diff`` across different execution
+      backends without ``--allow-mixed``.
+    * ``diff`` never exits 1; there is no "failure" verdict distinct from
+      usage error for a field-by-field comparison.
+    """
     path = args.path or _default_ledger_path()
     records, error = _ledger_records(path)
     if error is not None:

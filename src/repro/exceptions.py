@@ -24,6 +24,8 @@ __all__ = [
     "NumericalMismatchError",
     "BoundViolationError",
     "BackendMismatchError",
+    "OracleUnsupportedError",
+    "OracleMismatchError",
     "FaultError",
     "FaultDetectedError",
     "RankFailedError",
@@ -130,6 +132,29 @@ class BackendMismatchError(VerificationError):
     The symbolic backend must charge exactly the counters the data backend
     does — the schedules are shared and every cost is derived from shapes.
     Any divergence means a backend leaked element-dependent accounting.
+    """
+
+
+class OracleUnsupportedError(ReproError):
+    """The analytic cost oracle cannot predict this configuration exactly.
+
+    The oracle (:mod:`repro.analysis.oracle`) promises *bit-exact*
+    agreement with the simulator or nothing: configurations with ragged
+    blocks or uneven shards (where the simulated critical path charges the
+    largest piece per round) are refused rather than approximated.  Callers
+    that want a fast path should catch this and fall back to simulation.
+    """
+
+
+class OracleMismatchError(VerificationError):
+    """The analytic oracle and the simulator disagreed on a counter.
+
+    The oracle's contract is exact equality on words, rounds (messages),
+    flops and bound attainment wherever :func:`repro.analysis.oracle.predict_cost`
+    accepts the configuration.  Any divergence means either a formula bug in
+    the oracle or a cost-accounting bug in the simulator — both are
+    reportable defects, which is what makes the oracle an independent
+    correctness witness.
     """
 
 

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.shapes import ProblemShape
 from ..exceptions import BaselineError
+from ..parallel import parallel_map
 from .ledger import (
     RunRecord,
     environment_fingerprint,
@@ -266,14 +267,22 @@ def load_bench_report(path: str) -> BenchReport:
     return BenchReport.from_dict(data)
 
 
+#: Per-process probe-run cache keyed by (shape, P).  Module-level so pool
+#: workers reuse probes across the tasks they execute, exactly like the
+#: serial loop does in-process; the probe run is seeded and deterministic,
+#: so a cache hit and a recompute yield identical entries.
+_PROBE_CACHE: Dict[Tuple, dict] = {}
+
+
 def _probe_entry(
-    module: str, wall_clock: float, cache: Dict[Tuple, dict]
+    module: str, wall_clock: float, cache: Optional[Dict[Tuple, dict]] = None
 ) -> BenchEntry:
     """Build a module entry: timed harness + its probe's model costs."""
     import numpy as np
 
     from ..algorithms.registry import run_algorithm
 
+    cache = _PROBE_CACHE if cache is None else cache
     shape, P = MODULE_PROBES.get(module, DEFAULT_PROBE)
     key = (tuple(shape.dims), P)
     probe = cache.get(key)
@@ -309,11 +318,96 @@ def _probe_entry(
     )
 
 
+def _sweep_point_name(algorithm: str, shape: ProblemShape, P: int) -> str:
+    return f"sweep:{algorithm}:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+
+
+def _module_task(task) -> Tuple[BenchEntry, list]:
+    """Run one benchmark harness module; one process-pool task.
+
+    Returns the BENCH entry plus the sweep records produced implicitly
+    (none for module tasks — the tuple shape is shared with the sweep and
+    symbolic tasks so the parent can merge uniformly).
+    """
+    module_name, directory = task
+    if os.path.isdir(directory) and directory not in sys.path:
+        sys.path.insert(0, directory)
+    module = importlib.import_module(module_name)
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(io.StringIO()):
+        module.main()
+    elapsed = time.perf_counter() - start
+    return _probe_entry(module_name, elapsed), []
+
+
+def _sweep_point_task(task) -> Tuple[None, list]:
+    """Run one SWEEP_GRID point's algorithms; one process-pool task.
+
+    Returns ``(None, [(entry, sweep_record), ...])``; the parent appends
+    the ledger records itself so the file is written in deterministic
+    order for any worker count.
+    """
+    shape, P, wanted = task
+    from ..analysis.sweep import sweep
+
+    out = []
+    for record in sweep([shape], [P], algorithms=list(wanted), seed=0):
+        entry = BenchEntry(
+            name=_sweep_point_name(record.algorithm, shape, P),
+            kind="sweep",
+            wall_clock=record.wall_clock,
+            algorithm=record.algorithm,
+            config=record.config,
+            shape=tuple(shape.dims),
+            P=P,
+            words=record.words,
+            rounds=record.rounds,
+            flops=record.flops,
+            bound=record.bound,
+            attainment=record.gap_ratio,
+            backend=record.backend,
+            skew=record.skew,
+        )
+        out.append((entry, record))
+    return None, out
+
+
+def _symbolic_task(task) -> Tuple[None, list]:
+    """Run one symbolic probe; one process-pool task."""
+    name, shape, P = task
+    from ..analysis.sweep import sweep
+
+    out = []
+    for record in sweep(
+        [shape], [P], algorithms=["alg1"], backend="symbolic",
+        collective_algorithm="bruck",
+    ):
+        entry = BenchEntry(
+            name=name,
+            kind="symbolic",
+            wall_clock=record.wall_clock,
+            algorithm=record.algorithm,
+            config=record.config,
+            shape=tuple(shape.dims),
+            P=P,
+            words=record.words,
+            rounds=record.rounds,
+            flops=record.flops,
+            bound=record.bound,
+            attainment=record.gap_ratio,
+            backend=record.backend,
+            skew=record.skew,
+        )
+        out.append((entry, record))
+    return None, out
+
+
 def run_bench_suite(
     label: str,
     filter: Optional[str] = None,
     directory: Optional[str] = None,
     ledger=None,
+    workers: int = 1,
 ) -> BenchReport:
     """Execute the benchmark suite and the standard sweep grid.
 
@@ -331,24 +425,50 @@ def run_bench_suite(
         checkout's ``benchmarks/``.
     ledger:
         Optional :class:`repro.obs.ledger.Ledger`; sweep and probe runs are
-        appended to it.
+        appended to it — always from this process, in entry order, so the
+        ledger file is deterministic for any ``workers`` value.
+    workers:
+        Process-pool width (``1`` = the serial in-process loop).  Tasks
+        are whole harness modules, SWEEP_GRID points and symbolic probes;
+        every model-level number in the BENCH file is bit-identical to
+        the serial run (only wall-clock readings vary, as they do between
+        any two invocations).
     """
     directory = bench_dir() if directory is None else directory
-    entries: List[BenchEntry] = []
-    probe_cache: Dict[Tuple, dict] = {}
 
     if os.path.isdir(directory) and directory not in sys.path:
         sys.path.insert(0, directory)
-    for module_name in discover_bench_modules(directory):
-        entry_name = f"module:{module_name}"
-        if filter and filter not in entry_name:
-            continue
-        module = importlib.import_module(module_name)
-        start = time.perf_counter()
-        with contextlib.redirect_stdout(io.StringIO()):
-            module.main()
-        elapsed = time.perf_counter() - start
-        entry = _probe_entry(module_name, elapsed, probe_cache)
+
+    from ..algorithms.registry import applicable_algorithms
+
+    module_tasks = [
+        (module_name, directory)
+        for module_name in discover_bench_modules(directory)
+        if not filter or filter in f"module:{module_name}"
+    ]
+    sweep_tasks = []
+    for shape, P in SWEEP_GRID:
+        wanted = tuple(
+            algorithm
+            for algorithm in applicable_algorithms(shape, P)
+            if not filter or filter in _sweep_point_name(algorithm, shape, P)
+        )
+        if wanted:
+            sweep_tasks.append((shape, P, wanted))
+    symbolic_tasks = []
+    for case, shape, P in SYMBOLIC_PROBES:
+        name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+        if not filter or filter in name:
+            symbolic_tasks.append((name, shape, P))
+
+    # One pool, three task kinds, merged back in the serial loop's order:
+    # modules, then sweep points, then symbolic probes.
+    module_results = parallel_map(_module_task, module_tasks, workers=workers)
+    sweep_results = parallel_map(_sweep_point_task, sweep_tasks, workers=workers)
+    symbolic_results = parallel_map(_symbolic_task, symbolic_tasks, workers=workers)
+
+    entries: List[BenchEntry] = []
+    for (module_name, _), (entry, _records) in zip(module_tasks, module_results):
         entries.append(entry)
         if ledger is not None:
             ledger.append(
@@ -371,75 +491,11 @@ def run_bench_suite(
                     env=environment_fingerprint(),
                 )
             )
-
-    from ..algorithms.registry import applicable_algorithms
-    from ..analysis.sweep import sweep
-
-    def sweep_name(algorithm: str, shape: ProblemShape, P: int) -> str:
-        return f"sweep:{algorithm}:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
-
-    for shape, P in SWEEP_GRID:
-        wanted = [
-            algorithm
-            for algorithm in applicable_algorithms(shape, P)
-            if not filter or filter in sweep_name(algorithm, shape, P)
-        ]
-        if not wanted:
-            continue
-        for record in sweep(
-            [shape], [P], algorithms=wanted, seed=0, ledger=ledger, label=label
-        ):
-            name = sweep_name(record.algorithm, shape, P)
-            entries.append(
-                BenchEntry(
-                    name=name,
-                    kind="sweep",
-                    wall_clock=record.wall_clock,
-                    algorithm=record.algorithm,
-                    config=record.config,
-                    shape=tuple(shape.dims),
-                    P=P,
-                    words=record.words,
-                    rounds=record.rounds,
-                    flops=record.flops,
-                    bound=record.bound,
-                    attainment=record.gap_ratio,
-                    backend=record.backend,
-                    skew=record.skew,
-                )
-            )
-
-    for case, shape, P in SYMBOLIC_PROBES:
-        name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
-        if filter and filter not in name:
-            continue
-        for record in sweep(
-            [shape],
-            [P],
-            algorithms=["alg1"],
-            backend="symbolic",
-            collective_algorithm="bruck",
-            ledger=ledger,
-            label=label,
-        ):
-            entries.append(
-                BenchEntry(
-                    name=name,
-                    kind="symbolic",
-                    wall_clock=record.wall_clock,
-                    algorithm=record.algorithm,
-                    config=record.config,
-                    shape=tuple(shape.dims),
-                    P=P,
-                    words=record.words,
-                    rounds=record.rounds,
-                    flops=record.flops,
-                    bound=record.bound,
-                    attainment=record.gap_ratio,
-                    backend=record.backend,
-                    skew=record.skew,
-                )
-            )
+    for _, pairs in sweep_results + symbolic_results:
+        for entry, record in pairs:
+            entries.append(entry)
+            if ledger is not None:
+                ledger.append(RunRecord.from_sweep(record, label=label))
 
     return BenchReport(
         label=label,

@@ -1,0 +1,76 @@
+"""Multiprocess map with deterministic, worker-count-independent results.
+
+The sweep, chaos, large-P and bench drivers are embarrassingly parallel
+across their outermost task lists, but naive pooling would break two
+contracts the repo depends on:
+
+* **Determinism** — results (and the ledger records derived from them)
+  must be bit-identical regardless of ``workers``.  We guarantee this by
+  (a) deriving per-task seeds from ``(seed, task_index)`` instead of
+  drawing from one sequential stream, so a task's randomness does not
+  depend on which worker ran it or what ran before it, and (b) merging
+  results back in submission order (``Executor.map`` preserves order).
+* **Picklability** — tasks cross a process boundary, so worker functions
+  must be module-level callables and arguments plain data.  Callers in
+  :mod:`repro.analysis` define module-level ``_*_task`` functions for
+  this reason.
+
+``parallel_map(fn, items, workers=1)`` is the only entry point.  With
+``workers <= 1`` (the default and the CLI default) it runs a plain serial
+loop in-process — no pool, no pickling, identical behaviour to the
+pre-parallel code — so serial remains the well-trodden path and the pool
+is pure opt-in via ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["default_workers", "parallel_map", "task_seed"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def task_seed(seed: int, index: int) -> tuple:
+    """Seed for task ``index`` of a run seeded with ``seed``.
+
+    A ``(seed, index)`` tuple fed to :func:`numpy.random.default_rng`,
+    which hashes the whole sequence: streams are independent across tasks
+    and depend only on the task's position, never on scheduling order or
+    worker count.
+    """
+    return (seed, index)
+
+
+def default_workers(requested: Optional[int]) -> int:
+    """Resolve a ``--workers`` value: ``None``/``0`` → serial, ``-1`` → all cores."""
+    if requested is None or requested == 0:
+        return 1
+    if requested < 0:
+        return os.cpu_count() or 1
+    return requested
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int = 1,
+) -> List[_R]:
+    """Map ``fn`` over ``items``, optionally across a process pool.
+
+    Results come back in input order, so callers can zip them against
+    ``items`` and downstream accounting (ledger append order, report row
+    order) is identical to the serial loop.  Exceptions raised by ``fn``
+    propagate to the caller in either mode.
+
+    ``fn`` must be picklable (a module-level function) when ``workers > 1``.
+    """
+    tasks: Sequence[_T] = list(items)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    pool_size = min(workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        return list(pool.map(fn, tasks))

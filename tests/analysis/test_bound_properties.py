@@ -1,0 +1,147 @@
+"""Property-based tests (Hypothesis) for the Theorem 3 bound function.
+
+The memory-independent bound ``D`` of Theorem 3 is defined piecewise over
+three processor-count cases.  Fixed-point tests elsewhere pin individual
+values; the properties here hold for *every* valid ``(m, n, k, P)`` and so
+are checked on generated inputs:
+
+* ``D`` is continuous at the two case boundaries ``P = m/n`` and
+  ``P = mn/k**2`` (the piecewise formulas agree where they meet);
+* ``D`` is monotone non-increasing in ``P`` (more processors never force a
+  single processor to access more data);
+* ``D`` depends only on the multiset ``{n1, n2, n3}`` — any permutation of
+  the dimensions yields the identical bound;
+* ``D >= (mn + mk + nk)/P`` everywhere, i.e. the communicated-words bound
+  ``D - owned`` is never negative.
+
+The Hypothesis profile (tests/conftest.py) is derandomized with a fixed
+example budget, so this suite is deterministic across runs and machines.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cases import Regime, classify
+from repro.core.lower_bounds import (
+    accessed_data_bound,
+    communication_lower_bound,
+    leading_term_constant,
+    memory_independent_bound,
+)
+from repro.core.shapes import ProblemShape
+from repro.exceptions import ShapeError
+
+# Dimensions stay modest so products like (mnk/P)**2 keep full float
+# precision; the properties are scale-free so small dims lose no coverage.
+dims = st.integers(min_value=1, max_value=512)
+procs = st.integers(min_value=1, max_value=10**6)
+
+
+def _case1(m, n, k, P):
+    return (m * n + m * k) / P + n * k
+
+
+def _case2(m, n, k, P):
+    return 2.0 * math.sqrt(m * n * k * k / P) + m * n / P
+
+
+def _case3(m, n, k, P):
+    return 3.0 * (m * n * k / P) ** (2.0 / 3.0)
+
+
+class TestContinuityAtCaseBoundaries:
+    @given(n=dims, k=dims, q=st.integers(min_value=1, max_value=512))
+    def test_boundary_one_d_two_d(self, n, k, q):
+        """At ``P = m/n`` the case 1 and case 2 formulas agree.
+
+        Shapes are constructed with ``m = q * n`` so the boundary is an
+        integer processor count; both closed forms must evaluate to the
+        same ``D`` there (algebraically ``n**2 + 2 n k``).
+        """
+        n, k = max(n, k), min(n, k)
+        m = q * n
+        P = q
+        assert math.isclose(_case1(m, n, k, P), _case2(m, n, k, P), rel_tol=1e-12)
+        # and the implementation lands on that shared value
+        D = accessed_data_bound(ProblemShape(m, n, k), P)
+        assert math.isclose(D, _case1(m, n, k, P), rel_tol=1e-12)
+
+    @given(k=dims, a=st.integers(min_value=1, max_value=512), b=st.integers(min_value=1, max_value=512))
+    def test_boundary_two_d_three_d(self, k, a, b):
+        """At ``P = mn/k**2`` the case 2 and case 3 formulas agree.
+
+        With ``m = a*k`` and ``n = b*k`` the boundary ``P = a*b`` is an
+        integer; both closed forms must give ``3 k**2`` there.
+        """
+        a, b = max(a, b), min(a, b)
+        m, n = a * k, b * k
+        P = a * b
+        assert math.isclose(_case2(m, n, k, P), _case3(m, n, k, P), rel_tol=1e-12)
+        assert math.isclose(_case2(m, n, k, P), 3.0 * k * k, rel_tol=1e-12)
+        D = accessed_data_bound(ProblemShape(m, n, k), P)
+        assert math.isclose(D, 3.0 * k * k, rel_tol=1e-12)
+
+
+class TestMonotoneInP:
+    @given(n1=dims, n2=dims, n3=dims, P1=procs, P2=procs)
+    def test_accessed_data_non_increasing(self, n1, n2, n3, P1, P2):
+        """More processors never increase the per-processor access bound."""
+        if P1 > P2:
+            P1, P2 = P2, P1
+        shape = ProblemShape(n1, n2, n3)
+        D1 = accessed_data_bound(shape, P1)
+        D2 = accessed_data_bound(shape, P2)
+        assert D2 <= D1 * (1.0 + 1e-12)
+
+
+class TestPermutationInvariance:
+    @given(n1=dims, n2=dims, n3=dims, P=procs)
+    def test_bound_ignores_dimension_order(self, n1, n2, n3, P):
+        """Every permutation of (n1, n2, n3) yields the identical bound."""
+        reference = memory_independent_bound(ProblemShape(n1, n2, n3), P)
+        for perm in (
+            (n1, n3, n2),
+            (n2, n1, n3),
+            (n2, n3, n1),
+            (n3, n1, n2),
+            (n3, n2, n1),
+        ):
+            other = memory_independent_bound(ProblemShape(*perm), P)
+            assert other.regime == reference.regime
+            assert other.accessed == reference.accessed
+            assert other.owned == reference.owned
+            assert other.communicated == reference.communicated
+            assert other.leading == reference.leading
+
+
+class TestAccessedDominatesOwned:
+    @given(n1=dims, n2=dims, n3=dims, P=procs)
+    def test_communicated_non_negative(self, n1, n2, n3, P):
+        """``D >= (mn + mk + nk)/P``: owned data never exceeds accessed."""
+        shape = ProblemShape(n1, n2, n3)
+        bound = memory_independent_bound(shape, P)
+        owned = shape.total_data / P
+        assert bound.owned == owned
+        assert bound.accessed >= owned * (1.0 - 1e-12)
+        assert bound.communicated >= -1e-9 * max(1.0, bound.accessed)
+        assert communication_lower_bound(shape, P) == bound.communicated
+
+    @given(n1=dims, n2=dims, n3=dims, P=procs)
+    def test_casewise_formula_matches(self, n1, n2, n3, P):
+        """The implementation equals the closed form of whichever case applies."""
+        shape = ProblemShape(n1, n2, n3)
+        m, n, k = shape.sorted_dims
+        regime = classify(shape, P)
+        formula = {Regime.ONE_D: _case1, Regime.TWO_D: _case2, Regime.THREE_D: _case3}[regime]
+        assert math.isclose(
+            accessed_data_bound(shape, P), formula(m, n, k, P), rel_tol=1e-12
+        )
+        assert leading_term_constant(regime) == float(regime.value)
+
+
+def test_invalid_processor_count_rejected():
+    with pytest.raises(ShapeError):
+        memory_independent_bound(ProblemShape(4, 4, 4), 0)

@@ -1,0 +1,152 @@
+"""The analytic cost oracle against the simulator: exact equality or refusal.
+
+The oracle (:mod:`repro.analysis.oracle`) re-derives every algorithm's cost
+from closed forms — independently of the schedule machinery — so agreement
+is a two-sided correctness witness: a bug in either the simulator's
+accounting or the oracle's formulas breaks the bit-exact match.
+
+The contract under test:
+
+* :func:`~repro.analysis.verification.cross_check_oracle` passes with
+  **zero tolerance** for every registry algorithm, on shapes covering all
+  three Theorem 3 cases, on both execution backends;
+* ``alg1``'s predicted words equal expression (3)
+  (:func:`repro.algorithms.cost_models.alg1_cost`) on its selected grid;
+* configurations whose simulated cost depends on ragged (uneven) pieces
+  are *refused* with :class:`~repro.exceptions.OracleUnsupportedError` —
+  never silently approximated;
+* ``sweep(engine="oracle")`` reproduces the simulating sweep's model-cost
+  columns exactly on every record the oracle supports.
+"""
+
+import pytest
+
+from repro.algorithms.cost_models import alg1_cost
+from repro.algorithms.registry import select_grid
+from repro.analysis.oracle import (
+    ORACLE_ALGORITHMS,
+    collective_rounds,
+    oracle_supported,
+    predict_cost,
+)
+from repro.analysis.sweep import sweep
+from repro.analysis.verification import cross_check_oracle
+from repro.core.cases import Regime, classify
+from repro.core.shapes import ProblemShape
+from repro.exceptions import OracleUnsupportedError
+
+# One column per Theorem 3 case plus power-of-two/odd-square/flat extras;
+# every registry algorithm supports at least four of these.
+POINTS = [
+    (64, 4, 4, 4),      # case 1
+    (32, 32, 4, 16),    # case 2
+    (16, 16, 16, 4),    # case 3
+    (16, 16, 16, 8),    # case 3, non-square P (cannon/fox refuse)
+    (36, 36, 36, 9),    # case 3, odd square P (carma refuses)
+    (64, 64, 8, 64),    # case 2/3 boundary region, large P
+]
+
+RAGGED = [
+    (7, 5, 3, 4),       # nothing divides evenly
+    (9, 9, 9, 4),       # odd dims on even grids
+]
+
+
+def _point_id(point):
+    n1, n2, n3, P = point
+    return f"{n1}x{n2}x{n3}-P{P}"
+
+
+def test_points_cover_all_three_cases():
+    regimes = {
+        classify(ProblemShape(n1, n2, n3), P) for n1, n2, n3, P in POINTS
+    }
+    assert regimes == {Regime.ONE_D, Regime.TWO_D, Regime.THREE_D}
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("name", ORACLE_ALGORITHMS)
+    @pytest.mark.parametrize("point", POINTS, ids=_point_id)
+    @pytest.mark.parametrize("backend", ["data", "symbolic"])
+    def test_exact_on_both_backends(self, name, point, backend):
+        n1, n2, n3, P = point
+        shape = ProblemShape(n1, n2, n3)
+        if not oracle_supported(name, shape, P):
+            pytest.skip(f"oracle refuses {name} on {shape}, P={P}")
+        check = cross_check_oracle(name, shape, P, backend=backend)
+        # cross_check_oracle raises OracleMismatchError on any divergence;
+        # reaching here means words, rounds, flops, config and attainment
+        # all matched exactly.
+        assert check.algorithm == name
+        assert check.backend == backend
+
+    @pytest.mark.parametrize(
+        "collective", ["ring", "recursive_doubling", "bruck"]
+    )
+    def test_alg1_collective_variants(self, collective):
+        shape = ProblemShape(16, 16, 16)
+        cross_check_oracle(
+            "alg1", shape, 8, backend="data", collective_algorithm=collective
+        )
+
+
+class TestAlg1ClosedForm:
+    @pytest.mark.parametrize("point", POINTS, ids=_point_id)
+    def test_words_equal_expression_3(self, point):
+        n1, n2, n3, P = point
+        shape = ProblemShape(n1, n2, n3)
+        grid = select_grid(shape, P).grid
+        prediction = predict_cost("alg1", shape, P)
+        assert prediction.cost.words == alg1_cost(shape, grid)
+        assert prediction.config.startswith(
+            f"grid {grid.p1}x{grid.p2}x{grid.p3}"
+        )
+
+
+class TestRefusal:
+    @pytest.mark.parametrize("name", ORACLE_ALGORITHMS)
+    @pytest.mark.parametrize("point", RAGGED, ids=_point_id)
+    def test_ragged_configurations_refused(self, name, point):
+        n1, n2, n3, P = point
+        shape = ProblemShape(n1, n2, n3)
+        assert not oracle_supported(name, shape, P)
+        with pytest.raises(OracleUnsupportedError):
+            predict_cost(name, shape, P)
+
+    def test_unknown_algorithm_refused(self):
+        with pytest.raises(OracleUnsupportedError):
+            predict_cost("strassen", ProblemShape(8, 8, 8), 4)
+
+    def test_unknown_collective_refused(self):
+        with pytest.raises(OracleUnsupportedError):
+            collective_rounds(8, "hypercube")
+
+    def test_recursive_doubling_needs_power_of_two(self):
+        with pytest.raises(OracleUnsupportedError):
+            collective_rounds(6, "recursive_doubling")
+
+
+class TestSweepEngine:
+    def test_oracle_engine_matches_simulate(self):
+        shapes = [ProblemShape(16, 16, 16), ProblemShape(32, 32, 4)]
+        counts = [4, 16]
+        simulated = sweep(shapes, counts, seed=7)
+        oracle = sweep(shapes, counts, seed=7, engine="oracle")
+        sim_by_key = {
+            (r.algorithm, str(r.shape), r.P): r for r in simulated
+        }
+        assert len(oracle) > 0
+        for record in oracle:
+            assert record.backend == "oracle"
+            assert record.correct is None
+            assert record.skew is None
+            sim = sim_by_key[(record.algorithm, str(record.shape), record.P)]
+            assert record.config == sim.config
+            assert record.words == sim.words
+            assert record.rounds == sim.rounds
+            assert record.flops == sim.flops
+            assert record.bound == sim.bound
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            sweep([ProblemShape(8, 8, 8)], [4], engine="guess")

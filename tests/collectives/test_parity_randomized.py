@@ -1,0 +1,213 @@
+"""Randomized parity: every collective's closed-form cost vs its simulation.
+
+``collectives/cost_formulas.py`` claims each schedule's simulated cost
+*equals* the textbook formula in the equal-chunk case.  The fixed-point
+tests in ``test_cost_formulas.py`` check a handful of sizes; here a seeded
+randomized grid of (rank count, chunk words) pairs — powers of two and not,
+word sizes divisible by the group and not — asserts the parity exactly on
+every one of them.  Reducing collectives are built with ``machine=m`` so
+their flop charges land on the machine, matching the formulas' flops term.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allgather_bruck,
+    allgather_cost,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_cost,
+    allreduce_recursive_doubling,
+    allreduce_rsag,
+    alltoall_bruck,
+    alltoall_cost,
+    alltoall_pairwise,
+    barrier_cost,
+    barrier_dissemination,
+    broadcast_binomial,
+    broadcast_cost,
+    broadcast_scatter_allgather,
+    gather_binomial,
+    gather_cost,
+    reduce_binomial,
+    reduce_cost,
+    reduce_scatter_cost,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_ring,
+    run_schedule,
+    scatter_binomial,
+    scatter_cost,
+)
+from repro.machine import Machine
+
+# Seeded random grid: ~40 (p, w) pairs spanning 2..17 ranks and 1..24-word
+# chunks.  A fixed seed keeps the grid identical on every run and machine
+# (the randomness buys coverage, not flakiness).
+_GRID_RNG = np.random.default_rng(20220705)
+GRID = sorted(
+    {
+        (int(p), int(w))
+        for p, w in zip(
+            _GRID_RNG.integers(2, 18, size=48),
+            _GRID_RNG.integers(1, 25, size=48),
+        )
+    }
+)
+POW2_GRID = [(p, w) for p, w in GRID if p & (p - 1) == 0]
+
+
+def _simulate(P, build, with_machine=False):
+    """Run a schedule over ranks 0..P-1 and return the machine's cost."""
+    machine = Machine(P)
+    group = tuple(range(P))
+    schedule = build(group, machine) if with_machine else build(group)
+    run_schedule(machine, schedule)
+    return machine.cost
+
+
+def _assert_parity(cost, formula):
+    assert cost.rounds == formula.rounds
+    assert cost.words == formula.words
+    assert cost.flops == formula.flops
+
+
+def _chunks(rng, P, w):
+    return {r: rng.random(w) for r in range(P)}
+
+
+def _blocks(rng, P, w):
+    return {r: [rng.random(w) for _ in range(P)] for r in range(P)}
+
+
+class TestAllGatherParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_ring(self, rng, p, w):
+        cost = _simulate(p, lambda g: allgather_ring(g, _chunks(rng, p, w)))
+        _assert_parity(cost, allgather_cost(p, p * w, "ring"))
+
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_bruck(self, rng, p, w):
+        cost = _simulate(p, lambda g: allgather_bruck(g, _chunks(rng, p, w)))
+        _assert_parity(cost, allgather_cost(p, p * w, "bruck"))
+
+    @pytest.mark.parametrize("p,w", POW2_GRID)
+    def test_recursive_doubling(self, rng, p, w):
+        cost = _simulate(
+            p, lambda g: allgather_recursive_doubling(g, _chunks(rng, p, w))
+        )
+        _assert_parity(cost, allgather_cost(p, p * w, "recursive_doubling"))
+
+
+class TestReduceScatterParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_ring(self, rng, p, w):
+        cost = _simulate(
+            p,
+            lambda g, m: reduce_scatter_ring(g, _blocks(rng, p, w), machine=m),
+            with_machine=True,
+        )
+        _assert_parity(cost, reduce_scatter_cost(p, p * w, "ring"))
+
+    @pytest.mark.parametrize("p,w", POW2_GRID)
+    def test_recursive_halving(self, rng, p, w):
+        cost = _simulate(
+            p,
+            lambda g, m: reduce_scatter_recursive_halving(
+                g, _blocks(rng, p, w), machine=m
+            ),
+            with_machine=True,
+        )
+        _assert_parity(cost, reduce_scatter_cost(p, p * w, "recursive_halving"))
+
+
+class TestBroadcastParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_binomial(self, rng, p, w):
+        value = rng.random(p * w)
+        cost = _simulate(p, lambda g: broadcast_binomial(g, 0, value))
+        _assert_parity(cost, broadcast_cost(p, p * w, "binomial"))
+
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_scatter_allgather(self, rng, p, w):
+        # p | value size, so the scatter's pieces are equal and the formula's
+        # (1 - 1/p) W term is exact.
+        value = rng.random(p * w)
+        cost = _simulate(p, lambda g: broadcast_scatter_allgather(g, 0, value))
+        _assert_parity(cost, broadcast_cost(p, p * w, "scatter_allgather"))
+
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_nonroot_origin(self, rng, p, w):
+        # The formula has no root parameter; the simulated cost must not
+        # depend on which member broadcasts.
+        value = rng.random(p * w)
+        cost = _simulate(p, lambda g: broadcast_binomial(g, p - 1, value))
+        _assert_parity(cost, broadcast_cost(p, p * w, "binomial"))
+
+
+class TestReduceParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_binomial(self, rng, p, w):
+        cost = _simulate(
+            p,
+            lambda g, m: reduce_binomial(g, 0, _chunks(rng, p, w), machine=m),
+            with_machine=True,
+        )
+        _assert_parity(cost, reduce_cost(p, w, "binomial"))
+
+
+class TestAllReduceParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_rsag(self, rng, p, w):
+        # Values of p*w words so the internal reduce-scatter blocks are equal.
+        values = {r: rng.random(p * w) for r in range(p)}
+        cost = _simulate(
+            p,
+            lambda g, m: allreduce_rsag(g, values, machine=m),
+            with_machine=True,
+        )
+        _assert_parity(cost, allreduce_cost(p, p * w))
+
+    @pytest.mark.parametrize("p,w", POW2_GRID)
+    def test_recursive_doubling(self, rng, p, w):
+        cost = _simulate(
+            p,
+            lambda g, m: allreduce_recursive_doubling(
+                g, _chunks(rng, p, w), machine=m
+            ),
+            with_machine=True,
+        )
+        _assert_parity(cost, allreduce_cost(p, w, "recursive_doubling"))
+
+
+class TestAllToAllParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_pairwise(self, rng, p, w):
+        cost = _simulate(
+            p, lambda g: alltoall_pairwise(g, _blocks(rng, p, w))
+        )
+        _assert_parity(cost, alltoall_cost(p, p * w, "pairwise"))
+
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_bruck(self, rng, p, w):
+        cost = _simulate(p, lambda g: alltoall_bruck(g, _blocks(rng, p, w)))
+        _assert_parity(cost, alltoall_cost(p, p * w, "bruck"))
+
+
+class TestGatherScatterBarrierParity:
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_gather(self, rng, p, w):
+        cost = _simulate(p, lambda g: gather_binomial(g, 0, _chunks(rng, p, w)))
+        _assert_parity(cost, gather_cost(p, p * w))
+
+    @pytest.mark.parametrize("p,w", GRID)
+    def test_scatter(self, rng, p, w):
+        cost = _simulate(
+            p, lambda g: scatter_binomial(g, 0, _chunks(rng, p, w))
+        )
+        _assert_parity(cost, scatter_cost(p, p * w))
+
+    @pytest.mark.parametrize("p", sorted({p for p, _ in GRID}))
+    def test_barrier(self, p):
+        cost = _simulate(p, lambda g: barrier_dissemination(g))
+        _assert_parity(cost, barrier_cost(p))

@@ -3,6 +3,17 @@
 import numpy as np
 import pytest
 
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+else:
+    # Derandomized so every run (and every xdist shard) replays the same
+    # example sequence; no deadline because the bound solver's first call
+    # pays numpy import costs that would trip per-example timing.
+    settings.register_profile("repro", derandomize=True, deadline=None, max_examples=200)
+    settings.load_profile("repro")
+
 
 @pytest.fixture
 def rng():

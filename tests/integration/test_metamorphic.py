@@ -1,0 +1,106 @@
+"""Metamorphic tests: simulator cost relations under problem transformations.
+
+No oracle values appear here.  Instead the *relation* between two simulated
+runs is asserted:
+
+* **Dimension scaling** — scaling all three dimensions by ``s`` (with the
+  processor count fixed) multiplies Algorithm 1's communicated words by
+  exactly ``s**2``: every word term in eq. (3) is a product of two
+  dimensions divided by grid factors, and the optimal grid is invariant
+  under uniform scaling.  The Theorem 3 bound scales identically (each
+  case's formula is degree-2 in the dimensions), so bound attainment is
+  scale-invariant too.
+* **Transpose symmetry** — swapping ``n1`` and ``n3`` transposes the
+  problem (``C = A B`` becomes ``C^T = B^T A^T``) and must leave
+  Algorithm 1's rounds, words and flops unchanged; the optimal grid simply
+  mirrors (``p1 x p2 x p3`` becomes ``p3 x p2 x p1``).
+
+These catch a class of bug fixed-point tests cannot: an error in the cost
+accounting that scales wrongly, or an asymmetry smuggled into the grid
+search, shifts *both* runs of a fixed-point pair but breaks the relation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.core import ProblemShape
+from repro.core.lower_bounds import memory_independent_bound
+
+# One point per Theorem 3 case, plus a mixed-aspect shape; chosen so the
+# scaled problems stay small enough for the data backend.
+SCALING_POINTS = [
+    (64, 4, 4, 4, 2),     # case 1
+    (32, 32, 4, 16, 2),   # case 2
+    (16, 16, 16, 8, 3),   # case 3
+    (16, 8, 4, 4, 2),
+]
+
+SWAP_POINTS = [
+    (64, 4, 4, 4),
+    (32, 32, 4, 16),
+    (16, 16, 16, 8),
+    (24, 12, 6, 6),
+    (8, 16, 32, 8),
+]
+
+
+def _run(rng, n1, n2, n3, P):
+    A = rng.random((n1, n2))
+    B = rng.random((n2, n3))
+    return run_algorithm("alg1", A, B, P)
+
+
+class TestDimensionScaling:
+    @pytest.mark.parametrize("n1,n2,n3,P,s", SCALING_POINTS)
+    def test_words_scale_quadratically(self, rng, n1, n2, n3, P, s):
+        base = _run(rng, n1, n2, n3, P)
+        scaled = _run(rng, s * n1, s * n2, s * n3, P)
+        # same optimal grid, so the same schedule shape: rounds unchanged
+        assert scaled.config == base.config
+        assert scaled.cost.rounds == base.cost.rounds
+        assert scaled.cost.words == s * s * base.cost.words
+
+    @pytest.mark.parametrize("n1,n2,n3,P,s", SCALING_POINTS)
+    def test_bound_and_attainment_scale_invariant(self, rng, n1, n2, n3, P, s):
+        shape = ProblemShape(n1, n2, n3)
+        scaled_shape = ProblemShape(s * n1, s * n2, s * n3)
+        base_bound = memory_independent_bound(shape, P)
+        scaled_bound = memory_independent_bound(scaled_shape, P)
+        assert scaled_bound.regime == base_bound.regime
+        assert scaled_bound.communicated == pytest.approx(
+            s * s * base_bound.communicated, rel=1e-12
+        )
+        base = _run(rng, n1, n2, n3, P)
+        scaled = _run(rng, s * n1, s * n2, s * n3, P)
+        assert scaled.attainment.ratio == pytest.approx(
+            base.attainment.ratio, rel=1e-12
+        )
+
+
+class TestTransposeSymmetry:
+    @pytest.mark.parametrize("n1,n2,n3,P", SWAP_POINTS)
+    def test_swap_n1_n3_preserves_cost(self, rng, n1, n2, n3, P):
+        base = _run(rng, n1, n2, n3, P)
+        swapped = _run(rng, n3, n2, n1, P)
+        assert swapped.cost.rounds == base.cost.rounds
+        assert swapped.cost.words == base.cost.words
+        assert swapped.cost.flops == base.cost.flops
+
+    @pytest.mark.parametrize("n1,n2,n3,P", SWAP_POINTS)
+    def test_swap_mirrors_grid(self, rng, n1, n2, n3, P):
+        base = _run(rng, n1, n2, n3, P)
+        swapped = _run(rng, n3, n2, n1, P)
+        p1, p2, p3 = (
+            base.config.removeprefix("grid ").split(",")[0].split("x")
+        )
+        mirrored = f"grid {p3}x{p2}x{p1}"
+        assert swapped.config.startswith(mirrored)
+
+    @pytest.mark.parametrize("n1,n2,n3,P", SWAP_POINTS)
+    def test_swap_transposes_product(self, rng, n1, n2, n3, P):
+        A = np.asarray(rng.random((n1, n2)))
+        B = np.asarray(rng.random((n2, n3)))
+        base = run_algorithm("alg1", A, B, P)
+        swapped = run_algorithm("alg1", B.T.copy(), A.T.copy(), P)
+        np.testing.assert_allclose(swapped.C, base.C.T, rtol=1e-12)

@@ -465,3 +465,98 @@ class TestLedgerFaultyDiff:
         assert main(["ledger", "diff", str(pair[0]), str(pair[1]),
                      "--path", str(path)]) == 0
         assert "fault-injected" not in capsys.readouterr().err
+
+
+class TestLedgerDiffExitContract:
+    """Pin the documented exit-code contract of ``ledger diff``.
+
+    0 = the comparison ran (even if it found differences, even with the
+    fault warning); 2 = usage error (unreadable ledger, bad index, mixed
+    backends without --allow-mixed).  Never 1: a diff has no "failure".
+    """
+
+    def populate_differing(self, tmp_path):
+        """Two records whose model costs genuinely differ."""
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        sweep([ProblemShape(32, 32, 4)], [16], algorithms=["alg1"],
+              ledger=ledger, label="small")
+        sweep([ProblemShape(64, 64, 8)], [16], algorithms=["alg1"],
+              ledger=ledger, label="large")
+        return path
+
+    def test_diff_with_differences_still_exits_zero(self, tmp_path, capsys):
+        path = self.populate_differing(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "words" in out  # the difference was reported...
+        # ...and reporting it is success, not failure.
+
+    def test_diff_out_of_range_index_exits_2(self, tmp_path, capsys):
+        path = self.populate_differing(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "99", "--path", str(path)]) == 2
+        assert "no record 99" in capsys.readouterr().err
+
+    def test_diff_unreadable_ledger_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["ledger", "diff", "0", "1", "--path", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read ledger" in err
+        assert "Traceback" not in err
+
+
+class TestRunOracle:
+    def test_oracle_prediction_exits_zero(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16", "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "engine oracle" in out
+        assert "predicted words" in out
+        assert "tight: True" in out
+
+    def test_oracle_matches_simulated_words(self, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16"]) == 0
+        simulated = capsys.readouterr().out
+        assert main(["run", "96", "24", "6", "-p", "16", "--oracle"]) == 0
+        predicted = capsys.readouterr().out
+        sim_words = next(l for l in simulated.splitlines() if "words" in l)
+        pred_words = next(
+            l for l in predicted.splitlines() if "predicted words" in l
+        )
+        # both lines carry the same %g-formatted word count
+        sim_value = sim_words.split("words:")[1].split()[0]
+        pred_value = pred_words.split("words:")[1].split()[0]
+        assert sim_value == pred_value
+
+    def test_oracle_rejects_machine_flags(self, tmp_path, capsys):
+        assert main(["run", "96", "24", "6", "-p", "16", "--oracle",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        assert "no machine" in capsys.readouterr().err
+
+    def test_oracle_unsupported_configuration_exits_1(self, capsys):
+        assert main(["run", "7", "5", "3", "-p", "4", "--oracle"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot predict" in err
+        assert "drop --oracle" in err
+
+
+class TestWorkersFlag:
+    def test_bench_rejects_negative_workers(self, tmp_path, capsys):
+        assert main(["bench", "--label", "x", "--output", str(tmp_path),
+                     "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_chaos_rejects_negative_workers(self, capsys):
+        assert main(["chaos", "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_chaos_accepts_explicit_workers(self, capsys):
+        assert main(["chaos", "--algorithms", "alg1", "--seeds", "1",
+                     "--schedules", "drop-retry", "--workers", "2"]) == 0
+        assert "trichotomy" in capsys.readouterr().out
