@@ -311,6 +311,9 @@ def run_chaos(
     ledger=None,
     label: str = "chaos",
     workers: int = 1,
+    telemetry=None,
+    profile=None,
+    progress=None,
 ) -> ChaosReport:
     """Cross algorithms x regime points x fault schedules x seeds.
 
@@ -342,10 +345,16 @@ def run_chaos(
         a full (regime point, algorithm) column of the matrix; outcomes
         are identical to the serial run because fault decisions draw from
         per-cell seeded models and operands from per-regime seeds.
+    telemetry, profile, progress:
+        Optional driver-observability sinks (see
+        :func:`repro.parallel.parallel_map`); all inert by default and
+        none of them can perturb outcomes — they only watch wall clocks.
 
     Returns a :class:`ChaosReport`; ``report.ok`` is the trichotomy
     verdict for the whole matrix.
     """
+    from ..obs.telemetry import maybe_stage
+
     backend_obj = resolve_backend(backend)
     names = list(algorithms) if algorithms is not None else list(REGISTRY)
     schedule_names = tuple(schedules) if schedules is not None else tuple(SCHEDULES)
@@ -356,25 +365,38 @@ def run_chaos(
             )
     grid = points if points is not None else REGIME_POINTS
 
-    tasks = []
-    for regime_index, (regime, (shape, P)) in enumerate(grid.items()):
-        runnable = set(applicable_algorithms(shape, P))
-        for name in names:
-            if name not in runnable:
-                continue
-            tasks.append((
-                name, regime, regime_index, shape, P, schedule_names,
-                tuple(seeds), backend, operand_seed, ledger is not None,
-                label,
-            ))
-    results = parallel_map(_chaos_task, tasks, workers=workers)
+    with maybe_stage(telemetry, "plan"):
+        tasks = []
+        for regime_index, (regime, (shape, P)) in enumerate(grid.items()):
+            runnable = set(applicable_algorithms(shape, P))
+            for name in names:
+                if name not in runnable:
+                    continue
+                tasks.append((
+                    name, regime, regime_index, shape, P, schedule_names,
+                    tuple(seeds), backend, operand_seed, ledger is not None,
+                    label,
+                ))
+    with maybe_stage(telemetry, "map", tasks=len(tasks), workers=workers):
+        results = parallel_map(
+            _chaos_task, tasks, workers=workers,
+            telemetry=telemetry, profile=profile, progress=progress,
+            label="chaos-cell",
+        )
 
     rows: List[ChaosOutcome] = []
-    for task_rows, task_records in results:
-        rows.extend(task_rows)
+    with maybe_stage(telemetry, "merge"):
+        for index, (task_rows, _records) in enumerate(results):
+            rows.extend(task_rows)
+            if telemetry is not None:
+                telemetry.set_task_items(
+                    index, len(task_rows), label="chaos-cell"
+                )
+    with maybe_stage(telemetry, "ledger-append"):
         if ledger is not None:
-            for record in task_records:
-                ledger.append(record)
+            for _task_rows, task_records in results:
+                for record in task_records:
+                    ledger.append(record)
     return ChaosReport(rows=rows, backend=backend_obj.name, seeds=tuple(seeds))
 
 

@@ -124,6 +124,9 @@ def run_large_p_sweep(
     ledger=None,
     label: str = "large-p",
     workers: int = 1,
+    telemetry=None,
+    profile=None,
+    progress=None,
 ) -> List[LargePResult]:
     """Run Algorithm 1 symbolically on each large-P point and check tightness.
 
@@ -132,22 +135,37 @@ def run_large_p_sweep(
     constant (1, 2 or 3), since the bound itself carries the constant.
     With ``workers > 1`` the points run in a process pool (one point per
     task); results and ledger records keep point order either way.
+    ``telemetry``/``profile``/``progress`` are the optional driver
+    observability sinks of :func:`repro.parallel.parallel_map` — inert by
+    default, and unable to perturb measured costs.
 
     Raises
     ------
     BoundViolationError
         If a point is misclassified or the measured words miss the bound.
     """
-    tasks = [
-        (point, tight_tol)
-        for point in (points if points is not None else LARGE_P_POINTS)
-    ]
-    results = parallel_map(_large_p_task, tasks, workers=workers)
-    if ledger is not None:
-        from ..obs.ledger import RunRecord
+    from ..obs.telemetry import maybe_stage
 
-        for result in results:
-            ledger.append(RunRecord.from_sweep(result.record, label=label))
+    with maybe_stage(telemetry, "plan"):
+        tasks = [
+            (point, tight_tol)
+            for point in (points if points is not None else LARGE_P_POINTS)
+        ]
+    with maybe_stage(telemetry, "map", tasks=len(tasks), workers=workers):
+        results = parallel_map(
+            _large_p_task, tasks, workers=workers,
+            telemetry=telemetry, profile=profile, progress=progress,
+            label="large-p-point",
+        )
+    if telemetry is not None:
+        for index, _result in enumerate(results):
+            telemetry.set_task_items(index, 1, label="large-p-point")
+    with maybe_stage(telemetry, "ledger-append"):
+        if ledger is not None:
+            from ..obs.ledger import RunRecord
+
+            for result in results:
+                ledger.append(RunRecord.from_sweep(result.record, label=label))
     return results
 
 

@@ -77,22 +77,37 @@ class SweepRecord:
     flops: float = 0.0
     skew: Optional[RankSkew] = None
     backend: str = "data"
+    #: Index of the ``parallel_map`` task (= shape index) that produced
+    #: this record; populated only under driver telemetry so merged
+    #: :class:`~repro.obs.telemetry.TaskSpan` timelines join records
+    #: without positional guessing.  ``None`` (the default) keeps
+    #: telemetry-off records — and the ledger lines derived from them —
+    #: byte-identical to pre-telemetry behaviour.
+    task_index: Optional[int] = None
 
 
 def _sweep_shape(
     task: Tuple[ProblemShape, int, Tuple[int, ...], Tuple[str, ...], int,
-                str, Optional[str], str],
-) -> List[SweepRecord]:
+                str, Optional[str], str, bool],
+) -> Tuple[List[SweepRecord], Optional[dict]]:
     """Run one shape's full ``(P, algorithm)`` grid; one process-pool task.
 
     Module-level (picklable) with a plain-data argument tuple so it can
     cross the process boundary; the operand RNG is seeded from
     ``(seed, shape_index)`` so results are identical no matter which
     worker runs the task or in what order.
+
+    Returns ``(records, stage_seconds)``: ``stage_seconds`` breaks the
+    task's wall-clock into the driver stages that happen *inside* the
+    worker (``operands`` / ``evaluate`` / ``verify``) and is ``None``
+    unless the final ``want_telemetry`` flag is set, so untimed sweeps
+    run the exact pre-telemetry loop.
     """
     (shape, shape_index, processor_counts, names, seed,
-     backend, collective_algorithm, engine) = task
+     backend, collective_algorithm, engine, want_telemetry) = task
 
+    timings = {"operands": 0.0, "evaluate": 0.0, "verify": 0.0}
+    record_index = shape_index if want_telemetry else None
     records: List[SweepRecord] = []
     if engine == "oracle":
         from .oracle import predict_cost
@@ -111,6 +126,8 @@ def _sweep_shape(
                 except OracleUnsupportedError:
                     continue
                 elapsed = time.perf_counter() - start
+                timings["evaluate"] += elapsed
+                verify_start = time.perf_counter()
                 check = check_cost_against_bound(shape, P, pred.cost)
                 if not check.satisfied:
                     raise BoundViolationError(
@@ -118,6 +135,7 @@ def _sweep_shape(
                         f"{shape}, P={P}: {pred.cost.words} < "
                         f"{check.bound.communicated}"
                     )
+                timings["verify"] += time.perf_counter() - verify_start
                 records.append(SweepRecord(
                     algorithm=name,
                     config=pred.config,
@@ -132,10 +150,12 @@ def _sweep_shape(
                     flops=pred.cost.flops,
                     skew=None,
                     backend="oracle",
+                    task_index=record_index,
                 ))
-        return records
+        return records, (timings if want_telemetry else None)
 
     backend_obj = resolve_backend(backend)
+    operand_start = time.perf_counter()
     rng = np.random.default_rng(task_seed(seed, shape_index))
     if backend_obj.verifies:
         A = rng.random((shape.n1, shape.n2))
@@ -144,6 +164,7 @@ def _sweep_shape(
     else:
         A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
         expected = None
+    timings["operands"] = time.perf_counter() - operand_start
     for P in processor_counts:
         runnable = set(applicable_algorithms(shape, P))
         for name in names:
@@ -154,6 +175,8 @@ def _sweep_shape(
                 name, A, B, P, collective_algorithm=collective_algorithm,
             )
             elapsed = time.perf_counter() - start
+            timings["evaluate"] += elapsed
+            verify_start = time.perf_counter()
             correct = (
                 bool(np.allclose(run.C, expected))
                 if backend_obj.verifies else None
@@ -168,6 +191,7 @@ def _sweep_shape(
                     f"{name} beat the lower bound on {shape}, P={P}: "
                     f"{run.cost.words} < {check.bound.communicated}"
                 )
+            timings["verify"] += time.perf_counter() - verify_start
             records.append(SweepRecord(
                 algorithm=name,
                 config=run.config,
@@ -182,8 +206,9 @@ def _sweep_shape(
                 flops=run.cost.flops,
                 skew=None if run.machine is None else run.machine.rank_skew(),
                 backend=backend_obj.name,
+                task_index=record_index,
             ))
-    return records
+    return records, (timings if want_telemetry else None)
 
 
 def sweep(
@@ -197,6 +222,9 @@ def sweep(
     collective_algorithm: Optional[str] = None,
     workers: int = 1,
     engine: str = "simulate",
+    telemetry=None,
+    profile=None,
+    progress=None,
 ) -> List[SweepRecord]:
     """Run algorithms across shapes and processor counts.
 
@@ -234,6 +262,23 @@ def sweep(
         silently skipped, mirroring ``applicable_algorithms`` filtering),
         with ``backend="oracle"``, ``correct=None`` and no skew on every
         record.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry`: the driver then
+        records host-side stage spans (``plan`` / ``map`` / ``merge`` /
+        ``ledger-append``), one :class:`~repro.obs.telemetry.TaskSpan`
+        per shape task (worker pid, queue wait, duration, records
+        produced), worker-side stage second counters (``operands`` /
+        ``evaluate`` / ``verify``), and every record/ledger line carries
+        its ``task_index`` plus a per-task telemetry summary.  ``None``
+        (the default) runs the exact uninstrumented path — model costs,
+        records and ledger bytes are unperturbed either way.
+    profile:
+        Optional :class:`repro.obs.profile.ProfileCollector`: every task
+        runs under cProfile (in its worker) and the stats merge into the
+        collector for a cross-process hotspot table.
+    progress:
+        Optional :class:`repro.obs.telemetry.ProgressReporter`,
+        heartbeat-updated as shape tasks complete.
 
     Raises
     ------
@@ -248,22 +293,60 @@ def sweep(
     control flow (typed exceptions from :mod:`repro.exceptions`), not
     ``assert`` statements, so they survive ``python -O``.
     """
+    from ..obs.telemetry import maybe_stage
+
     if engine not in ("simulate", "oracle"):
         raise ValueError(f"unknown sweep engine {engine!r}")
     if engine == "simulate":
         resolve_backend(backend)  # validate the name before forking tasks
-    names = tuple(algorithms) if algorithms is not None else tuple(REGISTRY)
-    counts = tuple(processor_counts)
-    tasks = [
-        (shape, index, counts, names, seed, backend, collective_algorithm,
-         engine)
-        for index, shape in enumerate(shapes)
-    ]
-    per_shape = parallel_map(_sweep_shape, tasks, workers=workers)
-    records: List[SweepRecord] = [rec for batch in per_shape for rec in batch]
-    if ledger is not None:
-        from ..obs.ledger import RunRecord
+    with maybe_stage(telemetry, "plan"):
+        names = tuple(algorithms) if algorithms is not None else tuple(REGISTRY)
+        counts = tuple(processor_counts)
+        tasks = [
+            (shape, index, counts, names, seed, backend,
+             collective_algorithm, engine, telemetry is not None)
+            for index, shape in enumerate(shapes)
+        ]
+    with maybe_stage(telemetry, "map", tasks=len(tasks), workers=workers):
+        results = parallel_map(
+            _sweep_shape, tasks, workers=workers,
+            telemetry=telemetry, profile=profile, progress=progress,
+            label="sweep-shape",
+        )
+    with maybe_stage(telemetry, "merge"):
+        records: List[SweepRecord] = [
+            rec for batch, _timings in results for rec in batch
+        ]
+        if telemetry is not None:
+            for index, (batch, timings) in enumerate(results):
+                telemetry.set_task_items(index, len(batch), label="sweep-shape")
+                for stage, seconds in (timings or {}).items():
+                    telemetry.metrics.counter(
+                        "worker_stage_seconds_total", stage=stage
+                    ).inc(seconds)
+    with maybe_stage(telemetry, "ledger-append"):
+        if ledger is not None:
+            from ..obs.ledger import RunRecord
 
-        for record in records:
-            ledger.append(RunRecord.from_sweep(record, label=label))
+            for record in records:
+                ledger.append(RunRecord.from_sweep(
+                    record, label=label,
+                    telemetry=_task_telemetry(telemetry, record),
+                ))
     return records
+
+
+def _task_telemetry(telemetry, record: SweepRecord) -> Optional[dict]:
+    """The per-task telemetry summary a ledger record carries (or ``None``)."""
+    if telemetry is None or record.task_index is None:
+        return None
+    span = telemetry.task_by_index(record.task_index, label="sweep-shape")
+    if span is None:
+        return None
+    return {
+        "task_index": span.index,
+        "worker_pid": span.worker_pid,
+        "queue_wait": span.queue_wait,
+        "task_duration": span.duration,
+        "items": span.items,
+    }

@@ -28,6 +28,19 @@ Gives downstream users the paper's results without writing any code:
     one (shape, P) point per Theorem 3 case, asserting the fault-layer
     trichotomy: recovered with accounted cost, typed detection, or
     fail-stop — never silent corruption.  Exit 1 on any violation.
+``sweep [--shapes N1xN2xN3,...] [--procs P,Q] [--workers N]``
+    Run the generic parameter sweep over registered algorithms and print
+    one row per (algorithm, shape, P) measurement; optionally append to
+    the experiment ledger.
+``large-p [--workers N]``
+    The production-scale attainment sweep: Algorithm 1 on the symbolic
+    backend at P up to 10^5, one point per Theorem 3 case, asserting the
+    bound is attained with the tight constant.
+``profile DRIVER [--top N] [--collapsed PATH]``
+    Run a representative DRIVER workload (sweep / chaos / large-p /
+    bench) under cProfile — in every pool worker, merged across
+    processes — and print the top-N hotspot table; ``--collapsed``
+    writes flamegraph-ready folded stacks.
 ``ledger list | show N | diff N M``
     Read the persistent experiment ledger back: the run history, one full
     record, or a field-by-field comparison of two records.  ``diff``
@@ -45,6 +58,14 @@ Gives downstream users the paper's results without writing any code:
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
+
+The driver commands (``sweep`` / ``chaos`` / ``bench`` / ``large-p``)
+share an observability flag group — ``--telemetry`` / ``--trace-out`` /
+``--telemetry-out`` / ``--profile`` / ``--profile-out`` / ``--progress``
+— that records host-process stage spans, per-worker task spans and
+cProfile hotspots (see docs/OBSERVABILITY.md).  All of it is opt-in and
+zero-cost when off: model costs, results and ledger bytes are identical
+with or without it.
 """
 
 from __future__ import annotations
@@ -56,6 +77,103 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: Default ``repro sweep`` grid: six shapes spanning the Theorem 3
+#: regimes, small enough for the data backend to simulate in seconds but
+#: wide enough that a pooled sweep exercises several workers.
+DEFAULT_SWEEP_SHAPES = "16x16x16,32x8x4,64x16x4,32x32x32,96x24x6,48x24x12"
+DEFAULT_SWEEP_PROCS = "4,16"
+
+
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    """The shared driver-observability flag group (zero-cost when off)."""
+    g = p.add_argument_group("driver observability")
+    g.add_argument("--telemetry", action="store_true",
+                   help="record driver stage spans and per-worker task "
+                        "spans; print the utilization digest (straggler "
+                        "skew, queue waits, throughput)")
+    g.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the merged driver+worker timeline as "
+                        "chrome://tracing JSON (implies --telemetry)")
+    g.add_argument("--telemetry-out", metavar="PATH", default=None,
+                   help="write driver telemetry as JSON-lines records "
+                        "(implies --telemetry)")
+    g.add_argument("--profile", action="store_true",
+                   help="run every task under cProfile (parent and pool "
+                        "workers) and print the merged top-N hotspot table")
+    g.add_argument("--profile-out", metavar="PATH", default=None,
+                   help="write the merged profile as collapsed stacks for "
+                        "flamegraph.pl / speedscope (implies --profile)")
+    g.add_argument("--progress", action="store_true",
+                   help="heartbeat progress lines (done/total, rate, ETA) "
+                        "to stderr")
+
+
+def _build_observability(args: argparse.Namespace, driver: str, total: int = 0):
+    """(telemetry, profile, progress) sinks for a driver command's flags."""
+    from .obs.profile import ProfileCollector
+    from .obs.telemetry import ProgressReporter, Telemetry
+
+    want_telemetry = args.telemetry or args.trace_out or args.telemetry_out
+    telemetry = Telemetry(driver) if want_telemetry else None
+    profile = ProfileCollector() if (args.profile or args.profile_out) else None
+    progress = ProgressReporter(total, label=driver) if args.progress else None
+    return telemetry, profile, progress
+
+
+def _report_observability(
+    args: argparse.Namespace, telemetry, profile, top: int = 15
+) -> int:
+    """Print digests and write the requested exports; 0 ok, 2 on I/O error."""
+    from .obs.exporters import export_telemetry_chrome, export_telemetry_jsonl
+    from .obs.profile import write_collapsed
+
+    try:
+        if telemetry is not None:
+            print(telemetry.render())
+            if args.trace_out:
+                n = export_telemetry_chrome(telemetry, args.trace_out)
+                print(f"wrote merged Chrome trace ({n} events) to "
+                      f"{args.trace_out}")
+            if args.telemetry_out:
+                n = export_telemetry_jsonl(telemetry, args.telemetry_out)
+                print(f"wrote {n} telemetry records to {args.telemetry_out}")
+        if profile is not None:
+            print(profile.render(top=top))
+            if args.profile_out:
+                n = write_collapsed(profile.stats(), args.profile_out)
+                print(f"wrote {n} collapsed stacks to {args.profile_out}")
+    except OSError as exc:
+        print(f"cannot write observability output: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _parse_shapes(text: str):
+    """Parse ``"16x16x16,32x8x4"`` into ProblemShape objects."""
+    from .core import ProblemShape
+
+    shapes = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        dims = part.lower().split("x")
+        if len(dims) != 3:
+            raise ValueError(
+                f"shape {part!r} is not of the form N1xN2xN3"
+            )
+        shapes.append(ProblemShape(*(int(d) for d in dims)))
+    if not shapes:
+        raise ValueError("no shapes given")
+    return shapes
+
+
+def _parse_ints(text: str) -> List[int]:
+    out = [int(p) for p in text.split(",") if p.strip()]
+    if not out:
+        raise ValueError("no values given")
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,6 +266,76 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width for harnesses and sweep "
                               "points (default 1 = serial; model costs are "
                               "bit-identical for any N)")
+    _add_observability_flags(p_bench)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run the generic parameter sweep over registered algorithms",
+    )
+    p_sweep.add_argument("--shapes", default=DEFAULT_SWEEP_SHAPES,
+                         metavar="N1xN2xN3,...",
+                         help=f"comma-separated problem shapes "
+                              f"(default {DEFAULT_SWEEP_SHAPES})")
+    p_sweep.add_argument("--procs", default=DEFAULT_SWEEP_PROCS,
+                         metavar="P,Q,...",
+                         help=f"comma-separated processor counts "
+                              f"(default {DEFAULT_SWEEP_PROCS})")
+    p_sweep.add_argument("--algorithms", default=None, metavar="A,B,...",
+                         help="comma-separated registry names "
+                              "(default: every applicable algorithm)")
+    p_sweep.add_argument("--backend", choices=["data", "symbolic"],
+                         default="data",
+                         help="execution backend (symbolic scales to "
+                              "production-sized P)")
+    p_sweep.add_argument("--engine", choices=["simulate", "oracle"],
+                         default="simulate",
+                         help="'simulate' runs the machine model; 'oracle' "
+                              "evaluates the closed-form cost oracle "
+                              "(identical numbers where defined)")
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="operand RNG seed (per-shape streams are "
+                              "derived from (seed, shape_index))")
+    p_sweep.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="process-pool width (default 1 = serial; "
+                              "records are bit-identical for any N)")
+    p_sweep.add_argument("--ledger", metavar="PATH", default=None,
+                         help="append records to this experiment ledger")
+    p_sweep.add_argument("--label", default="sweep",
+                         help="ledger record label (default 'sweep')")
+    _add_observability_flags(p_sweep)
+
+    p_large = sub.add_parser(
+        "large-p",
+        help="production-scale attainment sweep (symbolic backend, "
+             "P up to 10^5)",
+    )
+    p_large.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="process-pool width (default 1 = serial)")
+    p_large.add_argument("--tight-tol", type=float, default=1e-9,
+                         metavar="TOL",
+                         help="relative attainment tolerance (default 1e-9)")
+    p_large.add_argument("--ledger", metavar="PATH", default=None,
+                         help="append records to this experiment ledger")
+    p_large.add_argument("--label", default="large-p",
+                         help="ledger record label (default 'large-p')")
+    _add_observability_flags(p_large)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile a driver workload under cProfile (merged across "
+             "pool workers) and print the hotspot table",
+    )
+    p_profile.add_argument("driver",
+                           choices=["sweep", "chaos", "large-p", "bench"],
+                           help="which driver workload to profile")
+    p_profile.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="process-pool width; workers profile "
+                                "themselves and ship stats back (default 1)")
+    p_profile.add_argument("--top", type=int, default=15, metavar="N",
+                           help="rows in the hotspot table (default 15)")
+    p_profile.add_argument("--collapsed", metavar="PATH", default=None,
+                           help="also write flamegraph-ready collapsed "
+                                "stacks to PATH")
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -177,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width for the chaos matrix "
                               "(default 1 = serial; outcomes are identical "
                               "for any N)")
+    _add_observability_flags(p_chaos)
 
     p_ledger = sub.add_parser(
         "ledger", help="read the persistent experiment ledger"
@@ -396,15 +585,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.workers < 0:
         print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
         return 2
+    telemetry, profile, progress = _build_observability(args, "bench")
     try:
         report = run_bench_suite(
             args.label, filter=args.filter, ledger=ledger,
             workers=args.workers,
+            telemetry=telemetry, profile=profile, progress=progress,
         )
     except VerificationError as exc:
         print(f"bench aborted (reproduction claim violated): {exc}",
               file=sys.stderr)
         return 1
+    code = _report_observability(args, telemetry, profile)
+    if code:
+        return code
     if not report.entries:
         print(f"no bench entries matched filter {args.filter!r}",
               file=sys.stderr)
@@ -473,6 +667,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
         return 2
     ledger = Ledger(args.ledger) if args.ledger else None
+    telemetry, profile, progress = _build_observability(args, "chaos")
     report = run_chaos(
         algorithms=algorithms,
         seeds=tuple(range(args.seeds)),
@@ -481,8 +676,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ledger=ledger,
         label=args.label,
         workers=args.workers,
+        telemetry=telemetry,
+        profile=profile,
+        progress=progress,
     )
     print(report.render())
+    code = _report_observability(args, telemetry, profile)
+    if code:
+        return code
     if args.json:
         try:
             report.write_json(args.json)
@@ -493,6 +694,146 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if ledger is not None:
         print(f"appended completed runs to {ledger.path}")
     return 0 if report.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import sweep
+    from .analysis.tables import format_table
+    from .obs.ledger import Ledger
+
+    try:
+        shapes = _parse_shapes(args.shapes)
+        procs = _parse_ints(args.procs)
+    except ValueError as exc:
+        print(f"bad sweep grid: {exc}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms else None
+    )
+    ledger = Ledger(args.ledger) if args.ledger else None
+    telemetry, profile, progress = _build_observability(
+        args, "sweep", total=len(shapes)
+    )
+    records = sweep(
+        shapes, procs,
+        algorithms=algorithms,
+        seed=args.seed,
+        backend=args.backend,
+        engine=args.engine,
+        workers=args.workers,
+        ledger=ledger,
+        label=args.label,
+        telemetry=telemetry,
+        profile=profile,
+        progress=progress,
+    )
+    headers = ["algorithm", "config", "shape", "P", "words", "rounds",
+               "attainment", "correct", "wall"]
+    rows = [
+        [r.algorithm, r.config,
+         "x".join(str(d) for d in r.shape.dims), str(r.P),
+         f"{r.words:g}", str(r.rounds), f"{r.gap_ratio:.6f}",
+         "-" if r.correct is None else str(r.correct),
+         f"{r.wall_clock:.4f}s"]
+        for r in records
+    ]
+    print(format_table(headers, rows))
+    print(f"{len(records)} records over {len(shapes)} shape(s) x "
+          f"{len(procs)} processor count(s)")
+    if ledger is not None:
+        print(f"appended {len(records)} records to {ledger.path}")
+    return _report_observability(args, telemetry, profile)
+
+
+def _cmd_large_p(args: argparse.Namespace) -> int:
+    from .analysis.large_p import run_large_p_sweep
+    from .exceptions import BoundViolationError
+    from .obs.ledger import Ledger
+
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    ledger = Ledger(args.ledger) if args.ledger else None
+    telemetry, profile, progress = _build_observability(
+        args, "large-p", total=3
+    )
+    try:
+        results = run_large_p_sweep(
+            tight_tol=args.tight_tol,
+            ledger=ledger,
+            label=args.label,
+            workers=args.workers,
+            telemetry=telemetry,
+            profile=profile,
+            progress=progress,
+        )
+    except BoundViolationError as exc:
+        print(f"large-P sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print("case  shape                 P       grid              "
+          "constant  words/bound   wall")
+    for r in results:
+        shape = "x".join(str(d) for d in r.point.shape.dims)
+        print(f"{r.point.case:<5} {shape:<21} {r.point.P:<7} "
+              f"{r.record.config:<17} {r.constant:<9g} {r.ratio:<13.9f} "
+              f"{r.wall_clock:6.1f}s")
+    if ledger is not None:
+        print(f"appended {len(results)} records to {ledger.path}")
+    return _report_observability(args, telemetry, profile)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile DRIVER``: profiled run of a representative workload."""
+    from .obs.profile import ProfileCollector, write_collapsed
+    from .obs.telemetry import Telemetry
+
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    profile = ProfileCollector()
+    telemetry = Telemetry(args.driver)
+    if args.driver == "sweep":
+        from .analysis.sweep import sweep
+
+        sweep(
+            _parse_shapes(DEFAULT_SWEEP_SHAPES),
+            _parse_ints(DEFAULT_SWEEP_PROCS),
+            workers=args.workers, telemetry=telemetry, profile=profile,
+        )
+    elif args.driver == "chaos":
+        from .analysis.chaos import run_chaos
+
+        run_chaos(
+            seeds=(0, 1), workers=args.workers,
+            telemetry=telemetry, profile=profile,
+        )
+    elif args.driver == "large-p":
+        from .analysis.large_p import run_large_p_sweep
+
+        run_large_p_sweep(
+            workers=args.workers, telemetry=telemetry, profile=profile
+        )
+    else:  # bench: the sweep-grid slice, no BENCH file or ledger writes
+        from .obs.bench import run_bench_suite
+
+        run_bench_suite(
+            "profile", filter="sweep:", ledger=None,
+            workers=args.workers, telemetry=telemetry, profile=profile,
+        )
+    print(telemetry.render())
+    print(profile.render(top=args.top))
+    if args.collapsed:
+        try:
+            n = write_collapsed(profile.stats(), args.collapsed)
+        except OSError as exc:
+            print(f"cannot write collapsed stacks: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {n} collapsed stacks to {args.collapsed}")
+    return 0
 
 
 def _default_ledger_path() -> str:
@@ -687,6 +1028,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_inspect(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "large-p":
+        return _cmd_large_p(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "ledger":

@@ -31,6 +31,7 @@ __all__ = [
     "RankFailedError",
     "LedgerError",
     "BaselineError",
+    "TaskError",
 ]
 
 
@@ -193,3 +194,15 @@ class LedgerError(ReproError):
 
 class BaselineError(ReproError):
     """A benchmark baseline file is missing, corrupt, or schema-incompatible."""
+
+
+class TaskError(ReproError):
+    """Context for a :func:`repro.parallel.parallel_map` task failure.
+
+    When a pooled task raises, the original exception is re-raised in the
+    parent **from** a ``TaskError`` naming the failing task's index, its
+    item ``repr`` and the worker-side traceback — so a failure deep in a
+    500-shape sweep points at the shape that broke instead of a bare
+    pickled traceback.  Callers that catch the original exception type
+    are unaffected; the context rides along on ``__cause__``.
+    """

@@ -35,6 +35,20 @@ in-run layer measures:
 * :mod:`repro.obs.regress` — the regression gate: exact on model-level
   costs and attainment, thresholded (default ±20%) on wall-clock.
 
+Driver-level observability (this layer's third half — the host process
+that orchestrates simulations, rather than the simulated machine):
+
+* :mod:`repro.obs.telemetry` — wall-clock stage spans for every driver
+  phase, per-task :class:`~repro.obs.telemetry.TaskSpan` records
+  propagated across the :func:`repro.parallel.parallel_map` process
+  boundary, worker-utilization/straggler statistics, and a throttled
+  progress heartbeat.  Strictly opt-in; a telemetry-off run executes the
+  pre-telemetry code path and produces byte-identical output.
+* :mod:`repro.obs.profile` — cProfile capture inside pool workers, raw
+  stats merged across processes into one hotspot table and a
+  collapsed-stack (flamegraph-ready) export; the backend of
+  ``repro profile`` and the ``--profile`` driver flags.
+
 See ``docs/OBSERVABILITY.md`` for a guided tour.
 """
 
@@ -54,8 +68,28 @@ from .exporters import (
     EXPORTERS,
     ChromeTraceExporter,
     JSONLinesExporter,
+    export_telemetry_chrome,
+    export_telemetry_jsonl,
     get_exporter,
     read_jsonl,
+    telemetry_jsonl_records,
+    telemetry_trace_events,
+)
+from .telemetry import (
+    ProgressReporter,
+    StageSpan,
+    TaskSpan,
+    Telemetry,
+    WorkerStats,
+    maybe_stage,
+)
+from .profile import (
+    ProfileCollector,
+    capture_stats,
+    collapsed_stacks,
+    hotspot_table,
+    merge_stats,
+    write_collapsed,
 )
 from .inspect import inspect_report, render_rank_table, render_span_tree
 from .ledger import (
@@ -96,27 +130,43 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "Ledger",
     "MetricsRegistry",
+    "ProfileCollector",
+    "ProgressReporter",
     "RankSkew",
     "RegressionReport",
     "RunRecord",
     "Span",
     "SpanRecorder",
+    "StageSpan",
+    "TaskSpan",
+    "Telemetry",
+    "WorkerStats",
     "bound_attainment",
+    "capture_stats",
+    "collapsed_stacks",
     "compare_entries",
     "compare_reports",
     "discover_bench_modules",
     "environment_fingerprint",
+    "export_telemetry_chrome",
+    "export_telemetry_jsonl",
     "get_exporter",
     "git_revision",
+    "hotspot_table",
     "inspect_report",
     "load_bench_report",
     "load_imbalance",
+    "maybe_stage",
     "merge_ledgers",
+    "merge_stats",
     "rank_skew",
     "read_jsonl",
     "record_attainment",
     "render_rank_table",
     "render_span_tree",
     "run_bench_suite",
+    "telemetry_jsonl_records",
+    "telemetry_trace_events",
     "update_machine_gauges",
+    "write_collapsed",
 ]

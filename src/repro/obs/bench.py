@@ -184,13 +184,23 @@ class BenchEntry:
 
 @dataclasses.dataclass
 class BenchReport:
-    """A full ``repro bench`` result: metadata plus one entry per row."""
+    """A full ``repro bench`` result: metadata plus one entry per row.
+
+    ``telemetry`` is the driver-telemetry summary
+    (:meth:`repro.obs.telemetry.Telemetry.summary`) of the invocation
+    that produced the report, or ``None`` when telemetry was off.
+    Additive field, serialized only when present: telemetry-off BENCH
+    files stay byte-identical to pre-telemetry output, and the
+    regression gate never reads it (wall-clock-derived, environment
+    bound).
+    """
 
     label: str
     entries: List[BenchEntry]
     timestamp: float = 0.0
     git_sha: Optional[str] = None
     env: Optional[dict] = None
+    telemetry: Optional[dict] = None
 
     def entry(self, name: str) -> Optional[BenchEntry]:
         for e in self.entries:
@@ -199,7 +209,7 @@ class BenchReport:
         return None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema": "repro-bench",
             "schema_version": BENCH_SCHEMA_VERSION,
             "label": self.label,
@@ -208,6 +218,9 @@ class BenchReport:
             "env": self.env,
             "entries": [e.to_dict() for e in self.entries],
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     def write(self, directory: Optional[str] = None) -> str:
         """Write ``BENCH_<label>.json`` into ``directory`` (default: repo root)."""
@@ -235,6 +248,7 @@ class BenchReport:
                 timestamp=float(data.get("timestamp", 0.0)),
                 git_sha=data.get("git_sha"),
                 env=data.get("env"),
+                telemetry=data.get("telemetry"),
             )
         except (KeyError, TypeError) as exc:
             raise BaselineError(f"malformed bench report: {exc}") from exc
@@ -408,6 +422,9 @@ def run_bench_suite(
     directory: Optional[str] = None,
     ledger=None,
     workers: int = 1,
+    telemetry=None,
+    profile=None,
+    progress=None,
 ) -> BenchReport:
     """Execute the benchmark suite and the standard sweep grid.
 
@@ -433,7 +450,14 @@ def run_bench_suite(
         every model-level number in the BENCH file is bit-identical to
         the serial run (only wall-clock readings vary, as they do between
         any two invocations).
+    telemetry, profile, progress:
+        Optional driver-observability sinks (see
+        :func:`repro.parallel.parallel_map`), all inert by default.  With
+        ``telemetry`` set, the report's additive ``telemetry`` field
+        carries the invocation's driver summary.
     """
+    from .telemetry import maybe_stage
+
     directory = bench_dir() if directory is None else directory
 
     if os.path.isdir(directory) and directory not in sys.path:
@@ -441,61 +465,88 @@ def run_bench_suite(
 
     from ..algorithms.registry import applicable_algorithms
 
-    module_tasks = [
-        (module_name, directory)
-        for module_name in discover_bench_modules(directory)
-        if not filter or filter in f"module:{module_name}"
-    ]
-    sweep_tasks = []
-    for shape, P in SWEEP_GRID:
-        wanted = tuple(
-            algorithm
-            for algorithm in applicable_algorithms(shape, P)
-            if not filter or filter in _sweep_point_name(algorithm, shape, P)
-        )
-        if wanted:
-            sweep_tasks.append((shape, P, wanted))
-    symbolic_tasks = []
-    for case, shape, P in SYMBOLIC_PROBES:
-        name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
-        if not filter or filter in name:
-            symbolic_tasks.append((name, shape, P))
+    with maybe_stage(telemetry, "plan"):
+        module_tasks = [
+            (module_name, directory)
+            for module_name in discover_bench_modules(directory)
+            if not filter or filter in f"module:{module_name}"
+        ]
+        sweep_tasks = []
+        for shape, P in SWEEP_GRID:
+            wanted = tuple(
+                algorithm
+                for algorithm in applicable_algorithms(shape, P)
+                if not filter or filter in _sweep_point_name(algorithm, shape, P)
+            )
+            if wanted:
+                sweep_tasks.append((shape, P, wanted))
+        symbolic_tasks = []
+        for case, shape, P in SYMBOLIC_PROBES:
+            name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+            if not filter or filter in name:
+                symbolic_tasks.append((name, shape, P))
 
     # One pool, three task kinds, merged back in the serial loop's order:
-    # modules, then sweep points, then symbolic probes.
-    module_results = parallel_map(_module_task, module_tasks, workers=workers)
-    sweep_results = parallel_map(_sweep_point_task, sweep_tasks, workers=workers)
-    symbolic_results = parallel_map(_symbolic_task, symbolic_tasks, workers=workers)
+    # modules, then sweep points, then symbolic probes.  Each batch gets
+    # its own telemetry label because task indices restart per call.
+    obs = dict(telemetry=telemetry, profile=profile, progress=progress)
+    with maybe_stage(telemetry, "map-modules", tasks=len(module_tasks),
+                     workers=workers):
+        module_results = parallel_map(
+            _module_task, module_tasks, workers=workers,
+            label="bench-module", **obs,
+        )
+    with maybe_stage(telemetry, "map-sweep", tasks=len(sweep_tasks),
+                     workers=workers):
+        sweep_results = parallel_map(
+            _sweep_point_task, sweep_tasks, workers=workers,
+            label="bench-sweep", **obs,
+        )
+    with maybe_stage(telemetry, "map-symbolic", tasks=len(symbolic_tasks),
+                     workers=workers):
+        symbolic_results = parallel_map(
+            _symbolic_task, symbolic_tasks, workers=workers,
+            label="bench-symbolic", **obs,
+        )
+    if telemetry is not None:
+        for index, (_entry, _records) in enumerate(module_results):
+            telemetry.set_task_items(index, 1, label="bench-module")
+        for label_name, results in (
+            ("bench-sweep", sweep_results), ("bench-symbolic", symbolic_results)
+        ):
+            for index, (_none, pairs) in enumerate(results):
+                telemetry.set_task_items(index, len(pairs), label=label_name)
 
     entries: List[BenchEntry] = []
-    for (module_name, _), (entry, _records) in zip(module_tasks, module_results):
-        entries.append(entry)
-        if ledger is not None:
-            ledger.append(
-                RunRecord(
-                    algorithm=entry.algorithm,
-                    config=f"{entry.config} (probe for {module_name})",
-                    shape=entry.shape,
-                    P=entry.P,
-                    words=entry.words,
-                    rounds=entry.rounds,
-                    flops=entry.flops,
-                    bound=entry.bound,
-                    attainment=entry.attainment,
-                    skew=entry.skew,
-                    wall_clock=entry.wall_clock,
-                    label=label,
-                    kind="bench",
-                    timestamp=time.time(),
-                    git_sha=git_revision(),
-                    env=environment_fingerprint(),
-                )
-            )
-    for _, pairs in sweep_results + symbolic_results:
-        for entry, record in pairs:
+    with maybe_stage(telemetry, "merge"), maybe_stage(telemetry, "ledger-append"):
+        for (module_name, _), (entry, _records) in zip(module_tasks, module_results):
             entries.append(entry)
             if ledger is not None:
-                ledger.append(RunRecord.from_sweep(record, label=label))
+                ledger.append(
+                    RunRecord(
+                        algorithm=entry.algorithm,
+                        config=f"{entry.config} (probe for {module_name})",
+                        shape=entry.shape,
+                        P=entry.P,
+                        words=entry.words,
+                        rounds=entry.rounds,
+                        flops=entry.flops,
+                        bound=entry.bound,
+                        attainment=entry.attainment,
+                        skew=entry.skew,
+                        wall_clock=entry.wall_clock,
+                        label=label,
+                        kind="bench",
+                        timestamp=time.time(),
+                        git_sha=git_revision(),
+                        env=environment_fingerprint(),
+                    )
+                )
+        for _, pairs in sweep_results + symbolic_results:
+            for entry, record in pairs:
+                entries.append(entry)
+                if ledger is not None:
+                    ledger.append(RunRecord.from_sweep(record, label=label))
 
     return BenchReport(
         label=label,
@@ -503,4 +554,5 @@ def run_bench_suite(
         timestamp=time.time(),
         git_sha=git_revision(),
         env=environment_fingerprint(),
+        telemetry=None if telemetry is None else telemetry.summary(),
     )

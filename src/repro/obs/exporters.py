@@ -30,6 +30,15 @@ Two built-in exporters, both pluggable through :data:`EXPORTERS`:
 
 Modelled time (``CostModel.time`` of the cumulative cost, in abstract
 seconds) is exported as microseconds, the unit Chrome expects.
+
+The same two formats also render **driver telemetry**
+(:class:`repro.obs.telemetry.Telemetry` — real wall-clock spans of the
+host process and its pool workers, not modelled time):
+:func:`export_telemetry_chrome` writes one merged Chrome trace with the
+parent's stage spans and every worker's task spans on per-pid lanes, and
+:func:`export_telemetry_jsonl` writes the flat record stream.  Both obey
+the zero-drift invariant — every exported duration equals the measured
+span duration exactly (same floats, scaled once).
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ __all__ = [
     "EXPORTERS",
     "get_exporter",
     "read_jsonl",
+    "telemetry_trace_events",
+    "export_telemetry_chrome",
+    "telemetry_jsonl_records",
+    "export_telemetry_jsonl",
 ]
 
 
@@ -238,6 +251,150 @@ class ChromeTraceExporter:
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=1)
         return len(events)
+
+
+# --------------------------------------------------------------------- #
+# driver telemetry (real wall-clock, host process + pool workers)        #
+# --------------------------------------------------------------------- #
+
+#: Chrome pid for the host-process stage lanes in telemetry traces.  Task
+#: spans use their real worker pid, which the pool guarantees differs
+#: from 0.
+_DRIVER_PID = 0
+
+
+def telemetry_trace_events(telemetry) -> List[dict]:
+    """Chrome ``traceEvents`` for one :class:`~repro.obs.telemetry.Telemetry`.
+
+    One merged timeline: the driver's stage spans occupy per-depth lanes
+    under pid 0 ("driver" process), and every pool worker appears as its
+    own Chrome process (pid = real worker pid) whose lane carries that
+    worker's task spans.  Each task span's queue wait is exported as its
+    own event on the same lane (category ``"queue"``), ending exactly
+    where the task event starts, so pool pressure is visible as a bar.
+
+    Zero-drift: ``dur`` of every event is the span's measured duration
+    scaled by :attr:`ChromeTraceExporter.SCALE` — the exact floats the
+    recorder holds, no re-measuring or rounding.
+    """
+    scale = ChromeTraceExporter.SCALE
+    events: List[dict] = [{
+        "ph": "M", "pid": _DRIVER_PID, "tid": 0, "name": "process_name",
+        "args": {"name": f"repro driver ({telemetry.driver})"},
+    }]
+    max_depth = -1
+    for span in telemetry.stages:
+        max_depth = max(max_depth, span.depth)
+        events.append({
+            "ph": "X",
+            "pid": _DRIVER_PID,
+            "tid": span.depth + 1,
+            "cat": span.kind,
+            "name": span.name,
+            "ts": span.start * scale,
+            "dur": span.duration * scale,
+            "args": {"id": span.index, "parent": span.parent, **span.meta},
+        })
+    for depth in range(max_depth + 1):
+        events.append({
+            "ph": "M", "pid": _DRIVER_PID, "tid": depth + 1,
+            "name": "thread_name", "args": {"name": f"driver stage depth {depth}"},
+        })
+
+    for pid in sorted({t.worker_pid for t in telemetry.tasks}):
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": f"worker {pid}"},
+        })
+        events.append({
+            "ph": "M", "pid": pid, "tid": 1, "name": "thread_name",
+            "args": {"name": "tasks"},
+        })
+    for span in telemetry.tasks:
+        args = {
+            "index": span.index,
+            "queue_wait": span.queue_wait,
+            "items": span.items,
+            "items_per_sec": span.items_per_sec,
+        }
+        if span.queue_wait > 0:
+            events.append({
+                "ph": "X",
+                "pid": span.worker_pid,
+                "tid": 1,
+                "cat": "queue",
+                "name": f"{span.label}[{span.index}] wait",
+                "ts": span.submitted * scale,
+                "dur": span.queue_wait * scale,
+                "args": {"index": span.index},
+            })
+        events.append({
+            "ph": "X",
+            "pid": span.worker_pid,
+            "tid": 1,
+            "cat": "task",
+            "name": f"{span.label}[{span.index}]",
+            "ts": span.started * scale,
+            "dur": span.duration * scale,
+            "args": args,
+        })
+    return events
+
+
+def export_telemetry_chrome(telemetry, path: str) -> int:
+    """Write a telemetry Chrome trace to ``path``; returns event count.
+
+    The file loads in ``chrome://tracing`` / https://ui.perfetto.dev and
+    shows the driver and each worker as side-by-side processes on one
+    wall-clock axis.  ``otherData`` carries the full telemetry summary.
+    """
+    events = telemetry_trace_events(telemetry)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-telemetry-v1",
+            "driver": telemetry.driver,
+            "summary": telemetry.summary(),
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    return len(events)
+
+
+def telemetry_jsonl_records(telemetry) -> List[dict]:
+    """Flat JSON-lines records for one telemetry recorder.
+
+    File order mirrors the machine exporter: ``meta``, stage spans, task
+    spans, metric snapshots, per-worker utilization, then a ``summary``
+    record — every number taken verbatim from the recorder (zero drift).
+    """
+    out: List[dict] = [{
+        "type": "meta",
+        "format": "repro-telemetry-v1",
+        "driver": telemetry.driver,
+    }]
+    out.extend(s.to_record() for s in telemetry.stages)
+    out.extend(t.to_record() for t in telemetry.tasks)
+    out.extend(
+        {**m, "type": "metric", "metric_type": m["type"]}
+        for m in telemetry.metrics.collect()
+    )
+    out.extend(
+        {"type": "worker", **w.to_dict()} for w in telemetry.worker_stats()
+    )
+    out.append({"type": "summary", **telemetry.summary()})
+    return out
+
+
+def export_telemetry_jsonl(telemetry, path: str) -> int:
+    """Write telemetry as one JSON object per line; returns line count."""
+    records = telemetry_jsonl_records(telemetry)
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return len(records)
 
 
 #: Pluggable exporter registry: name -> exporter factory.

@@ -125,6 +125,20 @@ class RunRecord:
         the fault model) — a record with ``injected > 0`` measured a
         degraded execution, and ``repro ledger diff`` warns before
         comparing it against a fault-free one.
+    task_index:
+        Index of the ``parallel_map`` task that produced this record, or
+        ``None`` (the default) for runs recorded without driver
+        telemetry.  Additive schema field, serialized only when present,
+        so telemetry-off ledger files stay byte-identical to
+        pre-telemetry ones; when set it joins the record to its
+        :class:`~repro.obs.telemetry.TaskSpan` in a merged timeline
+        without positional guessing.
+    telemetry:
+        Driver-telemetry summary for the task that produced this record
+        (worker pid, queue wait, task duration, items), or ``None``.
+        Additive and serialized only when present, like ``task_index``.
+        Wall-clock-derived and environment-bound like ``wall_clock`` —
+        never part of model-cost comparisons.
     """
 
     algorithm: str
@@ -145,6 +159,8 @@ class RunRecord:
     git_sha: Optional[str] = None
     env: Optional[dict] = None
     faults: Optional[dict] = None
+    task_index: Optional[int] = None
+    telemetry: Optional[dict] = None
 
     @property
     def fault_injected(self) -> bool:
@@ -152,7 +168,7 @@ class RunRecord:
         return bool(self.faults) and bool(self.faults.get("injected", 0))
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema_version": LEDGER_SCHEMA_VERSION,
             "timestamp": self.timestamp,
             "label": self.label,
@@ -173,6 +189,13 @@ class RunRecord:
             "env": self.env,
             "faults": self.faults,
         }
+        # Telemetry fields are written only when measured: a telemetry-off
+        # run's ledger line is byte-identical to pre-telemetry output.
+        if self.task_index is not None:
+            out["task_index"] = self.task_index
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunRecord":
@@ -205,13 +228,25 @@ class RunRecord:
                 git_sha=data.get("git_sha"),
                 env=data.get("env"),
                 faults=data.get("faults"),
+                task_index=data.get("task_index"),
+                telemetry=data.get("telemetry"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger record: {exc}") from exc
 
     @classmethod
-    def from_sweep(cls, record, label: str = "", kind: str = "sweep") -> "RunRecord":
-        """Build a ledger record from an :class:`~repro.analysis.sweep.SweepRecord`."""
+    def from_sweep(
+        cls,
+        record,
+        label: str = "",
+        kind: str = "sweep",
+        telemetry: Optional[dict] = None,
+    ) -> "RunRecord":
+        """Build a ledger record from an :class:`~repro.analysis.sweep.SweepRecord`.
+
+        ``telemetry`` attaches the per-task driver-telemetry summary
+        (additive field; omit for the byte-stable telemetry-off layout).
+        """
         return cls(
             algorithm=record.algorithm,
             config=record.config,
@@ -230,6 +265,8 @@ class RunRecord:
             timestamp=time.time(),
             git_sha=git_revision(),
             env=environment_fingerprint(),
+            task_index=getattr(record, "task_index", None),
+            telemetry=telemetry,
         )
 
 

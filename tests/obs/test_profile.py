@@ -1,0 +1,163 @@
+"""Cross-process profiling: capture, merge, hotspot table, folded stacks.
+
+The promise under test: cProfile's raw stats mapping is plain data that
+survives a process boundary, merges across any number of workers by
+summation (the cross-process ``pstats.Stats.add``), and renders into a
+top-N hotspot table plus flamegraph-ready collapsed stacks — without
+perturbing the model costs of the profiled drivers.
+"""
+
+import pytest
+
+from repro.obs.profile import (
+    ProfileCollector,
+    capture_stats,
+    collapsed_stacks,
+    hotspot_table,
+    merge_stats,
+    write_collapsed,
+)
+
+
+def _workload():
+    return sum(i * i for i in range(500))
+
+
+def _hot_helper():
+    return [_workload() for _ in range(3)]
+
+
+class TestCapture:
+    def test_returns_result_and_raw_stats(self):
+        result, stats = capture_stats(_workload)
+        assert result == _workload()
+        assert isinstance(stats, dict) and stats
+        key = next(iter(stats))
+        assert len(key) == 3  # (filename, line, funcname)
+        cc, nc, tt, ct, callers = stats[key]
+        assert nc >= cc >= 0
+        assert ct >= 0.0 and tt >= 0.0
+        assert isinstance(callers, dict)
+
+    def test_exceptions_propagate_with_profiler_disabled(self):
+        def boom():
+            raise RuntimeError("inside profile")
+
+        with pytest.raises(RuntimeError, match="inside profile"):
+            capture_stats(boom)
+        # Profiling still works afterwards (profiler was disabled cleanly).
+        result, stats = capture_stats(_workload)
+        assert result == _workload() and stats
+
+    def test_stats_are_picklable(self):
+        import pickle
+
+        _result, stats = capture_stats(_hot_helper)
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+
+def _stats_for(key_name):
+    """One profiled run's stats entry for the named function."""
+    _result, stats = capture_stats(_hot_helper)
+    return stats, next(k for k in stats if k[2] == key_name)
+
+
+class TestMerge:
+    def test_merge_sums_counts_and_times(self):
+        stats, key = _stats_for("_workload")
+        merged = merge_stats([stats, stats])
+        cc, nc, tt, ct, callers = stats[key]
+        mcc, mnc, mtt, mct, mcallers = merged[key]
+        assert (mcc, mnc) == (2 * cc, 2 * nc)
+        assert mtt == 2 * tt
+        assert mct == 2 * ct
+        for caller, value in callers.items():
+            assert mcallers[caller] == tuple(2 * v for v in value)
+
+    def test_merge_unions_disjoint_functions(self):
+        _r1, a = capture_stats(_workload)
+        _r2, b = capture_stats(_hot_helper)
+        merged = merge_stats([a, b])
+        assert set(merged) == set(a) | set(b)
+
+    def test_collector_accumulates_sources(self):
+        collector = ProfileCollector()
+        assert collector.sources == 0
+        assert collector.profiled(_workload) == _workload()
+        _result, stats = capture_stats(_workload)
+        collector.add(stats)
+        assert collector.sources == 2
+        merged = collector.stats()
+        key = next(k for k in merged if k[2] == "_workload")
+        assert merged[key][1] == 2  # called once per source
+
+
+class TestRendering:
+    def test_hotspot_table_shape_and_content(self):
+        collector = ProfileCollector()
+        collector.profiled(_hot_helper)
+        text = collector.render(top=5)
+        lines = text.splitlines()
+        assert lines[0].startswith("profile: ")
+        assert "by tottime" in lines[0]
+        assert lines[1].split()[:4] == ["ncalls", "tottime", "percall",
+                                        "cumtime"]
+        assert len(lines) <= 2 + 5
+        assert any("_workload" in line for line in lines[2:])
+
+    def test_empty_profile_renders_placeholder(self):
+        assert hotspot_table({}) == "profile: no calls recorded"
+
+    def test_collapsed_stacks_format_and_total(self):
+        _result, stats = capture_stats(_hot_helper)
+        lines = collapsed_stacks(stats, scale=1e6)
+        assert lines
+        total = 0
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+            total += int(value)
+            assert 1 <= len(frames.split(";")) <= 2  # caller-pair depth
+        # Sum of folded values equals the profile's internal time (the
+        # zero-drift idea, modulo integer rounding of each line).
+        total_tt_us = sum(v[2] for v in stats.values()) * 1e6
+        assert total == pytest.approx(total_tt_us, abs=len(lines) + 1)
+
+    def test_collapsed_attributes_callee_to_caller(self):
+        _result, stats = capture_stats(_hot_helper)
+        lines = collapsed_stacks(stats, scale=1e9)
+        # _workload appears as a callee frame with its real caller (the
+        # list comprehension inside _hot_helper) as the leading frame.
+        edges = [line.rsplit(" ", 1)[0] for line in lines if ";" in line]
+        assert any(edge.endswith("(_workload)") for edge in edges)
+        callers = {edge.split(";")[0] for edge in edges
+                   if edge.endswith("(_workload)")}
+        assert any("test_profile" in c for c in callers)
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        _result, stats = capture_stats(_hot_helper)
+        path = tmp_path / "folded.txt"
+        n = write_collapsed(stats, str(path))
+        content = path.read_text().splitlines()
+        assert len(content) == n
+        assert content == collapsed_stacks(stats)
+
+
+class TestCrossProcess:
+    def test_pool_workers_ship_profiles_back(self):
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+
+        shapes = [ProblemShape(16, 16, 16), ProblemShape(32, 8, 4)]
+        collector = ProfileCollector()
+        plain = sweep(shapes, [4], seed=2)
+        profiled = sweep(shapes, [4], seed=2, workers=2, profile=collector)
+        assert collector.sources == len(shapes)
+        merged = collector.stats()
+        # The worker-side sweep internals show up in the merged profile.
+        assert any(k[2] == "run_algorithm" for k in merged)
+        # ... and profiling never perturbs the model costs.
+        for a, b in zip(plain, profiled):
+            assert (a.words, a.rounds, a.flops, a.bound, a.gap_ratio) == (
+                b.words, b.rounds, b.flops, b.bound, b.gap_ratio
+            )

@@ -560,3 +560,122 @@ class TestWorkersFlag:
         assert main(["chaos", "--algorithms", "alg1", "--seeds", "1",
                      "--schedules", "drop-retry", "--workers", "2"]) == 0
         assert "trichotomy" in capsys.readouterr().out
+
+
+SMALL_SWEEP = ["sweep", "--shapes", "16x16x16,32x8x4", "--procs", "4"]
+
+
+class TestSweepCommand:
+    def test_prints_record_table(self, capsys):
+        assert main(SMALL_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "attainment" in out
+        assert "alg1" in out
+        assert "records over 2 shape(s)" in out
+
+    def test_rejects_bad_shape(self, capsys):
+        assert main(["sweep", "--shapes", "16x16"]) == 2
+        assert "N1xN2xN3" in capsys.readouterr().err
+
+    def test_rejects_negative_workers(self, capsys):
+        assert main(SMALL_SWEEP + ["--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_ledger_append(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert main(SMALL_SWEEP + ["--ledger", str(path),
+                                   "--label", "cli"]) == 0
+        assert "appended" in capsys.readouterr().out
+        from repro.obs.ledger import Ledger
+
+        records = Ledger(path).records()
+        assert records and all(r.label == "cli" for r in records)
+        # Telemetry was off: no telemetry keys in the ledger bytes.
+        assert "task_index" not in path.read_text()
+
+
+class TestTelemetryFlags:
+    def test_sweep_telemetry_prints_digest(self, capsys):
+        assert main(SMALL_SWEEP + ["--workers", "2", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: driver=sweep" in out
+        assert "straggler skew" in out
+
+    def test_sweep_trace_out_writes_merged_chrome_trace(self, tmp_path,
+                                                        capsys):
+        trace = tmp_path / "trace.json"
+        assert main(SMALL_SWEEP + ["--workers", "2", "--telemetry",
+                                   "--trace-out", str(trace)]) == 0
+        assert "wrote merged Chrome trace" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert "stage" in cats and "task" in cats
+        assert payload["otherData"]["driver"] == "sweep"
+
+    def test_trace_out_implies_telemetry(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(SMALL_SWEEP + ["--trace-out", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_sweep_profile_prints_hotspots(self, capsys):
+        assert main(SMALL_SWEEP + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "by tottime" in out and "ncalls" in out
+
+    def test_telemetry_out_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.jsonl"
+        assert main(SMALL_SWEEP + ["--telemetry-out", str(out_path)]) == 0
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(out_path))
+        assert records[0]["format"] == "repro-telemetry-v1"
+        assert records[-1]["type"] == "summary"
+
+    def test_progress_heartbeats_to_stderr(self, capsys):
+        assert main(SMALL_SWEEP + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "2/2" in err
+
+    def test_chaos_telemetry(self, capsys):
+        assert main(["chaos", "--algorithms", "alg1", "--seeds", "1",
+                     "--schedules", "duplicate", "--telemetry"]) == 0
+        assert "telemetry: driver=chaos" in capsys.readouterr().out
+
+    def test_bench_telemetry_lands_in_bench_file(self, tmp_path, capsys):
+        assert main(["bench", "--label", "tel", "--output", str(tmp_path),
+                     "--filter", "symbolic:case1", "--no-ledger",
+                     "--telemetry"]) == 0
+        data = json.loads((tmp_path / "BENCH_tel.json").read_text())
+        assert data["telemetry"]["driver"] == "bench"
+        assert data["telemetry"]["tasks"] >= 1
+
+    def test_bench_without_telemetry_omits_field(self, tmp_path, capsys):
+        assert main(["bench", "--label", "plain", "--output", str(tmp_path),
+                     "--filter", "symbolic:case1", "--no-ledger"]) == 0
+        data = json.loads((tmp_path / "BENCH_plain.json").read_text())
+        assert "telemetry" not in data
+
+
+class TestProfileCommand:
+    def test_profile_sweep_prints_table_and_timeline(self, capsys):
+        assert main(["profile", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: driver=sweep" in out
+        assert "by tottime" in out
+
+    def test_profile_writes_collapsed_stacks(self, tmp_path, capsys):
+        path = tmp_path / "folded.txt"
+        assert main(["profile", "sweep", "--top", "5",
+                     "--collapsed", str(path)]) == 0
+        assert "collapsed stacks" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines and all(line.rsplit(" ", 1)[1].isdigit()
+                             for line in lines)
+
+    def test_profile_rejects_unknown_driver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nonsense"])
+
+    def test_profile_rejects_negative_workers(self, capsys):
+        assert main(["profile", "sweep", "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err

@@ -19,7 +19,13 @@ from repro.analysis.large_p import LargePPoint, run_large_p_sweep
 from repro.analysis.sweep import sweep
 from repro.core.cases import Regime
 from repro.core.shapes import ProblemShape
-from repro.parallel import default_workers, parallel_map, task_seed
+from repro.exceptions import TaskError
+from repro.parallel import (
+    default_chunksize,
+    default_workers,
+    parallel_map,
+    task_seed,
+)
 
 
 def _double(x):
@@ -28,6 +34,12 @@ def _double(x):
 
 def _fail(x):
     raise RuntimeError("boom")
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
 
 
 class TestParallelMap:
@@ -66,6 +78,69 @@ class TestParallelMap:
         assert default_workers(0) == 1
         assert default_workers(5) == 5
         assert default_workers(-1) == (os.cpu_count() or 1)
+
+    def test_default_chunksize_four_chunks_per_worker(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(10, 4) == 1
+        assert default_chunksize(100, 4) == 7  # ceil(100 / 16)
+        assert default_chunksize(100000, 8) == 3125
+        # Degenerate pool sizes stay safe.
+        assert default_chunksize(100, 0) == 1
+
+    def test_chunked_pool_preserves_order_and_values(self):
+        items = list(range(100))
+        assert parallel_map(_double, items, workers=4) == [
+            2 * x for x in items
+        ]
+        assert parallel_map(_double, items, workers=4, chunksize=25) == [
+            2 * x for x in items
+        ]
+
+    def test_pool_failure_names_task_and_item(self):
+        with pytest.raises(RuntimeError, match="boom") as excinfo:
+            parallel_map(_fail_on_three, [0, 1, 2, 3, 4], workers=2)
+        context = excinfo.value.__cause__
+        assert isinstance(context, TaskError)
+        assert "task 3 of 5" in str(context)
+        assert "item 3" in str(context)
+        assert "worker traceback" in str(context)
+        assert "_fail_on_three" in str(context)  # the worker-side frames
+
+    def test_serial_failure_stays_bare(self):
+        # In-process failures keep the original traceback; no TaskError
+        # context is attached (there is nothing opaque to explain).
+        with pytest.raises(RuntimeError, match="boom") as excinfo:
+            parallel_map(_fail_on_three, [0, 1, 2, 3, 4], workers=1)
+        assert excinfo.value.__cause__ is None
+
+    def test_telemetry_spans_cross_the_pool_boundary(self):
+        from repro.obs.telemetry import Telemetry
+
+        tel = Telemetry("test")
+        items = list(range(8))
+        result = parallel_map(
+            _double, items, workers=2, telemetry=tel, label="double"
+        )
+        assert result == [2 * x for x in items]
+        assert len(tel.tasks) == len(items)
+        assert sorted(t.index for t in tel.tasks) == items
+        for span in tel.tasks:
+            assert span.label == "double"
+            assert span.worker_pid > 0
+            assert span.ended >= span.started >= 0.0
+        # Pool mode used real worker processes, not the parent.
+        assert all(t.worker_pid != os.getpid() for t in tel.tasks)
+
+    def test_progress_counts_every_task(self):
+        import io
+
+        from repro.obs.telemetry import ProgressReporter
+
+        stream = io.StringIO()
+        progress = ProgressReporter(6, interval=0, stream=stream)
+        parallel_map(_double, list(range(6)), workers=2, progress=progress)
+        assert progress.done == 6
+        assert stream.getvalue().splitlines()[-1].startswith("6/6")
 
 
 def _record_key(record):
