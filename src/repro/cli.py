@@ -41,7 +41,7 @@ Gives downstream users the paper's results without writing any code:
     bench) under cProfile — in every pool worker, merged across
     processes — and print the top-N hotspot table; ``--collapsed``
     writes flamegraph-ready folded stacks.
-``ledger list | show N | diff N M``
+``ledger list | show N | diff N M | trajectory METRIC``
     Read the persistent experiment ledger back: the run history, one full
     record, or a field-by-field comparison of two records.  ``diff``
     warns (stderr, exit 0) when exactly one side measured a fault-injected
@@ -55,6 +55,23 @@ Gives downstream users the paper's results without writing any code:
     ledger, out-of-range index, mixed backends without
     ``--allow-mixed``).  It never exits 1: a diff has no "failure"
     verdict of its own.  ``tests/test_cli.py`` pins this contract.
+
+    ``trajectory METRIC [--algorithm A] [--case C]`` prints one tracked
+    metric's time-ordered history, one block per (algorithm, backend,
+    Theorem-3 case, shape) series.
+``trend [--check] [--metric M] [--window N]``
+    Aggregate the ledger and every ``BENCH_*.json`` into per-metric
+    trajectories and run the rolling-median regression detector
+    (:mod:`repro.obs.analytics`): typed verdicts improved / flat /
+    regressed per (series, metric, stream).  ``--check`` exits 1 on any
+    regression (``--advisory`` reports but keeps exit 0); without it the
+    command always exits 0.
+``dashboard [--out PATH]``
+    Write the self-contained HTML observability dashboard — trend
+    verdicts, trajectory sparklines, Theorem-3 attainment heatmap,
+    words-sent skew bars, worker-utilization timeline and profile
+    hotspots — as one static file with inline data that opens from
+    ``file://`` with zero external requests.
 ``table1 | fig1 | fig2 | lemma2 | crossover``
     Print a reproduction artifact (same output as the benchmark
     harnesses' standalone mode).
@@ -83,6 +100,11 @@ __all__ = ["main", "build_parser"]
 #: wide enough that a pooled sweep exercises several workers.
 DEFAULT_SWEEP_SHAPES = "16x16x16,32x8x4,64x16x4,32x32x32,96x24x6,48x24x12"
 DEFAULT_SWEEP_PROCS = "4,16"
+
+#: Metrics the trend/trajectory commands track; mirrors
+#: :data:`repro.obs.analytics.METRICS` (kept literal so building the
+#: parser stays import-light).
+TREND_METRICS = ("wall_clock", "words", "attainment", "skew_ratio")
 
 
 def _add_observability_flags(p: argparse.ArgumentParser) -> None:
@@ -122,12 +144,16 @@ def _build_observability(args: argparse.Namespace, driver: str, total: int = 0):
 
 
 def _report_observability(
-    args: argparse.Namespace, telemetry, profile, top: int = 15
+    args: argparse.Namespace, telemetry, profile, progress=None, top: int = 15
 ) -> int:
     """Print digests and write the requested exports; 0 ok, 2 on I/O error."""
     from .obs.exporters import export_telemetry_chrome, export_telemetry_jsonl
     from .obs.profile import write_collapsed
 
+    if progress is not None:
+        # Guaranteed final heartbeat: drivers that built the reporter
+        # with an unknown total (0) would otherwise end in silence.
+        progress.finish()
     try:
         if telemetry is not None:
             print(telemetry.render())
@@ -402,6 +428,91 @@ def build_parser() -> argparse.ArgumentParser:
                              "one (fault-injected costs include recovery "
                              "resends, so model costs are expected to "
                              "differ)")
+    l_traj = lsub.add_parser(
+        "trajectory",
+        help="print one metric's time-ordered history per configuration",
+    )
+    l_traj.add_argument("metric", choices=list(TREND_METRICS),
+                        help="which tracked metric to tabulate")
+    l_traj.add_argument("--path", **common)
+    l_traj.add_argument("--algorithm", default=None,
+                        help="only series for this algorithm")
+    l_traj.add_argument("--case", default=None, choices=["1D", "2D", "3D"],
+                        help="only series in this Theorem-3 case")
+    l_traj.add_argument("--include-faulty", action="store_true",
+                        help="include fault-injected records (their model "
+                             "costs include recovery resends)")
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="rolling-median trend verdicts over the ledger and BENCH files",
+    )
+    p_trend.add_argument("--ledger", metavar="PATH", default=None,
+                         help="ledger file (default: repro_ledger.jsonl at "
+                              "the repository root)")
+    p_trend.add_argument("--bench", metavar="PATH", action="append",
+                         default=None,
+                         help="BENCH_*.json report to include (repeatable; "
+                              "default: every BENCH_*.json at the "
+                              "repository root)")
+    p_trend.add_argument("--no-bench", action="store_true",
+                         help="trend the ledger only, ignore BENCH files")
+    p_trend.add_argument("--metric", action="append", default=None,
+                         choices=list(TREND_METRICS),
+                         help="only these metrics (repeatable; default all)")
+    p_trend.add_argument("--algorithm", default=None,
+                         help="only series for this algorithm")
+    p_trend.add_argument("--case", default=None, choices=["1D", "2D", "3D"],
+                         help="only series in this Theorem-3 case")
+    p_trend.add_argument("--window", type=int, default=None, metavar="N",
+                         help="trailing rolling-median window "
+                              "(default 3; needs N+1 samples to judge)")
+    p_trend.add_argument("--tolerance", type=float, default=None,
+                         metavar="FRAC",
+                         help="override the wall-clock relative tolerance "
+                              "(default 0.20; model metrics stay exact)")
+    p_trend.add_argument("--include-faulty", action="store_true",
+                         help="include fault-injected ledger records")
+    p_trend.add_argument("--all", action="store_true",
+                         help="list every trajectory, including flat ones")
+    p_trend.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+    p_trend.add_argument("--check", action="store_true",
+                         help="exit 1 when any trajectory regressed "
+                              "(default: report only, exit 0)")
+    p_trend.add_argument("--advisory", action="store_true",
+                         help="with --check: report regressions but still "
+                              "exit 0 (CI advisory mode)")
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="write the self-contained HTML observability dashboard",
+    )
+    p_dash.add_argument("--out", metavar="PATH", default=None,
+                        help="output HTML file (default: dashboard.html "
+                             "at the repository root)")
+    p_dash.add_argument("--ledger", metavar="PATH", default=None,
+                        help="ledger file (default: repro_ledger.jsonl at "
+                             "the repository root)")
+    p_dash.add_argument("--bench", metavar="PATH", action="append",
+                        default=None,
+                        help="BENCH_*.json report to include (repeatable; "
+                             "default: every BENCH_*.json at the "
+                             "repository root)")
+    p_dash.add_argument("--no-bench", action="store_true",
+                        help="ignore BENCH files")
+    p_dash.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="driver-telemetry JSONL export (default: "
+                             "artifacts/telemetry_sweep.jsonl when present)")
+    p_dash.add_argument("--profile", metavar="PATH", default=None,
+                        help="collapsed-stack profile (default: "
+                             "artifacts/hotspots_sweep.folded when present)")
+    p_dash.add_argument("--window", type=int, default=None, metavar="N",
+                        help="trend rolling-median window (default 3)")
+    p_dash.add_argument("--top", type=int, default=15, metavar="N",
+                        help="hotspot table depth (default 15)")
+    p_dash.add_argument("--include-faulty", action="store_true",
+                        help="include fault-injected ledger records")
 
     for name in ("table1", "fig1", "fig2", "lemma2", "crossover"):
         sub.add_parser(name, help=f"print the {name} reproduction artifact")
@@ -596,7 +707,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"bench aborted (reproduction claim violated): {exc}",
               file=sys.stderr)
         return 1
-    code = _report_observability(args, telemetry, profile)
+    code = _report_observability(args, telemetry, profile, progress)
     if code:
         return code
     if not report.entries:
@@ -681,7 +792,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         progress=progress,
     )
     print(report.render())
-    code = _report_observability(args, telemetry, profile)
+    code = _report_observability(args, telemetry, profile, progress)
     if code:
         return code
     if args.json:
@@ -746,7 +857,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"{len(procs)} processor count(s)")
     if ledger is not None:
         print(f"appended {len(records)} records to {ledger.path}")
-    return _report_observability(args, telemetry, profile)
+    return _report_observability(args, telemetry, profile, progress)
 
 
 def _cmd_large_p(args: argparse.Namespace) -> int:
@@ -783,7 +894,7 @@ def _cmd_large_p(args: argparse.Namespace) -> int:
               f"{r.wall_clock:6.1f}s")
     if ledger is not None:
         print(f"appended {len(results)} records to {ledger.path}")
-    return _report_observability(args, telemetry, profile)
+    return _report_observability(args, telemetry, profile, progress)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -893,6 +1004,9 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         print(f"cannot read ledger: {error}", file=sys.stderr)
         return 2
 
+    if args.ledger_command == "trajectory":
+        return _cmd_ledger_trajectory(args, path, records)
+
     if args.ledger_command == "list":
         if args.algorithm is not None:
             matching = [
@@ -979,6 +1093,167 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger_trajectory(args: argparse.Namespace, path, records) -> int:
+    """``repro ledger trajectory METRIC``: per-series time-ordered table.
+
+    Exits 0 even when nothing matches (an empty history is a valid,
+    empty trajectory — same contract as ``ledger list``).
+    """
+    import datetime
+
+    from .obs.analytics import TrajectoryStore
+
+    store = TrajectoryStore(include_faulty=args.include_faulty)
+    skipped = 0
+    for rec in records:
+        skipped += not store.add_record(rec)
+
+    keys = [
+        k for k in store.keys()
+        if (args.algorithm is None or k.algorithm == args.algorithm)
+        and (args.case is None or k.case == args.case)
+    ]
+    shown = 0
+    for key in keys:
+        points = store.series(key, args.metric)
+        if not points:
+            continue
+        shown += 1
+        print(f"{key.label()}  ({len(points)} sample(s))")
+        for p in points:
+            when = (
+                datetime.datetime.fromtimestamp(p.timestamp)
+                .strftime("%Y-%m-%d %H:%M:%S")
+                if p.timestamp else "-"
+            )
+            print(f"  {when}  {p.value:<14g} [{p.stream}]"
+                  + (f" label={p.label}" if p.label else ""))
+    if not shown:
+        print(f"no {args.metric} samples in {path}")
+    if skipped:
+        print(f"(skipped {skipped} fault-injected record(s); "
+              f"--include-faulty to include them)", file=sys.stderr)
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """``repro trend``: rolling-median verdicts over ledger + BENCH files.
+
+    Exit-code contract (pinned by ``tests/test_cli.py``):
+
+    * **0** — analysis ran; without ``--check`` always, with ``--check``
+      when no trajectory regressed (``--advisory`` restores 0 even on
+      regression, for informational CI steps).
+    * **1** — ``--check`` and at least one trajectory regressed.
+    * **2** — usage errors: malformed ledger or BENCH file, bad window.
+    """
+    import os
+
+    from .exceptions import BaselineError, LedgerError
+    from .obs.analytics import (
+        DEFAULT_WINDOW, TrajectoryStore, analyze, discover_bench_files,
+    )
+
+    window = DEFAULT_WINDOW if args.window is None else args.window
+    if window < 1:
+        print(f"--window must be >= 1, got {window}", file=sys.stderr)
+        return 2
+    ledger_path = args.ledger or _default_ledger_path()
+    if args.no_bench:
+        bench_paths = []
+    elif args.bench is not None:
+        missing = [p for p in args.bench if not os.path.exists(p)]
+        if missing:
+            print(f"no such BENCH file: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        bench_paths = args.bench
+    else:
+        bench_paths = discover_bench_files()
+    try:
+        store = TrajectoryStore.collect(
+            ledger_path=ledger_path if os.path.exists(ledger_path) else None,
+            bench_paths=bench_paths,
+            include_faulty=args.include_faulty,
+        )
+    except (LedgerError, BaselineError) as exc:
+        print(f"cannot read artifacts: {exc}", file=sys.stderr)
+        return 2
+    tolerances = (
+        None if args.tolerance is None else {"wall_clock": args.tolerance}
+    )
+    report = analyze(
+        store,
+        metrics=tuple(args.metric) if args.metric else TREND_METRICS,
+        window=window,
+        tolerances=tolerances,
+        algorithm=args.algorithm,
+        case=args.case,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(verbose=args.all))
+    if args.check and not report.ok:
+        if args.advisory:
+            print("trend: regression detected (advisory mode, exiting 0)",
+                  file=sys.stderr)
+            return 0
+        return 1
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """``repro dashboard``: write the single-file HTML dashboard.
+
+    Exits 0 on a written dashboard (even from partial artifacts — every
+    missing input degrades to an explicit empty panel), 2 on malformed
+    inputs.
+    """
+    import os
+
+    from .exceptions import BaselineError, LedgerError
+    from .obs.analytics import DEFAULT_WINDOW, discover_bench_files
+    from .obs.bench import repo_root
+    from .obs.dashboard import (
+        DEFAULT_DASHBOARD, collect_payload, write_dashboard,
+    )
+
+    root = repo_root()
+    out = args.out or os.path.join(root, DEFAULT_DASHBOARD)
+    ledger_path = args.ledger or _default_ledger_path()
+    if args.no_bench:
+        bench_paths = []
+    elif args.bench is not None:
+        bench_paths = args.bench
+    else:
+        bench_paths = discover_bench_files()
+    telemetry = args.telemetry or os.path.join(
+        root, "artifacts", "telemetry_sweep.jsonl")
+    profile = args.profile or os.path.join(
+        root, "artifacts", "hotspots_sweep.folded")
+    try:
+        payload = collect_payload(
+            ledger_path=ledger_path,
+            bench_paths=bench_paths,
+            telemetry_path=telemetry,
+            profile_path=profile,
+            window=DEFAULT_WINDOW if args.window is None else args.window,
+            include_faulty=args.include_faulty,
+            top=args.top,
+        )
+    except (LedgerError, BaselineError, ValueError) as exc:
+        print(f"cannot read artifacts: {exc}", file=sys.stderr)
+        return 2
+    path = write_dashboard(out, payload)
+    meta = payload["meta"]
+    print(f"wrote {path} ({meta['points']} samples from "
+          f"{len(meta['sources'])} artifact(s))")
+    return 0
+
+
 def _cmd_artifact(name: str) -> int:
     import importlib
     import os
@@ -1038,6 +1313,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
+    if args.command == "trend":
+        return _cmd_trend(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "report":
         return _cmd_report()
     return _cmd_artifact(args.command)

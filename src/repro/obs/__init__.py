@@ -34,6 +34,16 @@ in-run layer measures:
   one ``BENCH_<label>.json`` trajectory file.
 * :mod:`repro.obs.regress` — the regression gate: exact on model-level
   costs and attainment, thresholded (default ±20%) on wall-clock.
+* :mod:`repro.obs.analytics` — trajectory analytics over everything the
+  other modules persist: per-metric time series keyed by (algorithm,
+  backend, Theorem-3 case, shape) with a rolling-median trend detector
+  (typed improved/flat/regressed verdicts); the backend of
+  ``repro trend`` and ``repro ledger trajectory``.
+* :mod:`repro.obs.dashboard` — the ``repro dashboard`` renderer: one
+  self-contained static HTML file (inline JSON + vanilla JS/SVG, zero
+  external requests) with trend verdicts, trajectory sparklines, the
+  Theorem-3 attainment heatmap, words-sent skew bars, the
+  worker-utilization timeline and the profile hotspot table.
 
 Driver-level observability (this layer's third half — the host process
 that orchestrates simulations, rather than the simulated machine):
@@ -114,6 +124,22 @@ from .regress import (
     compare_entries,
     compare_reports,
 )
+from .analytics import (
+    METRICS,
+    SeriesKey,
+    TrajectoryPoint,
+    TrajectoryStore,
+    TrendReport,
+    TrendVerdict,
+    analyze,
+    detect_trend,
+    discover_bench_files,
+)
+from .dashboard import (
+    collect_payload,
+    render_html,
+    write_dashboard,
+)
 
 __all__ = [
     "Attainment",
@@ -123,29 +149,39 @@ __all__ = [
     "ChromeTraceExporter",
     "Counter",
     "EXPORTERS",
-    "Gauge",
     "GateResult",
+    "Gauge",
     "Histogram",
     "JSONLinesExporter",
     "LEDGER_SCHEMA_VERSION",
     "Ledger",
+    "METRICS",
     "MetricsRegistry",
     "ProfileCollector",
     "ProgressReporter",
     "RankSkew",
     "RegressionReport",
     "RunRecord",
+    "SeriesKey",
     "Span",
     "SpanRecorder",
     "StageSpan",
     "TaskSpan",
     "Telemetry",
+    "TrajectoryPoint",
+    "TrajectoryStore",
+    "TrendReport",
+    "TrendVerdict",
     "WorkerStats",
+    "analyze",
     "bound_attainment",
     "capture_stats",
     "collapsed_stacks",
+    "collect_payload",
     "compare_entries",
     "compare_reports",
+    "detect_trend",
+    "discover_bench_files",
     "discover_bench_modules",
     "environment_fingerprint",
     "export_telemetry_chrome",
@@ -162,6 +198,7 @@ __all__ = [
     "rank_skew",
     "read_jsonl",
     "record_attainment",
+    "render_html",
     "render_rank_table",
     "render_span_tree",
     "run_bench_suite",
@@ -169,4 +206,5 @@ __all__ = [
     "telemetry_trace_events",
     "update_machine_gauges",
     "write_collapsed",
+    "write_dashboard",
 ]

@@ -442,6 +442,13 @@ class ProgressReporter:
     the last item completes), so a million-task sweep costs a handful of
     writes.  ``interval=0`` reports on every update — useful in tests.
 
+    The completion line is guaranteed exactly once: reaching ``total``
+    bypasses the throttle, further updates past ``total`` throttle
+    normally (ETA and percentage are clamped rather than going negative
+    or past 100), and :meth:`finish` forces a last heartbeat for drivers
+    whose item count was unknown up front (``total=0``) or that stop
+    early.
+
     The reporter measures with the same monotonic clock as
     :class:`Telemetry` but is independent of it: drivers can heartbeat
     without recording spans and vice versa.
@@ -463,24 +470,46 @@ class ProgressReporter:
         self.done = 0
         self._t0 = time.perf_counter()
         self._last_report = -math.inf
+        self._final_reported = False
 
     def update(self, done: Optional[int] = None) -> None:
         """Advance progress (default: by one item) and maybe heartbeat."""
         self.done = self.done + 1 if done is None else done
         now = time.perf_counter()
+        # The first arrival at total bypasses the throttle (the final
+        # 100% line is guaranteed); past-total updates throttle normally.
         finished = self.total > 0 and self.done >= self.total
-        if not finished and now - self._last_report < self.interval:
+        force = finished and not self._final_reported
+        if not force and now - self._last_report < self.interval:
             return
+        self._emit(now, final=finished)
+
+    def finish(self) -> None:
+        """Force the final heartbeat unless completion already printed.
+
+        For drivers with a known ``total`` this is a no-op after the last
+        :meth:`update`; for ``total=0`` (item count unknown up front) and
+        early-stopping loops it is the only way a final line appears.
+        """
+        if not self._final_reported:
+            self._emit(time.perf_counter(), final=True)
+
+    def _emit(self, now: float, final: bool = False) -> None:
         self._last_report = now
+        self._final_reported = self._final_reported or final
         elapsed = now - self._t0
         rate = self.done / elapsed if elapsed > 0 else 0.0
-        if self.total > 0 and rate > 0:
-            eta = (self.total - self.done) / rate
+        if self.total > 0 and rate > 0 and self.done < self.total:
+            eta = max(0.0, (self.total - self.done) / rate)
             eta_text = f", ETA {eta:.1f}s"
         else:
             eta_text = ""
         prefix = f"{self.label}: " if self.label else ""
-        pct = 100.0 * self.done / self.total if self.total else 0.0
+        if self.total == 0:
+            print(f"{prefix}{self.done} done, {rate:.1f}/s",
+                  file=self.stream)
+            return
+        pct = min(100.0, 100.0 * self.done / self.total)
         print(
             f"{prefix}{self.done}/{self.total} ({pct:.0f}%), "
             f"{rate:.1f}/s{eta_text}",

@@ -146,6 +146,52 @@ class TestMergeLedgers:
         assert count == len(merged) == 3
         assert [r.timestamp for r in merged] == [1.0, 5.0, 9.0]
 
+    def test_merge_of_no_inputs_writes_an_empty_ledger(self, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        assert merge_ledgers([], out) == 0
+        assert Ledger(out).records() == []
+
+    def test_merge_of_empty_and_missing_files_is_empty(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        out = str(tmp_path / "merged.jsonl")
+        count = merge_ledgers(
+            [str(empty), str(tmp_path / "never_written.jsonl")], out)
+        assert count == 0 and Ledger(out).records() == []
+
+    def test_merge_rejects_mismatched_schema_version(self, tmp_path):
+        good = Ledger(str(tmp_path / "good.jsonl"))
+        good.append(make_record())
+        bad_record = make_record().to_dict()
+        bad_record["schema_version"] = LEDGER_SCHEMA_VERSION + 1
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps(bad_record) + "\n")
+        out = str(tmp_path / "merged.jsonl")
+        with pytest.raises(LedgerError, match="schema_version"):
+            merge_ledgers([good.path, str(bad)], out)
+
+    def test_merge_is_idempotent_over_duplicate_files(self, tmp_path):
+        # Merging the same ledger with itself (and with a prior merge
+        # output) must not multiply records: dedup is on full content.
+        a = Ledger(str(tmp_path / "a.jsonl"))
+        a.append(make_record(timestamp=1.0))
+        a.append(make_record(timestamp=2.0, label="other"))
+        once = str(tmp_path / "once.jsonl")
+        twice = str(tmp_path / "twice.jsonl")
+        assert merge_ledgers([a.path, a.path], once) == 2
+        assert merge_ledgers([a.path, once], twice) == 2
+        assert Ledger(twice).records() == Ledger(once).records()
+
+    def test_merge_keeps_distinct_records_with_equal_timestamps(
+        self, tmp_path
+    ):
+        # Same instant, different content: both are real experiments.
+        a = Ledger(str(tmp_path / "a.jsonl"))
+        a.append(make_record(timestamp=5.0, label="x"))
+        a.append(make_record(timestamp=5.0, label="y"))
+        out = str(tmp_path / "merged.jsonl")
+        assert merge_ledgers([a.path], out) == 2
+
 
 class TestEnvironment:
     def test_fingerprint_fields(self):

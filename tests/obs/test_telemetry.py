@@ -264,6 +264,56 @@ class TestProgressReporter:
         with pytest.raises(ValueError):
             ProgressReporter(-1)
 
+    def test_completion_line_printed_once_then_throttled(self):
+        # Reaching total bypasses the throttle exactly once; updates past
+        # total throttle normally instead of spamming a line each.
+        stream = io.StringIO()
+        progress = ProgressReporter(3, interval=3600, stream=stream)
+        for _ in range(6):
+            progress.update()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("3/3 (100%)")
+
+    def test_past_total_clamps_percentage_and_eta(self):
+        stream = io.StringIO()
+        progress = ProgressReporter(2, interval=0, stream=stream)
+        for _ in range(4):
+            progress.update()
+        last = stream.getvalue().splitlines()[-1]
+        assert last.startswith("4/2 (100%)")  # clamped, not 200%
+        assert "ETA" not in last              # never a negative ETA
+        assert "ETA -" not in stream.getvalue()
+
+    def test_finish_forces_final_line_for_unknown_total(self):
+        stream = io.StringIO()
+        progress = ProgressReporter(0, interval=3600, stream=stream)
+        for _ in range(5):
+            progress.update()
+        progress.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[-1] == lines[-1].strip() and "5 done" in lines[-1]
+
+    def test_finish_is_idempotent_and_skipped_after_completion(self):
+        stream = io.StringIO()
+        progress = ProgressReporter(2, interval=0, stream=stream)
+        progress.update()
+        progress.update()  # completion line prints here
+        before = stream.getvalue()
+        progress.finish()
+        progress.finish()
+        assert stream.getvalue() == before
+
+    def test_intermediate_heartbeat_does_not_satisfy_finish(self):
+        # A throttle-window heartbeat mid-run is not the final line: for
+        # an unknown total, finish() must still report.
+        stream = io.StringIO()
+        progress = ProgressReporter(0, interval=0, stream=stream)
+        progress.update()
+        progress.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+
 
 def _strip(record):
     return dataclasses.replace(record, wall_clock=0.0, task_index=None)

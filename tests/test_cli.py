@@ -679,3 +679,165 @@ class TestProfileCommand:
     def test_profile_rejects_negative_workers(self, capsys):
         assert main(["profile", "sweep", "--workers", "-1"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestTrendCommand:
+    """Exit contract: 0 = no regression (or no --check), 1 = regression
+    under --check, 2 = usage error."""
+
+    def _ledger(self, tmp_path, walls, **overrides):
+        from repro.obs.ledger import Ledger
+
+        from .obs.test_ledger import make_record
+
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        for i, wall in enumerate(walls):
+            ledger.append(make_record(
+                timestamp=float(i), wall_clock=wall, **overrides))
+        return str(ledger.path)
+
+    def test_committed_trajectory_is_green_under_check(self, capsys):
+        # Acceptance: the repository's own artifacts must never trip the
+        # detector (CI runs exactly this in its dashboard step).
+        assert main(["trend", "--check"]) == 0
+        assert "TREND OK" in capsys.readouterr().out
+
+    def test_synthetic_2x_regression_fails_check(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [1.0] * 4 + [2.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench",
+                     "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "wall_clock" in out
+
+    def test_same_regression_without_check_reports_but_exits_0(
+        self, tmp_path, capsys
+    ):
+        path = self._ledger(tmp_path, [1.0] * 4 + [2.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench"]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_advisory_mode_restores_exit_0(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [1.0] * 4 + [2.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench",
+                     "--check", "--advisory"]) == 0
+        assert "advisory" in capsys.readouterr().err
+
+    def test_improvement_never_fails_check(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [2.0] * 4 + [1.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench",
+                     "--check"]) == 0
+        assert "IMPROVED" in capsys.readouterr().out
+
+    def test_metric_filter_limits_the_analysis(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [1.0] * 4 + [2.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench", "--check",
+                     "--metric", "words"]) == 0
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, [1.0] * 4 + [2.0] * 3)
+        assert main(["trend", "--ledger", path, "--no-bench",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["counts"]["regressed"] >= 1
+
+    def test_missing_bench_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["trend", "--bench",
+                     str(tmp_path / "BENCH_none.json")]) == 2
+        assert "no such BENCH" in capsys.readouterr().err
+
+    def test_bad_window_is_usage_error(self, capsys):
+        assert main(["trend", "--window", "0"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_malformed_ledger_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "ledger.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["trend", "--ledger", str(bad), "--no-bench"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestLedgerTrajectoryCommand:
+    def _ledger(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        from .obs.test_ledger import make_record
+
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        for i in range(3):
+            ledger.append(make_record(timestamp=1000.0 + i,
+                                      wall_clock=0.1 * (i + 1)))
+        ledger.append(make_record(
+            timestamp=1003.0, shape=(4096, 64, 64), P=4))
+        return str(ledger.path)
+
+    def test_prints_time_ordered_blocks(self, tmp_path, capsys):
+        path = self._ledger(tmp_path)
+        assert main(["ledger", "trajectory", "wall_clock",
+                     "--path", path]) == 0
+        out = capsys.readouterr().out
+        assert "alg1/data case 3D 48x48x48:P64" in out
+        assert "3 sample(s)" in out
+        assert out.index("0.1") < out.index("0.2") < out.index("0.3")
+
+    def test_filters_by_case(self, tmp_path, capsys):
+        path = self._ledger(tmp_path)
+        assert main(["ledger", "trajectory", "attainment",
+                     "--path", path, "--case", "1D"]) == 0
+        out = capsys.readouterr().out
+        assert "1D" in out and "3D" not in out
+
+    def test_filters_by_algorithm_with_no_match(self, tmp_path, capsys):
+        path = self._ledger(tmp_path)
+        assert main(["ledger", "trajectory", "words", "--path", path,
+                     "--algorithm", "nope"]) == 0
+        assert "no words samples" in capsys.readouterr().out
+
+    def test_unknown_metric_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ledger", "trajectory", "rounds"])
+
+    def test_faulty_records_skipped_with_notice(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        from .obs.test_ledger import make_record
+
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(make_record(faults={"injected": 1}))
+        assert main(["ledger", "trajectory", "words",
+                     "--path", str(ledger.path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 fault-injected" in captured.err
+        assert main(["ledger", "trajectory", "words", "--path",
+                     str(ledger.path), "--include-faulty"]) == 0
+        assert "1 sample(s)" in capsys.readouterr().out
+
+
+class TestDashboardCommand:
+    def test_writes_single_self_contained_file(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out.read_text().lower()
+        for needle in ("http", "<script src", "<link", "@import",
+                       "url(", "fetch("):
+            assert needle not in html
+
+    def test_dashboard_from_empty_artifacts_still_renders(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out),
+                     "--ledger", str(tmp_path / "none.jsonl"),
+                     "--no-bench",
+                     "--telemetry", str(tmp_path / "none.tele"),
+                     "--profile", str(tmp_path / "none.folded")]) == 0
+        assert "0 samples" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_malformed_ledger_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "ledger.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["dashboard", "--out", str(tmp_path / "d.html"),
+                     "--ledger", str(bad), "--no-bench"]) == 2
+        assert "cannot read" in capsys.readouterr().err
