@@ -24,6 +24,7 @@ from .c25d import C25DResult, run_25d
 from .cannon import CannonResult, cannon_predicted_words, run_cannon
 from .carma import CarmaResult, run_carma
 from .fox import FoxResult, run_fox
+from .fox_otto import run_fox_otto
 from .cost_models import (
     Alg1CostBreakdown,
     alg1_cost,
@@ -99,6 +100,7 @@ __all__ = [
     "FoxResult",
     "run_cannon",
     "run_fox",
+    "run_fox_otto",
     "run_naive_gemm",
     "run_optimal_gemm",
     "run_blocked_gemm",

@@ -34,6 +34,7 @@ from ..core.shapes import ProblemShape
 from ..machine.backend import SymbolicBlock, as_block, backend_for
 from ..machine.cost import Cost, CostModel
 from ..machine.machine import Machine
+from ..machine.semiring import Semiring, resolve_semiring
 from ..obs.attainment import Attainment, record_attainment
 from .cost_models import Alg1CostBreakdown, alg1_cost_terms
 from .distributions import (
@@ -98,6 +99,7 @@ def run_alg1(
     cost_model: Optional[CostModel] = None,
     keep_blocks: bool = False,
     final_phase: str = "reduce_scatter",
+    semiring: Optional[Semiring] = None,
 ) -> Alg1Result:
     """Run Algorithm 1 on the simulated machine.
 
@@ -132,6 +134,11 @@ def run_alg1(
         locally.  Identical bandwidth, but ``p2 - 1`` rounds instead of
         the Reduce-Scatter's ``log2 p2`` — exactly the difference the
         paper points out in Section 5.1.
+    semiring:
+        Scalar semiring for the local products and the reduction
+        (name, :class:`~repro.machine.semiring.Semiring`, or ``None`` =
+        ``plus_times``).  Costs are identical for every semiring — all
+        charges are shape-derived.
 
     Examples
     --------
@@ -144,6 +151,7 @@ def run_alg1(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     if machine is None:
         machine = Machine(grid.size, cost_model=cost_model, backend=backend_for(A, B))
     else:
@@ -195,9 +203,9 @@ def run_alg1(
             store = machine.proc(rank).store
             a_blk = store["A_block"]
             b_blk = store["B_block"]
-            d = a_blk @ b_blk
+            d = sr.matmul(a_blk, b_blk)
             store["D"] = d
-            # The paper counts scalar multiplications: (n1/p1)(n2/p2)(n3/p3).
+            # The paper counts semiring multiply-add pairs: (n1/p1)(n2/p2)(n3/p3).
             machine.compute(rank, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
             if not keep_blocks:
                 store.free("A_block")
@@ -234,6 +242,7 @@ def run_alg1(
             if final_phase == "reduce_scatter":
                 reduced = parallel_reduce_scatter(
                     machine, grid.fibers(2), blocks, algorithm=rs_alg, label="C blocks",
+                    op=sr.reduce_op,
                 )
             elif final_phase == "alltoall":
                 exchanged = parallel_alltoall(
@@ -242,10 +251,10 @@ def run_alg1(
                 reduced = {}
                 for rank in range(grid.size):
                     partials = exchanged[rank]
-                    total = np.zeros_like(as_block(partials[0], dtype=float))
-                    for part in partials:
-                        total = total + as_block(part, dtype=float)
-                    # Local summation of p2 partials, charged as flops.
+                    total = as_block(partials[0], dtype=float)
+                    for part in partials[1:]:
+                        total = sr.add(total, as_block(part, dtype=float))
+                    # Local reduction of p2 partials, charged as flops.
                     machine.compute(rank, float(total.size * (len(partials) - 1)))
                     reduced[rank] = total
             else:

@@ -34,7 +34,8 @@ import numpy as np
 
 from ..core.shapes import ProblemShape
 from ..exceptions import ShapeError
-from ..machine.backend import as_block, backend_for, empty_block
+from ..machine.backend import as_block, backend_for, empty_block, is_symbolic
+from ..machine.semiring import Semiring, resolve_semiring
 from ..machine.sequential import FastMemory, IOStats
 
 __all__ = [
@@ -72,7 +73,20 @@ def sequential_lower_bound(shape: ProblemShape, M: float) -> float:
     return 2.0 * shape.volume / math.sqrt(M)
 
 
-def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResult:
+def _init_accumulator(fm: FastMemory, name: str, sr: Semiring) -> None:
+    """Fill a freshly allocated tile with the semiring's additive identity.
+
+    ``FastMemory.alloc`` zero-fills; only a non-zero identity (``min_plus``'s
+    ``+inf``) needs a rewrite.  Symbolic tiles are shape-only and skip it.
+    """
+    tile = fm.get(name)
+    if sr.zero != 0.0 and not is_symbolic(tile):
+        tile[:] = sr.zero
+
+
+def run_naive_gemm(
+    A: np.ndarray, B: np.ndarray, M: float, semiring: Optional[Semiring] = None,
+) -> SequentialGemmResult:
     """Row-at-a-time GEMM: streams all of ``B`` for every row block of ``A``.
 
     Row-block height is chosen as large as fits alongside one column of B
@@ -81,6 +95,7 @@ def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResu
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -103,7 +118,7 @@ def run_naive_gemm(A: np.ndarray, B: np.ndarray, M: float) -> SequentialGemmResu
             j1 = min(j0 + w, n3)
             fm.load("B_panel", B[:, j0:j1])
             fm.alloc("C_block", (i1 - i0, j1 - j0))
-            fm.get("C_block")[:] = fm.get("A_rows") @ fm.get("B_panel")
+            fm.get("C_block")[:] = sr.matmul(fm.get("A_rows"), fm.get("B_panel"))
             C[i0:i1, j0:j1] = fm.store("C_block")
             fm.evict("B_panel")
         fm.evict("A_rows")
@@ -117,10 +132,12 @@ def run_blocked_gemm(
     B: np.ndarray,
     M: float,
     tile: Optional[int] = None,
+    semiring: Optional[Semiring] = None,
 ) -> SequentialGemmResult:
     """Square-tiled GEMM with tile side ``tile`` (default ``sqrt(M/3)``)."""
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -136,11 +153,14 @@ def run_blocked_gemm(
         for j0 in range(0, n3, tile):
             j1 = min(j0 + tile, n3)
             fm.alloc("C_tile", (i1 - i0, j1 - j0))
+            _init_accumulator(fm, "C_tile", sr)
             for k0 in range(0, n2, tile):
                 k1 = min(k0 + tile, n2)
                 fm.load("A_tile", A[i0:i1, k0:k1])
                 fm.load("B_tile", B[k0:k1, j0:j1])
-                fm.get("C_tile")[:] += fm.get("A_tile") @ fm.get("B_tile")
+                fm.get("C_tile")[:] = sr.add(
+                    fm.get("C_tile"), sr.matmul(fm.get("A_tile"), fm.get("B_tile"))
+                )
                 fm.evict("A_tile")
                 fm.evict("B_tile")
             C[i0:i1, j0:j1] = fm.store("C_tile")
@@ -154,6 +174,7 @@ def run_optimal_gemm(
     B: np.ndarray,
     M: float,
     panel: int = 1,
+    semiring: Optional[Semiring] = None,
 ) -> SequentialGemmResult:
     """The I/O-optimal schedule: resident ``C`` tile, streamed A/B panels.
 
@@ -165,6 +186,7 @@ def run_optimal_gemm(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -181,11 +203,14 @@ def run_optimal_gemm(
         for j0 in range(0, n3, b):
             j1 = min(j0 + b, n3)
             fm.alloc("C_tile", (i1 - i0, j1 - j0))
+            _init_accumulator(fm, "C_tile", sr)
             for k0 in range(0, n2, panel):
                 k1 = min(k0 + panel, n2)
                 fm.load("A_sliver", A[i0:i1, k0:k1])
                 fm.load("B_sliver", B[k0:k1, j0:j1])
-                fm.get("C_tile")[:] += fm.get("A_sliver") @ fm.get("B_sliver")
+                fm.get("C_tile")[:] = sr.add(
+                    fm.get("C_tile"), sr.matmul(fm.get("A_sliver"), fm.get("B_sliver"))
+                )
                 fm.evict("A_sliver")
                 fm.evict("B_sliver")
             C[i0:i1, j0:j1] = fm.store("C_tile")

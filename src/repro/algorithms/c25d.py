@@ -36,6 +36,7 @@ from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
+from ..machine.semiring import Semiring, resolve_semiring
 from .distributions import block_bounds
 
 __all__ = ["C25DResult", "run_25d"]
@@ -53,7 +54,7 @@ class C25DResult:
     machine: Machine
 
 
-def _reduce_scatter_gather(group, root, values, machine):
+def _reduce_scatter_gather(group, root, values, machine, op="sum"):
     """Depth reduction as Reduce-Scatter + binomial gather to ``root``.
 
     Bandwidth ``2 (1 - 1/c) w`` versus the binomial tree's
@@ -71,7 +72,7 @@ def _reduce_scatter_gather(group, root, values, machine):
         r: _np.array_split(as_block(values[r], dtype=float).reshape(-1), p)
         for r in group
     }
-    reduced = yield from reduce_scatter_ring(group, splits, machine=machine)
+    reduced = yield from reduce_scatter_ring(group, splits, machine=machine, op=op)
     gathered = yield from gather_binomial(group, root, {r: reduced[r] for r in group})
     flat = _np.concatenate([as_block(chunk).reshape(-1) for chunk in gathered[root]])
     out = {r: None for r in group}
@@ -87,6 +88,7 @@ def run_25d(
     machine: Optional[Machine] = None,
     pre_skewed: bool = False,
     reduce_algorithm: str = "binomial",
+    semiring: Optional[Semiring] = None,
 ) -> C25DResult:
     """Run the 2.5D algorithm on a ``q x q x c`` grid.
 
@@ -100,6 +102,9 @@ def run_25d(
     ``reduce_algorithm`` selects the depth reduction: ``"binomial"``
     (``log2 c`` rounds of full blocks) or ``"reduce_scatter_gather"``
     (bandwidth ``2 (1 - 1/c) w``, better for ``c > 4``).
+    ``semiring`` selects the scalar multiply-accumulate and the depth
+    reduction's operator (default ``plus_times``); costs are identical
+    for every semiring.
 
     Examples
     --------
@@ -112,6 +117,7 @@ def run_25d(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -235,12 +241,14 @@ def run_25d(
                     r = rank(i, j, l)
                     a_blk = machine.proc(r).store["A"]
                     b_blk = machine.proc(r).store["B"]
-                    prod = a_blk @ b_blk
+                    prod = sr.matmul(a_blk, b_blk)
                     machine.compute(
                         r, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1])
                     )
                     key = (i, j, l)
-                    partials[key] = prod if key not in partials else partials[key] + prod
+                    partials[key] = (
+                        prod if key not in partials else sr.add(partials[key], prod)
+                    )
         if step < stride - 1:
             msgs = []
             for l in range(c):
@@ -278,11 +286,13 @@ def run_25d(
                 values = {rank(i, j, l): partials[(i, j, l)] for l in range(c)}
                 if reduce_algorithm == "binomial":
                     schedules.append(
-                        reduce_schedule(group, rank(i, j, 0), values, machine=machine)
+                        reduce_schedule(group, rank(i, j, 0), values, machine=machine,
+                                        op=sr.reduce_op)
                     )
                 elif reduce_algorithm == "reduce_scatter_gather":
                     schedules.append(
-                        _reduce_scatter_gather(group, rank(i, j, 0), values, machine)
+                        _reduce_scatter_gather(group, rank(i, j, 0), values, machine,
+                                               op=sr.reduce_op)
                     )
                 else:
                     raise GridError(

@@ -33,6 +33,7 @@ from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
+from ..machine.semiring import Semiring, resolve_semiring
 from .distributions import block_bounds
 
 __all__ = ["CannonResult", "run_cannon", "cannon_predicted_words"]
@@ -108,8 +109,13 @@ def run_cannon(
     B: np.ndarray,
     q: int,
     machine: Optional[Machine] = None,
+    semiring: Optional[Semiring] = None,
 ) -> CannonResult:
     """Run Cannon's algorithm on a ``q x q`` grid.
+
+    ``semiring`` selects the scalar multiply-accumulate (default
+    ``plus_times``); the systolic schedule and all costs are identical
+    for every semiring.
 
     Examples
     --------
@@ -122,6 +128,7 @@ def run_cannon(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -163,10 +170,10 @@ def run_cannon(
         for (i, j), r in grid_rank.items():
             a_blk = machine.proc(r).store["A"]
             b_blk = machine.proc(r).store["B"]
-            prod = a_blk @ b_blk
+            prod = sr.matmul(a_blk, b_blk)
             machine.compute(r, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
             if (i, j) in partials:
-                partials[(i, j)] = partials[(i, j)] + prod
+                partials[(i, j)] = sr.add(partials[(i, j)], prod)
             else:
                 partials[(i, j)] = prod
         if step < q - 1:

@@ -41,10 +41,11 @@ import numpy as np
 from ..collectives.schedules import Schedule, is_power_of_two, merge_schedules, run_schedule
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
-from ..machine.backend import SymbolicBlock, as_block, backend_for, is_symbolic, zeros_block
+from ..machine.backend import SymbolicBlock, as_block, backend_for, is_symbolic
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
+from ..machine.semiring import Semiring, resolve_semiring
 
 __all__ = ["CarmaResult", "run_carma"]
 
@@ -155,8 +156,13 @@ def run_carma(
     B: np.ndarray,
     P: int,
     machine: Optional[Machine] = None,
+    semiring: Optional[Semiring] = None,
 ) -> CarmaResult:
     """Run the CARMA-style recursive algorithm on ``P`` processors.
+
+    ``semiring`` selects the scalar multiply-accumulate of the leaf
+    products and the pairwise combines (default ``plus_times``); the
+    recursion and all costs are identical for every semiring.
 
     Examples
     --------
@@ -169,6 +175,7 @@ def run_carma(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -220,7 +227,7 @@ def run_carma(
             rank = group[0]
             a_sub = _assemble(_clip_all(holdings_a[rank], a_region), a_region)
             b_sub = _assemble(_clip_all(holdings_b[rank], b_region), b_region)
-            c_sub = a_sub @ b_sub
+            c_sub = sr.matmul(a_sub, b_sub)
             machine.compute(rank, float(a_sub.shape[0] * a_sub.shape[1] * b_sub.shape[1]))
             holdings_c[rank].append(
                 (c_region[0], c_region[1], c_region[2], c_region[3], c_sub)
@@ -348,7 +355,7 @@ def run_carma(
                     machine.compute(rank, float(sum(p[4].size for p in incoming)))
 
     def _merge_add(kept: List[Piece], incoming: List[Piece]) -> List[Piece]:
-        """Sum geometrically identical piece lists (asserting symmetry)."""
+        """Combine geometrically identical piece lists with the semiring add."""
         by_region = {(p[0], p[1], p[2], p[3]): p[4].copy() for p in kept}
         for (r0, r1, c0, c1, arr) in incoming:
             key = (r0, r1, c0, c1)
@@ -357,16 +364,16 @@ def run_carma(
                     f"CARMA combine: received piece {key} with no local match "
                     f"(geometry asymmetry)"
                 )
-            by_region[key] += arr
+            by_region[key] = sr.add(by_region[key], arr)
         return [(r0, r1, c0, c1, arr) for (r0, r1, c0, c1), arr in by_region.items()]
 
     run_schedule(machine, recurse(tuple(range(P)), (0, n1), (0, n2), (0, n3)))
     machine.trace.record("compute", f"CARMA recursion, splits: {splits}")
 
-    C = zeros_block((n1, n3), like=A)
+    C = sr.zeros((n1, n3), like=A)
     for r in range(P):
         for (r0, r1, c0, c1, arr) in holdings_c[r]:
-            C[r0:r1, c0:c1] += arr
+            C[r0:r1, c0:c1] = sr.add(C[r0:r1, c0:c1], arr)
 
     return CarmaResult(C=C, shape=shape, P=P, cost=machine.cost,
                        machine=machine, splits=splits)

@@ -30,6 +30,7 @@ from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
 from ..machine.message import Message
+from ..machine.semiring import Semiring, resolve_semiring
 from .distributions import block_bounds
 
 __all__ = ["FoxResult", "run_fox"]
@@ -52,8 +53,15 @@ def run_fox(
     q: int,
     machine: Optional[Machine] = None,
     broadcast_algorithm: str = "scatter_allgather",
+    semiring: Optional[Semiring] = None,
 ) -> FoxResult:
     """Run Fox's algorithm on a ``q x q`` grid.
+
+    ``semiring`` selects the scalar operations of the local
+    multiply-accumulate (default ``plus_times``); with ``"min_plus"`` this
+    is exactly the Fox-Otto all-pairs-shortest-path step (see
+    :mod:`repro.algorithms.fox_otto`).  The schedule — and therefore every
+    cost counter — is identical for every semiring.
 
     Examples
     --------
@@ -66,6 +74,7 @@ def run_fox(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -114,10 +123,10 @@ def run_fox(
                 r = rank(i, j)
                 a_blk = as_block(a_recv[r])
                 b_blk = machine.proc(r).store["B"]
-                prod = a_blk @ b_blk
+                prod = sr.matmul(a_blk, b_blk)
                 machine.compute(r, float(a_blk.shape[0] * a_blk.shape[1] * b_blk.shape[1]))
                 key = (i, j)
-                partials[key] = prod if key not in partials else partials[key] + prod
+                partials[key] = prod if key not in partials else sr.add(partials[key], prod)
 
         if t < q - 1 and q > 1:
             msgs = []

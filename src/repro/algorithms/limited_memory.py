@@ -35,8 +35,9 @@ import numpy as np
 from ..collectives.communicator import parallel_allgather, parallel_reduce_scatter
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
-from ..machine.backend import as_block, backend_for, zeros_block
+from ..machine.backend import as_block, backend_for
 from ..machine.machine import Machine
+from ..machine.semiring import Semiring, resolve_semiring
 from ..obs.attainment import record_attainment
 from .alg1 import Alg1Result, run_alg1
 from .cost_models import alg1_cost_terms
@@ -57,6 +58,7 @@ def run_alg1_chunked(
     grid: ProcessorGrid,
     chunks: int = 1,
     machine: Optional[Machine] = None,
+    semiring: Optional[Semiring] = None,
 ) -> Alg1Result:
     """Algorithm 1 with the contraction dimension gathered in ``chunks`` pieces.
 
@@ -79,8 +81,9 @@ def run_alg1_chunked(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     if chunks == 1:
-        return run_alg1(A, B, grid, machine=machine)
+        return run_alg1(A, B, grid, machine=machine, semiring=sr)
     if grid.p3 != 1:
         raise GridError(
             f"the chunked variant targets 1D/2D grids (p3 == 1); got {grid}. "
@@ -114,7 +117,7 @@ def run_alg1_chunked(
         k0, k1 = block_bounds(n2, p2, c2)
         store = machine.proc(rank).store
         store["A_block"] = store["A_shard"].reshape(r1 - r0, k1 - k0)
-        store["D"] = zeros_block((r1 - r0, n3), like=A)
+        store["D"] = sr.zeros((r1 - r0, n3), like=A)
 
     # The B block (local_k x n3) is gathered slice by slice.  The variant
     # picks a *chunk-aligned* initial distribution (the lower bound lets the
@@ -146,7 +149,7 @@ def run_alg1_chunked(
             store["B_slice"] = b_slice
             a_block = store["A_block"]
             a_panel = a_block[:, t * step:(t + 1) * step]
-            store["D"] = store["D"] + a_panel @ b_slice
+            store["D"] = sr.add(store["D"], sr.matmul(a_panel, b_slice))
             machine.compute(rank, float(a_panel.shape[0] * step * n3))
             store.free("B_slice")
     phase_words["allgather_b"] = (machine.cost - before).words
@@ -163,7 +166,7 @@ def run_alg1_chunked(
                 for lo, hi in (shard_bounds(d_flat.size, p2, j) for j in range(p2))
             ]
         reduced = parallel_reduce_scatter(
-            machine, grid.fibers(2), blocks, label="C blocks",
+            machine, grid.fibers(2), blocks, label="C blocks", op=sr.reduce_op,
         )
     else:
         reduced = {r: machine.proc(r).store["D"].reshape(-1).copy()

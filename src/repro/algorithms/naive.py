@@ -32,6 +32,7 @@ from ..core.shapes import ProblemShape
 from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
+from ..machine.semiring import Semiring, resolve_semiring
 from .distributions import block_bounds, shard_bounds
 
 __all__ = ["OneDResult", "run_row_1d", "run_outer_1d"]
@@ -55,6 +56,7 @@ def run_row_1d(
     P: int,
     machine: Optional[Machine] = None,
     collective_algorithm: str = "auto",
+    semiring: Optional[Semiring] = None,
 ) -> OneDResult:
     """All-gather-B 1D algorithm: row-shard ``A``/``C``, replicate ``B``.
 
@@ -69,6 +71,7 @@ def run_row_1d(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -96,7 +99,7 @@ def run_row_1d(
         full_b = np.concatenate([c.reshape(-1) for c in gathered[r]]).reshape(n2, n3)
         machine.proc(r).store["B_full"] = full_b
         a_rows = machine.proc(r).store["A_rows"]
-        c_rows = a_rows @ full_b
+        c_rows = sr.matmul(a_rows, full_b)
         machine.proc(r).store["C_rows"] = c_rows
         machine.compute(r, float(a_rows.shape[0] * n2 * n3))
         r0, r1 = block_bounds(n1, P, r)
@@ -116,6 +119,7 @@ def run_outer_1d(
     P: int,
     machine: Optional[Machine] = None,
     collective_algorithm: str = "auto",
+    semiring: Optional[Semiring] = None,
 ) -> OneDResult:
     """Outer-product 1D algorithm: shard the contraction dimension.
 
@@ -125,6 +129,7 @@ def run_outer_1d(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -141,7 +146,7 @@ def run_outer_1d(
         b_rows = B[k0:k1].copy()
         machine.proc(r).store["A_cols"] = a_cols
         machine.proc(r).store["B_rows"] = b_rows
-        d = a_cols @ b_rows
+        d = sr.matmul(a_cols, b_rows)
         machine.proc(r).store["D"] = d
         machine.compute(r, float(n1 * (k1 - k0) * n3))
         partials[r] = d.reshape(-1)
@@ -155,7 +160,9 @@ def run_outer_1d(
             (shard_bounds(n1 * n3, P, j) for j in range(P))]
         for r in range(P)
     }
-    reduced = comm.reduce_scatter(blocks, algorithm=rs_alg, label="sum C contributions")
+    reduced = comm.reduce_scatter(
+        blocks, algorithm=rs_alg, label="sum C contributions", op=sr.reduce_op
+    )
 
     flat = empty_block((n1 * n3,), like=A)
     for r in range(P):

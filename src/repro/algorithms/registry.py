@@ -21,10 +21,12 @@ from ..core.shapes import ProblemShape
 from ..exceptions import InvalidProblemError, ShapeError
 from ..machine.backend import SymbolicBlock, is_symbolic, resolve_backend
 from ..machine.cost import Cost
+from ..machine.semiring import Semiring, resolve_semiring
 from ..obs.attainment import Attainment, bound_attainment
 from .alg1 import run_alg1
 from .cannon import run_cannon
 from .fox import run_fox
+from .fox_otto import run_fox_otto
 from .carma import run_carma
 from .c25d import run_25d
 from .grid_selection import select_grid
@@ -64,6 +66,7 @@ class AlgorithmRun:
     config: str
     attainment: Optional[Attainment] = None
     machine: Optional[object] = None
+    semiring: str = "plus_times"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,18 +83,29 @@ def _shape_of(A: np.ndarray, B: np.ndarray) -> ProblemShape:
     return ProblemShape(A.shape[0], A.shape[1], B.shape[1])
 
 
+def _sr_name(semiring, default: str = "plus_times") -> str:
+    """Resolved semiring name for the run record (``default`` when unset)."""
+    if semiring is None:
+        return default
+    return resolve_semiring(semiring).name
+
+
 def _run_alg1_optimal(
     A: np.ndarray, B: np.ndarray, P: int, collective_algorithm: str = "auto",
+    semiring: Optional[Semiring] = None,
 ) -> AlgorithmRun:
     shape = _shape_of(A, B)
     choice = select_grid(shape, P)
-    res = run_alg1(A, B, choice.grid, collective_algorithm=collective_algorithm)
+    res = run_alg1(
+        A, B, choice.grid, collective_algorithm=collective_algorithm,
+        semiring=semiring,
+    )
     config = f"grid {choice.grid}"
     if collective_algorithm != "auto":
         config += f", collectives {collective_algorithm}"
     return AlgorithmRun(
         name="alg1", C=res.C, shape=shape, P=P, cost=res.cost,
-        config=config, machine=res.machine,
+        config=config, machine=res.machine, semiring=_sr_name(semiring),
     )
 
 
@@ -104,21 +118,37 @@ def _alg1_applicable(shape: ProblemShape, P: int) -> bool:
     return g.p1 <= shape.n1 and g.p2 <= shape.n2 and g.p3 <= shape.n3
 
 
-def _run_cannon_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def _run_cannon_square(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
     q = math.isqrt(P)
-    res = run_cannon(A, B, q)
+    res = run_cannon(A, B, q, semiring=semiring)
     return AlgorithmRun(
         name="cannon", C=res.C, shape=res.shape, P=P, cost=res.cost,
-        config=f"grid {q}x{q}", machine=res.machine,
+        config=f"grid {q}x{q}", machine=res.machine, semiring=_sr_name(semiring),
     )
 
 
-def _run_fox_square(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def _run_fox_square(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
     q = math.isqrt(P)
-    res = run_fox(A, B, q)
+    res = run_fox(A, B, q, semiring=semiring)
     return AlgorithmRun(
         name="fox", C=res.C, shape=res.shape, P=P, cost=res.cost,
+        config=f"grid {q}x{q}", machine=res.machine, semiring=_sr_name(semiring),
+    )
+
+
+def _run_fox_otto_square(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
+    q = math.isqrt(P)
+    res = run_fox_otto(A, B, q, semiring=semiring)
+    return AlgorithmRun(
+        name="fox_otto", C=res.C, shape=res.shape, P=P, cost=res.cost,
         config=f"grid {q}x{q}", machine=res.machine,
+        semiring=_sr_name(semiring, default="min_plus"),
     )
 
 
@@ -168,27 +198,33 @@ def c25d_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
     return best
 
 
-def _run_summa_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def _run_summa_auto(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
     shape = _shape_of(A, B)
     grid = summa_grid(shape, P)
     if grid is None:
         raise ValueError(f"no SUMMA grid for {shape} on P={P}")
-    res = run_summa(A, B, *grid)
+    res = run_summa(A, B, *grid, semiring=semiring)
     return AlgorithmRun(
         name="summa", C=res.C, shape=shape, P=P, cost=res.cost,
         config=f"grid {grid[0]}x{grid[1]}", machine=res.machine,
+        semiring=_sr_name(semiring),
     )
 
 
-def _run_25d_auto(A: np.ndarray, B: np.ndarray, P: int) -> AlgorithmRun:
+def _run_25d_auto(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
     shape = _shape_of(A, B)
     best = c25d_grid(shape, P)
     if best is None:
         raise ValueError(f"no 2.5D grid for {shape} on P={P}")
-    res = run_25d(A, B, best[0], best[1])
+    res = run_25d(A, B, best[0], best[1], semiring=semiring)
     return AlgorithmRun(
         name="c25d", C=res.C, shape=shape, P=P, cost=res.cost,
         config=f"grid {best[0]}x{best[0]}x{best[1]}", machine=res.machine,
+        semiring=_sr_name(semiring),
     )
 
 
@@ -207,13 +243,15 @@ REGISTRY: Dict[str, AlgorithmEntry] = {
         name="row_1d",
         description="1D all-gather-B baseline",
         applicable=lambda s, P: P <= s.n1,
-        run=lambda A, B, P: _wrap_1d(run_row_1d(A, B, P), "row_1d"),
+        run=lambda A, B, P, semiring=None: _wrap_1d(
+            run_row_1d(A, B, P, semiring=semiring), "row_1d", semiring),
     ),
     "outer_1d": AlgorithmEntry(
         name="outer_1d",
         description="1D outer-product (contraction-split) baseline",
         applicable=lambda s, P: P <= s.n2,
-        run=lambda A, B, P: _wrap_1d(run_outer_1d(A, B, P), "outer_1d"),
+        run=lambda A, B, P, semiring=None: _wrap_1d(
+            run_outer_1d(A, B, P, semiring=semiring), "outer_1d", semiring),
     ),
     "cannon": AlgorithmEntry(
         name="cannon",
@@ -226,6 +264,12 @@ REGISTRY: Dict[str, AlgorithmEntry] = {
         description="Fox's broadcast-multiply-roll algorithm on a square 2D grid",
         applicable=_cannon_applicable,
         run=_run_fox_square,
+    ),
+    "fox_otto": AlgorithmEntry(
+        name="fox_otto",
+        description="Fox-Otto min-plus distance product on a square 2D grid",
+        applicable=_cannon_applicable,
+        run=_run_fox_otto_square,
     ),
     "summa": AlgorithmEntry(
         name="summa",
@@ -243,7 +287,8 @@ REGISTRY: Dict[str, AlgorithmEntry] = {
         name="carma",
         description="CARMA-style recursive algorithm",
         applicable=lambda s, P: _carma_feasible(s, P),
-        run=lambda A, B, P: _wrap_carma(run_carma(A, B, P)),
+        run=lambda A, B, P, semiring=None: _wrap_carma(
+            run_carma(A, B, P, semiring=semiring), semiring),
     ),
 }
 
@@ -264,17 +309,18 @@ def _carma_feasible(shape: ProblemShape, P: int) -> bool:
     return True
 
 
-def _wrap_1d(res, name: str) -> AlgorithmRun:
+def _wrap_1d(res, name: str, semiring=None) -> AlgorithmRun:
     return AlgorithmRun(
         name=name, C=res.C, shape=res.shape, P=res.P, cost=res.cost,
-        config=f"P={res.P}", machine=res.machine,
+        config=f"P={res.P}", machine=res.machine, semiring=_sr_name(semiring),
     )
 
 
-def _wrap_carma(res) -> AlgorithmRun:
+def _wrap_carma(res, semiring=None) -> AlgorithmRun:
     return AlgorithmRun(
         name="carma", C=res.C, shape=res.shape, P=res.P, cost=res.cost,
         config=f"{len(res.splits)} splits", machine=res.machine,
+        semiring=_sr_name(semiring),
     )
 
 
@@ -288,6 +334,7 @@ _APPLICABILITY_HINTS: Dict[str, str] = {
     "outer_1d": "needs P <= n2 (one contraction slice per processor)",
     "cannon": "needs P = q^2 a perfect square with q <= min(n1, n2, n3)",
     "fox": "needs P = q^2 a perfect square with q <= min(n1, n2, n3)",
+    "fox_otto": "needs P = q^2 a perfect square with q <= min(n1, n2, n3)",
     "summa": "needs a pr x pc factorization of P with pr | n1, pr | n2, "
              "pc | n2 and pc | n3",
     "c25d": "needs P = q^2 c with the replication factor c dividing q and "
@@ -359,6 +406,7 @@ def run_algorithm(
     P: int,
     backend=None,
     collective_algorithm: Optional[str] = None,
+    semiring=None,
 ) -> AlgorithmRun:
     """Run a registered algorithm by name.
 
@@ -377,9 +425,17 @@ def run_algorithm(
     allocated or moved while every counter is accounted identically.
     ``collective_algorithm`` forces a specific collective implementation
     where the algorithm exposes the choice (currently Algorithm 1; other
-    entries use their fixed defaults).
+    entries use their fixed defaults).  ``semiring`` (a name or
+    :class:`~repro.machine.semiring.Semiring`) selects the scalar
+    multiply-add pair; every entry threads it to its algorithm, the
+    schedule — and with it every cost counter — is semiring-independent,
+    and the resolved name lands on ``AlgorithmRun.semiring``.  When unset,
+    entries use their natural default (``plus_times`` everywhere except
+    ``fox_otto``, which defaults to ``min_plus``).
     """
     validate_problem(name, A, B, P)
+    if semiring is not None:
+        semiring = resolve_semiring(semiring)
     if backend is not None:
         backend = resolve_backend(backend)
         if not backend.verifies and not is_symbolic(A):
@@ -391,9 +447,11 @@ def run_algorithm(
                 "pass real arrays or backend='symbolic'"
             )
     if name == "alg1" and collective_algorithm is not None:
-        run = _run_alg1_optimal(A, B, P, collective_algorithm=collective_algorithm)
+        run = _run_alg1_optimal(
+            A, B, P, collective_algorithm=collective_algorithm, semiring=semiring,
+        )
     else:
-        run = REGISTRY[name].run(A, B, P)
+        run = REGISTRY[name].run(A, B, P, semiring=semiring)
     run.attainment = bound_attainment(run.shape, run.P, run.cost.words)
     return run
 

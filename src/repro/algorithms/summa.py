@@ -29,9 +29,10 @@ import numpy as np
 from ..collectives.communicator import parallel_broadcast
 from ..core.shapes import ProblemShape
 from ..exceptions import GridError
-from ..machine.backend import as_block, backend_for, empty_block, zeros_block
+from ..machine.backend import as_block, backend_for, empty_block
 from ..machine.cost import Cost
 from ..machine.machine import Machine
+from ..machine.semiring import Semiring, resolve_semiring
 from .distributions import block_bounds
 
 __all__ = ["SummaResult", "run_summa"]
@@ -57,11 +58,14 @@ def run_summa(
     pc: int,
     machine: Optional[Machine] = None,
     broadcast_algorithm: str = "scatter_allgather",
+    semiring: Optional[Semiring] = None,
 ) -> SummaResult:
     """Run SUMMA on a ``pr x pc`` grid (``P = pr * pc`` processors).
 
     Requires ``pr | n1``, ``pc | n3`` and both ``pr | n2`` and ``pc | n2``
-    (so panels align with blocks).
+    (so panels align with blocks).  ``semiring`` selects the scalar
+    multiply-accumulate (default ``plus_times``); costs are identical for
+    every semiring.
 
     Examples
     --------
@@ -74,6 +78,7 @@ def run_summa(
     """
     A = as_block(A, dtype=float)
     B = as_block(B, dtype=float)
+    sr = resolve_semiring(semiring)
     n1, n2 = A.shape
     n3 = B.shape[1]
     shape = ProblemShape(n1, n2, n3)
@@ -103,7 +108,7 @@ def run_summa(
             r0, r1 = block_bounds(n2, pr, i)
             c0, c1 = block_bounds(n3, pc, j)
             machine.proc(r).store["B"] = B[r0:r1, c0:c1].copy()
-            machine.proc(r).store["C"] = zeros_block(
+            machine.proc(r).store["C"] = sr.zeros(
                 (block_bounds(n1, pr, i)[1] - block_bounds(n1, pr, i)[0],
                  block_bounds(n3, pc, j)[1] - block_bounds(n3, pc, j)[0]),
                 like=A,
@@ -153,7 +158,9 @@ def run_summa(
                 r = rank(i, j)
                 a_p = as_block(a_recv[r])
                 b_p = as_block(b_recv[r])
-                machine.proc(r).store["C"] = machine.proc(r).store["C"] + a_p @ b_p
+                machine.proc(r).store["C"] = sr.add(
+                    machine.proc(r).store["C"], sr.matmul(a_p, b_p)
+                )
                 machine.compute(r, float(a_p.shape[0] * panel * b_p.shape[1]))
     machine.trace.record("compute", f"{stages} SUMMA stages of width {panel}")
 

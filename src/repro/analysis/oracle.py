@@ -35,6 +35,8 @@ cannon     ``q (a + b)`` words in ``2q`` rounds (2 skews + ``2(q-1)`` shifts).
 fox        per stage: scatter+allgather broadcast of the pivot ``A`` block
            along rows (replayed exactly, max over the ``q`` root rotations)
            plus a one-round roll of ``B``.
+fox_otto   identical to fox: the min-plus distance product runs the same
+           schedule, and all counters are semiring-independent.
 summa      per panel stage: scatter+allgather broadcasts of the ``A``
            column panel (rows) and ``B`` row panel (columns).
 c25d       Cannon skews + ``ceil(log2 c)`` depth broadcasts + ``q/c - 1``
@@ -279,12 +281,14 @@ def _scatter_allgather_broadcast(
     return rounds, words
 
 
-def _predict_fox(shape: ProblemShape, P: int) -> OraclePrediction:
+def _predict_fox(shape: ProblemShape, P: int, name: str = "fox") -> OraclePrediction:
+    """Fox's schedule; ``name`` may be ``fox_otto`` — the min-plus distance
+    product runs the identical schedule, so the closed form is shared."""
     n1, n2, n3 = shape.dims
-    q = _square_grid_side("fox", shape, P)
+    q = _square_grid_side(name, shape, P)
     config = f"grid {q}x{q}"
     if q == 1:
-        return _finish("fox", shape, P, 0, 0, n1 * n2 * n3, config)
+        return _finish(name, shape, P, 0, 0, n1 * n2 * n3, config)
     a_block = (n1 // q) * (n2 // q)
     b_block = (n2 // q) * (n3 // q)
     # Stage t broadcasts the pivot A block along every grid row; row i's
@@ -296,7 +300,7 @@ def _predict_fox(shape: ProblemShape, P: int) -> OraclePrediction:
     rounds = q * bcast_rounds + (q - 1)  # + one roll of B per early stage
     words = q * bcast_words + (q - 1) * b_block
     flops = q * (n1 // q) * (n2 // q) * (n3 // q)
-    return _finish("fox", shape, P, rounds, words, flops, config)
+    return _finish(name, shape, P, rounds, words, flops, config)
 
 
 def _predict_summa(shape: ProblemShape, P: int) -> OraclePrediction:
@@ -691,8 +695,8 @@ def predict_cost(
         return _predict_outer_1d(shape, P)
     if name == "cannon":
         return _predict_cannon(shape, P)
-    if name == "fox":
-        return _predict_fox(shape, P)
+    if name in ("fox", "fox_otto"):
+        return _predict_fox(shape, P, name=name)
     if name == "summa":
         return _predict_summa(shape, P)
     if name == "c25d":

@@ -41,6 +41,7 @@ from ..exceptions import (
     OracleUnsupportedError,
 )
 from ..machine.backend import resolve_backend
+from ..machine.semiring import resolve_semiring
 from ..obs.metrics import RankSkew
 from ..parallel import parallel_map, task_seed
 from .verification import check_cost_against_bound
@@ -84,11 +85,15 @@ class SweepRecord:
     #: telemetry-off records — and the ledger lines derived from them —
     #: byte-identical to pre-telemetry behaviour.
     task_index: Optional[int] = None
+    #: Semiring the run's scalar multiply-add pair came from.  Additive:
+    #: the default names the classical ``(+, x)`` pair, so records written
+    #: before the semiring seam existed read back unchanged.
+    semiring: str = "plus_times"
 
 
 def _sweep_shape(
     task: Tuple[ProblemShape, int, Tuple[int, ...], Tuple[str, ...], int,
-                str, Optional[str], str, bool],
+                str, Optional[str], str, bool, Optional[str]],
 ) -> Tuple[List[SweepRecord], Optional[dict]]:
     """Run one shape's full ``(P, algorithm)`` grid; one process-pool task.
 
@@ -104,7 +109,14 @@ def _sweep_shape(
     run the exact pre-telemetry loop.
     """
     (shape, shape_index, processor_counts, names, seed,
-     backend, collective_algorithm, engine, want_telemetry) = task
+     backend, collective_algorithm, engine, want_telemetry, semiring) = task
+
+    def record_semiring(name: str) -> str:
+        # The resolved name that lands on the record; entries may default
+        # to a non-plus_times semiring (fox_otto) when none is requested.
+        if semiring is not None:
+            return resolve_semiring(semiring).name
+        return "min_plus" if name == "fox_otto" else "plus_times"
 
     timings = {"operands": 0.0, "evaluate": 0.0, "verify": 0.0}
     record_index = shape_index if want_telemetry else None
@@ -151,19 +163,28 @@ def _sweep_shape(
                     skew=None,
                     backend="oracle",
                     task_index=record_index,
+                    semiring=record_semiring(name),
                 ))
         return records, (timings if want_telemetry else None)
 
     backend_obj = resolve_backend(backend)
     operand_start = time.perf_counter()
     rng = np.random.default_rng(task_seed(seed, shape_index))
+    expected_cache: dict = {}
+
+    def expected_for(sr_name: str):
+        # One dense reference product per semiring actually run; sweeping
+        # a mixed pool (fox_otto beside plus_times entries) verifies each
+        # run against its own semiring's reference.
+        if sr_name not in expected_cache:
+            expected_cache[sr_name] = resolve_semiring(sr_name).matmul_data(A, B)
+        return expected_cache[sr_name]
+
     if backend_obj.verifies:
         A = rng.random((shape.n1, shape.n2))
         B = rng.random((shape.n2, shape.n3))
-        expected = A @ B
     else:
         A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
-        expected = None
     timings["operands"] = time.perf_counter() - operand_start
     for P in processor_counts:
         runnable = set(applicable_algorithms(shape, P))
@@ -173,12 +194,13 @@ def _sweep_shape(
             start = time.perf_counter()
             run = run_algorithm(
                 name, A, B, P, collective_algorithm=collective_algorithm,
+                semiring=semiring,
             )
             elapsed = time.perf_counter() - start
             timings["evaluate"] += elapsed
             verify_start = time.perf_counter()
             correct = (
-                bool(np.allclose(run.C, expected))
+                bool(np.allclose(run.C, expected_for(run.semiring)))
                 if backend_obj.verifies else None
             )
             check = check_cost_against_bound(shape, P, run.cost)
@@ -207,6 +229,7 @@ def _sweep_shape(
                 skew=None if run.machine is None else run.machine.rank_skew(),
                 backend=backend_obj.name,
                 task_index=record_index,
+                semiring=run.semiring,
             ))
     return records, (timings if want_telemetry else None)
 
@@ -225,6 +248,7 @@ def sweep(
     telemetry=None,
     profile=None,
     progress=None,
+    semiring: Optional[str] = None,
 ) -> List[SweepRecord]:
     """Run algorithms across shapes and processor counts.
 
@@ -279,6 +303,12 @@ def sweep(
     progress:
         Optional :class:`repro.obs.telemetry.ProgressReporter`,
         heartbeat-updated as shape tasks complete.
+    semiring:
+        Optional semiring name threaded to every run (``"plus_times"`` /
+        ``"min_plus"``).  ``None`` keeps each entry's own default.  Data
+        runs are verified against the *requested* semiring's dense
+        reference product; costs and bound checks are identical for every
+        semiring by construction.
 
     Raises
     ------
@@ -299,12 +329,14 @@ def sweep(
         raise ValueError(f"unknown sweep engine {engine!r}")
     if engine == "simulate":
         resolve_backend(backend)  # validate the name before forking tasks
+    if semiring is not None:
+        semiring = resolve_semiring(semiring).name  # validate before forking
     with maybe_stage(telemetry, "plan"):
         names = tuple(algorithms) if algorithms is not None else tuple(REGISTRY)
         counts = tuple(processor_counts)
         tasks = [
             (shape, index, counts, names, seed, backend,
-             collective_algorithm, engine, telemetry is not None)
+             collective_algorithm, engine, telemetry is not None, semiring)
             for index, shape in enumerate(shapes)
         ]
     with maybe_stage(telemetry, "map", tasks=len(tasks), workers=workers):

@@ -116,15 +116,17 @@ def cross_check_backends(
     P: int,
     seed: int = 0,
     collective_algorithm: Optional[str] = None,
+    semiring=None,
 ) -> BackendCrossCheck:
     """Run ``algorithm`` under both backends and assert exact agreement.
 
     The data run uses real seeded operands (and its product is verified
-    against numpy); the symbolic run uses shape descriptors only.  The
-    two executions share every schedule, so their Cost, per-rank
-    ``sent_words`` / ``recv_words`` / ``flops`` vectors, bound-attainment
-    ratio and peak memory must be *exactly* equal — word-for-word, not
-    approximately.
+    against the requested semiring's dense reference — ``numpy`` matmul
+    for ``plus_times``, the broadcast distance product for ``min_plus``);
+    the symbolic run uses shape descriptors only.  The two executions
+    share every schedule, so their Cost, per-rank ``sent_words`` /
+    ``recv_words`` / ``flops`` vectors, bound-attainment ratio and peak
+    memory must be *exactly* equal — word-for-word, not approximately.
 
     Raises
     ------
@@ -132,6 +134,7 @@ def cross_check_backends(
         On any divergence; the message names the first differing counter.
     """
     from ..algorithms.registry import run_algorithm
+    from ..machine.semiring import resolve_semiring
     from ..obs.attainment import bound_attainment
 
     rng = np.random.default_rng(seed)
@@ -140,15 +143,20 @@ def cross_check_backends(
 
     data = run_algorithm(
         algorithm, A, B, P, collective_algorithm=collective_algorithm,
+        semiring=semiring,
     )
-    if not np.allclose(data.C, A @ B):
+    # Resolve the semiring the run actually used (entries may default to a
+    # non-plus_times semiring, e.g. fox_otto) and verify against its dense
+    # single-node reference product.
+    sr = resolve_semiring(data.semiring)
+    if not sr.allclose(data.C, sr.matmul_data(A, B)):
         raise BackendMismatchError(
             f"{algorithm} data-backend product is numerically wrong on "
-            f"{shape}, P={P}; cannot anchor a cross-check to it"
+            f"{shape}, P={P} ({sr.name}); cannot anchor a cross-check to it"
         )
     symbolic = run_algorithm(
         algorithm, A, B, P, backend="symbolic",
-        collective_algorithm=collective_algorithm,
+        collective_algorithm=collective_algorithm, semiring=semiring,
     )
 
     def counters(run):
@@ -160,6 +168,7 @@ def cross_check_backends(
             "flops": tuple(p.flops for p in m.processors),
             "attainment_ratio": run.attainment.ratio,
             "peak_memory": m.peak_memory_words(),
+            "semiring": run.semiring,
         }
 
     d, s = counters(data), counters(symbolic)
@@ -215,6 +224,7 @@ def cross_check_oracle(
     seed: int = 0,
     backend: str = "data",
     collective_algorithm: Optional[str] = None,
+    semiring=None,
 ) -> OracleCrossCheck:
     """Simulate ``algorithm`` and assert the oracle predicted it exactly.
 
@@ -223,7 +233,10 @@ def cross_check_oracle(
     what its schedules actually move — so exact agreement checks both
     sides at once.  The tolerance is zero: words, rounds, flops, the
     config string and the bound-attainment ratio must all match bit for
-    bit, on either backend.
+    bit, on either backend.  The closed forms never mention the semiring —
+    all counters are shape-derived — so the same prediction must hold for
+    any ``semiring`` the simulation runs under; passing one here asserts
+    that stronger statement.
 
     Raises
     ------
@@ -246,7 +259,7 @@ def cross_check_oracle(
     B = rng.random((shape.n2, shape.n3))
     run = run_algorithm(
         algorithm, A, B, P, backend=backend,
-        collective_algorithm=collective_algorithm,
+        collective_algorithm=collective_algorithm, semiring=semiring,
     )
 
     observed = {

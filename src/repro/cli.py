@@ -248,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(cross-checked exactly in the test suite) in "
                             "milliseconds at any P; incompatible with "
                             "--trace/--metrics/--memory (no machine exists)")
+    p_run.add_argument("--semiring", choices=["plus_times", "min_plus"],
+                       default="plus_times",
+                       help="scalar multiply-add pair for the local GEMMs "
+                            "and reductions; costs are identical for every "
+                            "semiring, numerics are verified against the "
+                            "chosen semiring's reference product")
 
     p_inspect = sub.add_parser(
         "inspect", help="pretty-print a recorded JSON-lines trace"
@@ -328,7 +334,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append records to this experiment ledger")
     p_sweep.add_argument("--label", default="sweep",
                          help="ledger record label (default 'sweep')")
+    p_sweep.add_argument("--semiring", choices=["plus_times", "min_plus"],
+                         default=None,
+                         help="thread this semiring to every run (default: "
+                              "each algorithm's own default)")
     _add_observability_flags(p_sweep)
+
+    p_apsp = sub.add_parser(
+        "apsp",
+        help="all-pairs shortest paths by repeated min-plus squaring "
+             "(Fox-Otto distance products with per-squaring Theorem 3 "
+             "gauges)",
+    )
+    p_apsp.add_argument("--n", type=int, required=True,
+                        help="number of graph vertices (the distance matrix "
+                             "is n x n)")
+    p_apsp.add_argument("--P", "--procs", "-p", dest="procs", type=int,
+                        required=True, help="processor count P")
+    p_apsp.add_argument("--seed", type=int, default=0,
+                        help="digraph RNG seed")
+    p_apsp.add_argument("--density", type=float, default=0.35,
+                        help="edge probability of the random digraph "
+                             "(default 0.35)")
+    p_apsp.add_argument("--algorithm", default="fox_otto",
+                        help="registry algorithm executing each distance "
+                             "product (default fox_otto)")
+    p_apsp.add_argument("--no-verify", action="store_true",
+                        help="skip the single-node shortest-path reference "
+                             "check")
 
     p_large = sub.add_parser(
         "large-p",
@@ -419,9 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
     l_diff.add_argument("--path", **common)
     l_diff.add_argument("--allow-mixed", action="store_true",
                         help="permit comparing records from different "
-                             "execution backends (wall-clock and numerical "
-                             "verification are not comparable across "
-                             "backends; model costs are)")
+                             "execution backends or semirings (wall-clock, "
+                             "numerical verification and products are not "
+                             "comparable across them; model costs are)")
     l_diff.add_argument("--allow-faulty", action="store_true",
                         help="silence the warning when comparing a "
                              "fault-injected record against a fault-free "
@@ -606,6 +639,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.oracle:
         return _cmd_run_oracle(args)
+    from .machine.semiring import resolve_semiring
+
+    sr = resolve_semiring(args.semiring)
     shape = ProblemShape(args.n1, args.n2, args.n3)
     choice = select_grid(shape, args.procs)
     backend = resolve_backend(args.backend)
@@ -621,16 +657,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             choice.grid.size, memory_limit=args.memory, backend=backend
         )
     try:
-        res = run_alg1(A, B, choice.grid, machine=machine)
+        res = run_alg1(A, B, choice.grid, machine=machine, semiring=sr)
     except MemoryLimitExceededError as exc:
         print(f"run aborted: {exc}", file=sys.stderr)
         print("(raise --memory; 'repro bounds ... -m M' shows the minimum)",
               file=sys.stderr)
         return 1
-    ok = bool(np.allclose(res.C, A @ B)) if backend.verifies else None
+    ok = (
+        bool(sr.allclose(res.C, sr.matmul_data(A, B)))
+        if backend.verifies else None
+    )
     bound = communication_lower_bound(shape, args.procs)
     print(f"problem {shape}, P = {args.procs}, grid {choice.grid}, "
-          f"backend {backend.name}")
+          f"backend {backend.name}, semiring {sr.name}")
     if ok is None:
         print("numerically correct: skipped (symbolic backend moves shape "
               "descriptors, not elements)")
@@ -841,6 +880,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         profile=profile,
         progress=progress,
+        semiring=args.semiring,
     )
     headers = ["algorithm", "config", "shape", "P", "words", "rounds",
                "attainment", "correct", "wall"]
@@ -858,6 +898,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if ledger is not None:
         print(f"appended {len(records)} records to {ledger.path}")
     return _report_observability(args, telemetry, profile, progress)
+
+
+def _cmd_apsp(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .exceptions import ShapeError
+    from .workloads.apsp import random_digraph, run_apsp
+
+    try:
+        W = random_digraph(args.n, seed=args.seed, density=args.density)
+        result = run_apsp(
+            W, args.procs,
+            algorithm=args.algorithm,
+            verify=not args.no_verify,
+        )
+    except ShapeError as exc:
+        print(f"bad apsp problem: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"unknown algorithm: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"APSP n = {result.n}, P = {result.P}, "
+          f"algorithm {result.algorithm}, semiring {result.semiring}, "
+          f"{len(result.squarings)} squaring(s)")
+    headers = ["step", "hops<=", "config", "words", "rounds", "bound",
+               "ratio", "changed"]
+    rows = [
+        [str(rec.step), str(rec.hop_limit), rec.config,
+         f"{rec.cost.words:g}", str(rec.cost.rounds),
+         f"{rec.attainment.bound:g}", f"{rec.attainment.ratio:.6f}",
+         str(rec.changed_entries)]
+        for rec in result.squarings
+    ]
+    print(format_table(headers, rows))
+    total = result.total_cost
+    print(f"total: words {total.words:g}, rounds {total.rounds}, "
+          f"flops {total.flops:g} (semiring multiply-add pairs)")
+    print(f"worst per-squaring attainment ratio: "
+          f"{result.worst_attainment_ratio:.6f}")
+    if result.correct is None:
+        print("verification: skipped")
+        return 0
+    print(f"verification ({result.reference_engine}): "
+          f"correct={result.correct}, max |err| = {result.max_abs_error:.3g}")
+    return 0 if result.correct else 1
 
 
 def _cmd_large_p(args: argparse.Namespace) -> int:
@@ -1064,6 +1149,16 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if rec_a.semiring != rec_b.semiring and not args.allow_mixed:
+        print(
+            f"refusing to diff records from different semirings "
+            f"({rec_a.semiring!r} vs {rec_b.semiring!r}): the products are "
+            f"different mathematical objects. Model costs are "
+            f"semiring-independent by construction — pass --allow-mixed "
+            f"to compare them anyway.",
+            file=sys.stderr,
+        )
+        return 2
     if rec_a.fault_injected != rec_b.fault_injected and not args.allow_faulty:
         faulty = args.index_a if rec_a.fault_injected else args.index_b
         print(
@@ -1075,8 +1170,8 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         )
     print(f"ledger diff: record {args.index_a} vs record {args.index_b}")
     fields = ["label", "kind", "algorithm", "config", "shape", "P",
-              "backend", "words", "rounds", "flops", "bound", "attainment",
-              "wall_clock", "git_sha"]
+              "backend", "semiring", "words", "rounds", "flops", "bound",
+              "attainment", "wall_clock", "git_sha"]
     identical = True
     for field in fields:
         a, b = getattr(rec_a, field), getattr(rec_b, field)
@@ -1305,6 +1400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "apsp":
+        return _cmd_apsp(args)
     if args.command == "large-p":
         return _cmd_large_p(args)
     if args.command == "profile":

@@ -39,7 +39,7 @@ from .cost_formulas import (
     scatter_cost,
 )
 from .gather import gather_binomial, gather_schedule
-from .ops import REDUCE_OPS, resolve_op
+from .ops import REDUCE_OPS, op_name, register_reduce_op, resolve_op
 from .reduce import reduce_binomial, reduce_schedule
 from .reduce_scatter import (
     reduce_scatter_recursive_halving,
@@ -77,6 +77,7 @@ __all__ = [
     "group_index",
     "is_power_of_two",
     "REDUCE_OPS",
+    "op_name",
     "parallel_allgather",
     "parallel_allreduce",
     "parallel_alltoall",
@@ -85,6 +86,7 @@ __all__ = [
     "reduce_binomial",
     "reduce_cost",
     "reduce_schedule",
+    "register_reduce_op",
     "resolve_op",
     "reduce_scatter_cost",
     "reduce_scatter_recursive_halving",

@@ -26,10 +26,24 @@ from .alltoall import alltoall_schedule
 from .barrier import barrier_dissemination
 from .broadcast import broadcast_schedule
 from .gather import gather_schedule
+from .ops import op_name
 from .reduce import reduce_schedule
 from .reduce_scatter import reduce_scatter_schedule
 from .scatter import scatter_schedule
 from .schedules import Schedule, run_schedule, run_schedules
+
+
+def _reduce_label(label: str, op) -> str:
+    """Tag a reducing collective's trace label with its *registered* op name.
+
+    Spans and ledger-bound traces then show ``[op=min]`` instead of a raw
+    ``<ufunc 'minimum'>`` repr.  The default ``sum`` stays untagged so
+    existing traces are byte-identical.
+    """
+    name = op_name(op)
+    if name == "sum":
+        return label
+    return f"{label} [op={name}]" if label else f"[op={name}]"
 
 __all__ = [
     "Communicator",
@@ -136,7 +150,7 @@ class Communicator:
                 self.ranks, blocks, machine=self.machine, algorithm=algorithm, op=op
             ),
             "reduce-scatter",
-            label,
+            _reduce_label(label, op),
         )
 
     def broadcast(
@@ -164,7 +178,7 @@ class Communicator:
         return self._run(
             reduce_schedule(self.ranks, root, values, machine=self.machine, op=op),
             "reduce",
-            label,
+            _reduce_label(label, op),
         )
 
     def allreduce(
@@ -179,7 +193,7 @@ class Communicator:
             allreduce_schedule(self.ranks, values, machine=self.machine,
                                algorithm=algorithm, op=op),
             "allreduce",
-            label,
+            _reduce_label(label, op),
         )
 
     def scatter(
@@ -265,15 +279,18 @@ def parallel_reduce_scatter(
     blocks: Mapping[int, Sequence[np.ndarray]],
     algorithm: str = "auto",
     label: str = "",
+    op="sum",
 ) -> Dict[int, np.ndarray]:
     """Reduce-Scatter over several disjoint groups in merged rounds."""
     schedules = [
         reduce_scatter_schedule(
-            g, {r: blocks[r] for r in g}, machine=machine, algorithm=algorithm
+            g, {r: blocks[r] for r in g}, machine=machine, algorithm=algorithm, op=op
         )
         for g in groups
     ]
-    results = _run_parallel(machine, schedules, groups, "reduce-scatter", label)
+    results = _run_parallel(
+        machine, schedules, groups, "reduce-scatter", _reduce_label(label, op)
+    )
     merged: Dict[int, np.ndarray] = {}
     for res in results:
         merged.update(res)
@@ -306,13 +323,17 @@ def parallel_allreduce(
     values: Mapping[int, np.ndarray],
     algorithm: str = "auto",
     label: str = "",
+    op="sum",
 ) -> Dict[int, np.ndarray]:
     """All-Reduce over several disjoint groups in merged rounds."""
     schedules = [
-        allreduce_schedule(g, {r: values[r] for r in g}, machine=machine, algorithm=algorithm)
+        allreduce_schedule(g, {r: values[r] for r in g}, machine=machine,
+                           algorithm=algorithm, op=op)
         for g in groups
     ]
-    results = _run_parallel(machine, schedules, groups, "allreduce", label)
+    results = _run_parallel(
+        machine, schedules, groups, "allreduce", _reduce_label(label, op)
+    )
     merged: Dict[int, np.ndarray] = {}
     for res in results:
         merged.update(res)

@@ -3,6 +3,22 @@
 MPI-style predefined operations.  All are associative and commutative on
 elementwise numpy arrays, so every reduction schedule (tree, ring,
 halving) computes the same result regardless of combine order.
+
+Operators are *registered by name*: :func:`resolve_op` maps a name to its
+callable and :func:`op_name` maps a registered callable back to its name,
+so traces and ledger records can say ``"min"`` instead of printing a raw
+``<ufunc 'minimum'>`` repr.  Anonymous callables are refused with a typed
+:class:`~repro.exceptions.ReduceOpError` — a reduction schedule combines
+partials in a schedule-dependent order, so accepting an arbitrary lambda
+whose associativity/commutativity nobody vouched for would let two
+schedules of the *same* collective silently disagree.  Callables with
+known algebra are admitted explicitly via :func:`register_reduce_op`.
+
+The semiring seam (:mod:`repro.machine.semiring`) relies on this registry:
+each semiring names its additive reduction (``"sum"`` for ``plus_times``,
+``"min"`` for ``min_plus``) and the reducing collectives accumulate with
+that operator, which is what makes ``reduce``/``allreduce``/
+``reduce_scatter`` correct under min-plus.
 """
 
 from __future__ import annotations
@@ -11,7 +27,9 @@ from typing import Callable, Dict
 
 import numpy as np
 
-__all__ = ["REDUCE_OPS", "resolve_op"]
+from ..exceptions import ReduceOpError
+
+__all__ = ["REDUCE_OPS", "op_name", "register_reduce_op", "resolve_op"]
 
 #: name -> elementwise binary operator.
 REDUCE_OPS: Dict[str, Callable] = {
@@ -21,19 +39,85 @@ REDUCE_OPS: Dict[str, Callable] = {
     "prod": np.multiply,
 }
 
+#: id(callable) -> name, for the reverse lookup.  Keyed by identity, not
+#: hash: ufuncs are hashable, but arbitrary registered callables need not be.
+_OP_NAMES: Dict[int, str] = {id(fn): name for name, fn in REDUCE_OPS.items()}
+
+
+def register_reduce_op(name: str, fn: Callable) -> Callable:
+    """Register ``fn`` as the reduction operator ``name``.
+
+    The caller vouches that ``fn`` is an associative, commutative
+    elementwise binary function (like the numpy ufuncs in
+    :data:`REDUCE_OPS`); the collectives cannot check this and every
+    reduction schedule assumes it.  Re-registering a name with a different
+    callable raises :class:`~repro.exceptions.ReduceOpError` so a typo
+    cannot silently shadow a built-in.
+    """
+    if not callable(fn):
+        raise ReduceOpError(f"reduce op {name!r} must be callable, got {fn!r}")
+    existing = REDUCE_OPS.get(name)
+    if existing is not None and existing is not fn:
+        raise ReduceOpError(
+            f"reduce op name {name!r} is already registered to {existing!r}"
+        )
+    REDUCE_OPS[name] = fn
+    _OP_NAMES[id(fn)] = name
+    return fn
+
+
+def op_name(op) -> str:
+    """The registered name of ``op`` (a name or a registered callable).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> op_name("min")
+    'min'
+    >>> op_name(np.minimum)
+    'min'
+    """
+    if isinstance(op, str):
+        if op not in REDUCE_OPS:
+            raise ReduceOpError(
+                f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)}"
+            )
+        return op
+    name = _OP_NAMES.get(id(op))
+    if name is None:
+        raise ReduceOpError(
+            f"unregistered reduction callable {op!r}; register it with "
+            f"register_reduce_op() so schedules can vouch for its algebra "
+            f"and traces can record its name"
+        )
+    return name
+
 
 def resolve_op(op) -> Callable:
-    """Accept an operator name or a callable; return the callable.
+    """Map an operator name (or an already-registered callable) to the callable.
 
-    Callables must be associative and commutative elementwise binary
-    functions (like the numpy ufuncs in :data:`REDUCE_OPS`).
+    Only *registered* operators are accepted: names in :data:`REDUCE_OPS`
+    or callables previously admitted via :func:`register_reduce_op`.
+    Anonymous callables raise :class:`~repro.exceptions.ReduceOpError` —
+    the reduction schedules combine partials in a schedule-dependent order,
+    so an operator must be associative and commutative, and the registry is
+    where that promise is made.
     """
+    if isinstance(op, str):
+        try:
+            return REDUCE_OPS[op]
+        except KeyError:
+            raise ReduceOpError(
+                f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)} "
+                f"or register a callable with register_reduce_op()"
+            ) from None
     if callable(op):
+        if id(op) not in _OP_NAMES:
+            raise ReduceOpError(
+                f"refusing anonymous reduction callable {op!r}: reduction "
+                f"schedules require an associative commutative operator, and "
+                f"only registered ones (REDUCE_OPS / register_reduce_op) are "
+                f"vouched for"
+            )
         return op
-    try:
-        return REDUCE_OPS[op]
-    except KeyError:
-        raise ValueError(
-            f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)} "
-            f"or pass a callable"
-        ) from None
+    raise ReduceOpError(f"reduction op must be a name or callable, got {op!r}")

@@ -18,6 +18,8 @@ __all__ = [
     "GridError",
     "DistributionError",
     "CommunicatorError",
+    "ReduceOpError",
+    "SemiringError",
     "ShapeError",
     "InvalidProblemError",
     "VerificationError",
@@ -84,6 +86,31 @@ class DistributionError(ReproError):
 
 class CommunicatorError(ReproError):
     """Invalid communicator usage, e.g. overlapping groups run in parallel."""
+
+
+class ReduceOpError(CommunicatorError, ValueError):
+    """A reduction operator that the collectives refuse to run.
+
+    Every reduction schedule (tree, ring, halving) combines partial values
+    in a schedule-dependent order, so the operator must be associative and
+    commutative for all schedules to agree.  :func:`repro.collectives.ops.resolve_op`
+    therefore accepts only *registered* operators — the built-in names in
+    :data:`~repro.collectives.ops.REDUCE_OPS` or callables registered via
+    :func:`~repro.collectives.ops.register_reduce_op` — and raises this
+    error for anonymous callables, whose algebraic properties it cannot
+    vouch for (and whose ``repr`` would pollute traces and ledger records).
+    Subclasses :class:`ValueError` for callers that caught the previous
+    untyped error on unknown names.
+    """
+
+
+class SemiringError(ReproError):
+    """An unknown or invalid semiring was requested.
+
+    Raised by :func:`repro.machine.semiring.resolve_semiring` for names
+    outside :data:`~repro.machine.semiring.SEMIRINGS` and by workloads that
+    require a specific semiring (e.g. APSP requires ``min_plus``).
+    """
 
 
 class ShapeError(ReproError):

@@ -38,6 +38,13 @@ from .machine import CounterSnapshot, Machine
 from .message import Message, payload_words
 from .network import FullyConnectedNetwork, RoundSummary
 from .processor import Processor
+from .semiring import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    SEMIRINGS,
+    Semiring,
+    resolve_semiring,
+)
 from .sequential import FastMemory, IOStats
 from .spmd import CollectiveRequest, RankContext, spmd_run
 from .store import LocalStore
@@ -66,6 +73,10 @@ __all__ = [
     "CollectiveRequest",
     "RetryPolicy",
     "RoundSummary",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "SEMIRINGS",
+    "Semiring",
     "SYMBOLIC_BACKEND",
     "SymbolicBackend",
     "SymbolicBlock",
@@ -82,6 +93,7 @@ __all__ = [
     "payload_fingerprint",
     "payload_words",
     "resolve_backend",
+    "resolve_semiring",
     "symbolic_operands",
     "zeros_block",
 ]

@@ -440,6 +440,16 @@ class Backend:
     def zeros(self, shape: Sequence[int]) -> Any:
         raise NotImplementedError
 
+    def matmul(self, a: Any, b: Any, semiring: Any = None) -> Any:
+        """The block product of ``a`` and ``b`` under ``semiring``.
+
+        ``semiring`` is a name, :class:`~repro.machine.semiring.Semiring`
+        instance, or ``None`` (= ``plus_times``).  The cost model never
+        calls this — flops are charged from shapes — so the dispatch only
+        decides the *numerics* of the result.
+        """
+        raise NotImplementedError
+
     def operands(self, shape, seed: int = 0, kind: str = "random") -> Tuple[Any, Any]:
         """An ``(A, B)`` operand pair for ``shape = (n1, n2, n3)``."""
         raise NotImplementedError
@@ -472,6 +482,12 @@ class DataBackend(Backend):
 
     def zeros(self, shape: Sequence[int]) -> np.ndarray:
         return np.zeros(shape)
+
+    def matmul(self, a: Any, b: Any, semiring: Any = None) -> np.ndarray:
+        """Run the semiring's scalar kernel on real numpy operands."""
+        from .semiring import resolve_semiring
+
+        return resolve_semiring(semiring).matmul_data(a, b)
 
     def operands(self, shape, seed: int = 0, kind: str = "random"):
         from ..core.shapes import ProblemShape
@@ -514,6 +530,16 @@ class SymbolicBackend(Backend):
 
     def zeros(self, shape: Sequence[int]) -> SymbolicBlock:
         return SymbolicBlock(shape)
+
+    def matmul(self, a: Any, b: Any, semiring: Any = None) -> Any:
+        """Shape-rule product: identical in every semiring, zero-copy.
+
+        A :class:`SymbolicBlock` has no elements, and the matmul *shape*
+        rule does not depend on the scalar semiring, so symbolic runs need
+        no dispatch — which is what keeps them cost-identical by
+        construction.
+        """
+        return a @ b
 
     def operands(self, shape, seed: int = 0, kind: str = "random"):
         return symbolic_operands(shape)

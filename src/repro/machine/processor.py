@@ -20,8 +20,13 @@ class Processor:
         The processor's private :class:`~repro.machine.store.LocalStore`.
     flops:
         Arithmetic operations performed so far.  For matrix multiplication
-        we follow the paper and count *scalar multiplications* (each fused
-        with its addition), so a local ``a x b x c`` GEMM adds ``a*b*c``.
+        we follow the paper and count *semiring multiply-add pairs* (one
+        scalar multiply fused with its accumulation), so a local
+        ``a x b x c`` block product adds ``a*b*c`` regardless of the
+        semiring — ``x, +`` under ``plus_times``, ``+, min`` under
+        ``min_plus`` (see :mod:`repro.machine.semiring`).  Charges are
+        always derived from block *shapes*, never from elements, which is
+        what makes every counter semiring-independent by construction.
     """
 
     def __init__(self, rank: int, memory_limit: Optional[float] = None) -> None:

@@ -1,0 +1,212 @@
+"""The semiring seam: pluggable scalar ``(+, x)`` for every algorithm.
+
+Theorem 3's memory-independent communication lower bounds are proved on
+the *classical matrix multiplication computation DAG*: which block of
+``C`` depends on which blocks of ``A`` and ``B``.  Nothing in the proof
+looks at what the scalar multiply-add actually computes, so the same
+bounds — and the same attainment gauges, oracle formulas, and
+cross-backend parity machinery — apply verbatim when the scalar semiring
+``(+, x)`` over floats is replaced by another semiring with the same DAG.
+The canonical example is the *min-plus (tropical) semiring*
+``(min, +)``: the "product" ``C[i,j] = min_k (A[i,k] + B[k,j])`` computes
+single-step shortest-path relaxation, and ``ceil(log2 (n-1))`` repeated
+squarings of a digraph's weight matrix solve all-pairs shortest paths.
+
+This module defines the :class:`Semiring` objects the rest of the stack
+threads through.  The invariants that keep the cost model honest:
+
+* **Costs are shape-derived.**  Every flop charge in the simulator is
+  computed from block shapes (``a*b*c`` for an ``a x b x c`` local
+  product, ``incoming.size`` for a reduction combine), never from
+  elements, and every word count is a payload size.  Swapping the scalar
+  operations therefore cannot change any counter: a ``min_plus`` run
+  charges *exactly* the words/rounds/flops of the ``plus_times`` run of
+  the same schedule.  ``flops`` counts semiring multiply-add pairs
+  (see :class:`repro.machine.processor.Processor`).
+* **Symbolic blocks are semiring-blind.**  A
+  :class:`~repro.machine.backend.SymbolicBlock` is only a shape, and the
+  shape rules of ``matmul``/elementwise-add are identical in every
+  semiring, so the symbolic backend needs no dispatch at all — the PR-3
+  cross-backend parity harness then proves data and symbolic runs agree
+  under any semiring.
+* **Reductions use the semiring's add.**  The additive monoid of the
+  semiring is the reduction operator of the collectives
+  (``"sum"`` for ``plus_times``, ``"min"`` for ``min_plus`` — both
+  registered in :data:`repro.collectives.ops.REDUCE_OPS`), so
+  Reduce/All-Reduce/Reduce-Scatter accumulation is correct under
+  ``min_plus`` without touching any schedule.
+
+Examples
+--------
+>>> import numpy as np
+>>> sr = resolve_semiring("min_plus")
+>>> A = np.array([[0.0, 1.0], [np.inf, 0.0]])
+>>> sr.matmul(A, A)
+array([[ 0.,  1.],
+       [inf,  0.]])
+>>> resolve_semiring(None).name
+'plus_times'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import SemiringError
+from .backend import SymbolicBlock, as_block, is_symbolic
+
+__all__ = [
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "SEMIRINGS",
+    "Semiring",
+    "resolve_semiring",
+]
+
+
+def _matmul_plus_times(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a @ b
+
+
+def _matmul_min_plus(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # C[i,j] = min_k (A[i,k] + B[k,j]).  The broadcast forms an
+    # (n1, n2, n3) tensor of all pairwise path sums; fine for the block
+    # sizes the simulator multiplies locally.
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"min_plus matmul: incompatible shapes {a.shape} and {b.shape}"
+        )
+    return np.min(a[:, :, None] + b[None, :, :], axis=1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Semiring:
+    """A scalar semiring ``(add, multiply)`` with identities.
+
+    Attributes
+    ----------
+    name:
+        Registry key, recorded in ledgers and CLI flags.
+    zero:
+        The additive identity (``0.0`` for ``plus_times``, ``+inf`` for
+        ``min_plus``): the fill value of an empty accumulator block.
+    one:
+        The multiplicative identity (``1.0`` / ``0.0``): e.g. the diagonal
+        of a distance matrix is ``one`` (a zero-length path).
+    reduce_op:
+        Name of the additive reduction in
+        :data:`repro.collectives.ops.REDUCE_OPS` — what the reducing
+        collectives use to accumulate partial products.
+    add_ufunc:
+        The elementwise additive combine (``np.add`` / ``np.minimum``).
+    matmul_data:
+        The block product kernel on real numpy operands.
+    """
+
+    name: str
+    zero: float
+    one: float
+    reduce_op: str
+    add_ufunc: Callable
+    matmul_data: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def matmul(self, a: Any, b: Any) -> Any:
+        """The semiring block product; dispatched through the backend.
+
+        Symbolic blocks short-circuit to the shape rule (identical in
+        every semiring, zero-copy); data blocks run the scalar kernel.
+        """
+        from .backend import backend_for
+
+        return backend_for(a, b).matmul(a, b, semiring=self)
+
+    def add(self, a: Any, b: Any) -> Any:
+        """Elementwise semiring addition (accumulation of partial products).
+
+        Works unchanged on :class:`~repro.machine.backend.SymbolicBlock`
+        operands: same-shape binary ufuncs propagate the shape.
+        """
+        return self.add_ufunc(a, b)
+
+    def zeros(self, shape: Sequence[int], like: Any = None) -> Any:
+        """An additive-identity block of ``shape`` in ``like``'s backend.
+
+        The semiring-aware replacement for
+        :func:`~repro.machine.backend.zeros_block`: a fresh accumulator
+        such that ``add(zeros, x) == x``.
+        """
+        if like is not None and is_symbolic(like):
+            return SymbolicBlock(shape)
+        if self.zero == 0.0:
+            return np.zeros(shape)
+        return np.full(shape, self.zero, dtype=float)
+
+    def eye(self, n: int) -> np.ndarray:
+        """The ``n x n`` multiplicative-identity matrix of the semiring.
+
+        ``one`` on the diagonal, ``zero`` elsewhere — for ``min_plus``
+        this is the zero-length-path matrix (0 diagonal, +inf off it).
+        """
+        out = np.full((n, n), self.zero, dtype=float)
+        np.fill_diagonal(out, self.one)
+        return out
+
+    def allclose(self, a: Any, b: Any, rtol: float = 1e-05, atol: float = 1e-08) -> bool:
+        """``np.allclose`` that treats matching infinities as equal.
+
+        ``min_plus`` matrices legitimately contain ``+inf`` (no path);
+        plain ``allclose`` already handles that via ``equal_nan=False``
+        semantics for infinities, but we centralize the comparison here so
+        workloads do not reimplement it.
+        """
+        return bool(np.allclose(as_block(a, dtype=float), as_block(b, dtype=float),
+                                rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Semiring({self.name!r})"
+
+
+#: The classical ``(+, x)`` semiring over floats — the default everywhere.
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    zero=0.0,
+    one=1.0,
+    reduce_op="sum",
+    add_ufunc=np.add,
+    matmul_data=_matmul_plus_times,
+)
+
+#: The tropical ``(min, +)`` semiring: shortest-path relaxation.
+MIN_PLUS = Semiring(
+    name="min_plus",
+    zero=float("inf"),
+    one=0.0,
+    reduce_op="min",
+    add_ufunc=np.minimum,
+    matmul_data=_matmul_min_plus,
+)
+
+#: name -> semiring instance.
+SEMIRINGS: Dict[str, Semiring] = {
+    PLUS_TIMES.name: PLUS_TIMES,
+    MIN_PLUS.name: MIN_PLUS,
+}
+
+
+def resolve_semiring(semiring: Union[None, str, Semiring]) -> Semiring:
+    """Accept a semiring name, instance, or ``None`` (= ``plus_times``)."""
+    if semiring is None:
+        return PLUS_TIMES
+    if isinstance(semiring, Semiring):
+        return semiring
+    try:
+        return SEMIRINGS[semiring]
+    except (KeyError, TypeError):
+        raise SemiringError(
+            f"unknown semiring {semiring!r}; choose from {sorted(SEMIRINGS)}"
+        ) from None

@@ -139,6 +139,15 @@ class RunRecord:
         Additive and serialized only when present, like ``task_index``.
         Wall-clock-derived and environment-bound like ``wall_clock`` —
         never part of model-cost comparisons.
+    semiring:
+        Name of the semiring the run's scalar multiply-add pair came from
+        (``"plus_times"`` / ``"min_plus"``).  Additive schema field,
+        serialized only when not the classical default, so pre-semiring
+        ledger files read back unchanged and default-semiring lines stay
+        byte-identical.  Model costs are semiring-independent, but the
+        *products* are not comparable across semirings, so ``repro ledger
+        diff`` refuses mixed-semiring comparisons without
+        ``--allow-mixed``.
     """
 
     algorithm: str
@@ -161,6 +170,7 @@ class RunRecord:
     faults: Optional[dict] = None
     task_index: Optional[int] = None
     telemetry: Optional[dict] = None
+    semiring: str = "plus_times"
 
     @property
     def fault_injected(self) -> bool:
@@ -195,6 +205,10 @@ class RunRecord:
             out["task_index"] = self.task_index
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry
+        # Additive like the telemetry fields: written only for non-default
+        # semirings, so classical runs' lines keep their historical bytes.
+        if self.semiring != "plus_times":
+            out["semiring"] = self.semiring
         return out
 
     @classmethod
@@ -230,6 +244,7 @@ class RunRecord:
                 faults=data.get("faults"),
                 task_index=data.get("task_index"),
                 telemetry=data.get("telemetry"),
+                semiring=data.get("semiring", "plus_times"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger record: {exc}") from exc
@@ -267,6 +282,7 @@ class RunRecord:
             env=environment_fingerprint(),
             task_index=getattr(record, "task_index", None),
             telemetry=telemetry,
+            semiring=getattr(record, "semiring", "plus_times"),
         )
 
 

@@ -1,5 +1,13 @@
-"""Workload generators and named problem suites."""
+"""Workload generators, named problem suites and end-to-end drivers."""
 
+from .apsp import (
+    ApspResult,
+    SquaringRecord,
+    floyd_warshall_reference,
+    random_digraph,
+    reference_shortest_paths,
+    run_apsp,
+)
 from .generators import integer_pair, operand_pair, random_pair, structured_pair
 from .suites import (
     FIGURE2_EXPECTED_GRIDS,
@@ -13,15 +21,21 @@ from .suites import (
 )
 
 __all__ = [
+    "ApspResult",
     "FIGURE2_EXPECTED_GRIDS",
     "FIGURE2_PROCESSOR_COUNTS",
     "FIGURE2_SCALED",
     "FIGURE2_SHAPE",
+    "SquaringRecord",
+    "floyd_warshall_reference",
     "integer_pair",
     "operand_pair",
     "paper_example",
+    "random_digraph",
     "random_pair",
+    "reference_shortest_paths",
     "regime_suite",
+    "run_apsp",
     "square_suite",
     "structured_pair",
     "tall_skinny_suite",

@@ -10,8 +10,8 @@ from repro.core import ProblemShape
 class TestApplicability:
     def test_all_algorithms_registered(self):
         assert set(REGISTRY) == {
-            "alg1", "row_1d", "outer_1d", "cannon", "fox", "summa", "c25d",
-            "carma",
+            "alg1", "row_1d", "outer_1d", "cannon", "fox", "fox_otto",
+            "summa", "c25d", "carma",
         }
 
     def test_square_power_of_four(self):
@@ -46,7 +46,12 @@ class TestRuns:
             pytest.skip(f"{name} not applicable")
         A, B = rng.random((16, 16)), rng.random((16, 16))
         run = run_algorithm(name, A, B, P)
-        assert np.allclose(run.C, A @ B)
+        # Verify against the run's own semiring product: fox_otto defaults
+        # to min_plus, everything else to plus_times.
+        from repro.machine.semiring import resolve_semiring
+
+        sr = resolve_semiring(run.semiring)
+        assert np.allclose(run.C, sr.matmul_data(A, B))
         assert run.cost.words >= 0
         assert run.name == name
         assert run.config

@@ -1,0 +1,95 @@
+"""Semiring-independence of the cost model, across the whole registry.
+
+Two claims, both consequences of costs being shape-derived:
+
+1. Every registry algorithm is numerically correct under ``min_plus``
+   (against the tropical reference product), and
+2. a ``min_plus`` run charges *exactly* the words/rounds/flops of the
+   ``plus_times`` run of the same (algorithm, shape, P) point — swapping
+   the scalar semiring cannot move a single counter.
+
+Plus the acceptance gate: ``cross_check_backends`` passes for ``min_plus``
+on every grid algorithm (data and symbolic backends agree exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import REGISTRY, run_algorithm
+from repro.analysis.sweep import sweep
+from repro.analysis.verification import cross_check_backends
+from repro.core.shapes import ProblemShape
+from repro.machine.semiring import MIN_PLUS, PLUS_TIMES
+
+#: A (dims, P) point applicable to *every* registry algorithm: square,
+#: P a perfect square and a perfect cube times nothing (4 = 2^2), and
+#: divisible block splits everywhere.
+UNIVERSAL_POINT = ((16, 16, 16), 4)
+
+#: The square-grid family the acceptance criterion names.
+GRID_ALGORITHMS = ["cannon", "fox", "fox_otto", "summa"]
+
+
+def _operands(dims, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.random(dims[:2]) * 5.0, rng.random(dims[1:]) * 5.0
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestMinPlusCorrectness:
+    def test_matches_tropical_reference(self, name):
+        dims, P = UNIVERSAL_POINT
+        shape = ProblemShape(*dims)
+        assert REGISTRY[name].applicable(shape, P)
+        A, B = _operands(dims)
+        run = run_algorithm(name, A, B, P, semiring=MIN_PLUS)
+        assert run.semiring == "min_plus"
+        assert np.allclose(run.C, MIN_PLUS.matmul_data(A, B))
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestCostParity:
+    def test_min_plus_costs_equal_plus_times_costs(self, name):
+        dims, P = UNIVERSAL_POINT
+        A, B = _operands(dims)
+        tropical = run_algorithm(name, A, B, P, semiring=MIN_PLUS)
+        classical = run_algorithm(name, A, B, P, semiring=PLUS_TIMES)
+        assert tropical.cost == classical.cost
+        assert tropical.config == classical.config
+
+
+@pytest.mark.parametrize("name", GRID_ALGORITHMS)
+class TestGridBackendCrossCheck:
+    """Acceptance gate: min_plus data/symbolic parity on grid algorithms."""
+
+    def test_cross_check_backends_min_plus(self, name):
+        # Raises BackendMismatchError on any counter disagreement.
+        check = cross_check_backends(
+            name, ProblemShape(16, 16, 16), 4, semiring="min_plus"
+        )
+        assert check.verified_numerics
+
+
+class TestSweepSemiring:
+    def test_sweep_verifies_against_tropical_product(self):
+        records = sweep(
+            [ProblemShape(16, 16, 16)], [4],
+            algorithms=["cannon", "fox_otto"], semiring="min_plus",
+        )
+        assert records and all(r.semiring == "min_plus" for r in records)
+        assert all(r.correct for r in records)
+
+    def test_default_sweep_records_per_algorithm_semiring(self):
+        records = sweep(
+            [ProblemShape(16, 16, 16)], [4],
+            algorithms=["cannon", "fox_otto"],
+        )
+        by_name = {r.algorithm: r.semiring for r in records}
+        assert by_name == {"cannon": "plus_times", "fox_otto": "min_plus"}
+        assert all(r.correct for r in records)
+
+    def test_sweep_rejects_unknown_semiring(self):
+        from repro.exceptions import SemiringError
+
+        with pytest.raises(SemiringError):
+            sweep([ProblemShape(8, 8, 8)], [4], semiring="nope")

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.collectives import REDUCE_OPS, resolve_op
+from repro.collectives import REDUCE_OPS, op_name, register_reduce_op, resolve_op
+from repro.exceptions import ReduceOpError
 from repro.machine import Machine
 
 
@@ -20,13 +21,65 @@ class TestResolveOp:
         assert resolve_op("min") is np.minimum
         assert resolve_op("prod") is np.multiply
 
-    def test_callable_passthrough(self):
+    def test_registered_callable_passthrough(self):
+        assert resolve_op(np.minimum) is np.minimum
+        assert resolve_op(np.add) is np.add
+
+    def test_anonymous_callable_rejected(self):
         fn = lambda a, b: a + b
-        assert resolve_op(fn) is fn
+        with pytest.raises(ReduceOpError, match="anonymous"):
+            resolve_op(fn)
+        # ReduceOpError subclasses ValueError for backward compatibility.
+        with pytest.raises(ValueError):
+            resolve_op(fn)
+
+    def test_non_commutative_lambda_rejected(self):
+        with pytest.raises(ReduceOpError, match="anonymous"):
+            resolve_op(lambda a, b: a - b)
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown reduction op"):
             resolve_op("xor")
+        with pytest.raises(ReduceOpError):
+            resolve_op("xor")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ReduceOpError, match="name or callable"):
+            resolve_op(42)
+
+
+class TestOpNames:
+    def test_builtin_names_round_trip(self):
+        for name, fn in REDUCE_OPS.items():
+            assert op_name(name) == name
+            assert op_name(fn) == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReduceOpError, match="unknown reduction op"):
+            op_name("xor")
+
+    def test_unregistered_callable_rejected(self):
+        with pytest.raises(ReduceOpError, match="unregistered"):
+            op_name(lambda a, b: a + b)
+
+    def test_register_reduce_op(self):
+        def combine(a, b):
+            return np.hypot(a, b)
+
+        try:
+            register_reduce_op("hypot_test", combine)
+            assert resolve_op("hypot_test") is combine
+            assert resolve_op(combine) is combine
+            assert op_name(combine) == "hypot_test"
+            # Re-registering the same pair is idempotent ...
+            register_reduce_op("hypot_test", combine)
+            # ... but shadowing a taken name with a different callable is not.
+            with pytest.raises(ReduceOpError, match="already registered"):
+                register_reduce_op("hypot_test", lambda a, b: a)
+            with pytest.raises(ReduceOpError, match="must be callable"):
+                register_reduce_op("not_callable", 3)
+        finally:
+            REDUCE_OPS.pop("hypot_test", None)
 
 
 class TestOpsAcrossCollectives:
@@ -72,8 +125,12 @@ class TestOpsAcrossCollectives:
         assert np.allclose(res[0], expected)
 
     def test_custom_callable(self, values):
-        m = Machine(5)
-        res = m.comm_world().allreduce(values, op=np.hypot)
+        try:
+            register_reduce_op("hypot", np.hypot)
+            m = Machine(5)
+            res = m.comm_world().allreduce(values, op="hypot")
+        finally:
+            REDUCE_OPS.pop("hypot", None)
         # hypot is associative and commutative: sqrt of sum of squares.
         expected = np.sqrt(np.sum(np.stack([values[r] ** 2 for r in range(5)]), axis=0))
         assert np.allclose(res[0], expected)

@@ -1,0 +1,122 @@
+"""Unit tests for the semiring seam (:mod:`repro.machine.semiring`)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.machine.backend import SymbolicBlock, is_symbolic
+from repro.machine.semiring import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    SEMIRINGS,
+    Semiring,
+    resolve_semiring,
+)
+
+
+class TestResolve:
+    def test_none_is_plus_times(self):
+        assert resolve_semiring(None) is PLUS_TIMES
+
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_by_name(self, name):
+        assert resolve_semiring(name) is SEMIRINGS[name]
+
+    def test_instance_passthrough(self):
+        assert resolve_semiring(MIN_PLUS) is MIN_PLUS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SemiringError, match="unknown semiring"):
+            resolve_semiring("max_times")
+
+    def test_non_string_raises(self):
+        with pytest.raises(SemiringError):
+            resolve_semiring(42)
+
+
+class TestIdentities:
+    def test_plus_times_identities(self):
+        assert PLUS_TIMES.zero == 0.0
+        assert PLUS_TIMES.one == 1.0
+        assert PLUS_TIMES.reduce_op == "sum"
+
+    def test_min_plus_identities(self):
+        assert MIN_PLUS.zero == float("inf")
+        assert MIN_PLUS.one == 0.0
+        assert MIN_PLUS.reduce_op == "min"
+
+    @pytest.mark.parametrize("sr", [PLUS_TIMES, MIN_PLUS])
+    def test_zero_is_additive_identity(self, sr, rng):
+        x = rng.random((3, 4))
+        z = sr.zeros((3, 4))
+        assert np.array_equal(sr.add(z, x), x)
+
+    @pytest.mark.parametrize("sr", [PLUS_TIMES, MIN_PLUS])
+    def test_eye_is_multiplicative_identity(self, sr, rng):
+        x = rng.random((4, 4))
+        assert sr.allclose(sr.matmul(sr.eye(4), x), x)
+        assert sr.allclose(sr.matmul(x, sr.eye(4)), x)
+
+
+class TestMinPlusMatmul:
+    def test_small_known_product(self):
+        inf = np.inf
+        A = np.array([[0.0, 1.0, inf],
+                      [inf, 0.0, 2.0],
+                      [inf, inf, 0.0]])
+        C = MIN_PLUS.matmul(A, A)
+        expected = np.array([[0.0, 1.0, 3.0],
+                             [inf, 0.0, 2.0],
+                             [inf, inf, 0.0]])
+        assert np.array_equal(C, expected)
+
+    def test_matches_brute_force(self, rng):
+        A, B = rng.random((5, 7)), rng.random((7, 3))
+        C = MIN_PLUS.matmul(A, B)
+        for i in range(5):
+            for j in range(3):
+                assert C[i, j] == pytest.approx(min(A[i, :] + B[:, j]))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="incompatible shapes"):
+            MIN_PLUS.matmul_data(rng.random((2, 3)), rng.random((4, 2)))
+
+
+class TestSymbolicBlindness:
+    """Symbolic blocks are shapes only: identical under every semiring."""
+
+    @pytest.mark.parametrize("sr", [PLUS_TIMES, MIN_PLUS])
+    def test_matmul_propagates_shape(self, sr):
+        out = sr.matmul(SymbolicBlock((3, 5)), SymbolicBlock((5, 2)))
+        assert is_symbolic(out) and out.shape == (3, 2)
+
+    @pytest.mark.parametrize("sr", [PLUS_TIMES, MIN_PLUS])
+    def test_zeros_like_symbolic(self, sr):
+        out = sr.zeros((4, 4), like=SymbolicBlock((1, 1)))
+        assert is_symbolic(out) and out.shape == (4, 4)
+
+
+class TestRegistryIntegrity:
+    def test_every_semiring_reduce_op_is_registered(self):
+        from repro.collectives.ops import REDUCE_OPS
+
+        for sr in SEMIRINGS.values():
+            assert sr.reduce_op in REDUCE_OPS
+
+    def test_semiring_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MIN_PLUS.name = "other"  # type: ignore[misc]
+
+    def test_custom_semiring_resolves_as_instance(self):
+        max_plus = Semiring(
+            name="max_plus", zero=-np.inf, one=0.0, reduce_op="max",
+            add_ufunc=np.maximum,
+            matmul_data=lambda a, b: np.max(
+                np.asarray(a)[:, :, None] + np.asarray(b)[None, :, :], axis=1
+            ),
+        )
+        assert resolve_semiring(max_plus) is max_plus
+        C = max_plus.matmul(np.zeros((2, 2)), np.ones((2, 2)))
+        assert np.array_equal(C, np.ones((2, 2)))

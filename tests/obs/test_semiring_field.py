@@ -1,0 +1,49 @@
+"""The additive ``semiring`` provenance field on ledger records."""
+
+import json
+
+from repro.analysis.sweep import sweep
+from repro.core.shapes import ProblemShape
+from repro.obs.ledger import RunRecord
+
+
+def _record(**overrides):
+    base = dict(
+        algorithm="alg1", shape=(4, 4, 4), P=2, words=16.0, rounds=2,
+        flops=32.0, bound=16.0, attainment=1.0, wall_clock=0.01,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestRunRecordSemiring:
+    def test_defaults_to_plus_times(self):
+        assert _record().semiring == "plus_times"
+
+    def test_round_trips_through_dict(self):
+        rec = _record(semiring="min_plus")
+        assert RunRecord.from_dict(rec.to_dict()).semiring == "min_plus"
+
+    def test_legacy_dict_without_semiring_reads_as_plus_times(self):
+        payload = _record().to_dict()
+        assert "semiring" not in payload
+        assert RunRecord.from_dict(payload).semiring == "plus_times"
+
+    def test_default_serialization_is_byte_stable(self):
+        """plus_times records serialize without the field at all, so
+        pre-semiring ledger lines and new default lines are identical."""
+        line = json.dumps(_record().to_dict(), sort_keys=True)
+        assert "semiring" not in line
+
+    def test_from_sweep_carries_the_semiring(self):
+        record = sweep(
+            [ProblemShape(16, 16, 16)], [4], algorithms=["fox_otto"],
+        )[0]
+        assert record.semiring == "min_plus"
+        assert RunRecord.from_sweep(record).semiring == "min_plus"
+
+    def test_from_sweep_default_is_plus_times(self):
+        record = sweep(
+            [ProblemShape(16, 16, 16)], [4], algorithms=["cannon"],
+        )[0]
+        assert RunRecord.from_sweep(record).semiring == "plus_times"

@@ -841,3 +841,113 @@ class TestDashboardCommand:
         assert main(["dashboard", "--out", str(tmp_path / "d.html"),
                      "--ledger", str(bad), "--no-bench"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestRunSemiring:
+    def test_min_plus_run_verifies_tropically(self, capsys):
+        assert main(["run", "16", "16", "16", "-p", "4",
+                     "--semiring", "min_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "semiring min_plus" in out
+        assert "numerically correct: True" in out
+
+    def test_default_is_plus_times(self, capsys):
+        assert main(["run", "16", "16", "16", "-p", "4"]) == 0
+        assert "semiring plus_times" in capsys.readouterr().out
+
+    def test_unknown_semiring_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "16", "16", "16", "-p", "4",
+                  "--semiring", "max_times"])
+
+
+class TestApspCommand:
+    def test_small_apsp_is_correct(self, capsys):
+        assert main(["apsp", "--n", "16", "--P", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "semiring min_plus" in out
+        assert "correct=True" in out
+        assert "4 squaring(s)" in out
+
+    def test_acceptance_point(self, capsys):
+        """The ISSUE acceptance run: n=64, P=16, fox_otto."""
+        assert main(["apsp", "--n", "64", "--P", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm fox_otto" in out
+        assert "6 squaring(s)" in out
+        assert "correct=True" in out
+        # Every squaring sits within standard constants of the bound.
+        from repro.workloads.apsp import random_digraph, run_apsp
+
+        result = run_apsp(random_digraph(64), 16)
+        assert 1.0 <= result.worst_attainment_ratio <= 4.0
+
+    def test_no_verify_skips_reference(self, capsys):
+        assert main(["apsp", "--n", "16", "--P", "4", "--no-verify"]) == 0
+        assert "verification: skipped" in capsys.readouterr().out
+
+    def test_alternate_algorithm(self, capsys):
+        assert main(["apsp", "--n", "16", "--P", "4",
+                     "--algorithm", "cannon"]) == 0
+        assert "algorithm cannon" in capsys.readouterr().out
+
+    def test_bad_order_is_usage_error(self, capsys):
+        assert main(["apsp", "--n", "0", "--P", "4"]) == 2
+        assert "bad apsp problem" in capsys.readouterr().err
+
+    def test_unknown_algorithm_is_usage_error(self, capsys):
+        assert main(["apsp", "--n", "16", "--P", "4",
+                     "--algorithm", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestLedgerMixedSemiringDiff:
+    def populate_mixed(self, tmp_path):
+        """Same algorithm and point, one min_plus and one plus_times run."""
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        shape = ProblemShape(16, 16, 16)
+        sweep([shape], [4], algorithms=["cannon"], semiring="min_plus",
+              ledger=ledger, label="tropical")
+        sweep([shape], [4], algorithms=["cannon"], ledger=ledger,
+              label="classical")
+        return path
+
+    def test_refuses_cross_semiring_diff(self, tmp_path, capsys):
+        path = self.populate_mixed(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "different semirings" in err
+        assert "--allow-mixed" in err
+
+    def test_allow_mixed_shows_semiring_and_model_cost_parity(
+        self, tmp_path, capsys
+    ):
+        path = self.populate_mixed(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path),
+                     "--allow-mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "semiring: min_plus -> plus_times" in out
+        # Costs are semiring-independent by construction.
+        assert "words" not in out
+        assert "flops" not in out
+
+    def test_same_semiring_diff_needs_no_flag(self, tmp_path, capsys):
+        from repro.analysis.sweep import sweep
+        from repro.core.shapes import ProblemShape
+        from repro.obs.ledger import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        shape = ProblemShape(16, 16, 16)
+        for label in ("a", "b"):
+            sweep([shape], [4], algorithms=["fox_otto"], ledger=ledger,
+                  label=label)
+        capsys.readouterr()
+        assert main(["ledger", "diff", "0", "1", "--path", str(path)]) == 0

@@ -1,0 +1,122 @@
+"""Tests for the repeated-squaring APSP workload driver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError, ShapeError
+from repro.workloads.apsp import (
+    floyd_warshall_reference,
+    random_digraph,
+    reference_shortest_paths,
+    run_apsp,
+)
+
+
+class TestRandomDigraph:
+    def test_shape_diagonal_and_support(self):
+        W = random_digraph(12, seed=3, density=0.4)
+        assert W.shape == (12, 12)
+        assert np.array_equal(np.diag(W), np.zeros(12))
+        off = W[~np.eye(12, dtype=bool)]
+        finite = off[np.isfinite(off)]
+        # Strictly positive weights: the scipy dense convention is safe.
+        assert (finite > 0).all()
+
+    def test_seed_determinism(self):
+        assert np.array_equal(random_digraph(8, seed=5), random_digraph(8, seed=5))
+        assert not np.array_equal(random_digraph(8, seed=5), random_digraph(8, seed=6))
+
+    def test_density_extremes(self):
+        empty = random_digraph(6, density=0.0)
+        assert np.isinf(empty[~np.eye(6, dtype=bool)]).all()
+        full = random_digraph(6, density=1.0)
+        assert np.isfinite(full).all()
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_nonpositive_order(self, bad):
+        with pytest.raises(ShapeError):
+            random_digraph(bad)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ShapeError):
+            random_digraph(4, density=1.5)
+
+
+class TestReference:
+    def test_floyd_warshall_on_known_graph(self):
+        inf = np.inf
+        W = np.array([[0.0, 1.0, inf],
+                      [inf, 0.0, 1.0],
+                      [1.0, inf, 0.0]])
+        D = floyd_warshall_reference(W)
+        assert np.array_equal(D, np.array([[0.0, 1.0, 2.0],
+                                           [2.0, 0.0, 1.0],
+                                           [1.0, 2.0, 0.0]]))
+
+    def test_engines_agree_when_scipy_available(self):
+        W = random_digraph(20, seed=11)
+        D, engine = reference_shortest_paths(W)
+        assert engine in ("scipy", "floyd_warshall")
+        assert np.allclose(D, floyd_warshall_reference(W))
+
+
+class TestRunApsp:
+    def test_distances_match_reference(self):
+        W = random_digraph(32, seed=1)
+        result = run_apsp(W, 4)
+        assert result.correct is True
+        assert result.reference_engine in ("scipy", "floyd_warshall")
+        ref = floyd_warshall_reference(W)
+        finite = np.isfinite(ref)
+        assert np.array_equal(finite, np.isfinite(result.distances))
+        assert np.allclose(result.distances[finite], ref[finite])
+
+    def test_squaring_count_is_log2(self):
+        result = run_apsp(random_digraph(32, seed=2), 4)
+        assert len(result.squarings) == math.ceil(math.log2(31))
+        assert [rec.step for rec in result.squarings] == list(
+            range(1, len(result.squarings) + 1)
+        )
+
+    def test_every_squaring_carries_cost_and_attainment(self):
+        result = run_apsp(random_digraph(16, seed=4), 4)
+        for rec in result.squarings:
+            assert rec.cost.words > 0
+            assert rec.attainment.bound > 0
+            assert math.isfinite(rec.attainment.ratio)
+        assert result.worst_attainment_ratio >= 1.0
+        total = result.total_cost
+        assert total.words == sum(r.cost.words for r in result.squarings)
+
+    def test_changed_entries_reach_fixed_point_on_dense_graph(self):
+        # Density 1.0: two-hop relaxation converges fast, so the last
+        # squaring must be a fixed point of the distance matrix.
+        result = run_apsp(random_digraph(16, seed=8, density=1.0), 4)
+        assert result.squarings[-1].changed_entries == 0
+
+    def test_verify_false_skips_reference(self):
+        result = run_apsp(random_digraph(16, seed=4), 4, verify=False)
+        assert result.correct is None
+        assert result.max_abs_error is None
+        assert result.reference_engine == "skipped"
+
+    def test_alternate_algorithm(self):
+        W = random_digraph(16, seed=9)
+        result = run_apsp(W, 4, algorithm="cannon")
+        assert result.correct is True
+        assert all(rec.algorithm == "cannon" for rec in result.squarings)
+
+    def test_rejects_non_min_plus_semiring(self):
+        with pytest.raises(SemiringError, match="min_plus"):
+            run_apsp(random_digraph(8), 4, semiring="plus_times")
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ShapeError):
+            run_apsp(np.zeros((3, 4)), 4)
+
+    def test_single_vertex_graph(self):
+        result = run_apsp(np.zeros((1, 1)), 1)
+        assert result.correct is True
+        assert len(result.squarings) == 1
