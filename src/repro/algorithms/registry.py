@@ -23,6 +23,12 @@ from ..machine.backend import SymbolicBlock, is_symbolic, resolve_backend
 from ..machine.cost import Cost
 from ..machine.semiring import Semiring, resolve_semiring
 from ..obs.attainment import Attainment, bound_attainment
+from .abft import (
+    abft_summa_grid,
+    alg1_abft_grid,
+    run_alg1_abft,
+    run_summa_abft,
+)
 from .alg1 import run_alg1
 from .cannon import run_cannon
 from .fox import run_fox
@@ -42,6 +48,8 @@ __all__ = [
     "applicable_algorithms",
     "summa_grid",
     "c25d_grid",
+    "abft_summa_grid",
+    "alg1_abft_grid",
 ]
 
 
@@ -232,6 +240,35 @@ def _c25d_applicable(shape: ProblemShape, P: int) -> bool:
     return c25d_grid(shape, P) is not None
 
 
+def _run_alg1_abft_auto(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
+    shape = _shape_of(A, B)
+    grid = alg1_abft_grid(shape, P)
+    if grid is None:
+        raise ValueError(f"no ABFT-encodable Algorithm 1 grid for {shape} on P={P}")
+    res = run_alg1_abft(A, B, grid, semiring=semiring)
+    return AlgorithmRun(
+        name="alg1_abft", C=res.C, shape=shape, P=P, cost=res.cost,
+        config=f"grid {grid}", machine=res.machine, semiring=_sr_name(semiring),
+    )
+
+
+def _run_summa_abft_auto(
+    A: np.ndarray, B: np.ndarray, P: int, semiring: Optional[Semiring] = None,
+) -> AlgorithmRun:
+    shape = _shape_of(A, B)
+    grid = abft_summa_grid(shape, P)
+    if grid is None:
+        raise ValueError(f"no ABFT SUMMA grid for {shape} on P={P}")
+    res = run_summa_abft(A, B, *grid, semiring=semiring)
+    return AlgorithmRun(
+        name="summa_abft", C=res.C, shape=shape, P=P, cost=res.cost,
+        config=f"grid {grid[0]}x{grid[1]} + checksum row", machine=res.machine,
+        semiring=_sr_name(semiring),
+    )
+
+
 REGISTRY: Dict[str, AlgorithmEntry] = {
     "alg1": AlgorithmEntry(
         name="alg1",
@@ -290,6 +327,20 @@ REGISTRY: Dict[str, AlgorithmEntry] = {
         run=lambda A, B, P, semiring=None: _wrap_carma(
             run_carma(A, B, P, semiring=semiring), semiring),
     ),
+    "alg1_abft": AlgorithmEntry(
+        name="alg1_abft",
+        description="Algorithm 1 with ABFT checksum shards "
+                    "(survives one rank failure)",
+        applicable=lambda s, P: alg1_abft_grid(s, P) is not None,
+        run=_run_alg1_abft_auto,
+    ),
+    "summa_abft": AlgorithmEntry(
+        name="summa_abft",
+        description="SUMMA with a Huang-Abraham checksum row "
+                    "(survives one rank failure)",
+        applicable=lambda s, P: abft_summa_grid(s, P) is not None,
+        run=_run_summa_abft_auto,
+    ),
 }
 
 
@@ -341,6 +392,11 @@ _APPLICABILITY_HINTS: Dict[str, str] = {
             "q <= min(n1, n2, n3)",
     "carma": "needs P a power of two with n1 >= P, n2 >= P and every "
              "recursive split landing on an even dimension",
+    "alg1_abft": "needs P >= 2, the optimal grid dividing every dimension, "
+                 "and each All-Gather fiber longer than 1 a power of two "
+                 "dividing its shard",
+    "summa_abft": "needs a pr x pc factorization with (pr+1) pc = P, "
+                  "pr | n1, (pr+1) | n2, pc | n2 and pc | n3",
 }
 
 

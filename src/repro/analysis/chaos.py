@@ -1,33 +1,44 @@
 """Chaos harness: every registry algorithm under seeded fault schedules.
 
-The fault layer (:mod:`repro.machine.faults`) promises a *trichotomy* for
-any execution under injected faults — exactly one of:
+The fault layer (:mod:`repro.machine.faults`) promises a *quadchotomy*
+for any execution under injected faults — exactly one of:
 
 1. **recovered** — the run completes; its numerics are untouched and its
    critical-path words equal the fault-free words **plus** the injector's
    ``words_resent`` (attainment degrades by exactly the resent words);
-2. **detected** — the run aborts with a typed
+2. **reconstructed** — a rank died mid-run and a survivability layer
+   (ABFT checksum reconstruction or checkpoint/restart, see
+   :mod:`repro.algorithms.abft` and :mod:`repro.analysis.survive`)
+   carried the run to completion; the recovery traffic is accounted in
+   ``words_recovered`` and the extended conservation invariant holds;
+3. **detected** — the run aborts with a typed
    :class:`~repro.exceptions.FaultDetectedError` (no retry policy, or the
    retry budget is exhausted);
-3. **rank-failed** — a fail-stop rank death surfaces as
-   :class:`~repro.exceptions.RankFailedError`.
+4. **rank-failed** — a fail-stop rank death surfaces as
+   :class:`~repro.exceptions.RankFailedError` (no
+   :class:`~repro.machine.faults.RecoveryConfig` opted in).
 
 What must *never* happen is silent corruption: a run that completes with
 wrong numerics, unaccounted words, or a broken conservation invariant.
 This module turns that promise into an executable experiment:
 :func:`run_chaos` crosses every registered algorithm with one
 ``(shape, P)`` point per Theorem 3 case (:data:`REGIME_POINTS`) and a set
-of named, seed-parameterized fault schedules (:data:`SCHEDULES`), checks
-each outcome against the trichotomy, and reports any violation.  The CLI
-front-end is ``repro chaos``; ``tests/chaos/`` asserts the trichotomy on
-every run of the matrix.
+of named, seed-parameterized fault schedules (:data:`SCHEDULES`, plus
+:data:`RECOVERY_SCHEDULES` under ``--recover``), checks each outcome
+against the quadchotomy, and reports any violation.  The CLI front-end is
+``repro chaos``; ``tests/chaos/`` asserts the quadchotomy on every run of
+the matrix.
 
 A completed run is re-verified from first principles, not trusted:
 
 * numerics (data backend only): the faulty run's product must equal the
   fault-free product bit-for-bit — delivered payloads are pristine by
-  construction, so even ``allclose`` slack is not conceded;
-* cost accounting: ``words == clean_words + words_resent`` exactly;
+  construction, so even ``allclose`` slack is not conceded.  The one
+  exception is a *reconstructed* product, which is rebuilt by checksum
+  subtraction — algebraically identical but reassociated, so it is held
+  to ``np.allclose`` instead;
+* cost accounting: ``words == clean_words + words_resent +
+  words_recovered`` exactly;
 * conservation: ``sum(sent_words) == sum(recv_words)`` over the machine.
 """
 
@@ -46,11 +57,13 @@ from ..core.lower_bounds import communication_lower_bound
 from ..core.shapes import ProblemShape
 from ..exceptions import FaultDetectedError, FaultError, RankFailedError
 from ..machine.backend import resolve_backend
-from ..machine.faults import FaultModel, RetryPolicy, inject
+from ..machine.faults import FaultModel, RecoveryConfig, RetryPolicy, inject
 from ..parallel import parallel_map, task_seed
 from .tables import format_table
 
 __all__ = [
+    "ALL_SCHEDULES",
+    "RECOVERY_SCHEDULES",
     "REGIME_POINTS",
     "SCHEDULES",
     "ChaosOutcome",
@@ -69,8 +82,14 @@ REGIME_POINTS: Dict[Regime, Tuple[ProblemShape, int]] = {
 }
 
 #: Named fault schedules.  Each value is a factory ``seed -> FaultModel``;
-#: the name states the fault mix and the expected trichotomy arm.
+#: the name states the fault mix and the expected quadchotomy arm.
 SCHEDULES: Dict[str, "ScheduleFactory"] = {}
+
+#: Rank-death schedules with a :class:`RecoveryConfig` opted in — kept
+#: out of :data:`SCHEDULES` so the default matrix (and its fail-stop
+#: pins) is byte-identical to the pre-recovery harness; ``repro chaos
+#: --recover`` appends them.
+RECOVERY_SCHEDULES: Dict[str, "ScheduleFactory"] = {}
 
 
 class ScheduleFactory:
@@ -85,6 +104,9 @@ class ScheduleFactory:
         retry = params.pop("retry", None)
         if retry:
             params["retry"] = RetryPolicy(max_attempts=5)
+        recovery = params.pop("recovery", None)
+        if recovery:
+            params["recovery"] = RecoveryConfig(strategy=recovery)
         return FaultModel(seed=seed, **params)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -110,15 +132,29 @@ _register("drop-detect", drop=0.15)
 _register("corrupt-detect", corrupt=0.15, corrupt_mode="nan")
 # Fail-stop: rank 1 dies after the first round; unrecoverable.
 _register("rank-failure", rank_failures=((1, 1),))
+# Survivable rank deaths: same fail-stop event, but a RecoveryConfig is
+# opted in, so a survivability layer must reconstruct and complete.  Two
+# failure rounds: round 1 hits the ABFT encode itself (restage path),
+# round 3 exercises checksum reconstruction of mid-schedule state.
+RECOVERY_SCHEDULES["rank-failure-recover"] = ScheduleFactory(
+    "rank-failure-recover", rank_failures=((1, 1),), recovery="spare")
+RECOVERY_SCHEDULES["rank-failure-recover-late"] = ScheduleFactory(
+    "rank-failure-recover-late", rank_failures=((1, 3),), recovery="spare")
+
+#: Every named schedule, recovery ones included.
+ALL_SCHEDULES: Dict[str, "ScheduleFactory"] = {
+    **SCHEDULES, **RECOVERY_SCHEDULES,
+}
 
 
 def schedule_model(name: str, seed: int) -> FaultModel:
     """The :class:`FaultModel` of named schedule ``name`` at ``seed``."""
     try:
-        factory = SCHEDULES[name]
+        factory = ALL_SCHEDULES[name]
     except KeyError:
         raise KeyError(
-            f"unknown chaos schedule {name!r}; known: {', '.join(SCHEDULES)}"
+            f"unknown chaos schedule {name!r}; "
+            f"known: {', '.join(ALL_SCHEDULES)}"
         ) from None
     return factory(seed)
 
@@ -128,11 +164,14 @@ class ChaosOutcome:
     """One cell of the chaos matrix: (algorithm, regime point, schedule, seed).
 
     ``outcome`` is one of ``"recovered"`` (completed with materialized
-    faults, all invariants verified), ``"clean"`` (completed, the seeded
-    schedule happened to materialize nothing), ``"detected"``
+    faults, all invariants verified), ``"reconstructed"`` (a rank died
+    and a survivability layer — ``mechanism`` ``"abft"`` or
+    ``"checkpoint"`` — completed the run with ``recovery_words`` of
+    charged repair traffic), ``"clean"`` (completed, the seeded schedule
+    happened to materialize nothing), ``"detected"``
     (:class:`~repro.exceptions.FaultDetectedError`), ``"rank-failed"``
     (:class:`~repro.exceptions.RankFailedError`) or ``"violation"`` — the
-    trichotomy was broken (wrong numerics, unaccounted words, broken
+    quadchotomy was broken (wrong numerics, unaccounted words, broken
     conservation, or an untyped crash).  ``error`` carries the diagnostic
     for the non-completed outcomes.
     """
@@ -151,10 +190,12 @@ class ChaosOutcome:
     clean_words: float = 0.0
     words: Optional[float] = None
     error: str = ""
+    recovery_words: float = 0.0
+    mechanism: str = ""
 
     @property
     def completed(self) -> bool:
-        return self.outcome in ("recovered", "clean")
+        return self.outcome in ("recovered", "reconstructed", "clean")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -174,7 +215,7 @@ class ChaosReport:
 
     @property
     def ok(self) -> bool:
-        """Did every cell land on a trichotomy arm (no violations)?"""
+        """Did every cell land on a quadchotomy arm (no violations)?"""
         return not self.violations
 
     def counts(self) -> Dict[str, int]:
@@ -199,7 +240,8 @@ class ChaosReport:
 
     def render(self) -> str:
         headers = ["algorithm", "case", "shape", "P", "schedule", "seed",
-                   "outcome", "faults", "retries", "resent", "note"]
+                   "outcome", "faults", "retries", "resent", "recovered",
+                   "note"]
         rows = []
         for r in self.rows:
             rows.append([
@@ -207,12 +249,13 @@ class ChaosReport:
                 "x".join(str(d) for d in r.shape), str(r.P),
                 r.schedule, str(r.seed), r.outcome,
                 str(r.injected), str(r.retries), f"{r.words_resent:g}",
+                f"{r.recovery_words:g}",
                 (r.error[:48] + "...") if len(r.error) > 51 else r.error,
             ])
         counts = self.counts()
         summary = ", ".join(f"{k}={counts[k]}" for k in sorted(counts))
         verdict = (
-            "every outcome on a trichotomy arm" if self.ok
+            "every outcome on a quadchotomy arm" if self.ok
             else f"{len(self.violations)} VIOLATION(S) — fault layer bug"
         )
         return (
@@ -225,17 +268,30 @@ def _verify_completed(run, clean, injector, verifies: bool) -> Optional[str]:
     """Check a completed faulty run against the accountability contract.
 
     Returns a violation message, or ``None`` when every invariant holds.
+    A reconstructed product is rebuilt by checksum subtraction —
+    algebraically identical but reassociated — so it is held to
+    ``np.allclose``; every other completion must match bit-for-bit.
     """
-    expected = clean.cost.words + injector.words_resent
+    recovered = getattr(injector, "words_recovered", 0.0)
+    expected = clean.cost.words + injector.words_resent + recovered
     if abs(run.cost.words - expected) > 1e-9 * max(1.0, expected):
         return (
             f"unaccounted words: measured {run.cost.words:g}, expected "
             f"clean {clean.cost.words:g} + resent {injector.words_resent:g}"
+            f" + recovered {recovered:g}"
         )
-    if verifies and not np.array_equal(
-        np.asarray(run.C), np.asarray(clean.C)
-    ):
-        return "silent corruption: completed run's product differs from clean run"
+    if verifies:
+        reconstructed = bool(getattr(injector, "recoveries", 0))
+        same = (
+            np.allclose(np.asarray(run.C), np.asarray(clean.C))
+            if reconstructed
+            else np.array_equal(np.asarray(run.C), np.asarray(clean.C))
+        )
+        if not same:
+            return (
+                "silent corruption: completed run's product differs "
+                "from clean run"
+            )
     if run.machine is not None:
         try:
             run.machine.check_conservation()
@@ -270,7 +326,7 @@ def _chaos_task(
     ledger_records: list = []
     for sched in schedule_names:
         for seed in seeds:
-            model = SCHEDULES[sched](seed)
+            model = ALL_SCHEDULES[sched](seed)
             start = time.perf_counter()
             outcome, words, error, run = _one_cell(
                 name, A, B, P, model, clean, backend_obj.verifies
@@ -292,6 +348,8 @@ def _chaos_task(
                 clean_words=clean.cost.words,
                 words=words,
                 error=error,
+                recovery_words=injector_summary.get("words_recovered", 0.0),
+                mechanism=outcome.get("mechanism", ""),
             )
             rows.append(row)
             if want_ledger and row.completed:
@@ -314,6 +372,7 @@ def run_chaos(
     telemetry=None,
     profile=None,
     progress=None,
+    recover: bool = False,
 ) -> ChaosReport:
     """Cross algorithms x regime points x fault schedules x seeds.
 
@@ -349,8 +408,12 @@ def run_chaos(
         Optional driver-observability sinks (see
         :func:`repro.parallel.parallel_map`); all inert by default and
         none of them can perturb outcomes — they only watch wall clocks.
+    recover:
+        Append the :data:`RECOVERY_SCHEDULES` (survivable rank deaths) to
+        the schedule set, turning the trichotomy matrix into the full
+        quadchotomy matrix.
 
-    Returns a :class:`ChaosReport`; ``report.ok`` is the trichotomy
+    Returns a :class:`ChaosReport`; ``report.ok`` is the quadchotomy
     verdict for the whole matrix.
     """
     from ..obs.telemetry import maybe_stage
@@ -358,10 +421,15 @@ def run_chaos(
     backend_obj = resolve_backend(backend)
     names = list(algorithms) if algorithms is not None else list(REGISTRY)
     schedule_names = tuple(schedules) if schedules is not None else tuple(SCHEDULES)
+    if recover:
+        schedule_names += tuple(
+            s for s in RECOVERY_SCHEDULES if s not in schedule_names
+        )
     for sched in schedule_names:
-        if sched not in SCHEDULES:
+        if sched not in ALL_SCHEDULES:
             raise KeyError(
-                f"unknown chaos schedule {sched!r}; known: {', '.join(SCHEDULES)}"
+                f"unknown chaos schedule {sched!r}; "
+                f"known: {', '.join(ALL_SCHEDULES)}"
             )
     grid = points if points is not None else REGIME_POINTS
 
@@ -401,11 +469,24 @@ def run_chaos(
 
 
 def _one_cell(name, A, B, P, model, clean, verifies):
-    """Run one chaos cell; returns (outcome-dict, words, error, run)."""
+    """Run one chaos cell; returns (outcome-dict, words, error, run).
+
+    With a :class:`RecoveryConfig` on the model, the cell routes through
+    the algorithm's survivability mechanism: ABFT variants self-heal
+    inside their own schedule, everything else goes through the
+    checkpoint/restart wrapper (:func:`repro.analysis.survive.run_survivable`).
+    """
+    from ..algorithms.abft import ABFT_ALGORITHMS
+
     injector = None
     try:
         with inject(model) as injector:
-            run = run_algorithm(name, A, B, P)
+            if model.recovery is not None and name not in ABFT_ALGORITHMS:
+                from .survive import run_survivable
+
+                run = run_survivable(name, A, B, P)
+            else:
+                run = run_algorithm(name, A, B, P)
     except RankFailedError as exc:
         return (
             {"outcome": "rank-failed", "faults": injector.summary()},
@@ -435,9 +516,16 @@ def _one_cell(name, A, B, P, model, clean, verifies):
             {"outcome": "violation", "faults": injector.summary()},
             run.cost.words, problem, run,
         )
-    outcome = "recovered" if injector.faults_injected else "clean"
+    if injector.recoveries:
+        outcome = "reconstructed"
+        mechanism = "abft" if name in ABFT_ALGORITHMS else "checkpoint"
+    elif injector.faults_injected:
+        outcome, mechanism = "recovered", ""
+    else:
+        outcome, mechanism = "clean", ""
     return (
-        {"outcome": outcome, "faults": injector.summary()},
+        {"outcome": outcome, "mechanism": mechanism,
+         "faults": injector.summary()},
         run.cost.words, "", run,
     )
 
@@ -451,6 +539,15 @@ def _chaos_record(label, row, run, shape, P, injector_summary, elapsed):
     faults["schedule"] = row.schedule
     faults["seed"] = row.seed
     faults["outcome"] = row.outcome
+    # Additive: records without a reconstruction serialize byte-identically
+    # to the pre-recovery schema.
+    recovery = None
+    if row.outcome == "reconstructed":
+        recovery = {
+            "mechanism": row.mechanism,
+            "recoveries": injector_summary.get("recoveries", 0),
+            "words_recovered": row.recovery_words,
+        }
     return RunRecord(
         algorithm=row.algorithm,
         config=run.config,
@@ -469,4 +566,5 @@ def _chaos_record(label, row, run, shape, P, injector_summary, elapsed):
         git_sha=git_revision(),
         env=environment_fingerprint(),
         faults=faults,
+        recovery=recovery,
     )

@@ -43,7 +43,19 @@ c25d       Cannon skews + ``ceil(log2 c)`` depth broadcasts + ``q/c - 1``
            shifts + ``ceil(log2 c)`` binomial depth reductions.
 carma      exact geometric replay of the recursive splits (regions only,
            no elements) with merged-round accounting.
+alg1_abft  alg1 (auto collectives) plus the charged encode: one
+           recursive-doubling All-Reduce per fiber longer than 1
+           (``log2 p`` rounds of one shard each, same flops) and one
+           buddy-replication round when some fiber has length 1.
+summa_abft summa on the extended ``(pr+1) x pc`` grid (the checksum row
+           rides every panel stage) plus one encode round replicating the
+           stationary ``B`` blocks.
 =========  ================================================================
+
+The ABFT forms are *fault-free* costs: recovery traffic is charged to the
+run's injector (``words_recovered``), never predicted here, so the oracle
+stays an independent witness for the encode overhead the survivability
+report compares against the Theorem 3 bound.
 
 The Fox/SUMMA broadcast and the CARMA recursion are *replayed over integer
 geometry* — identical round structure and piece sizes as the executable
@@ -57,6 +69,7 @@ import dataclasses
 import math
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
+from ..algorithms.abft import abft_summa_grid, alg1_abft_grid
 from ..algorithms.distributions import shards_divide_evenly
 from ..algorithms.grid_selection import select_grid
 from ..algorithms.registry import REGISTRY, c25d_grid, summa_grid
@@ -635,6 +648,95 @@ def _predict_carma(shape: ProblemShape, P: int) -> OraclePrediction:
 
 
 # --------------------------------------------------------------------- #
+# ABFT checksum-encoded variants                                        #
+# --------------------------------------------------------------------- #
+
+
+def _predict_alg1_abft(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    grid = alg1_abft_grid(shape, P)
+    if grid is None:
+        raise OracleUnsupportedError(
+            f"alg1_abft: no ABFT-encodable grid for {shape}, P={P}"
+        )
+    p1, p2, p3 = grid.dims
+    a_block = (n1 // p1) * (n2 // p2)
+    b_block = (n2 // p2) * (n3 // p3)
+    c_block = (n1 // p1) * (n3 // p3)
+    rounds = 0
+    words = 0
+    flops = 0
+    # Encode: one recursive-doubling All-Reduce per fiber longer than 1
+    # (every round moves and combines one full shard per rank), then one
+    # buddy-replication permutation round when some fiber has length 1.
+    if p3 > 1:
+        steps = collective_rounds(p3, "recursive_doubling")
+        rounds += steps
+        words += steps * (a_block // p3)
+        flops += steps * (a_block // p3)
+    if p1 > 1:
+        steps = collective_rounds(p1, "recursive_doubling")
+        rounds += steps
+        words += steps * (b_block // p1)
+        flops += steps * (b_block // p1)
+    if p3 == 1 or p1 == 1:
+        rounds += 1
+        words += (a_block if p3 == 1 else 0) + (b_block if p1 == 1 else 0)
+    # The four alg1 phases with auto collectives (fibers longer than 1 are
+    # powers of two by construction, so auto dispatches logarithmically).
+    if p3 > 1:
+        words += (p3 - 1) * (a_block // p3)
+        rounds += collective_rounds(p3, "auto")
+    if p1 > 1:
+        words += (p1 - 1) * (b_block // p1)
+        rounds += collective_rounds(p1, "auto")
+    flops += (n1 // p1) * (n2 // p2) * (n3 // p3)
+    if p2 > 1:
+        words += (p2 - 1) * (c_block // p2)
+        rounds += collective_rounds(p2, "auto")
+        flops += (p2 - 1) * (c_block // p2)
+    return _finish(
+        "alg1_abft", shape, P, rounds, words, flops, f"grid {grid}"
+    )
+
+
+def _predict_summa_abft(shape: ProblemShape, P: int) -> OraclePrediction:
+    n1, n2, n3 = shape.dims
+    grid = abft_summa_grid(shape, P)
+    if grid is None:
+        raise OracleUnsupportedError(
+            f"summa_abft: no (pr+1) x pc grid for {shape}, P={P}"
+        )
+    pr, pc = grid
+    qr = pr + 1
+    # Encode: one permutation round replicating each stationary B block
+    # down its grid column.
+    rounds = 1
+    words = (n2 // qr) * (n3 // pc)
+    # SUMMA stages on the extended grid: the checksum row broadcasts and
+    # accumulates exactly like a real row.
+    panel = math.gcd(n2 // qr, n2 // pc)
+    stages = n2 // panel
+    for t in range(stages):
+        k0 = t * panel
+        if pc > 1:
+            jt = k0 // (n2 // pc)
+            r, w = _scatter_allgather_broadcast(pc, (n1 // pr) * panel, (jt,))
+            rounds += r
+            words += w
+        # qr = pr + 1 >= 2: the column broadcast always runs.
+        it = k0 // (n2 // qr)
+        r, w = _scatter_allgather_broadcast(qr, panel * (n3 // pc), (it,))
+        rounds += r
+        words += w
+    flops = (n1 // pr) * n2 * (n3 // pc)
+    return _finish(
+        "summa_abft", shape, P, rounds, words, flops,
+        f"grid {pr}x{pc} + checksum row",
+    )
+
+
+# --------------------------------------------------------------------- #
 # dispatch                                                              #
 # --------------------------------------------------------------------- #
 
@@ -703,6 +805,10 @@ def predict_cost(
         return _predict_c25d(shape, P)
     if name == "carma":
         return _predict_carma(shape, P)
+    if name == "alg1_abft":
+        return _predict_alg1_abft(shape, P)
+    if name == "summa_abft":
+        return _predict_summa_abft(shape, P)
     raise OracleUnsupportedError(
         f"unknown algorithm {name!r}; oracle covers {sorted(ORACLE_ALGORITHMS)}"
     )

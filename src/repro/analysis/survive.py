@@ -1,0 +1,413 @@
+"""Checkpoint/restart survivability and the survivability report.
+
+Two mechanisms let a run outlive a fail-stop rank death:
+
+* **ABFT** — the checksum-encoded algorithms (:mod:`repro.algorithms.abft`)
+  heal in place: survivors rebuild the dead rank's blocks from the checksum
+  row/shards, every word charged, and the schedule continues.
+* **Checkpoint/restart** — :func:`run_survivable` wraps *any* registered
+  algorithm: the canonical input distribution is buddy-checkpointed up
+  front (:class:`~repro.machine.checkpoint.CheckpointManager`), and when
+  the run dies with :class:`~repro.exceptions.RankFailedError` the wasted
+  attempt is charged, the dead rank's snapshot is restored to a spare (or
+  a surviving adopter under ``"shrink"``), and the algorithm restarts.
+
+Both mechanisms account identically: every checkpoint, detection-timeout,
+waste and repair word accrues in ``injector.words_recovered``, so the
+extended conservation invariant holds exactly::
+
+    measured words == fault-free words + words_resent + words_recovered
+
+:func:`run_survive` turns this into the survivability report the CLI
+exposes as ``repro survive``: every registry algorithm crossed with the
+three Theorem 3 regime points, a seeded rank death injected into each,
+and the recovery overhead stated as a ratio against the paper's
+memory-independent lower bound — the honest price of surviving a failure,
+in the same currency as the bounds the repo reproduces.
+
+Flop caveat: the composite cost of a checkpoint/restart run counts the
+flops of the *completed* attempt only.  The dead attempt's flops are
+machine-local and die with it; its critical-path words and rounds (the
+quantities the paper's model prices) are carried in full.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.abft import ABFT_ALGORITHMS
+from ..algorithms.registry import REGISTRY, AlgorithmRun, run_algorithm
+from ..core.lower_bounds import communication_lower_bound
+from ..core.shapes import ProblemShape
+from ..exceptions import RankFailedError
+from ..machine.backend import resolve_backend
+from ..machine.checkpoint import CheckpointManager
+from ..machine.cost import Cost
+from ..machine.faults import (
+    FaultModel,
+    RecoveryConfig,
+    active_injector,
+    inject,
+)
+from ..machine.machine import Machine
+from ..machine.recovery import RecoveryPlan
+from ..obs.attainment import bound_attainment
+from ..parallel import parallel_map
+from .tables import format_table
+
+__all__ = [
+    "SurviveReport",
+    "SurviveRow",
+    "run_survivable",
+    "run_survive",
+]
+
+#: Store keys the checkpoint layer protects: each rank's share of the
+#: canonical row-split input distribution.
+CHECKPOINT_KEYS: Tuple[str, ...] = ("A_part", "B_part")
+
+
+def _stage_inputs(machine: Machine, A, B) -> None:
+    """Conductor-side canonical distribution of the inputs (free).
+
+    Rank ``r`` holds the ``r``-th row slab of ``A`` and of ``B`` — the
+    "assumed initial distribution" convention: staging charges nothing,
+    only subsequent communication does.
+    """
+    a_parts = np.array_split(A, machine.n_procs, axis=0)
+    b_parts = np.array_split(B, machine.n_procs, axis=0)
+    for rank in range(machine.n_procs):
+        store = machine.proc(rank).store
+        store.put("A_part", a_parts[rank])
+        store.put("B_part", b_parts[rank])
+
+
+def run_survivable(
+    name: str,
+    A,
+    B,
+    P: int,
+    backend=None,
+    semiring=None,
+) -> AlgorithmRun:
+    """Run a registered algorithm under checkpoint/restart protection.
+
+    Requires an ambient injector (:func:`repro.machine.faults.inject`)
+    whose model carries a :class:`~repro.machine.faults.RecoveryConfig`.
+    The inputs are buddy-checkpointed on a *fenced* side machine (the
+    snapshot channel cannot itself fault — the single-failure model), the
+    algorithm runs normally, and a rank death triggers detect / restore /
+    restart, up to ``max_recoveries`` times.
+
+    Returns the completed attempt's :class:`AlgorithmRun` with the
+    composite critical-path cost: checkpoint + wasted attempts +
+    detection + restore + the completed attempt.
+    """
+    injector = active_injector()
+    if injector is None or injector.model.recovery is None:
+        raise ValueError(
+            "run_survivable needs an ambient fault injector whose model "
+            "has a RecoveryConfig (use `with inject(model):` and set "
+            "FaultModel.recovery)"
+        )
+    config = injector.model.recovery
+    shape = ProblemShape(A.shape[0], A.shape[1], B.shape[1])
+
+    # Fenced checkpoint machine: snapshots and restores are charged in
+    # full but never re-faulted, and draw no decision-stream randoms.
+    ckpt_machine = Machine(P, backend=backend)
+    ckpt_machine.network.fault_injector = None
+    _stage_inputs(ckpt_machine, A, B)
+    manager = CheckpointManager(ckpt_machine)
+    injector.words_recovered += manager.checkpoint(CHECKPOINT_KEYS)
+
+    waste_words = 0.0
+    waste_rounds = 0
+    recovered = 0
+    run_P = P
+    while True:
+        resent_before = injector.words_resent
+        try:
+            run = run_algorithm(
+                name, A, B, run_P, backend=backend, semiring=semiring
+            )
+            break
+        except RankFailedError as exc:
+            if exc.rank is None or recovered >= config.max_recoveries:
+                raise
+            # The attempt's machine died with `exc.waste_words` on its
+            # critical path; the slice already attributed to retry
+            # resends stays in words_resent, the rest is recovery waste.
+            attempt_resent = exc.waste_resent - resent_before
+            waste_words += exc.waste_words
+            waste_rounds += exc.waste_rounds
+            # Survivors detect the death via the modelled timeout, then
+            # the buddy restores the snapshot to the replacement slot.
+            ckpt_machine.network._latency_rounds(config.detection_rounds)
+            injector.handle_failure(exc.rank)
+            plan = RecoveryPlan(
+                strategy=config.strategy,
+                failed_rank=exc.rank,
+                failed_round=exc.round,
+                replacement_rank=(
+                    exc.rank if config.strategy == "spare" else None
+                ),
+                detection_rounds=config.detection_rounds,
+            )
+            if plan.strategy == "spare":
+                restore_words = manager.restore(exc.rank, dest=exc.rank)
+            else:
+                restore_words = manager.restore(
+                    exc.rank, dest=manager.buddy(exc.rank)
+                )
+                run_P = run_P - 1
+                if run_P < 1 or not REGISTRY[name].applicable(shape, run_P):
+                    raise
+            injector.words_recovered += (
+                exc.waste_words - attempt_resent + restore_words
+            )
+            injector.recoveries += 1
+            recovered += 1
+
+    side = ckpt_machine.cost
+    composite = Cost(
+        rounds=side.rounds + waste_rounds + run.cost.rounds,
+        words=side.words + waste_words + run.cost.words,
+        flops=run.cost.flops,
+    )
+    return dataclasses.replace(
+        run,
+        cost=composite,
+        attainment=bound_attainment(shape, P, composite.words),
+    )
+
+
+# --------------------------------------------------------------------- #
+# survivability report                                                  #
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class SurviveRow:
+    """One cell of the survivability matrix.
+
+    ``overhead`` is the recovery price in the paper's currency: the words
+    attributed to surviving the failure (checkpoint + waste + repair)
+    divided by the Theorem 3 memory-independent lower bound for the same
+    ``(shape, P)``.  ``attainment`` is total measured words over the same
+    bound — the fault-free attainment plus the overhead.
+    """
+
+    algorithm: str
+    regime: str
+    shape: Tuple[int, ...]
+    P: int
+    mechanism: str
+    outcome: str
+    clean_words: float
+    words_resent: float
+    recovery_words: float
+    total_words: float
+    bound: float
+    overhead: float
+    attainment: float
+    verified: bool
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class SurviveReport:
+    """All rows of one :func:`run_survive` invocation."""
+
+    rows: List[SurviveRow]
+    backend: str
+    seed: int
+    failure: Tuple[int, int]
+
+    @property
+    def ok(self) -> bool:
+        """Did every cell survive with exact accounting and numerics?"""
+        return all(row.outcome == "reconstructed" and row.verified
+                   for row in self.rows)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "seed": self.seed,
+            "failure": list(self.failure),
+            "ok": self.ok,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+    def render(self) -> str:
+        headers = ["algorithm", "case", "shape", "P", "mechanism",
+                   "outcome", "clean", "recovery", "total", "bound",
+                   "overhead", "note"]
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.algorithm, r.regime,
+                "x".join(str(d) for d in r.shape), str(r.P),
+                r.mechanism, r.outcome,
+                f"{r.clean_words:g}", f"{r.recovery_words:g}",
+                f"{r.total_words:g}", f"{r.bound:g}",
+                f"{r.overhead:.3f}",
+                (r.error[:40] + "...") if len(r.error) > 43 else r.error,
+            ])
+        n_ok = sum(1 for r in self.rows
+                   if r.outcome == "reconstructed" and r.verified)
+        verdict = (
+            "every cell survived a rank death with exact accounting"
+            if self.ok else
+            f"{len(self.rows) - n_ok}/{len(self.rows)} cell(s) did not "
+            f"reconstruct cleanly"
+        )
+        return (
+            format_table(headers, rows)
+            + f"\nrank {self.failure[0]} killed after round "
+              f"{self.failure[1]}; overhead = recovery words / Theorem 3 "
+              f"bound; {verdict}\n"
+        )
+
+
+def _survive_task(
+    task: Tuple[str, str, int, Tuple[int, ...], int, int,
+                Tuple[int, int], str, str, int],
+) -> SurviveRow:
+    """One (algorithm, regime point) cell of the survivability matrix.
+
+    Module-level and plain-data so it can cross a process boundary; the
+    operand RNG re-derives from ``(operand_seed, regime_index)``, so the
+    cell builds the same operands on any worker, and the fault model is
+    seeded per cell — rows are bit-identical for any ``workers`` value.
+    """
+    (name, regime_name, regime_index, dims, P, seed, failure, strategy,
+     backend, operand_seed) = task
+    backend_obj = resolve_backend(backend)
+    shape = ProblemShape(*dims)
+    rng = np.random.default_rng(operand_seed + regime_index)
+    if backend_obj.verifies:
+        A = rng.random((shape.n1, shape.n2))
+        B = rng.random((shape.n2, shape.n3))
+    else:
+        A, B = backend_obj.operands((shape.n1, shape.n2, shape.n3))
+    clean = run_algorithm(name, A, B, P)
+    mechanism = "abft" if name in ABFT_ALGORITHMS else "checkpoint"
+    model = FaultModel(
+        seed=seed,
+        rank_failures=(tuple(failure),),
+        recovery=RecoveryConfig(strategy=strategy),
+    )
+    bound = communication_lower_bound(shape, P)
+    outcome, error, verified = "reconstructed", "", True
+    run = None
+    try:
+        with inject(model) as injector:
+            if mechanism == "abft":
+                run = run_algorithm(name, A, B, P)
+            else:
+                run = run_survivable(name, A, B, P)
+    except RankFailedError as exc:
+        outcome, error, verified = "rank-failed", str(exc), False
+    except Exception as exc:  # pragma: no cover - defensive
+        outcome, verified = "violation", False
+        error = f"{type(exc).__name__}: {exc}"
+    recovery_words = injector.words_recovered
+    if run is not None:
+        if not injector.recoveries:
+            outcome = "clean"
+        total_words = run.cost.words
+        # Under "shrink" the completed attempt ran on P-1 survivors, so
+        # the fault-free reference for the conservation check is the
+        # clean run at the *completed* processor count.
+        reference = (clean if run.P == P
+                     else run_algorithm(name, A, B, run.P))
+        expected = (reference.cost.words + injector.words_resent
+                    + recovery_words)
+        if abs(total_words - expected) > 1e-9 * max(1.0, expected):
+            outcome, verified = "violation", False
+            error = (
+                f"unaccounted words: measured {total_words:g}, "
+                f"expected {expected:g}"
+            )
+        elif backend_obj.verifies and not np.allclose(
+            np.asarray(run.C), np.asarray(clean.C)
+        ):
+            outcome, verified = "violation", False
+            error = "reconstructed product differs from clean run"
+    else:
+        total_words = float("nan")
+    return SurviveRow(
+        algorithm=name,
+        regime=regime_name,
+        shape=tuple(shape.dims),
+        P=P,
+        mechanism=mechanism,
+        outcome=outcome,
+        clean_words=clean.cost.words,
+        words_resent=injector.words_resent,
+        recovery_words=recovery_words,
+        total_words=total_words,
+        bound=bound,
+        overhead=recovery_words / bound if bound else float("nan"),
+        attainment=total_words / bound if bound else float("nan"),
+        verified=verified,
+        error=error,
+    )
+
+
+def run_survive(
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    failure: Tuple[int, int] = (1, 1),
+    strategy: str = "spare",
+    backend: str = "data",
+    points: Optional[Dict] = None,
+    operand_seed: int = 0,
+    workers: int = 1,
+) -> SurviveReport:
+    """Survivability matrix: every algorithm x regime point under rank death.
+
+    Each cell kills rank ``failure[0]`` after round ``failure[1]`` and
+    lets the algorithm's mechanism — ABFT reconstruction for the
+    checksum-encoded variants, checkpoint/restart for everything else —
+    carry the run to completion.  The row records the recovery words and
+    their ratio to the Theorem 3 bound, the overhead of survival in the
+    paper's own currency.
+
+    ``workers`` sets the process-pool width (``1`` = serial); rows are
+    bit-identical for any value because every cell is self-seeded.
+    """
+    from .chaos import REGIME_POINTS
+
+    backend_obj = resolve_backend(backend)
+    names = list(algorithms) if algorithms is not None else list(REGISTRY)
+    grid = points if points is not None else REGIME_POINTS
+    tasks = []
+    for regime_index, (regime, (shape, P)) in enumerate(grid.items()):
+        for name in names:
+            if not REGISTRY[name].applicable(shape, P):
+                continue
+            tasks.append((
+                name, regime.name, regime_index, tuple(shape.dims), P,
+                seed, tuple(failure), strategy, backend, operand_seed,
+            ))
+    rows = parallel_map(
+        _survive_task, tasks, workers=workers, label="survive-cell",
+    )
+    return SurviveReport(
+        rows=rows, backend=backend_obj.name, seed=seed,
+        failure=tuple(failure),
+    )

@@ -399,7 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="chaos-test registered algorithms under seeded fault "
-             "schedules; exit 1 on any trichotomy violation",
+             "schedules; exit 1 on any quadchotomy violation",
     )
     p_chaos.add_argument("--algorithms", default=None, metavar="A,B,...",
                          help="comma-separated registry names "
@@ -424,7 +424,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width for the chaos matrix "
                               "(default 1 = serial; outcomes are identical "
                               "for any N)")
+    p_chaos.add_argument("--recover", action="store_true",
+                         help="also run the survivable rank-death "
+                              "schedules (RecoveryConfig opted in): ABFT "
+                              "algorithms reconstruct in place, the rest "
+                              "checkpoint/restart")
     _add_observability_flags(p_chaos)
+
+    p_survive = sub.add_parser(
+        "survive",
+        help="survivability report: kill a rank in every registered "
+             "algorithm and state the recovery overhead against the "
+             "Theorem 3 bound; exit 1 unless every cell reconstructs",
+    )
+    p_survive.add_argument("--algorithms", default=None, metavar="A,B,...",
+                           help="comma-separated registry names "
+                                "(default: every registered algorithm)")
+    p_survive.add_argument("--seed", type=int, default=0,
+                           help="fault-model seed (default 0)")
+    p_survive.add_argument("--rank", type=int, default=1,
+                           help="rank to kill (default 1)")
+    p_survive.add_argument("--round", type=int, default=1, dest="at_round",
+                           help="network round after which the rank dies "
+                                "(default 1)")
+    p_survive.add_argument("--strategy", choices=["spare", "shrink"],
+                           default="spare",
+                           help="recovery strategy: revive the slot from a "
+                                "spare (default) or shrink onto survivors")
+    p_survive.add_argument("--backend", choices=["data", "symbolic"],
+                           default="data",
+                           help="execution backend; 'data' additionally "
+                                "verifies reconstructed numerics")
+    p_survive.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="process-pool width (default 1 = serial); "
+                                "rows are bit-identical for any value")
+    p_survive.add_argument("--json", metavar="PATH", default=None,
+                           help="write the survivability report as JSON")
 
     p_ledger = sub.add_parser(
         "ledger", help="read the persistent experiment ledger"
@@ -793,7 +828,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .analysis.chaos import SCHEDULES, run_chaos
+    from .analysis.chaos import ALL_SCHEDULES, run_chaos
     from .obs.ledger import Ledger
 
     algorithms = (
@@ -805,10 +840,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.schedules else None
     )
     if schedules:
-        unknown = [s for s in schedules if s not in SCHEDULES]
+        unknown = [s for s in schedules if s not in ALL_SCHEDULES]
         if unknown:
             print(f"unknown schedule(s) {', '.join(unknown)}; known: "
-                  f"{', '.join(SCHEDULES)}", file=sys.stderr)
+                  f"{', '.join(ALL_SCHEDULES)}", file=sys.stderr)
             return 2
     if args.seeds < 1:
         print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
@@ -829,6 +864,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         profile=profile,
         progress=progress,
+        recover=args.recover,
     )
     print(report.render())
     code = _report_observability(args, telemetry, profile, progress)
@@ -843,6 +879,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"wrote chaos report to {args.json}")
     if ledger is not None:
         print(f"appended completed runs to {ledger.path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_survive(args: argparse.Namespace) -> int:
+    from .analysis.survive import run_survive
+
+    algorithms = (
+        [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        if args.algorithms else None
+    )
+    if args.rank < 0 or args.at_round < 0:
+        print(f"--rank and --round must be >= 0, got {args.rank} and "
+              f"{args.at_round}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    report = run_survive(
+        algorithms=algorithms,
+        seed=args.seed,
+        failure=(args.rank, args.at_round),
+        strategy=args.strategy,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    print(report.render())
+    if args.json:
+        try:
+            report.write_json(args.json)
+        except OSError as exc:
+            print(f"cannot write survivability report: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote survivability report to {args.json}")
     return 0 if report.ok else 1
 
 
@@ -1408,6 +1478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "survive":
+        return _cmd_survive(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
     if args.command == "trend":

@@ -29,6 +29,7 @@ __all__ = [
     "OracleUnsupportedError",
     "OracleMismatchError",
     "FaultError",
+    "InvalidFaultConfigError",
     "FaultDetectedError",
     "RankFailedError",
     "LedgerError",
@@ -190,10 +191,24 @@ class FaultError(ReproError):
     """Base class for injected-fault outcomes the run could not absorb.
 
     The fault-injection layer (:mod:`repro.machine.faults`) guarantees a
-    trichotomy: a faulted run either recovers with the extra communication
-    charged to the cost model, raises a :class:`FaultError` subclass, or —
-    never — corrupts results silently.  Catching this class covers both
-    loud legs.
+    quadchotomy: a faulted run either recovers with the extra communication
+    charged to the cost model, reconstructs lost state after a rank failure
+    (ABFT checksums or checkpoint/restart, every recovery word charged),
+    raises a :class:`FaultError` subclass, or — never — corrupts results
+    silently.  Catching this class covers the loud legs.
+    """
+
+
+class InvalidFaultConfigError(FaultError, ValueError):
+    """A fault-injection configuration that can never be valid.
+
+    Raised at :class:`~repro.machine.faults.FaultModel` /
+    :class:`~repro.machine.faults.RetryPolicy` /
+    :class:`~repro.machine.faults.RecoveryConfig` construction for
+    out-of-range probabilities, negative backoffs or attempt counts,
+    negative failure ranks/rounds, and unknown strategy names.
+    Subclasses :class:`ValueError` for backward compatibility with callers
+    that caught the previous untyped rejections.
     """
 
 
@@ -210,9 +225,40 @@ class FaultDetectedError(FaultError):
 class RankFailedError(FaultError):
     """A processor failed permanently; messages involving it cannot complete.
 
-    Rank failures are fail-stop: no retry policy can recover them, so this
-    is always the detected-and-raised leg of the trichotomy.
+    Rank failures are fail-stop for the *transport*: no retry policy can
+    resurrect the dead rank, so without a recovery protocol this is the
+    fail-stop leg of the quadchotomy.  A survivability layer (ABFT checksum
+    algorithms or the checkpoint/restart wrapper) may catch this error,
+    reconstruct the lost state from survivors with every word charged, and
+    continue — that is the reconstructed leg.
+
+    Attributes
+    ----------
+    rank, round:
+        The failed rank and the network round index at which the failure
+        surfaced (``None`` when raised without structured context).
+    waste_words, waste_rounds, waste_resent:
+        Machine counters at the moment of failure — total critical-path
+        words, rounds, and injector ``words_resent`` — so a recovery layer
+        can attribute the wasted work exactly.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank=None,
+        round=None,
+        waste_words=0.0,
+        waste_rounds=0,
+        waste_resent=0.0,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.round = round
+        self.waste_words = waste_words
+        self.waste_rounds = waste_rounds
+        self.waste_resent = waste_resent
 
 
 class LedgerError(ReproError):

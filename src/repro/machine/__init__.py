@@ -25,16 +25,19 @@ from .backend import (
     zeros_block,
 )
 from .cost import BANDWIDTH_ONLY, Cost, CostModel, ZERO_COST
+from .checkpoint import CheckpointManager
 from .faults import (
     FaultEvent,
     FaultInjector,
     FaultModel,
+    RecoveryConfig,
     RetryPolicy,
     active_injector,
     inject,
     payload_fingerprint,
 )
 from .machine import CounterSnapshot, Machine
+from .recovery import RecoveryManager, RecoveryPlan
 from .message import Message, payload_words
 from .network import FullyConnectedNetwork, RoundSummary
 from .processor import Processor
@@ -54,6 +57,7 @@ __all__ = [
     "BACKENDS",
     "BANDWIDTH_ONLY",
     "Backend",
+    "CheckpointManager",
     "Cost",
     "CostModel",
     "CounterSnapshot",
@@ -71,6 +75,9 @@ __all__ = [
     "Processor",
     "RankContext",
     "CollectiveRequest",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryPlan",
     "RetryPolicy",
     "RoundSummary",
     "MIN_PLUS",

@@ -15,9 +15,11 @@ what can go wrong on the wire:
   charged to the cost model;
 * **stall** — the sender hiccups, delaying the round by extra
   latency-only rounds;
-* **rank failure** — fail-stop death of a processor at a given round;
-  unrecoverable by construction
-  (:class:`~repro.exceptions.RankFailedError`).
+* **rank failure** — fail-stop death of a processor at a given round
+  (:class:`~repro.exceptions.RankFailedError`); terminal unless the model
+  carries a :class:`RecoveryConfig`, in which case a survivability layer
+  (ABFT checksum algorithms or checkpoint/restart) may reconstruct the
+  lost state from survivors with every recovery word charged.
 
 A :class:`FaultInjector` turns the model into a deterministic event stream.
 Two independent :class:`random.Random` generators keep runs reproducible
@@ -61,13 +63,15 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import FaultDetectedError
+from ..exceptions import FaultDetectedError, InvalidFaultConfigError
 from .backend import SymbolicBlock, corrupt_block
 
 __all__ = [
     "FAULT_KINDS",
+    "RECOVERY_STRATEGIES",
     "FaultModel",
     "RetryPolicy",
+    "RecoveryConfig",
     "FaultEvent",
     "FaultInjector",
     "payload_fingerprint",
@@ -100,10 +104,12 @@ class RetryPolicy:
     backoff_cap: int = 8
 
     def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise InvalidFaultConfigError(
+                f"max_attempts must be an integer >= 1, got {self.max_attempts!r}"
+            )
         if self.backoff_base < 0 or self.backoff_cap < 0:
-            raise ValueError(
+            raise InvalidFaultConfigError(
                 f"backoff must be non-negative, got base={self.backoff_base} "
                 f"cap={self.backoff_cap}"
             )
@@ -119,6 +125,64 @@ class RetryPolicy:
             "max_attempts": self.max_attempts,
             "backoff_base": self.backoff_base,
             "backoff_cap": self.backoff_cap,
+        }
+
+
+#: Recovery strategies a :class:`RecoveryConfig` can request.
+RECOVERY_STRATEGIES: Tuple[str, ...] = ("spare", "shrink")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Opt-in survivability policy for rank failures.
+
+    Without one, rank failure stays fail-stop
+    (:class:`~repro.exceptions.RankFailedError` propagates).  With one, a
+    survivability layer — an ABFT checksum algorithm healing in place, or
+    the checkpoint/restart wrapper
+    (:func:`repro.analysis.survive.run_survivable`) — may catch the
+    failure, charge ``detection_rounds`` of modelled timeout latency, and
+    execute a typed :class:`~repro.machine.recovery.RecoveryPlan`.
+
+    Parameters
+    ----------
+    strategy:
+        ``"spare"`` (revive the dead rank's slot in place / restart on the
+        same processor count) or ``"shrink"`` (redistribute over the
+        survivors; only meaningful where the algorithm accepts ``P - 1``).
+    detection_rounds:
+        Latency-only rounds survivors spend detecting the death — the
+        modelled timeout.
+    max_recoveries:
+        Rank failures absorbed before giving up and re-raising.
+    """
+
+    strategy: str = "spare"
+    detection_rounds: int = 1
+    max_recoveries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strategy not in RECOVERY_STRATEGIES:
+            raise InvalidFaultConfigError(
+                f"recovery strategy must be one of {RECOVERY_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if not isinstance(self.detection_rounds, int) or self.detection_rounds < 0:
+            raise InvalidFaultConfigError(
+                f"detection_rounds must be an integer >= 0, "
+                f"got {self.detection_rounds!r}"
+            )
+        if not isinstance(self.max_recoveries, int) or self.max_recoveries < 1:
+            raise InvalidFaultConfigError(
+                f"max_recoveries must be an integer >= 1, "
+                f"got {self.max_recoveries!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "detection_rounds": self.detection_rounds,
+            "max_recoveries": self.max_recoveries,
         }
 
 
@@ -148,6 +212,9 @@ class FaultModel:
     retry:
         Recovery policy for dropped/corrupted messages, or ``None`` to
         fail fast with :class:`~repro.exceptions.FaultDetectedError`.
+    recovery:
+        Opt-in :class:`RecoveryConfig` for surviving rank failures, or
+        ``None`` (the default) to keep them fail-stop.
     """
 
     seed: int = 0
@@ -159,30 +226,56 @@ class FaultModel:
     stall_rounds: int = 1
     rank_failures: Tuple[Tuple[int, int], ...] = ()
     retry: Optional[RetryPolicy] = None
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         probs = {k: getattr(self, k) for k in FAULT_KINDS}
         for kind, p in probs.items():
             if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{kind} probability must be in [0, 1], got {p}")
+                raise InvalidFaultConfigError(
+                    f"{kind} probability must be in [0, 1], got {p}"
+                )
         if sum(probs.values()) > 1.0 + 1e-12:
-            raise ValueError(
+            raise InvalidFaultConfigError(
                 f"fault probabilities sum to {sum(probs.values())} > 1"
             )
         if self.corrupt_mode not in ("bitflip", "nan"):
-            raise ValueError(
+            raise InvalidFaultConfigError(
                 f"corrupt_mode must be 'bitflip' or 'nan', got {self.corrupt_mode!r}"
             )
         if self.stall_rounds < 1:
-            raise ValueError(f"stall_rounds must be >= 1, got {self.stall_rounds}")
-        object.__setattr__(
-            self,
-            "rank_failures",
-            tuple((int(r), int(at)) for r, at in self.rank_failures),
-        )
+            raise InvalidFaultConfigError(
+                f"stall_rounds must be >= 1, got {self.stall_rounds}"
+            )
+        coerced = []
+        for failure in self.rank_failures:
+            try:
+                rank, at_round = failure
+            except (TypeError, ValueError) as exc:
+                raise InvalidFaultConfigError(
+                    f"rank_failures entries must be (rank, round) pairs, "
+                    f"got {failure!r}"
+                ) from exc
+            rank, at_round = int(rank), int(at_round)
+            if rank < 0 or at_round < 0:
+                raise InvalidFaultConfigError(
+                    f"rank_failures entries must have rank >= 0 and "
+                    f"round >= 0, got ({rank}, {at_round})"
+                )
+            coerced.append((rank, at_round))
+        object.__setattr__(self, "rank_failures", tuple(coerced))
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise InvalidFaultConfigError(
+                f"retry must be a RetryPolicy or None, got {type(self.retry).__name__}"
+            )
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryConfig):
+            raise InvalidFaultConfigError(
+                f"recovery must be a RecoveryConfig or None, "
+                f"got {type(self.recovery).__name__}"
+            )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "seed": self.seed,
             "drop": self.drop,
             "corrupt": self.corrupt,
@@ -193,6 +286,11 @@ class FaultModel:
             "rank_failures": [list(rf) for rf in self.rank_failures],
             "retry": None if self.retry is None else self.retry.to_dict(),
         }
+        # Additive: fault-free and recovery-free serializations stay
+        # byte-identical to the pre-recovery schema.
+        if self.recovery is not None:
+            out["recovery"] = self.recovery.to_dict()
+        return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -273,6 +371,13 @@ class FaultInjector:
         Words of every extra transmission (retry resends and spurious
         duplicates) — exactly the amount by which a recovered run's
         critical-path words exceed the fault-free run's.
+    recoveries:
+        Rank-failure recoveries completed by a survivability layer.
+    words_recovered:
+        Critical-path words attributed to rank-failure recovery: wasted
+        pre-failure work plus the recovery protocol's own traffic.  The
+        extended conservation invariant is ``measured words == fault-free
+        words + words_resent + words_recovered``, exactly.
     events:
         Chronological :class:`FaultEvent` log.
     """
@@ -286,6 +391,9 @@ class FaultInjector:
         self.faults_injected = 0
         self.retries = 0
         self.words_resent = 0.0
+        self.recoveries = 0
+        self.words_recovered = 0.0
+        self._handled_failures: set = set()
 
     def decide(self) -> str:
         """Draw the fate of one transmission: a fault kind or ``"none"``.
@@ -320,9 +428,23 @@ class FaultInjector:
         or after round index ``r``.
         """
         for rank, at_round in self.model.rank_failures:
+            if (rank, at_round) in self._handled_failures:
+                continue
             if round_index >= at_round and rank in (msg.src, msg.dest):
                 return rank
         return None
+
+    def handle_failure(self, rank: int) -> None:
+        """Mark ``rank``'s scheduled failures as absorbed by a recovery.
+
+        After this, the rank behaves as a healthy (spare or revived)
+        processor again: :meth:`failed_rank` stops reporting it.  Only a
+        survivability layer that has actually re-established consistent
+        state (and charged the traffic) may call this.
+        """
+        self._handled_failures.update(
+            (r, at) for r, at in self.model.rank_failures if r == rank
+        )
 
     def corrupt_payload(self, payload: Any) -> Any:
         """A corrupted copy of ``payload`` (the original stays pristine for resends)."""
@@ -337,13 +459,19 @@ class FaultInjector:
 
     def summary(self) -> dict:
         """JSON-serializable statistics (ledger ``faults`` field material)."""
-        return {
+        out = {
             "model": self.model.to_dict(),
             "injected": self.faults_injected,
             "counts": dict(self.counts),
             "retries": self.retries,
             "words_resent": self.words_resent,
         }
+        # Additive: absent unless a rank-failure recovery actually ran, so
+        # recovery-free summaries stay byte-identical to the old schema.
+        if self.recoveries:
+            out["recoveries"] = self.recoveries
+            out["words_recovered"] = self.words_recovered
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -70,6 +70,8 @@ class CounterSnapshot:
     faults_injected: int = 0
     retries: int = 0
     words_resent: float = 0.0
+    recoveries: int = 0
+    words_recovered: float = 0.0
 
     def delta(self, later: "CounterSnapshot") -> "CounterSnapshot":
         """Per-counter difference ``later - self``.
@@ -95,6 +97,8 @@ class CounterSnapshot:
             faults_injected=later.faults_injected - self.faults_injected,
             retries=later.retries - self.retries,
             words_resent=later.words_resent - self.words_resent,
+            recoveries=later.recoveries - self.recoveries,
+            words_recovered=later.words_recovered - self.words_recovered,
         )
 
 
@@ -266,6 +270,10 @@ class Machine:
             faults_injected=0 if injector is None else injector.faults_injected,
             retries=0 if injector is None else injector.retries,
             words_resent=0.0 if injector is None else injector.words_resent,
+            recoveries=0 if injector is None else getattr(injector, "recoveries", 0),
+            words_recovered=(
+                0.0 if injector is None else getattr(injector, "words_recovered", 0.0)
+            ),
         )
 
     def reset_counters(self) -> None:

@@ -215,14 +215,24 @@ class FullyConnectedNetwork:
         injector.words_resent += msg.words
 
     def _check_rank_failures(self, msgs: Sequence[Message], injector) -> None:
+        # Runs BEFORE the round is charged: a round that never happened
+        # (the failure surfaced first) costs nothing.  The raised error
+        # carries the counters at the moment of failure so a recovery
+        # layer can attribute the wasted work exactly.
         for msg in msgs:
             rank = injector.failed_rank(msg, self.rounds)
             if rank is not None:
                 verb = "send" if rank == msg.src else "receive"
                 raise RankFailedError(
                     f"processor {rank} has failed (fail-stop) and cannot "
-                    f"{verb} {msg!r} at round {self.rounds}; rank failures "
-                    f"are unrecoverable"
+                    f"{verb} {msg!r} at round {self.rounds}; recovery "
+                    f"requires a survivability layer "
+                    f"(FaultModel(recovery=RecoveryConfig(...)))",
+                    rank=rank,
+                    round=self.rounds,
+                    waste_words=self.critical_words,
+                    waste_rounds=self.rounds,
+                    waste_resent=injector.words_resent,
                 )
 
     def _verify_delivery(self, msg: Message, delivered, injector) -> None:

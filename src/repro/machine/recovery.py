@@ -1,0 +1,167 @@
+"""Machine-level rank-failure recovery protocol.
+
+A rank failure surfaces as :class:`~repro.exceptions.RankFailedError`
+raised *before* the failing round is charged.  Without a
+:class:`~repro.machine.faults.RecoveryConfig` on the fault model, that is
+the end of the run (fail-stop leg of the quadchotomy).  With one, a
+survivability layer — an ABFT checksum algorithm healing in place
+(:mod:`repro.algorithms.abft`) or the checkpoint/restart wrapper
+(:mod:`repro.analysis.survive`) — drives a :class:`RecoveryManager`:
+
+1. **Detect.**  Survivors notice the death via the modelled timeout:
+   ``detection_rounds`` latency-only rounds are charged.
+2. **Plan.**  A typed :class:`RecoveryPlan` decides whether the dead
+   rank's slot is revived in place (``"spare"`` — the simulator's ranks
+   are slots, so a spare processor takes over the same rank id) or the
+   computation shrinks onto the survivors (``"shrink"``).
+3. **Fence and repair.**  Recovery traffic runs on a *fenced* channel:
+   the injector is detached while survivors reconstruct the lost state,
+   so the protocol itself is not re-faulted (the single-failure model
+   standard in ABFT analyses) and draws no decision-stream randoms —
+   fault sequences stay aligned with the fault-free schedule.  Every
+   word/round/flop of the repair is charged to the machine as usual.
+4. **Account.**  The waste (critical-path words charged before the
+   failure that the redo will repeat) plus the protocol's own traffic
+   accrue in ``injector.words_recovered``, giving the extended
+   conservation invariant::
+
+       measured words == fault-free words + words_resent + words_recovered
+
+All of it deterministic: same seed, same schedule, same recovery, on
+either backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Optional
+
+from ..exceptions import RankFailedError
+
+__all__ = ["RecoveryPlan", "RecoveryManager"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPlan:
+    """A typed decision about how to survive one concrete rank failure.
+
+    Attributes
+    ----------
+    strategy:
+        ``"spare"`` or ``"shrink"`` (from the
+        :class:`~repro.machine.faults.RecoveryConfig`).
+    failed_rank, failed_round:
+        Where and when the death surfaced.
+    replacement_rank:
+        The rank id the repaired state lands on: under ``"spare"`` the
+        same slot (a spare processor assumes the dead rank's identity);
+        under ``"shrink"`` ``None`` — the caller redistributes over the
+        survivors.
+    detection_rounds:
+        Modelled timeout latency the survivors paid to detect the death.
+    """
+
+    strategy: str
+    failed_rank: int
+    failed_round: int
+    replacement_rank: Optional[int]
+    detection_rounds: int
+
+
+class RecoveryManager:
+    """Drives detection, planning, fencing and accounting for one machine.
+
+    Usage pattern (see :mod:`repro.algorithms.abft` for real call sites)::
+
+        mgr = RecoveryManager(machine)
+        while True:
+            before = mgr.begin_attempt()
+            try:
+                return phase()                  # normal charged execution
+            except RankFailedError as exc:
+                plan = mgr.on_failure(exc, before)
+                with mgr.fence():
+                    repair(plan)                # charged, fault-fenced
+                # loop: redo the phase from the repaired state
+
+    ``on_failure`` re-raises when recovery is not configured or the
+    budget (``max_recoveries``) is exhausted, so un-opted-in runs keep
+    their fail-stop behaviour bit-exactly.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.recovered = 0
+
+    @property
+    def injector(self):
+        return self.machine.fault_injector
+
+    @property
+    def config(self):
+        injector = self.injector
+        return None if injector is None else injector.model.recovery
+
+    def begin_attempt(self):
+        """Counter snapshot at the start of a recoverable phase attempt."""
+        return self.machine.snapshot()
+
+    def on_failure(self, exc: RankFailedError, before) -> RecoveryPlan:
+        """Account a detected rank failure and produce the recovery plan.
+
+        Charges the waste (critical-path words this attempt accrued before
+        dying, minus retry resends already attributed to ``words_resent``)
+        to ``words_recovered``, charges ``detection_rounds`` of timeout
+        latency, and marks the failure handled on the injector so the
+        revived slot transmits again.  Re-raises ``exc`` when no recovery
+        is configured or the budget is exhausted.
+        """
+        config = self.config
+        if config is None or exc.rank is None:
+            raise exc
+        if self.recovered >= config.max_recoveries:
+            raise exc
+        injector = self.injector
+        now = self.machine.snapshot()
+        delta = before.delta(now)
+        waste = delta.cost.words - delta.words_resent
+        # Survivors detect the death via the modelled timeout.
+        self.machine.network._latency_rounds(config.detection_rounds)
+        injector.handle_failure(exc.rank)
+        injector.words_recovered += waste
+        self.recovered += 1
+        return RecoveryPlan(
+            strategy=config.strategy,
+            failed_rank=exc.rank,
+            failed_round=exc.round,
+            replacement_rank=exc.rank if config.strategy == "spare" else None,
+            detection_rounds=config.detection_rounds,
+        )
+
+    def revive(self, rank: int) -> None:
+        """Clear the dead rank's store: the spare starts from nothing."""
+        store = self.machine.proc(rank).store
+        store.clear()
+
+    @contextlib.contextmanager
+    def fence(self):
+        """Fenced recovery channel: charged, but not re-faulted.
+
+        Detaches the injector for the duration, so the reconstruction
+        traffic cannot itself fault (single-failure model) and consumes
+        no decision-stream draws.  On exit the injector is re-attached
+        and the protocol's critical-path words accrue to
+        ``words_recovered``; the final recovery count is bumped.
+        """
+        injector = self.injector
+        network = self.machine.network
+        before = self.machine.snapshot()
+        network.fault_injector = None
+        try:
+            yield
+        finally:
+            network.fault_injector = injector
+        protocol = self.machine.snapshot().cost.words - before.cost.words
+        injector.words_recovered += protocol
+        injector.recoveries += 1

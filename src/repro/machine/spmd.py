@@ -41,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import CommunicatorError
+from ..exceptions import CommunicatorError, RankFailedError
 from .machine import Machine
 from .message import Message
 
@@ -242,8 +242,16 @@ def _execute_batch(
 
     schedules = [_build_schedule(machine, kind, reqs) for reqs in batches]
     groups = tuple(tuple(next(iter(reqs.values())).group) for reqs in batches)
-    with machine.trace.measure("spmd", kind, groups=groups):
-        results = run_schedules(machine, schedules)
+    try:
+        with machine.trace.measure("spmd", kind, groups=groups):
+            results = run_schedules(machine, schedules)
+    except RankFailedError as exc:
+        # Tag the death with the collective it interrupted so a recovery
+        # layer (or a human reading the traceback) knows which groups
+        # need their state reconstructed.
+        exc.collective = kind
+        exc.groups = groups
+        raise
     merged: Dict[int, Any] = {}
     for reqs, result in zip(batches, results):
         for r in reqs:

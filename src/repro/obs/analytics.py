@@ -213,6 +213,10 @@ class TrajectoryStore:
         """Ingest one ledger record; returns whether it was kept."""
         if record.fault_injected and not self.include_faulty:
             return False
+        # A reconstructed run's words include its recovery traffic; like
+        # fault-degraded runs, it must not pollute the clean trajectories.
+        if getattr(record, "recovery", None) is not None and not self.include_faulty:
+            return False
         key = SeriesKey(
             algorithm=record.algorithm,
             backend=record.backend,

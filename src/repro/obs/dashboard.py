@@ -40,6 +40,8 @@ from .analytics import (
     TrajectoryStore,
     analyze,
     discover_bench_files,
+    shape_fingerprint,
+    theorem3_case,
 )
 
 __all__ = [
@@ -191,6 +193,39 @@ def _skew_payload(store: TrajectoryStore) -> List[dict]:
     return bars
 
 
+def _recovery_payload(ledger_path: Optional[str]) -> List[dict]:
+    """Rank-failure recovery provenance: one row per reconstructed record.
+
+    Reconstructed runs carry a ``recovery`` dict (mechanism, count,
+    ``words_recovered``); their inflated words are kept *out* of the
+    clean trajectories, so the dashboard surfaces them here instead —
+    the survivability story next to the fault-free one.
+    """
+    if ledger_path is None:
+        return []
+    from .ledger import Ledger
+
+    rows: List[dict] = []
+    for record in Ledger(ledger_path).records():
+        if record.recovery is None:
+            continue
+        rows.append({
+            "algorithm": record.algorithm,
+            "case": theorem3_case(record.shape, record.P),
+            "shape": shape_fingerprint(record.shape, record.P),
+            "mechanism": record.recovery.get("mechanism", ""),
+            "recoveries": record.recovery.get("recoveries", 0),
+            "words_recovered": record.recovery.get("words_recovered", 0.0),
+            "words": record.words,
+            "bound": record.bound,
+            "overhead": (
+                record.recovery.get("words_recovered", 0.0) / record.bound
+                if record.bound else None
+            ),
+        })
+    return rows
+
+
 def collect_payload(
     ledger_path: Optional[str] = None,
     bench_paths: Iterable[str] = (),
@@ -250,6 +285,7 @@ def collect_payload(
         "series": _series_payload(store),
         "attainment": _attainment_payload(store),
         "skew": _skew_payload(store),
+        "recovery": _recovery_payload(ledger_path),
         "telemetry": telemetry,
         "hotspots": hotspots,
     }
@@ -818,6 +854,52 @@ function skewPanel() {
     bars.map((b) => [b.label, b.stream, b.ratio.toFixed(4)]), [2]);
 }
 
+// --- rank-failure recovery provenance ---------------------------------
+function recoveryPanel() {
+  const rows = DATA.recovery || [];
+  const c = card("Rank-failure recovery (survived runs)",
+    "overhead = words_recovered / Theorem 3 bound");
+  if (!rows.length) {
+    emptyNote(c.chart, "no reconstructed runs recorded " +
+      "(run repro chaos --recover with --ledger)");
+    emptyNote(c.table, "no reconstructed runs recorded");
+    return;
+  }
+  const host = document.createElement("div");
+  host.className = "bars";
+  const hi = Math.max(...rows.map((r) => r.words_recovered));
+  const cap = 14;
+  for (const r of rows.slice(0, cap)) {
+    const row = document.createElement("div");
+    row.className = "row";
+    const lbl = document.createElement("div");
+    lbl.className = "lbl";
+    lbl.textContent = r.algorithm + "/" + r.shape + " (" + r.mechanism + ")";
+    const track = document.createElement("div");
+    track.className = "track";
+    const bar = document.createElement("div");
+    bar.className = "bar";
+    bar.style.width = Math.max(2, 100 * r.words_recovered / hi) + "%";
+    track.append(bar);
+    const bv = document.createElement("div");
+    bv.className = "bv";
+    bv.textContent = r.words_recovered.toFixed(0);
+    hover(row, () => [
+      [r.words_recovered.toFixed(0), "words recovered"],
+      [r.overhead == null ? "n/a" : r.overhead.toFixed(3), "x bound"],
+      ["", r.mechanism + ", " + r.case],
+    ]);
+    row.append(lbl, track, bv);
+    host.append(row);
+  }
+  c.chart.append(host);
+  buildTable(c.table,
+    ["algorithm", "case", "shape", "mechanism", "recovered", "overhead"],
+    rows.map((r) => [r.algorithm, r.case, r.shape, r.mechanism,
+      r.words_recovered.toFixed(0),
+      r.overhead == null ? "n/a" : r.overhead.toFixed(3)]), [4, 5]);
+}
+
 // --- worker-utilization timeline -------------------------------------
 function timelinePanel() {
   const t = DATA.telemetry;
@@ -971,6 +1053,7 @@ trendPanel();
 sparkPanel();
 heatPanel();
 skewPanel();
+recoveryPanel();
 timelinePanel();
 hotspotPanel();
 </script>

@@ -148,6 +148,14 @@ class RunRecord:
         *products* are not comparable across semirings, so ``repro ledger
         diff`` refuses mixed-semiring comparisons without
         ``--allow-mixed``.
+    recovery:
+        Rank-failure recovery provenance, or ``None`` (the default) for a
+        run that needed none.  Additive schema field, serialized only
+        when present, so fault-free (and recovery-free) records stay
+        byte-identical to the pre-recovery schema and legacy lines read
+        back with ``recovery=None``.  When present it carries the
+        mechanism (``"abft"`` or ``"checkpoint"``), the recovery count
+        and ``words_recovered`` — the extra words the run paid to survive.
     """
 
     algorithm: str
@@ -171,6 +179,7 @@ class RunRecord:
     task_index: Optional[int] = None
     telemetry: Optional[dict] = None
     semiring: str = "plus_times"
+    recovery: Optional[dict] = None
 
     @property
     def fault_injected(self) -> bool:
@@ -209,6 +218,10 @@ class RunRecord:
         # semirings, so classical runs' lines keep their historical bytes.
         if self.semiring != "plus_times":
             out["semiring"] = self.semiring
+        # Additive: only runs that actually survived a rank failure carry
+        # recovery provenance; everything else keeps its historical bytes.
+        if self.recovery is not None:
+            out["recovery"] = self.recovery
         return out
 
     @classmethod
@@ -245,6 +258,7 @@ class RunRecord:
                 task_index=data.get("task_index"),
                 telemetry=data.get("telemetry"),
                 semiring=data.get("semiring", "plus_times"),
+                recovery=data.get("recovery"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger record: {exc}") from exc

@@ -274,9 +274,19 @@ def update_machine_gauges(machine) -> None:
     metrics.gauge("words_sent_skew", stat="straggler_rank").set(float(skew.straggler))
     metrics.gauge("peak_memory_words").set(machine.peak_memory_words())
     injector = getattr(net, "fault_injector", None)
-    if injector is not None:
-        # Cumulative fault-layer gauges; absent entirely on clean machines
-        # so fault-free exports stay byte-identical to pre-fault-layer runs.
+    if injector is None:
+        return
+    # Cumulative fault-layer gauges; absent on clean machines AND on
+    # machines whose injector never materialized anything, so an attached
+    # all-zero-probability model exports byte-identically to no injector.
+    materialized = (
+        injector.faults_injected or injector.retries or injector.words_resent
+    )
+    if materialized:
         metrics.gauge("faults_injected").set(float(injector.faults_injected))
         metrics.gauge("fault_retries").set(float(injector.retries))
         metrics.gauge("words_resent").set(float(injector.words_resent))
+    # Recovery gauges appear only once a reconstruction actually happened.
+    if getattr(injector, "recoveries", 0):
+        metrics.gauge("recoveries").set(float(injector.recoveries))
+        metrics.gauge("words_recovered").set(float(injector.words_recovered))

@@ -93,6 +93,12 @@ class Span:
     faults_injected, retries, words_resent:
         Fault-layer deltas over the span's lifetime (always zero without a
         fault injector attached; see :mod:`repro.machine.faults`).
+    recoveries, words_recovered:
+        Rank-failure recovery deltas over the span's lifetime (nonzero
+        only when a survivability layer completed a reconstruction while
+        the span was open; see :mod:`repro.machine.recovery`).  Exported
+        only when nonzero, so fault-free span records keep their
+        historical bytes.
     """
 
     index: int
@@ -114,6 +120,8 @@ class Span:
     faults_injected: int = 0
     retries: int = 0
     words_resent: float = 0.0
+    recoveries: int = 0
+    words_recovered: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -132,7 +140,7 @@ class Span:
 
     def to_record(self) -> dict:
         """A JSON-serializable flat record (used by the exporters)."""
-        return {
+        record = {
             "type": "span",
             "id": self.index,
             "parent": None if self.parent is None else self.parent.index,
@@ -155,6 +163,12 @@ class Span:
             "retries": self.retries,
             "words_resent": self.words_resent,
         }
+        # Additive: recovery keys appear only on spans that actually saw a
+        # reconstruction, so fault-free exports stay byte-identical.
+        if self.recoveries or self.words_recovered:
+            record["recoveries"] = self.recoveries
+            record["words_recovered"] = self.words_recovered
+        return record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = "event" if self.event else "span"
@@ -218,6 +232,8 @@ class SpanRecorder:
         span.faults_injected = after.faults_injected - before.faults_injected
         span.retries = after.retries - before.retries
         span.words_resent = after.words_resent - before.words_resent
+        span.recoveries = after.recoveries - before.recoveries
+        span.words_recovered = after.words_recovered - before.words_recovered
 
     @contextlib.contextmanager
     def span(self, name: str, kind: str = "phase", groups=(), event: bool = False):
@@ -302,6 +318,14 @@ class SpanRecorder:
             metrics.counter("retries_total", kind=span.kind).inc(span.retries)
             metrics.counter("words_resent_total", kind=span.kind).inc(
                 span.words_resent
+            )
+        # Same gating for recovery: only reconstructing runs export these.
+        if span.recoveries or span.words_recovered:
+            metrics.counter("recoveries_total", kind=span.kind).inc(
+                span.recoveries
+            )
+            metrics.counter("words_recovered_total", kind=span.kind).inc(
+                span.words_recovered
             )
 
     # ------------------------------------------------------------------ #

@@ -11,7 +11,7 @@ class TestApplicability:
     def test_all_algorithms_registered(self):
         assert set(REGISTRY) == {
             "alg1", "row_1d", "outer_1d", "cannon", "fox", "fox_otto",
-            "summa", "c25d", "carma",
+            "summa", "c25d", "carma", "alg1_abft", "summa_abft",
         }
 
     def test_square_power_of_four(self):

@@ -30,6 +30,8 @@ FEASIBLE = {
     "summa": ((16, 16, 16), 4),
     "c25d": ((16, 16, 16), 4),
     "carma": ((16, 16, 16), 4),
+    "alg1_abft": ((16, 16, 16), 4),
+    "summa_abft": ((16, 16, 16), 4),
 }
 
 

@@ -1,12 +1,19 @@
-"""The fault-layer trichotomy, asserted over the full chaos matrix.
+"""The fault-layer quadchotomy, asserted over the full chaos matrix.
 
 Every cell of (algorithm x Theorem 3 case x fault schedule x seed) must
-land on exactly one trichotomy arm:
+land on exactly one quadchotomy arm:
 
 * **recovered / clean** — the run completed; its numerics are bit-identical
   to the fault-free run and its words equal ``clean + words_resent``;
+* **reconstructed** — a rank failure was survived (ABFT checksum or
+  checkpoint/restart) and the extra traffic is charged to
+  ``words_recovered``;
 * **detected** — a typed :class:`~repro.exceptions.FaultDetectedError`;
 * **rank-failed** — a typed :class:`~repro.exceptions.RankFailedError`.
+
+The default schedule set is fail-stop (no recovery configs), so the
+reconstructed arm only materializes under ``recover=True`` — covered in
+``test_quadchotomy.py``.
 
 ``outcome == "violation"`` means silent corruption, unaccounted words, a
 broken conservation invariant, or an untyped crash — any of which is a
@@ -22,7 +29,7 @@ from repro.analysis.chaos import REGIME_POINTS, SCHEDULES, run_chaos
 from repro.algorithms.registry import REGISTRY, applicable_algorithms
 from repro.core.cases import Regime, classify
 
-TRICHOTOMY = {"recovered", "clean", "detected", "rank-failed"}
+QUADCHOTOMY = {"recovered", "reconstructed", "clean", "detected", "rank-failed"}
 SEEDS = (0, 1, 2, 3)
 
 
@@ -49,8 +56,8 @@ class TestDataBackendMatrix:
     def test_no_violations(self, report):
         assert report.ok, "\n" + report.render()
 
-    def test_every_outcome_on_a_trichotomy_arm(self, report):
-        assert {row.outcome for row in report.rows} <= TRICHOTOMY
+    def test_every_outcome_on_a_quadchotomy_arm(self, report):
+        assert {row.outcome for row in report.rows} <= QUADCHOTOMY
 
     def test_every_algorithm_case_and_schedule_exercised(self, report):
         seen_algorithms = {row.algorithm for row in report.rows}
@@ -115,8 +122,8 @@ class TestSymbolicBackendMatrix:
     def test_no_violations(self, report):
         assert report.ok, "\n" + report.render()
 
-    def test_every_outcome_on_a_trichotomy_arm(self, report):
-        assert {row.outcome for row in report.rows} <= TRICHOTOMY
+    def test_every_outcome_on_a_quadchotomy_arm(self, report):
+        assert {row.outcome for row in report.rows} <= QUADCHOTOMY
 
     def test_accounting_invariant_holds_without_data(self, report):
         for row in report.rows:
@@ -132,7 +139,7 @@ class TestReportSurface:
             algorithms=["alg1"], seeds=(0,), schedules=["drop-retry"],
         )
         text = report.render()
-        assert "trichotomy" in text
+        assert "quadchotomy" in text
         assert "alg1" in text
 
     def test_json_roundtrip(self, tmp_path):

@@ -1,0 +1,93 @@
+"""Buddy checkpoint/restore: placement, charging, and the shrink rename."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.machine.checkpoint import CheckpointManager
+
+
+def machine_with_blocks(P=4, words=4):
+    """A machine whose rank ``r`` holds one ``words``-element block "X"."""
+    machine = Machine(P)
+    for rank in range(P):
+        machine.proc(rank).store.put("X", np.full(words, float(rank)))
+    return machine
+
+
+class TestConstruction:
+    def test_needs_two_ranks(self):
+        with pytest.raises(ValueError, match="P >= 2"):
+            CheckpointManager(Machine(1))
+
+    def test_buddy_is_next_rank_cyclically(self):
+        manager = CheckpointManager(Machine(4))
+        assert [manager.buddy(r) for r in range(4)] == [1, 2, 3, 0]
+
+
+class TestCheckpoint:
+    def test_one_permutation_round_critical_words(self):
+        machine = machine_with_blocks(P=4, words=4)
+        manager = CheckpointManager(machine)
+        charged = manager.checkpoint(["X"])
+        # One round; the critical path carries the largest per-rank
+        # snapshot (all equal here), not the sum.
+        assert charged == 4
+        assert machine.cost.rounds == 1
+        assert manager.checkpoint_words == 4
+
+    def test_snapshots_land_in_the_buddy_store(self):
+        machine = machine_with_blocks(P=4)
+        CheckpointManager(machine).checkpoint(["X"])
+        for rank in range(4):
+            buddy_store = machine.proc((rank + 1) % 4).store
+            assert np.array_equal(
+                buddy_store[f"ckpt:{rank}:X"], np.full(4, float(rank))
+            )
+
+    def test_missing_keys_are_skipped(self):
+        machine = machine_with_blocks(P=2)
+        machine.proc(0).store.put("extra", np.ones(2))
+        manager = CheckpointManager(machine)
+        manager.checkpoint(["X", "extra", "absent"])
+        assert "ckpt:0:extra" in machine.proc(1).store
+        assert "ckpt:1:extra" not in machine.proc(0).store
+        assert "ckpt:0:absent" not in machine.proc(1).store
+
+    def test_doubled_footprint_shows_in_peak_memory(self):
+        machine = machine_with_blocks(P=2, words=8)
+        before = machine.peak_memory_words()
+        CheckpointManager(machine).checkpoint(["X"])
+        assert machine.peak_memory_words() >= before + 8
+
+
+class TestRestore:
+    def test_spare_restore_revives_the_slot(self):
+        machine = machine_with_blocks(P=4)
+        manager = CheckpointManager(machine)
+        manager.checkpoint(["X"])
+        machine.proc(2).store.clear()  # rank 2 died; spare starts empty
+        charged = manager.restore(2)
+        assert charged == 4
+        assert manager.restore_words == 4
+        assert np.array_equal(machine.proc(2).store["X"], np.full(4, 2.0))
+
+    def test_buddy_adoption_is_free(self):
+        # Shrink where the buddy itself adopts: the snapshot is already
+        # local, so the "restore" is a rename and charges nothing.
+        machine = machine_with_blocks(P=4)
+        manager = CheckpointManager(machine)
+        manager.checkpoint(["X"])
+        rounds_before = machine.cost.rounds
+        charged = manager.restore(2, dest=manager.buddy(2))
+        assert charged == 0.0
+        assert machine.cost.rounds == rounds_before
+        assert np.array_equal(machine.proc(3).store["X"], np.full(4, 2.0))
+
+    def test_restore_to_other_survivor_is_charged(self):
+        machine = machine_with_blocks(P=4)
+        manager = CheckpointManager(machine)
+        manager.checkpoint(["X"])
+        charged = manager.restore(2, dest=0)
+        assert charged == 4
+        assert np.array_equal(machine.proc(0).store["X"], np.full(4, 2.0))

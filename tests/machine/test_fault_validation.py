@@ -1,0 +1,142 @@
+"""Typed rejection of malformed fault/recovery configurations.
+
+Every constructor argument of :class:`RetryPolicy`,
+:class:`RecoveryConfig` and :class:`FaultModel` that could silently
+produce nonsense now raises
+:class:`~repro.exceptions.InvalidFaultConfigError` — a ``FaultError``
+*and* a ``ValueError``, so legacy ``except ValueError`` callers keep
+working.  One test per rejection.
+"""
+
+import pytest
+
+from repro.exceptions import FaultError, InvalidFaultConfigError
+from repro.machine.faults import (
+    RECOVERY_STRATEGIES,
+    FaultModel,
+    RecoveryConfig,
+    RetryPolicy,
+)
+
+
+class TestErrorType:
+    def test_is_a_fault_error_and_a_value_error(self):
+        assert issubclass(InvalidFaultConfigError, FaultError)
+        assert issubclass(InvalidFaultConfigError, ValueError)
+
+
+class TestRetryPolicyRejections:
+    def test_zero_attempts(self):
+        with pytest.raises(InvalidFaultConfigError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_attempts(self):
+        with pytest.raises(InvalidFaultConfigError, match="max_attempts"):
+            RetryPolicy(max_attempts=-3)
+
+    def test_non_integer_attempts(self):
+        with pytest.raises(InvalidFaultConfigError, match="integer"):
+            RetryPolicy(max_attempts=1.5)
+
+    def test_negative_backoff_base(self):
+        with pytest.raises(InvalidFaultConfigError, match="backoff"):
+            RetryPolicy(backoff_base=-1)
+
+    def test_negative_backoff_cap(self):
+        with pytest.raises(InvalidFaultConfigError, match="backoff"):
+            RetryPolicy(backoff_cap=-2)
+
+
+class TestRecoveryConfigRejections:
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidFaultConfigError, match="strategy"):
+            RecoveryConfig(strategy="migrate")
+
+    def test_known_strategies_accepted(self):
+        for strategy in RECOVERY_STRATEGIES:
+            assert RecoveryConfig(strategy=strategy).strategy == strategy
+
+    def test_negative_detection_rounds(self):
+        with pytest.raises(InvalidFaultConfigError, match="detection_rounds"):
+            RecoveryConfig(detection_rounds=-1)
+
+    def test_non_integer_detection_rounds(self):
+        with pytest.raises(InvalidFaultConfigError, match="detection_rounds"):
+            RecoveryConfig(detection_rounds=0.5)
+
+    def test_zero_max_recoveries(self):
+        with pytest.raises(InvalidFaultConfigError, match="max_recoveries"):
+            RecoveryConfig(max_recoveries=0)
+
+    def test_non_integer_max_recoveries(self):
+        with pytest.raises(InvalidFaultConfigError, match="max_recoveries"):
+            RecoveryConfig(max_recoveries=2.0)
+
+    def test_zero_detection_rounds_allowed(self):
+        # An instant-detection model is legal (no timeout latency).
+        assert RecoveryConfig(detection_rounds=0).detection_rounds == 0
+
+    def test_to_dict_roundtrips_fields(self):
+        d = RecoveryConfig(strategy="shrink", detection_rounds=3,
+                           max_recoveries=2).to_dict()
+        assert d == {"strategy": "shrink", "detection_rounds": 3,
+                     "max_recoveries": 2}
+
+
+class TestFaultModelRejections:
+    def test_probability_above_one(self):
+        with pytest.raises(InvalidFaultConfigError, match=r"\[0, 1\]"):
+            FaultModel(drop=1.5)
+
+    def test_negative_probability(self):
+        with pytest.raises(InvalidFaultConfigError, match=r"\[0, 1\]"):
+            FaultModel(stall=-0.25)
+
+    def test_probabilities_summing_past_one(self):
+        with pytest.raises(InvalidFaultConfigError, match="sum"):
+            FaultModel(drop=0.4, corrupt=0.4, duplicate=0.4)
+
+    def test_unknown_corrupt_mode(self):
+        with pytest.raises(InvalidFaultConfigError, match="corrupt_mode"):
+            FaultModel(corrupt_mode="zero-fill")
+
+    def test_nonpositive_stall_rounds(self):
+        with pytest.raises(InvalidFaultConfigError, match="stall_rounds"):
+            FaultModel(stall_rounds=0)
+
+    def test_malformed_rank_failure_entry(self):
+        with pytest.raises(InvalidFaultConfigError, match="pairs"):
+            FaultModel(rank_failures=(3,))
+
+    def test_negative_failure_rank(self):
+        with pytest.raises(InvalidFaultConfigError, match="rank >= 0"):
+            FaultModel(rank_failures=((-1, 2),))
+
+    def test_negative_failure_round(self):
+        with pytest.raises(InvalidFaultConfigError, match="round >= 0"):
+            FaultModel(rank_failures=((1, -2),))
+
+    def test_retry_must_be_a_policy(self):
+        with pytest.raises(InvalidFaultConfigError, match="RetryPolicy"):
+            FaultModel(retry={"max_attempts": 3})
+
+    def test_recovery_must_be_a_config(self):
+        with pytest.raises(InvalidFaultConfigError, match="RecoveryConfig"):
+            FaultModel(recovery="spare")
+
+    def test_rank_failures_coerced_to_int_pairs(self):
+        import numpy as np
+
+        model = FaultModel(rank_failures=((np.int64(1), np.int64(2)),))
+        assert model.rank_failures == ((1, 2),)
+        assert all(type(v) is int
+                   for pair in model.rank_failures for v in pair)
+
+    def test_recovery_serialization_is_additive(self):
+        # A recovery-free model's dict has no "recovery" key at all, so
+        # legacy serializations stay byte-identical.
+        assert "recovery" not in FaultModel().to_dict()
+        with_recovery = FaultModel(recovery=RecoveryConfig())
+        assert with_recovery.to_dict()["recovery"] == {
+            "strategy": "spare", "detection_rounds": 1, "max_recoveries": 1,
+        }

@@ -262,6 +262,28 @@ class TestDuplicateAndStall:
         assert machine.network.sent_words[0] == 8
         machine.check_conservation()
 
+    def test_duplicate_on_resend_charges_exactly_once(self):
+        # Regression: a duplicate injected on a retry resend must charge
+        # words_resent exactly once for the resend and once for the
+        # spurious copy — never double-charge, never double-deliver.
+        # seed 1 decision draws: 0.1344 (< 0.5: drop the original),
+        # 0.8474 (in [0.5, 1.0): duplicate the resend).
+        machine = Machine(2, faults=FaultModel(
+            seed=1, drop=0.5, duplicate=0.5, retry=RetryPolicy()
+        ))
+        out = machine.exchange([msg(words=4)])
+        assert np.array_equal(out[1], np.ones(4))  # delivered exactly once
+        inj = machine.fault_injector
+        assert inj.counts["drop"] == 1
+        assert inj.counts["duplicate"] == 1
+        assert inj.retries == 1
+        # original (4, not resent) + resend (4) + spurious duplicate (4):
+        assert inj.words_resent == 8
+        assert machine.cost.words == 12
+        assert machine.network.sent_words[0] == 12
+        assert machine.network.recv_words[1] == 12
+        machine.check_conservation()
+
     def test_stall_adds_latency_only(self):
         clean = Machine(2)
         clean.exchange([msg(words=4)])

@@ -1,0 +1,144 @@
+"""The machine-level recovery protocol: detect, plan, fence, account."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankFailedError
+from repro.machine import Machine
+from repro.machine.faults import FaultModel, RecoveryConfig
+from repro.machine.message import Message
+from repro.machine.recovery import RecoveryManager, RecoveryPlan
+
+
+def msg(words=4, src=0, dest=1):
+    return Message(src=src, dest=dest, payload=np.ones(words))
+
+
+def recoverable_machine(detection_rounds=2, max_recoveries=1):
+    """P=2; rank 1 dies once the network has executed one round."""
+    model = FaultModel(
+        rank_failures=((1, 1),),
+        recovery=RecoveryConfig(detection_rounds=detection_rounds,
+                                max_recoveries=max_recoveries),
+    )
+    return Machine(2, faults=model)
+
+
+class TestOnFailure:
+    def run_to_failure(self, machine):
+        manager = RecoveryManager(machine)
+        before = manager.begin_attempt()
+        machine.exchange([msg()])  # round 0: rank 1 still alive
+        with pytest.raises(RankFailedError) as excinfo:
+            machine.exchange([msg()])  # round 1: rank 1 is dead
+        return manager, before, excinfo.value
+
+    def test_plan_names_the_failure_and_replacement(self):
+        machine = recoverable_machine()
+        manager, before, exc = self.run_to_failure(machine)
+        plan = manager.on_failure(exc, before)
+        assert isinstance(plan, RecoveryPlan)
+        assert plan.strategy == "spare"
+        assert plan.failed_rank == 1
+        assert plan.replacement_rank == 1
+        assert plan.detection_rounds == 2
+
+    def test_waste_and_detection_are_charged(self):
+        machine = recoverable_machine(detection_rounds=2)
+        manager, before, exc = self.run_to_failure(machine)
+        rounds_before = machine.cost.rounds
+        manager.on_failure(exc, before)
+        injector = machine.fault_injector
+        # The attempt charged 4 words (round 0) before dying; none of it
+        # was a retry resend, so all of it is recovery waste.
+        assert injector.words_recovered == 4
+        # Survivors paid the modelled timeout in latency-only rounds.
+        assert machine.cost.rounds == rounds_before + 2
+
+    def test_handled_failure_transmits_again(self):
+        machine = recoverable_machine()
+        manager, before, exc = self.run_to_failure(machine)
+        manager.on_failure(exc, before)
+        out = machine.exchange([msg()])  # the revived slot receives again
+        assert np.array_equal(out[1], np.ones(4))
+
+    def test_reraises_when_budget_exhausted(self):
+        machine = recoverable_machine(max_recoveries=1)
+        manager, before, exc = self.run_to_failure(machine)
+        manager.on_failure(exc, before)
+        manager.recovered = 1
+        with pytest.raises(RankFailedError):
+            manager.on_failure(exc, manager.begin_attempt())
+
+    def test_reraises_without_recovery_config(self):
+        machine = Machine(2, faults=FaultModel(rank_failures=((1, 1),)))
+        manager = RecoveryManager(machine)
+        before = manager.begin_attempt()
+        machine.exchange([msg()])
+        with pytest.raises(RankFailedError):
+            try:
+                machine.exchange([msg()])
+            except RankFailedError as exc:
+                manager.on_failure(exc, before)
+
+    def test_shrink_plan_has_no_replacement(self):
+        model = FaultModel(
+            rank_failures=((1, 1),),
+            recovery=RecoveryConfig(strategy="shrink"),
+        )
+        machine = Machine(2, faults=model)
+        manager, before, exc = self.run_to_failure(machine)
+        plan = manager.on_failure(exc, before)
+        assert plan.strategy == "shrink"
+        assert plan.replacement_rank is None
+
+
+class TestFence:
+    def test_repair_traffic_is_charged_but_not_faulted(self):
+        machine = recoverable_machine()
+        manager, before, exc = self.run_to_failure_and_plan(machine)
+        injector = machine.fault_injector
+        recovered_before = injector.words_recovered
+        with manager.fence():
+            # Inside the fence the injector is detached: traffic to any
+            # rank flows, costs accrue, no decision draws are consumed.
+            assert machine.network.fault_injector is None
+            machine.exchange([msg(words=6)])
+        assert machine.network.fault_injector is injector
+        assert injector.words_recovered == recovered_before + 6
+        assert injector.recoveries == 1
+
+    def test_conservation_holds_after_recovery(self):
+        machine = recoverable_machine()
+        manager, before, exc = self.run_to_failure_and_plan(machine)
+        with manager.fence():
+            machine.exchange([msg(words=6)])
+        machine.exchange([msg()])  # redo the lost round
+        machine.check_conservation()
+        injector = machine.fault_injector
+        # Extended conservation: the wasted attempt (4) and the fenced
+        # repair (6) are attributed to words_recovered, so the only
+        # un-attributed words are the redo round's own.
+        unattributed = (machine.cost.words - injector.words_resent
+                        - injector.words_recovered)
+        assert injector.words_recovered == 10
+        assert unattributed == 4
+
+    def run_to_failure_and_plan(self, machine):
+        manager = RecoveryManager(machine)
+        before = manager.begin_attempt()
+        machine.exchange([msg()])
+        try:
+            machine.exchange([msg()])
+        except RankFailedError as exc:
+            manager.on_failure(exc, before)
+            return manager, before, exc
+        raise AssertionError("rank failure did not materialize")
+
+
+class TestRevive:
+    def test_revive_clears_the_dead_store(self):
+        machine = recoverable_machine()
+        machine.proc(1).store.put("X", np.ones(4))
+        RecoveryManager(machine).revive(1)
+        assert "X" not in machine.proc(1).store

@@ -375,10 +375,10 @@ class TestChaosCommand:
     ARGS = ["chaos", "--algorithms", "alg1", "--seeds", "2",
             "--schedules", "drop-retry,rank-failure"]
 
-    def test_trichotomy_matrix_passes(self, capsys):
+    def test_quadchotomy_matrix_passes(self, capsys):
         assert main(self.ARGS) == 0
         out = capsys.readouterr().out
-        assert "trichotomy" in out
+        assert "quadchotomy" in out
         assert "rank-failed" in out
 
     def test_json_report_written(self, tmp_path, capsys):
@@ -411,6 +411,37 @@ class TestChaosCommand:
 
     def test_symbolic_backend_matrix_passes(self, capsys):
         assert main(self.ARGS + ["--backend", "symbolic"]) == 0
+
+
+class TestSurviveCommand:
+    ARGS = ["survive", "--algorithms", "alg1,alg1_abft"]
+
+    def test_report_passes_and_names_the_verdict(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "overhead = recovery words / Theorem 3 bound" in out
+        assert "every cell survived a rank death" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "survive.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert {row["algorithm"] for row in data["rows"]} == {
+            "alg1", "alg1_abft"
+        }
+
+    def test_negative_workers_rejected(self, capsys):
+        capsys.readouterr()
+        assert main(self.ARGS + ["--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_negative_rank_rejected(self, capsys):
+        capsys.readouterr()
+        assert main(self.ARGS + ["--rank", "-1"]) == 2
+        assert "--rank" in capsys.readouterr().err
 
 
 class TestLedgerFaultyDiff:
@@ -559,7 +590,7 @@ class TestWorkersFlag:
     def test_chaos_accepts_explicit_workers(self, capsys):
         assert main(["chaos", "--algorithms", "alg1", "--seeds", "1",
                      "--schedules", "drop-retry", "--workers", "2"]) == 0
-        assert "trichotomy" in capsys.readouterr().out
+        assert "quadchotomy" in capsys.readouterr().out
 
 
 SMALL_SWEEP = ["sweep", "--shapes", "16x16x16,32x8x4", "--procs", "4"]
