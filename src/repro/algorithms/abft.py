@@ -80,7 +80,7 @@ from .distributions import (
     shard_bounds,
 )
 from .grid import ProcessorGrid
-from .grid_selection import select_grid
+from .grid_selection import select_grid, sorted_divisors
 
 __all__ = [
     "ABFT_ALGORITHMS",
@@ -144,10 +144,13 @@ def abft_summa_grid(shape: ProblemShape, P: int) -> Optional[Tuple[int, int]]:
     registry run would pick; ``None`` when no feasible grid exists.
     """
     best = None
-    for pr in range(1, P):
-        qr = pr + 1
-        if P % qr:
+    # qr = pr + 1 must divide P, so scan the divisors >= 2 ascending —
+    # the same candidates, in the same order, as the historical
+    # range(1, P) scan over pr.
+    for qr in sorted_divisors(P):
+        if qr == 1:
             continue
+        pr = qr - 1
         pc = P // qr
         if shape.n1 % pr or shape.n2 % qr or shape.n2 % pc or shape.n3 % pc:
             continue

@@ -35,7 +35,7 @@ from .fox import run_fox
 from .fox_otto import run_fox_otto
 from .carma import run_carma
 from .c25d import run_25d
-from .grid_selection import select_grid
+from .grid_selection import select_grid, sorted_divisors
 from .naive import run_outer_1d, run_row_1d
 from .summa import run_summa
 
@@ -172,9 +172,7 @@ def summa_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
     predict costs for *exactly* the grid the registry run would use.
     """
     best = None
-    for pr in range(1, P + 1):
-        if P % pr:
-            continue
+    for pr in sorted_divisors(P):  # ascending: same scan order as range(1, P+1)
         pc = P // pr
         if shape.n1 % pr or shape.n2 % pr or shape.n2 % pc or shape.n3 % pc:
             continue
@@ -195,9 +193,7 @@ def c25d_grid(shape: ProblemShape, P: int) -> Optional[tuple]:
     Shared with the analytic oracle so both sides agree on the grid.
     """
     best = None
-    for c in range(1, P + 1):
-        if P % c:
-            continue
+    for c in sorted_divisors(P):  # ascending: same scan order as range(1, P+1)
         q = math.isqrt(P // c)
         if q * q * c != P or q % c or q > min(shape.dims):
             continue

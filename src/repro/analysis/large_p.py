@@ -99,6 +99,7 @@ def _large_p_task(task) -> LargePResult:
     )
     elapsed = time.perf_counter() - start
     record = records[0]
+    _oracle_cross_check(point, record)
     ratio = record.words / record.bound
     tight = abs(ratio - 1.0) <= tight_tol * max(1.0, ratio)
     if not tight:
@@ -116,6 +117,45 @@ def _large_p_task(task) -> LargePResult:
         tight=tight,
         wall_clock=elapsed,
     )
+
+
+def _oracle_cross_check(point: LargePPoint, record: SweepRecord) -> None:
+    """Assert the vectorized closed-form oracle reproduces the simulated
+    model costs of a large-P point exactly.
+
+    An independent second witness for the headline table: the symbolic
+    machine *counts* the words; the array kernels *compute* them from the
+    closed forms.  Any divergence — words, rounds, flops, bound, or the
+    chosen grid — is a model bug, reported as a bound violation.  Runs in
+    microseconds and never alters the record, so table output and golden
+    fixtures are unchanged.
+    """
+    from .oracle_vec import predict_batch
+
+    batch = predict_batch(
+        "alg1", point.shape, point.P, collective_algorithm="bruck"
+    )
+    mismatches = []
+    if not batch.valid[0]:
+        mismatches.append("oracle refuses the point")
+    else:
+        for field, measured, predicted in (
+            ("words", record.words, float(batch.words[0])),
+            ("rounds", record.rounds, int(batch.rounds[0])),
+            ("flops", record.flops, float(batch.flops[0])),
+            ("bound", record.bound, float(batch.bound[0])),
+            ("config", record.config, batch.configs[0]),
+        ):
+            if measured != predicted:
+                mismatches.append(
+                    f"{field}: simulated {measured!r} vs oracle {predicted!r}"
+                )
+    if mismatches:
+        raise BoundViolationError(
+            f"large-P case {point.case} ({point.shape}, P={point.P}): "
+            f"symbolic run and closed-form oracle disagree — "
+            + "; ".join(mismatches)
+        )
 
 
 def run_large_p_sweep(

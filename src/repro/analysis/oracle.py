@@ -66,6 +66,7 @@ schedules, but no arrays, no machine, no data movement; evaluation cost is
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -256,7 +257,18 @@ def _scatter_allgather_broadcast(
     ``numpy.array_split`` sizes, taking the per-round maximum message
     across the merged groups' root rotations (``root_positions``), then
     adds the ring All-Gather (``p - 1`` rounds charging the largest piece).
+
+    Memoized on ``(p, w, roots)``: SUMMA's stage loop asks for the same
+    handful of root rotations thousands of times, and sweeps repeat
+    identical block sizes across shapes.
     """
+    return _scatter_allgather_cached(p, w, tuple(root_positions))
+
+
+@functools.lru_cache(maxsize=65536)
+def _scatter_allgather_cached(
+    p: int, w: int, root_positions: Tuple[int, ...]
+) -> Tuple[int, int]:
     base, extra = divmod(w, p)
     psize = [base + (1 if j < extra else 0) for j in range(p)]
     if psize[-1] == 0:
@@ -326,18 +338,23 @@ def _predict_summa(shape: ProblemShape, P: int) -> OraclePrediction:
     stages = n2 // panel
     rounds = 0
     words = 0
-    for t in range(stages):
-        k0 = t * panel
-        if pc > 1:
-            jt = k0 // (n2 // pc)  # the root's position in every row group
+    # Over the stage loop (t = 0 .. stages-1, k0 = t * panel) the row root
+    # jt = k0 // (n2 // pc) visits each value 0 .. pc-1 exactly
+    # stages // pc times (panel divides n2 // pc, which divides n2), and
+    # likewise it visits 0 .. pr-1 exactly stages // pr times.  All
+    # summands are Python ints, so regrouping the sum by root value is
+    # exact — identical words and rounds as the per-stage loop, in
+    # O(pr + pc) broadcast evaluations instead of O(stages).
+    if pc > 1:
+        for jt in range(pc):
             r, w = _scatter_allgather_broadcast(pc, (n1 // pr) * panel, (jt,))
-            rounds += r
-            words += w
-        if pr > 1:
-            it = k0 // (n2 // pr)
+            rounds += (stages // pc) * r
+            words += (stages // pc) * w
+    if pr > 1:
+        for it in range(pr):
             r, w = _scatter_allgather_broadcast(pr, panel * (n3 // pc), (it,))
-            rounds += r
-            words += w
+            rounds += (stages // pr) * r
+            words += (stages // pr) * w
     flops = (n1 // pr) * n2 * (n3 // pc)
     return _finish("summa", shape, P, rounds, words, flops, f"grid {pr}x{pc}")
 
@@ -717,18 +734,19 @@ def _predict_summa_abft(shape: ProblemShape, P: int) -> OraclePrediction:
     # accumulates exactly like a real row.
     panel = math.gcd(n2 // qr, n2 // pc)
     stages = n2 // panel
-    for t in range(stages):
-        k0 = t * panel
-        if pc > 1:
-            jt = k0 // (n2 // pc)
+    # Same stage-loop regrouping as _predict_summa (exact for integer
+    # sums): each row root jt occurs stages // pc times, each extended
+    # column root it occurs stages // qr times.
+    if pc > 1:
+        for jt in range(pc):
             r, w = _scatter_allgather_broadcast(pc, (n1 // pr) * panel, (jt,))
-            rounds += r
-            words += w
-        # qr = pr + 1 >= 2: the column broadcast always runs.
-        it = k0 // (n2 // qr)
+            rounds += (stages // pc) * r
+            words += (stages // pc) * w
+    # qr = pr + 1 >= 2: the column broadcast always runs.
+    for it in range(qr):
         r, w = _scatter_allgather_broadcast(qr, panel * (n3 // pc), (it,))
-        rounds += r
-        words += w
+        rounds += (stages // qr) * r
+        words += (stages // qr) * w
     flops = (n1 // pr) * n2 * (n3 // pc)
     return _finish(
         "summa_abft", shape, P, rounds, words, flops,

@@ -35,11 +35,7 @@ import numpy as np
 from ..algorithms.registry import REGISTRY, applicable_algorithms, run_algorithm
 from ..core.lower_bounds import communication_lower_bound
 from ..core.shapes import ProblemShape
-from ..exceptions import (
-    BoundViolationError,
-    NumericalMismatchError,
-    OracleUnsupportedError,
-)
+from ..exceptions import BoundViolationError, NumericalMismatchError
 from ..machine.backend import resolve_backend
 from ..machine.semiring import resolve_semiring
 from ..obs.metrics import RankSkew
@@ -122,49 +118,65 @@ def _sweep_shape(
     record_index = shape_index if want_telemetry else None
     records: List[SweepRecord] = []
     if engine == "oracle":
-        from .oracle import predict_cost
+        from .oracle_vec import predict_batch
 
+        # One vectorized call per algorithm covers the shape's whole P
+        # column; rows come back in the same (P, name) order as the
+        # historical scalar loop, refusals arrive as mask entries instead
+        # of exceptions, and every emitted field is bit-identical to the
+        # per-point predict_cost path (the golden fixtures pin this).
+        order: List[Tuple[int, str]] = []
         for P in processor_counts:
             runnable = set(applicable_algorithms(shape, P))
             for name in names:
-                if name not in runnable:
-                    continue
-                start = time.perf_counter()
-                try:
-                    pred = predict_cost(
-                        name, shape, P,
-                        collective_algorithm=collective_algorithm,
-                    )
-                except OracleUnsupportedError:
-                    continue
-                elapsed = time.perf_counter() - start
-                timings["evaluate"] += elapsed
-                verify_start = time.perf_counter()
+                if name in runnable:
+                    order.append((P, name))
+        columns: dict = {}
+        for P, name in order:
+            columns.setdefault(name, []).append(P)
+        rows: dict = {}
+        for name, counts_for_name in columns.items():
+            start = time.perf_counter()
+            batch = predict_batch(
+                name, shape, counts_for_name,
+                collective_algorithm=collective_algorithm,
+            )
+            elapsed = time.perf_counter() - start
+            timings["evaluate"] += elapsed
+            per_row = elapsed / len(counts_for_name)
+            for i, P in enumerate(counts_for_name):
+                rows[(name, P)] = (batch, i, per_row)
+        for P, name in order:
+            batch, i, per_row = rows[(name, P)]
+            if not batch.valid[i]:
+                continue  # the scalar oracle would refuse this row
+            verify_start = time.perf_counter()
+            if not bool(batch.satisfied[i]):
+                pred = batch.prediction(i)
                 check = check_cost_against_bound(shape, P, pred.cost)
-                if not check.satisfied:
-                    raise BoundViolationError(
-                        f"oracle predicted {name} below the lower bound on "
-                        f"{shape}, P={P}: {pred.cost.words} < "
-                        f"{check.bound.communicated}"
-                    )
-                timings["verify"] += time.perf_counter() - verify_start
-                records.append(SweepRecord(
-                    algorithm=name,
-                    config=pred.config,
-                    shape=shape,
-                    P=P,
-                    words=pred.cost.words,
-                    rounds=pred.cost.rounds,
-                    bound=communication_lower_bound(shape, P),
-                    gap_ratio=check.gap_ratio,
-                    correct=None,
-                    wall_clock=elapsed,
-                    flops=pred.cost.flops,
-                    skew=None,
-                    backend="oracle",
-                    task_index=record_index,
-                    semiring=record_semiring(name),
-                ))
+                raise BoundViolationError(
+                    f"oracle predicted {name} below the lower bound on "
+                    f"{shape}, P={P}: {pred.cost.words} < "
+                    f"{check.bound.communicated}"
+                )
+            timings["verify"] += time.perf_counter() - verify_start
+            records.append(SweepRecord(
+                algorithm=name,
+                config=batch.configs[i],
+                shape=shape,
+                P=P,
+                words=float(batch.words[i]),
+                rounds=int(batch.rounds[i]),
+                bound=float(batch.bound[i]),
+                gap_ratio=float(batch.gap_ratio[i]),
+                correct=None,
+                wall_clock=per_row,
+                flops=float(batch.flops[i]),
+                skew=None,
+                backend="oracle",
+                task_index=record_index,
+                semiring=record_semiring(name),
+            ))
         return records, (timings if want_telemetry else None)
 
     backend_obj = resolve_backend(backend)

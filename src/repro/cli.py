@@ -36,6 +36,13 @@ Gives downstream users the paper's results without writing any code:
     The production-scale attainment sweep: Algorithm 1 on the symbolic
     backend at P up to 10^5, one point per Theorem 3 case, asserting the
     bound is attained with the tight constant.
+``plan N1 N2 N3 --procs P,Q,... [--memory M] [--atlas PATH]``
+    The oracle-backed capacity planner: score every registry algorithm
+    through the vectorized oracle at each processor count, print the
+    cheapest admissible choice with its Theorem 3 bound attainment and
+    (with ``--memory``) the Section 6.2 memory-dependent crossover.
+    ``--atlas`` additionally writes the case-1/2/3 planner atlases
+    (``P`` up to ``--atlas-limit``, default 10^7) as one JSON file.
 ``profile DRIVER [--top N] [--collapsed PATH]``
     Run a representative DRIVER workload (sweep / chaos / large-p /
     bench) under cProfile — in every pool worker, merged across
@@ -378,6 +385,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_large.add_argument("--label", default="large-p",
                          help="ledger record label (default 'large-p')")
     _add_observability_flags(p_large)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="oracle-backed capacity planner: cheapest registry "
+             "algorithm per (shape, P[, M]) query",
+    )
+    p_plan.add_argument("n1", type=int, help="rows of A")
+    p_plan.add_argument("n2", type=int, help="columns of A / rows of B")
+    p_plan.add_argument("n3", type=int, help="columns of B")
+    p_plan.add_argument("--procs", "-p", required=True, metavar="P1,P2,...",
+                        help="comma-separated processor counts to plan for")
+    p_plan.add_argument("--memory", "-m", type=float, default=None,
+                        help="local memory M (words); adds the Section 6.2 "
+                             "memory-dependent crossover to every answer")
+    p_plan.add_argument("--candidates", action="store_true",
+                        help="list every admissible algorithm per query, "
+                             "not just the winner")
+    p_plan.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full answers as JSON "
+                             "('-' for stdout)")
+    p_plan.add_argument("--atlas", metavar="PATH", default=None,
+                        help="also write the case-1/2/3 planner atlas "
+                             "JSON to PATH")
+    p_plan.add_argument("--atlas-limit", type=int, default=10**7,
+                        metavar="P",
+                        help="largest processor count in the atlas "
+                             "(default 10^7)")
+    p_plan.add_argument("--ledger", metavar="PATH", default=None,
+                        help="append one planner record per query to this "
+                             "experiment ledger")
+    p_plan.add_argument("--label", default="plan",
+                        help="ledger record label (default 'plan')")
 
     p_profile = sub.add_parser(
         "profile",
@@ -1052,6 +1091,123 @@ def _cmd_large_p(args: argparse.Namespace) -> int:
     return _report_observability(args, telemetry, profile, progress)
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .analysis.plan import (
+        PlanCache,
+        case_atlas,
+        plan_batch,
+        query_fingerprint,
+    )
+    from .core import ProblemShape
+    from .exceptions import ShapeError
+    from .obs.ledger import (
+        Ledger,
+        RunRecord,
+        environment_fingerprint,
+        git_revision,
+    )
+
+    try:
+        procs = _parse_ints(args.procs)
+    except ValueError as exc:
+        print(f"bad --procs: {exc}", file=sys.stderr)
+        return 2
+    shape = ProblemShape(args.n1, args.n2, args.n3)
+    cache = PlanCache()
+    hits = [
+        query_fingerprint(shape, P, args.memory) in cache for P in procs
+    ]
+    start = time.perf_counter()
+    try:
+        results = plan_batch(
+            [shape] * len(procs), procs,
+            memory=[args.memory] * len(procs), cache=cache,
+        )
+    except ShapeError as exc:
+        print(f"plan failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+
+    canonical = results[0].shape
+    print(f"problem {shape} (canonical {canonical}), "
+          f"{len(procs)} quer{'y' if len(procs) == 1 else 'ies'} "
+          f"in {elapsed:.3f}s")
+    print("P        regime  adm  best        config                "
+          "words        attainment  binding")
+    for r in results:
+        if r.best is None:
+            print(f"{r.P:<8} {str(r.regime):<7} {len(r.candidates):<4} "
+                  f"(no admissible algorithm)")
+            continue
+        binding = "-" if r.crossover is None else r.crossover.binding
+        print(f"{r.P:<8} {str(r.regime):<7} {len(r.candidates):<4} "
+              f"{r.best.algorithm:<11} {r.best.config:<21} "
+              f"{r.best.words:<12g} {r.best.attainment:<11.6g} {binding}")
+        if args.candidates:
+            for c in r.candidates[1:]:
+                print(f"{'':21}  also: {c.algorithm:<11} {c.config:<21} "
+                      f"{c.words:<12g} {c.attainment:.6g}")
+
+    if args.json:
+        payload = json.dumps(
+            {"queries": [r.to_dict() for r in results]},
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {len(results)} answers to {args.json}")
+    if args.atlas:
+        atlas = case_atlas(args.atlas_limit, cache=cache)
+        with open(args.atlas, "w") as fh:
+            json.dump(atlas, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote case-1/2/3 atlas (P up to {args.atlas_limit:g}) "
+              f"to {args.atlas}")
+    if args.ledger:
+        ledger = Ledger(args.ledger)
+        appended = 0
+        for r, hit in zip(results, hits):
+            if r.best is None:
+                continue
+            ledger.append(RunRecord(
+                algorithm=r.best.algorithm,
+                config=r.best.config,
+                shape=tuple(r.shape.dims),
+                P=r.P,
+                words=r.best.words,
+                rounds=r.best.rounds,
+                flops=r.best.flops,
+                bound=r.best.bound,
+                attainment=r.best.attainment,
+                wall_clock=elapsed / len(results),
+                label=args.label,
+                kind="plan",
+                backend="oracle",
+                timestamp=time.time(),
+                git_sha=git_revision(),
+                env=environment_fingerprint(),
+                plan={
+                    "fingerprint": r.fingerprint,
+                    "M": r.M,
+                    "candidates": len(r.candidates),
+                    "binding": (
+                        None if r.crossover is None
+                        else r.crossover.binding
+                    ),
+                    "cache_hit": hit,
+                },
+            ))
+            appended += 1
+        print(f"appended {appended} planner records to {ledger.path}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """``repro profile DRIVER``: profiled run of a representative workload."""
     from .obs.profile import ProfileCollector, write_collapsed
@@ -1474,6 +1630,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_apsp(args)
     if args.command == "large-p":
         return _cmd_large_p(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "chaos":

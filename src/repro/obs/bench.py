@@ -19,6 +19,22 @@ schema-versioned ``BENCH_<label>.json`` written at the repository root:
   are identical to what the data backend would report by construction
   (:func:`repro.analysis.verification.cross_check_backends` proves it),
   so the exact model gate applies to them unchanged.
+* **oracle entries** — the same :data:`SWEEP_GRID` points re-evaluated
+  through the vectorized closed-form oracle
+  (``sweep(engine="oracle")``, :mod:`repro.analysis.oracle_vec`), named
+  ``oracle:<algorithm>:<shape>:P<P>`` so each row ratios directly
+  against its simulate-engine ``sweep:`` twin — that per-point
+  wall-clock ratio *is* the array-kernel latency claim; an
+  ``oracle:throughput`` row timing a steady-state (memo-warm) pass over
+  ~300 records of a divisor-rich grid — its records-per-second against
+  the ``sweep:`` rows' per-record wall-clock is the headline
+  sweep-throughput ratio; plus one aggregate ``oracle:atlas:case<N>``
+  row per Theorem 3 case sweeping the planner atlas shape over
+  processor counts up to 10^7.  Aggregate model columns are sums over
+  the records — deterministic, so the exact gate applies unchanged.
+* **plan entries** — one capacity-planner acceptance query
+  (:func:`repro.analysis.plan.plan` at :data:`PLAN_PROBE`): the chosen
+  algorithm's model costs plus the query's wall-clock.
 
 Model-level numbers are environment-independent (the simulator counts
 words; it does not time them), so the regression gate
@@ -54,10 +70,14 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchEntry",
     "BenchReport",
+    "ATLAS_PROBE_LIMIT",
     "DEFAULT_PROBE",
     "MODULE_PROBES",
+    "PLAN_PROBE",
     "SWEEP_GRID",
     "SYMBOLIC_PROBES",
+    "THROUGHPUT_COUNTS",
+    "THROUGHPUT_SHAPES",
     "bench_dir",
     "repo_root",
     "discover_bench_modules",
@@ -106,6 +126,23 @@ SYMBOLIC_PROBES: Tuple[Tuple[int, ProblemShape, int], ...] = (
     (3, ProblemShape(2000, 800, 500), 800),
 )
 
+#: Largest processor count the atlas throughput probes sweep to.
+ATLAS_PROBE_LIMIT = 10**7
+
+#: Throughput probe workload: divisor-rich shapes crossed with
+#: power-of-two processor counts, so most registry algorithms admit most
+#: points — ~300 oracle records per pass through ``sweep(engine="oracle")``.
+THROUGHPUT_SHAPES: Tuple[ProblemShape, ...] = (
+    ProblemShape(64, 16, 4),
+    ProblemShape(32, 32, 32),
+    ProblemShape(256, 64, 16),
+    ProblemShape(128, 128, 128),
+)
+THROUGHPUT_COUNTS: Tuple[int, ...] = tuple(2**k for k in range(13))
+
+#: The planner acceptance query: the case-2 atlas shape at P = 10^5.
+PLAN_PROBE: Tuple[ProblemShape, int] = (ProblemShape(10**6, 10**4, 10), 10**5)
+
 
 def repo_root() -> str:
     """The source-checkout root (parent of ``src/``), for BENCH outputs."""
@@ -136,7 +173,7 @@ class BenchEntry:
     """One row of a BENCH file: a module harness or one sweep point."""
 
     name: str
-    kind: str  # "module" | "sweep" | "symbolic"
+    kind: str  # "module" | "sweep" | "symbolic" | "oracle" | "plan"
     wall_clock: float
     algorithm: str
     config: str
@@ -386,6 +423,127 @@ def _sweep_point_task(task) -> Tuple[None, list]:
     return None, out
 
 
+def _oracle_task(task) -> Tuple[None, list]:
+    """Run one oracle-engine probe; one process-pool task.
+
+    Four tagged flavors share the task slot: ``("point", shape, P,
+    wanted)`` re-evaluates a SWEEP_GRID point through the vectorized
+    oracle (one entry per algorithm, ledger-recorded like a sweep row);
+    ``("throughput", name)`` times a steady-state pass over
+    :data:`THROUGHPUT_SHAPES` x :data:`THROUGHPUT_COUNTS`;
+    ``("atlas", case, shape, name)`` sweeps an atlas shape over the
+    full processor grid and aggregates; ``("plan", name, shape, P)``
+    times one planner query.  Aggregate/planner entries carry no sweep
+    record (``None`` in the pair), so the parent skips their ledger
+    append.
+    """
+    kind = task[0]
+    from ..analysis.sweep import sweep
+
+    if kind == "point":
+        _, shape, P, wanted = task
+        out = []
+        for record in sweep([shape], [P], algorithms=list(wanted),
+                            engine="oracle"):
+            entry = BenchEntry(
+                name=f"oracle:{record.algorithm}:"
+                     f"{shape.n1}x{shape.n2}x{shape.n3}:P{P}",
+                kind="oracle",
+                wall_clock=record.wall_clock,
+                algorithm=record.algorithm,
+                config=record.config,
+                shape=tuple(shape.dims),
+                P=P,
+                words=record.words,
+                rounds=record.rounds,
+                flops=record.flops,
+                bound=record.bound,
+                attainment=record.gap_ratio,
+                backend=record.backend,
+                skew=record.skew,
+            )
+            out.append((entry, record))
+        return None, out
+    if kind == "throughput":
+        _, name = task
+        shapes, counts = list(THROUGHPUT_SHAPES), list(THROUGHPUT_COUNTS)
+        # Steady-state measurement: the first pass warms the grid-picker
+        # and scatter-allgather memos (shared by every planner/sweep
+        # workload in a process); the timed second pass is the sustained
+        # records-per-second figure the array kernels are judged on.
+        sweep(shapes, counts, engine="oracle")
+        start = time.perf_counter()
+        records = sweep(shapes, counts, engine="oracle")
+        elapsed = time.perf_counter() - start
+        words = sum(r.words for r in records)
+        bound = sum(r.bound for r in records)
+        entry = BenchEntry(
+            name=name,
+            kind="oracle",
+            wall_clock=elapsed,
+            algorithm="*",
+            config=f"{len(records)} records",
+            shape=tuple(shapes[-1].dims),
+            P=counts[-1],
+            words=words,
+            rounds=sum(r.rounds for r in records),
+            flops=sum(r.flops for r in records),
+            bound=bound,
+            attainment=(words / bound) if bound else 1.0,
+            backend="oracle",
+        )
+        return None, [(entry, None)]
+    if kind == "atlas":
+        _, case, shape, name = task
+        from ..analysis.plan import atlas_processor_counts
+
+        counts = atlas_processor_counts(ATLAS_PROBE_LIMIT)
+        start = time.perf_counter()
+        records = sweep([shape], counts, engine="oracle")
+        elapsed = time.perf_counter() - start
+        words = sum(r.words for r in records)
+        bound = sum(r.bound for r in records)
+        entry = BenchEntry(
+            name=name,
+            kind="oracle",
+            wall_clock=elapsed,
+            algorithm="*",
+            config=f"{len(records)} records",
+            shape=tuple(shape.dims),
+            P=counts[-1],
+            words=words,
+            rounds=sum(r.rounds for r in records),
+            flops=sum(r.flops for r in records),
+            bound=bound,
+            attainment=(words / bound) if bound else 1.0,
+            backend="oracle",
+        )
+        return None, [(entry, None)]
+    _, name, shape, P = task
+    from ..analysis.plan import PlanCache, plan
+
+    start = time.perf_counter()
+    result = plan(shape, P, cache=PlanCache())
+    elapsed = time.perf_counter() - start
+    best = result.best
+    entry = BenchEntry(
+        name=name,
+        kind="plan",
+        wall_clock=elapsed,
+        algorithm=best.algorithm,
+        config=best.config,
+        shape=tuple(shape.dims),
+        P=P,
+        words=best.words,
+        rounds=best.rounds,
+        flops=best.flops,
+        bound=best.bound,
+        attainment=best.attainment,
+        backend="oracle",
+    )
+    return None, [(entry, None)]
+
+
 def _symbolic_task(task) -> Tuple[None, list]:
     """Run one symbolic probe; one process-pool task."""
     name, shape, P = task
@@ -485,6 +643,30 @@ def run_bench_suite(
             name = f"symbolic:case{case}:alg1:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
             if not filter or filter in name:
                 symbolic_tasks.append((name, shape, P))
+        from ..analysis.plan import ATLAS_SHAPES
+
+        oracle_tasks = []
+        for shape, P in SWEEP_GRID:
+            wanted = tuple(
+                algorithm
+                for algorithm in applicable_algorithms(shape, P)
+                if not filter or filter in
+                f"oracle:{algorithm}:{shape.n1}x{shape.n2}x{shape.n3}:P{P}"
+            )
+            if wanted:
+                oracle_tasks.append(("point", shape, P, wanted))
+        if not filter or filter in "oracle:throughput":
+            oracle_tasks.append(("throughput", "oracle:throughput"))
+        for case, shape in ATLAS_SHAPES.items():
+            name = f"oracle:atlas:case{case}"
+            if not filter or filter in name:
+                oracle_tasks.append(("atlas", case, shape, name))
+        plan_shape, plan_P = PLAN_PROBE
+        plan_name = (
+            f"plan:{plan_shape.n1}x{plan_shape.n2}x{plan_shape.n3}:P{plan_P}"
+        )
+        if not filter or filter in plan_name:
+            oracle_tasks.append(("plan", plan_name, plan_shape, plan_P))
 
     # One pool, three task kinds, merged back in the serial loop's order:
     # modules, then sweep points, then symbolic probes.  Each batch gets
@@ -508,11 +690,19 @@ def run_bench_suite(
             _symbolic_task, symbolic_tasks, workers=workers,
             label="bench-symbolic", **obs,
         )
+    with maybe_stage(telemetry, "map-oracle", tasks=len(oracle_tasks),
+                     workers=workers):
+        oracle_results = parallel_map(
+            _oracle_task, oracle_tasks, workers=workers,
+            label="bench-oracle", **obs,
+        )
     if telemetry is not None:
         for index, (_entry, _records) in enumerate(module_results):
             telemetry.set_task_items(index, 1, label="bench-module")
         for label_name, results in (
-            ("bench-sweep", sweep_results), ("bench-symbolic", symbolic_results)
+            ("bench-sweep", sweep_results),
+            ("bench-symbolic", symbolic_results),
+            ("bench-oracle", oracle_results),
         ):
             for index, (_none, pairs) in enumerate(results):
                 telemetry.set_task_items(index, len(pairs), label=label_name)
@@ -542,10 +732,13 @@ def run_bench_suite(
                         env=environment_fingerprint(),
                     )
                 )
-        for _, pairs in sweep_results + symbolic_results:
+        for _, pairs in sweep_results + symbolic_results + oracle_results:
             for entry, record in pairs:
                 entries.append(entry)
-                if ledger is not None:
+                # Aggregate oracle/planner probes condense many records
+                # (or a planner answer) into one entry; only real sweep
+                # rows go to the ledger.
+                if ledger is not None and record is not None:
                     ledger.append(RunRecord.from_sweep(record, label=label))
 
     return BenchReport(

@@ -156,6 +156,19 @@ class RunRecord:
         back with ``recovery=None``.  When present it carries the
         mechanism (``"abft"`` or ``"checkpoint"``), the recovery count
         and ``words_recovered`` — the extra words the run paid to survive.
+    plan:
+        Capacity-planner provenance (``repro plan --ledger``), or ``None``
+        (the default) for records not produced by a planner query.
+        Additive schema field, serialized only when present, so
+        non-planner records keep their historical bytes.  When present it
+        carries the query fingerprint
+        (:func:`repro.analysis.plan.query_fingerprint` — the cache key,
+        so a ledger line joins to its cached answer exactly), the memory
+        budget ``M`` (or ``None``), the admissible-candidate count, the
+        Section 6.2 ``binding`` bound name when ``M`` was given, and
+        whether the answer was a cache hit.  The model-cost columns of a
+        planner record describe the *chosen* algorithm, so the standard
+        exact-comparison tooling applies to them unchanged.
     """
 
     algorithm: str
@@ -180,6 +193,7 @@ class RunRecord:
     telemetry: Optional[dict] = None
     semiring: str = "plus_times"
     recovery: Optional[dict] = None
+    plan: Optional[dict] = None
 
     @property
     def fault_injected(self) -> bool:
@@ -222,6 +236,9 @@ class RunRecord:
         # recovery provenance; everything else keeps its historical bytes.
         if self.recovery is not None:
             out["recovery"] = self.recovery
+        # Additive: only planner-query records carry plan provenance.
+        if self.plan is not None:
+            out["plan"] = self.plan
         return out
 
     @classmethod
@@ -259,6 +276,7 @@ class RunRecord:
                 telemetry=data.get("telemetry"),
                 semiring=data.get("semiring", "plus_times"),
                 recovery=data.get("recovery"),
+                plan=data.get("plan"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise LedgerError(f"malformed ledger record: {exc}") from exc

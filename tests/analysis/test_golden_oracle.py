@@ -1,0 +1,172 @@
+"""Golden byte-identity regression for the oracle sweep and large-P table.
+
+The vectorized oracle kernels (:mod:`repro.analysis.oracle_vec`) and the
+divisor-enumeration grid pickers promise *byte-identical* outputs to the
+pre-refactor scalar code paths.  These tests pin that promise against
+fixtures captured from the scalar implementation before the refactor
+landed (commit 47cd3d3), so any drift — a float computed in a different
+order, a grid picker changing its tie-break, a config string reworded —
+fails loudly instead of silently shifting every downstream artifact.
+
+Floats are stored in ``float.hex()`` form: the comparison is on exact
+bit patterns, not a tolerance.  ``wall_clock`` is the only field
+excluded (it is measured driver time, nondeterministic by definition).
+
+Regenerating the fixtures (only legitimate when the *scalar* reference
+behaviour intentionally changes)::
+
+    PYTHONPATH=src python tests/analysis/test_golden_oracle.py --regen
+
+The large-P fixture replays the full symbolic-backend attainment sweep
+(~1 minute), so its test is skipped unless ``REPRO_GOLDEN=1`` — CI's
+``plan-smoke`` job sets it on both supported Pythons.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.large_p import run_large_p_sweep
+from repro.analysis.sweep import SweepRecord, sweep
+from repro.core.lower_bounds import leading_term_constant
+from repro.core.shapes import ProblemShape
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ORACLE_FIXTURE = FIXTURES / "oracle_sweep_golden.json"
+LARGE_P_FIXTURE = FIXTURES / "large_p_golden.json"
+
+#: The pinned sweep grid: the default CLI shapes over processor counts
+#: that exercise every registry algorithm (squares for cannon/fox,
+#: powers of two for carma, composite counts for summa/c25d/ABFT grids),
+#: plus the three production-scale large-P shapes and two non-default
+#: collective overrides threaded through alg1.
+SHAPES = tuple(
+    ProblemShape(*dims)
+    for dims in (
+        (16, 16, 16), (32, 8, 4), (64, 16, 4),
+        (32, 32, 32), (96, 24, 6), (48, 24, 12),
+    )
+)
+PROCS = (1, 2, 3, 4, 8, 12, 16, 36, 64)
+COLLECTIVE_PROCS = (4, 16)
+LARGE_POINTS = (
+    (ProblemShape(65536, 32, 32), (256, 1024)),
+    (ProblemShape(8192, 8192, 2), (4096, 16384)),
+    (ProblemShape(25000, 6400, 5000), (1000, 100000)),
+)
+
+
+def oracle_records():
+    """The exact record stream the fixture pins, in deterministic order."""
+    records = list(sweep(SHAPES, PROCS, engine="oracle"))
+    for collectives in ("bruck", "ring"):
+        records.extend(sweep(
+            SHAPES, COLLECTIVE_PROCS, engine="oracle",
+            collective_algorithm=collectives,
+        ))
+    for shape, counts in LARGE_POINTS:
+        records.extend(sweep([shape], counts, engine="oracle"))
+    return records
+
+
+def _hex(value: float) -> str:
+    return float(value).hex() if not math.isnan(value) else "nan"
+
+
+def record_fingerprint(record: SweepRecord) -> dict:
+    """Every SweepRecord field except the nondeterministic wall clock."""
+    return {
+        "algorithm": record.algorithm,
+        "config": record.config,
+        "shape": list(record.shape.dims),
+        "P": record.P,
+        "words": _hex(record.words),
+        "rounds": record.rounds,
+        "bound": _hex(record.bound),
+        "gap_ratio": _hex(record.gap_ratio),
+        "correct": record.correct,
+        "flops": _hex(record.flops),
+        "skew": None if record.skew is None else dataclasses_asdict(record.skew),
+        "backend": record.backend,
+        "task_index": record.task_index,
+        "semiring": record.semiring,
+    }
+
+
+def dataclasses_asdict(value):
+    import dataclasses
+
+    return dataclasses.asdict(value)
+
+
+def large_p_fingerprints() -> list:
+    """The large-P attainment results, wall columns excluded."""
+    rows = []
+    for result in run_large_p_sweep():
+        record = record_fingerprint(result.record)
+        shape = "x".join(str(d) for d in result.point.shape.dims)
+        rows.append({
+            "case": result.point.case,
+            "shape": shape,
+            "P": result.point.P,
+            "record": record,
+            "constant": _hex(result.constant),
+            "ratio": _hex(result.ratio),
+            "tight": result.tight,
+            # The `repro large-p` table row with the wall column stripped.
+            "table_row": (
+                f"{result.point.case:<5} {shape:<21} {result.point.P:<7} "
+                f"{result.record.config:<17} {result.constant:<9g} "
+                f"{result.ratio:<13.9f}"
+            ),
+        })
+    return rows
+
+
+def test_oracle_sweep_matches_golden_fixture():
+    expected = json.loads(ORACLE_FIXTURE.read_text())
+    actual = [record_fingerprint(r) for r in oracle_records()]
+    assert len(actual) == len(expected), (
+        f"oracle sweep produced {len(actual)} records, fixture has "
+        f"{len(expected)} — the record stream itself changed"
+    )
+    for index, (got, want) in enumerate(zip(actual, expected)):
+        assert got == want, (
+            f"oracle sweep record {index} drifted from the pre-refactor "
+            f"fixture:\n  got  {got}\n  want {want}"
+        )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_GOLDEN") != "1",
+    reason="full symbolic large-P replay (~1 min); set REPRO_GOLDEN=1 "
+           "(CI plan-smoke job does)",
+)
+def test_large_p_matches_golden_fixture():
+    expected = json.loads(LARGE_P_FIXTURE.read_text())
+    actual = large_p_fingerprints()
+    assert actual == expected
+
+
+def _regen() -> None:  # pragma: no cover - fixture maintenance entry point
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    oracle = [record_fingerprint(r) for r in oracle_records()]
+    ORACLE_FIXTURE.write_text(json.dumps(oracle, indent=1) + "\n")
+    print(f"wrote {ORACLE_FIXTURE} ({len(oracle)} records)")
+    large = large_p_fingerprints()
+    LARGE_P_FIXTURE.write_text(json.dumps(large, indent=1) + "\n")
+    print(f"wrote {LARGE_P_FIXTURE} ({len(large)} points)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit("usage: test_golden_oracle.py --regen")

@@ -1,0 +1,195 @@
+"""Property suite for the oracle-backed capacity planner.
+
+Three contracts, each checked by Hypothesis over randomized queries:
+
+* **optimality** — the chosen algorithm's communication volume is no
+  larger than every other admissible registry algorithm's (ties broken
+  toward registry order), and every candidate's scorecard matches the
+  scalar oracle exactly;
+* **permutation invariance** — any reordering of the ``(m, n, k)`` query
+  dimensions yields the same answer, bit for bit (fingerprint included);
+* **cache coherence** — a cache-hit answer is bit-identical to the cold
+  computation (the planner returns the stored result object, and its
+  serialized form round-trips unchanged).
+
+Plus direct tests for the crossover wiring, the atlas, and the CLI.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import predict_cost
+from repro.analysis.plan import (
+    ATLAS_SHAPES,
+    PlanCache,
+    atlas_processor_counts,
+    canonical_shape,
+    case_atlas,
+    plan,
+    plan_batch,
+    query_fingerprint,
+)
+from repro.core.shapes import ProblemShape
+from repro.exceptions import OracleUnsupportedError, ShapeError
+
+#: Divisor-rich plus awkward dimensions: enough admissible points to make
+#: the optimality property bite, enough refusals to exercise the mask.
+_DIMS = st.sampled_from([1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128])
+_PROCS = st.sampled_from([1, 2, 3, 4, 6, 8, 9, 12, 16, 25, 32, 36, 64, 100, 128])
+
+_QUERY = st.tuples(_DIMS, _DIMS, _DIMS, _PROCS)
+
+
+@given(_QUERY)
+def test_chosen_algorithm_is_optimal(query):
+    """best.words <= words of every admissible algorithm, scalar-verified."""
+    m, n, k, P = query
+    result = plan((m, n, k), P, cache=PlanCache())
+    canonical = canonical_shape(ProblemShape(m, n, k))
+    for candidate in result.candidates:
+        expected = predict_cost(candidate.algorithm, canonical, P)
+        assert candidate.words == expected.cost.words
+        assert candidate.config == expected.config
+        if result.best is not None:
+            assert result.best.words <= candidate.words
+    # Every candidate list entry is admissible per the scalar oracle, and
+    # nothing admissible is missing: the two sets coincide.
+    from repro.analysis.oracle import ORACLE_ALGORITHMS
+
+    admissible = set()
+    for name in ORACLE_ALGORITHMS:
+        try:
+            predict_cost(name, canonical, P)
+        except OracleUnsupportedError:
+            continue
+        admissible.add(name)
+    assert {c.algorithm for c in result.candidates} == admissible
+
+
+@given(_QUERY)
+def test_permutation_invariance(query):
+    m, n, k, P = query
+    base = plan((m, n, k), P, cache=PlanCache())
+    for perm in [(n, m, k), (k, n, m), (n, k, m), (k, m, n), (m, k, n)]:
+        other = plan(perm, P, cache=PlanCache())
+        assert other.fingerprint == base.fingerprint
+        assert other.to_dict() == base.to_dict()
+
+
+@given(_QUERY)
+def test_cache_hit_is_bit_identical_to_cold(query):
+    m, n, k, P = query
+    cache = PlanCache()
+    cold = plan((m, n, k), P, cache=cache)
+    cold_bytes = json.dumps(cold.to_dict(), sort_keys=True)
+    assert cache.misses == 1 and cache.hits == 0
+    hot = plan((m, n, k), P, cache=cache)
+    assert cache.hits == 1
+    assert hot is cold  # the stored object itself comes back
+    assert json.dumps(hot.to_dict(), sort_keys=True) == cold_bytes
+
+
+@given(_QUERY)
+def test_tie_break_follows_registry_order(query):
+    """Equal-words candidates keep registry order after the stable sort."""
+    from repro.analysis.oracle import ORACLE_ALGORITHMS
+
+    m, n, k, P = query
+    result = plan((m, n, k), P, cache=PlanCache())
+    order = {name: i for i, name in enumerate(ORACLE_ALGORITHMS)}
+    for a, b in zip(result.candidates, result.candidates[1:]):
+        assert (a.words, order[a.algorithm]) < (b.words, order[b.algorithm])
+
+
+def test_batch_matches_single_queries():
+    queries = [((64, 16, 4), 16), ((32, 32, 32), 64), ((100, 10, 1), 25)]
+    batch = plan_batch(
+        [q[0] for q in queries], [q[1] for q in queries], cache=PlanCache()
+    )
+    for (dims, P), got in zip(queries, batch):
+        solo = plan(dims, P, cache=PlanCache())
+        assert got.to_dict() == solo.to_dict()
+
+
+def test_batch_length_mismatch_raises():
+    with pytest.raises(ShapeError, match="mismatch"):
+        plan_batch([(8, 8, 8)], [2, 4])
+    with pytest.raises(ShapeError, match="mismatch"):
+        plan_batch([(8, 8, 8)], [2], memory=[None, None])
+
+
+def test_memory_crossover_wiring():
+    shape, P = ProblemShape(10**4, 10**3, 10**3), 10**5
+    from repro.core.memory_dependent import min_memory_to_hold_problem
+
+    floor = min_memory_to_hold_problem(shape, P)
+    tight = plan(shape, P, M=floor * 1.01, cache=PlanCache())
+    assert tight.crossover is not None
+    # The 3D case with barely-enough memory: the memory-dependent bound
+    # binds (Section 6.2's small-memory regime).
+    assert tight.crossover.binding == "memory_dependent"
+    roomy = plan(shape, P, M=floor * 10**6, cache=PlanCache())
+    assert roomy.crossover.binding == "memory_independent"
+    # M and its crossover are part of the fingerprint: three distinct keys.
+    assert len({
+        tight.fingerprint, roomy.fingerprint,
+        plan(shape, P, cache=PlanCache()).fingerprint,
+    }) == 3
+    with pytest.raises(ShapeError):
+        plan(shape, P, M=floor * 0.5, cache=PlanCache())
+
+
+def test_case2_acceptance_query():
+    """The pinned planner acceptance point: case-2 shape at P = 10^5."""
+    result = plan(ATLAS_SHAPES[2], 10**5, cache=PlanCache())
+    assert str(result.regime) == "2D"
+    assert result.best is not None
+    assert result.best.algorithm == "row_1d"
+    assert result.best.words == 99999.0
+    expected = predict_cost("row_1d", ATLAS_SHAPES[2], 10**5)
+    assert result.best.attainment == expected.attainment
+
+
+def test_atlas_structure():
+    counts = atlas_processor_counts(1000)
+    assert counts == [1, 2, 4, 5, 8, 10, 20, 40, 50, 80,
+                      100, 200, 400, 500, 800, 1000]
+    atlas = case_atlas(1000, cache=PlanCache())
+    assert set(atlas) >= {"case1", "case2", "case3", "processor_counts"}
+    for case, shape in ATLAS_SHAPES.items():
+        block = atlas[f"case{case}"]
+        assert block["shape"] == list(shape.dims)
+        assert [row["P"] for row in block["rows"]] == counts
+        assert any(row["best"] is not None for row in block["rows"])
+
+
+def test_fingerprint_is_stable_and_canonical():
+    fp = query_fingerprint(ProblemShape(4, 8, 2), 6)
+    assert fp == query_fingerprint(ProblemShape(8, 2, 4), 6)
+    assert fp != query_fingerprint(ProblemShape(8, 2, 4), 7)
+    assert fp != query_fingerprint(ProblemShape(8, 2, 4), 6, M=1000.0)
+
+
+def test_cli_plan_command(tmp_path, capsys):
+    from repro.cli import main
+
+    ledger_path = tmp_path / "ledger.jsonl"
+    code = main([
+        "plan", "1000000", "10000", "10", "--procs", "100000",
+        "--ledger", str(ledger_path), "--label", "t",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "row_1d" in out
+    lines = ledger_path.read_text().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["kind"] == "plan"
+    assert record["backend"] == "oracle"
+    assert record["plan"]["fingerprint"] == query_fingerprint(
+        ProblemShape(10**6, 10**4, 10), 10**5
+    )
+    assert record["plan"]["cache_hit"] is False
